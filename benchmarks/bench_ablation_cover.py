@@ -1,0 +1,45 @@
+"""Ablation B -- greedy multiplet cover vs exhaustive minimum enumeration.
+
+On small circuits the exact enumeration is feasible and serves as the
+optimality reference: how often does the greedy land on a minimum-size
+multiplet, and what does enumeration add in recall/resolution?
+Timed kernel: greedy-only vs with-enumeration diagnosis.
+"""
+
+import _harness
+from repro.campaign.tables import format_table
+from repro.core.diagnose import DiagnosisConfig, Diagnoser
+
+CONFIGS = {
+    "greedy only": DiagnosisConfig(enumerate_exact=False, per_pattern_candidates=0),
+    "greedy+enumeration": DiagnosisConfig(per_pattern_candidates=0),
+    "full (enum+per-pattern)": DiagnosisConfig(),
+}
+
+
+def test_ablation_cover_search(benchmark, capsys):
+    netlist, patterns, datalog = _harness.representative_trial("rca8", k=2)
+
+    def run_all():
+        for config in CONFIGS.values():
+            Diagnoser(netlist, config).diagnose(patterns, datalog)
+
+    benchmark.pedantic(run_all, rounds=3, iterations=1)
+
+    rows = []
+    for label, config in CONFIGS.items():
+        for k in (1, 2, 3):
+            aggregates = _harness.run_config_with_config(
+                "rca8", k=k, config=config, seed=46
+            )
+            agg = aggregates.get("xcover")
+            if agg is None:
+                continue
+            rows.append((label, k, agg.n_trials) + _harness.method_row(agg))
+    text = format_table(
+        ["cover search", "k", "trials"] + _harness.METHOD_COLUMNS,
+        rows,
+        title="Ablation B: multiplet cover search strategies",
+    )
+    with capsys.disabled():
+        _harness.emit("ablation_cover", text)

@@ -1,0 +1,57 @@
+"""Ablation D -- effect-cause diagnosis vs precomputed fault dictionary.
+
+The classical cost-structure comparison: a cause-effect dictionary
+simulates the *whole* fault universe up front (and again for every new
+test set), while the effect-cause approaches only simulate inside the
+failing device's candidate envelope.  This ablation reports build cost,
+per-device cost and accuracy side by side.  Timed kernel: one dictionary
+lookup + one proposed-method diagnosis.
+"""
+
+import time
+
+import _harness
+from repro.campaign.tables import format_table
+from repro.core.diagnose import Diagnoser
+from repro.core.dictionary import build_dictionary, diagnose_dictionary
+
+
+def test_ablation_dictionary(benchmark, capsys):
+    netlist, patterns, datalog = _harness.representative_trial("alu8", k=1, seed=77)
+    dictionary = build_dictionary(netlist, patterns)
+    diagnoser = Diagnoser(netlist)
+
+    def both():
+        diagnose_dictionary(dictionary, datalog)
+        diagnoser.diagnose(patterns, datalog)
+
+    benchmark.pedantic(both, rounds=3, iterations=1)
+
+    rows = []
+    for circuit in ("rca8", "alu8", "mul6"):
+        for k in (1, 2):
+            aggregates = _harness.run_config(
+                circuit, k=k, methods=("xcover", "dictionary"), seed=48
+            )
+            # Dictionary build time (one-off per circuit/test set).
+            campaign = _harness.campaign_for(circuit)
+            started = time.perf_counter()
+            build_dictionary(campaign.netlist, campaign.patterns)
+            build_ms = (time.perf_counter() - started) * 1000
+            for method, agg in aggregates.items():
+                rows.append(
+                    (
+                        circuit,
+                        k,
+                        method,
+                        f"{build_ms:.0f}" if method == "dictionary" else "0",
+                    )
+                    + _harness.method_row(agg)
+                )
+    text = format_table(
+        ["circuit", "k", "method", "build ms"] + _harness.METHOD_COLUMNS,
+        rows,
+        title="Ablation D: effect-cause (proposed) vs precomputed fault dictionary",
+    )
+    with capsys.disabled():
+        _harness.emit("ablation_dictionary", text)

@@ -1,0 +1,44 @@
+"""Ablation A -- exact per-test engine vs X-envelope-only engine.
+
+The X-injection envelope is sound but coarse: any wide-cone site can
+"explain" everything it reaches.  The exact flip/pin verification is what
+buys precision.  This ablation runs the same trials through both engines.
+Timed kernel: both engines on one device.
+"""
+
+import _harness
+from repro.campaign.tables import format_table
+from repro.core.diagnose import DiagnosisConfig, Diagnoser
+
+ENGINES = {
+    "pertest (exact)": DiagnosisConfig(engine="pertest"),
+    "xcover (envelope)": DiagnosisConfig(engine="xcover"),
+}
+
+
+def test_ablation_engines(benchmark, capsys):
+    netlist, patterns, datalog = _harness.representative_trial("rca8", k=2)
+
+    def both():
+        for config in ENGINES.values():
+            Diagnoser(netlist, config).diagnose(patterns, datalog)
+
+    benchmark.pedantic(both, rounds=3, iterations=1)
+
+    rows = []
+    for engine_name, config in ENGINES.items():
+        for k in (1, 2, 3):
+            aggregates = _harness.run_config_with_config(
+                "rca8", k=k, config=config, seed=45
+            )
+            agg = aggregates.get("xcover")
+            if agg is None:
+                continue
+            rows.append((engine_name, k, agg.n_trials) + _harness.method_row(agg))
+    text = format_table(
+        ["engine", "k", "trials"] + _harness.METHOD_COLUMNS,
+        rows,
+        title="Ablation A: exact per-test verification vs X-envelope only",
+    )
+    with capsys.disabled():
+        _harness.emit("ablation_xcover", text)

@@ -1,0 +1,68 @@
+"""Figure 2 -- diagnosis runtime versus circuit size.
+
+Runtime of one two-defect diagnosis across circuits spanning ~50 to ~900
+gates, split into the pipeline stages.  The expected shape: growth is
+roughly linear in (candidate-envelope size x failing patterns) -- orders
+of magnitude below dictionary construction, which is quadratic in the
+fault universe.  The timed kernel is the mid-size diagnosis; the sweep
+itself reports wall-clock per circuit.
+"""
+
+import time
+
+import _harness
+from repro.campaign.driver import provision_patterns
+from repro.campaign.samplers import sample_defect_set
+from repro.campaign.tables import format_table
+from repro.circuit.library import load_circuit
+from repro.core.diagnose import Diagnoser
+from repro.tester.harness import apply_test
+
+SWEEP = ("rca8", "parity16", "cmp8", "alu8", "mul6", "csa16", "mul8")
+
+
+def _one_diagnosis(circuit: str, seed: int = 11):
+    netlist = load_circuit(circuit)
+    patterns = provision_patterns(netlist)
+    attempt = 0
+    while True:
+        defects = sample_defect_set(netlist, 2, seed + attempt)
+        result = apply_test(netlist, patterns, defects)
+        if result.device_fails:
+            return netlist, patterns, result.datalog
+        attempt += 1
+
+
+def test_fig2_runtime_scaling(benchmark, capsys):
+    netlist, patterns, datalog = _one_diagnosis("mul6")
+    diagnoser = Diagnoser(netlist)
+    benchmark.pedantic(
+        lambda: diagnoser.diagnose(patterns, datalog), rounds=3, iterations=1
+    )
+
+    rows = []
+    for circuit in SWEEP:
+        n, pats, log = _one_diagnosis(circuit)
+        started = time.perf_counter()
+        report = Diagnoser(n).diagnose(pats, log)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            (
+                circuit,
+                n.n_gates,
+                pats.n,
+                int(report.stats["n_failing_patterns"]),
+                int(report.stats["n_candidate_space"]),
+                f"{report.stats['seconds_cover'] * 1000:.0f}",
+                f"{report.stats['seconds_refine'] * 1000:.0f}",
+                f"{elapsed * 1000:.0f}",
+            )
+        )
+    text = format_table(
+        ["circuit", "gates", "patterns", "failing", "cand.space",
+         "cover ms", "refine ms", "total ms"],
+        rows,
+        title="Figure 2: diagnosis runtime vs circuit size (k=2)",
+    )
+    with capsys.disabled():
+        _harness.emit("fig2_runtime_scaling", text)

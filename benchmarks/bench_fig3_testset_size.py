@@ -1,0 +1,59 @@
+"""Figure 3 -- diagnosis resolution versus test-set size.
+
+More patterns means more exculpatory and distinguishing evidence: the
+candidate count (resolution) should shrink and recall hold as the applied
+test set grows.  Timed kernel: diagnosis under the largest pattern set.
+"""
+
+import _harness
+from repro.campaign.metrics import score_report
+from repro.campaign.samplers import sample_defect_set
+from repro.campaign.tables import format_series
+from repro.circuit.library import load_circuit
+from repro.core.diagnose import Diagnoser
+from repro.sim.patterns import PatternSet
+from repro.tester.harness import apply_test
+
+CIRCUIT = "alu8"
+SIZES = (8, 16, 32, 64, 128)
+TRIALS = 6
+
+
+def test_fig3_testset_size(benchmark, capsys):
+    netlist = load_circuit(CIRCUIT)
+    big = PatternSet.random(netlist, max(SIZES), seed=71)
+    diagnoser = Diagnoser(netlist)
+
+    defects0 = sample_defect_set(netlist, 2, seed=500)
+    datalog0 = apply_test(netlist, big, defects0).datalog
+    benchmark.pedantic(
+        lambda: diagnoser.diagnose(big, datalog0), rounds=3, iterations=1
+    )
+
+    recall_series: list[float] = []
+    resolution_series: list[float] = []
+    for size in SIZES:
+        patterns = big.subset(list(range(size)))
+        recalls, resolutions = [], []
+        for trial in range(TRIALS):
+            defects = sample_defect_set(netlist, 2, seed=900 + trial)
+            result = apply_test(netlist, patterns, defects)
+            if result.datalog.is_passing_device:
+                continue
+            report = diagnoser.diagnose(patterns, result.datalog)
+            outcome = score_report(netlist, report, defects, 0, 0)
+            recalls.append(outcome.recall_near)
+            resolutions.append(outcome.resolution)
+        recall_series.append(sum(recalls) / len(recalls) if recalls else float("nan"))
+        resolution_series.append(
+            sum(resolutions) / len(resolutions) if resolutions else float("nan")
+        )
+
+    text = format_series(
+        "patterns",
+        list(SIZES),
+        {"recall": recall_series, "resolution": resolution_series},
+        title=f"Figure 3: recall / resolution vs test-set size ({CIRCUIT}, k=2)",
+    )
+    with capsys.disabled():
+        _harness.emit("fig3_testset_size", text)

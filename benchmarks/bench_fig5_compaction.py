@@ -1,0 +1,73 @@
+"""Figure 5 (extension) -- diagnosis quality under response compaction.
+
+Industrial responses pass through XOR space compactors; diagnosis then
+sees parity groups instead of outputs.  Sweeping the signature count from
+"no compaction" down to one pin quantifies the observability/recall
+trade.  Timed kernel: one diagnosis on the 2-signature circuit.
+"""
+
+import _harness
+from repro.campaign.metrics import score_report
+from repro.campaign.samplers import sample_defect_set
+from repro.campaign.tables import format_table
+from repro.circuit.library import load_circuit
+from repro.core.diagnose import Diagnoser
+from repro.sim.patterns import PatternSet
+from repro.tester.compactor import attach_compactor
+from repro.tester.harness import apply_test
+
+CIRCUIT = "rca8"  # 9 outputs
+SIGNATURES = (9, 4, 2, 1)
+TRIALS = 8
+PATTERNS = 48
+
+
+def test_fig5_compaction(benchmark, capsys):
+    netlist = load_circuit(CIRCUIT)
+    compacted2 = attach_compactor(netlist, 2, seed=6)
+    pats2 = PatternSet(compacted2.inputs, PATTERNS, PatternSet.random(netlist, PATTERNS, seed=61).bits)
+    defects0 = sample_defect_set(netlist, 2, seed=611)
+    datalog0 = apply_test(compacted2, pats2, defects0).datalog
+    diagnoser2 = Diagnoser(compacted2)
+    benchmark.pedantic(
+        lambda: diagnoser2.diagnose(pats2, datalog0), rounds=3, iterations=1
+    )
+
+    base_patterns = PatternSet.random(netlist, PATTERNS, seed=61)
+    rows = []
+    for n_sig in SIGNATURES:
+        circuit = attach_compactor(netlist, n_sig, seed=6)
+        pats = PatternSet(circuit.inputs, base_patterns.n, base_patterns.bits)
+        diagnoser = Diagnoser(circuit)
+        recalls, resolutions, successes, aliased = [], [], [], 0
+        for trial in range(TRIALS):
+            defects = sample_defect_set(netlist, 2, seed=700 + trial)
+            result = apply_test(circuit, pats, defects)
+            if result.datalog.is_passing_device:
+                aliased += 1
+                continue
+            report = diagnoser.diagnose(pats, result.datalog)
+            outcome = score_report(circuit, report, defects, 0, 0)
+            recalls.append(outcome.recall_near)
+            resolutions.append(outcome.resolution)
+            successes.append(1.0 if outcome.success else 0.0)
+        n = len(recalls) or 1
+        rows.append(
+            (
+                n_sig,
+                f"{len(netlist.outputs) / n_sig:.1f}x",
+                len(recalls),
+                aliased,
+                f"{sum(recalls) / n:.2f}",
+                f"{sum(resolutions) / n:.1f}",
+                f"{sum(successes) / n:.2f}",
+            )
+        )
+    text = format_table(
+        ["signatures", "compaction", "trials", "aliased-out", "recall",
+         "resolution", "success"],
+        rows,
+        title=f"Figure 5: diagnosis under XOR response compaction ({CIRCUIT}, k=2)",
+    )
+    with capsys.disabled():
+        _harness.emit("fig5_compaction", text)

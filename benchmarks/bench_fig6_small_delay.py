@@ -1,0 +1,82 @@
+"""Figure 6 (extension) -- small-delay defects: detection and localization
+versus defect size.
+
+Sweeps the extra delay of a small-delay defect (in units of the clock
+period) and reports how many trials become detectable at zero-slack
+clocking and how well the timing-aware post-pass localizes the slow net.
+Expected shape: a detection knee once the delta exceeds the slack of the
+defect's typical sensitized paths, with localization quality following
+detection.  Timed kernel: one timed test application + delay diagnosis.
+"""
+
+import _harness
+from repro.campaign.tables import format_table
+from repro.circuit.library import load_circuit
+from repro.circuit.netlist import Site
+from repro.core.delaydiag import diagnose_small_delay
+from repro.sim.patterns import PatternSet
+from repro.sim.timing import SmallDelayDefect, apply_delay_test, arrival_times
+from repro._rng import make_rng
+
+CIRCUIT = "rca8"
+DELTA_FRACTIONS = (0.1, 0.25, 0.5, 1.0)
+TRIALS = 10
+N_PATTERNS = 192
+
+
+def test_fig6_small_delay(benchmark, capsys):
+    netlist = load_circuit(CIRCUIT)
+    patterns = PatternSet.random(netlist, N_PATTERNS, seed=21)
+    period = max(arrival_times(netlist).values())
+
+    bench_defect = SmallDelayDefect(Site(netlist.topo_order[10]), period * 0.5)
+
+    def kernel():
+        result = apply_delay_test(netlist, patterns, [bench_defect], period=period)
+        if not result.datalog.is_passing_device:
+            diagnose_small_delay(netlist, patterns, result.datalog, period)
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)
+
+    rng = make_rng(777)
+    stems = [net for net in netlist.topo_order]
+    sites = [Site(rng.choice(stems)) for _ in range(TRIALS)]
+
+    rows = []
+    for fraction in DELTA_FRACTIONS:
+        delta = period * fraction
+        detected = 0
+        located = 0
+        ranks = []
+        for site in sites:
+            result = apply_delay_test(
+                netlist, patterns, [SmallDelayDefect(site, delta)], period=period
+            )
+            if result.datalog.is_passing_device:
+                continue
+            detected += 1
+            ranked = diagnose_small_delay(netlist, patterns, result.datalog, period)
+            nets = [c.net for c in ranked]
+            if site.net in nets:
+                located += 1
+                ranks.append(nets.index(site.net) + 1)
+        rows.append(
+            (
+                f"{fraction:.2f}",
+                f"{delta:.1f}",
+                TRIALS,
+                detected,
+                located,
+                f"{sum(ranks) / len(ranks):.1f}" if ranks else "-",
+            )
+        )
+    text = format_table(
+        ["delta/period", "delta", "trials", "detected", "located", "avg rank"],
+        rows,
+        title=(
+            f"Figure 6: small-delay defects on {CIRCUIT} at zero-slack "
+            f"clocking (period={period:.0f})"
+        ),
+    )
+    with capsys.disabled():
+        _harness.emit("fig6_small_delay", text)

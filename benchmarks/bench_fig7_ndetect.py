@@ -1,0 +1,71 @@
+"""Figure 7 (extension) -- diagnosis resolution versus N-detect level.
+
+Each additional detection of a fault exercises a different sensitization
+context, separating candidates a 1-detect set leaves tied.  Expected
+shape: recall already saturated at N=1, resolution (and the
+indistinguishability-class count) shrinking as N grows.  Timed kernel:
+one diagnosis under the N=4 set.
+"""
+
+import _harness
+from repro.atpg.ndetect import generate_ndetect_tests
+from repro.campaign.metrics import score_report
+from repro.campaign.samplers import sample_defect_set
+from repro.campaign.tables import format_table
+from repro.circuit.library import load_circuit
+from repro.core.diagnose import Diagnoser
+from repro.core.equivalence import classed_resolution
+from repro.tester.harness import apply_test
+
+CIRCUIT = "alu8"
+N_LEVELS = (1, 2, 4)
+TRIALS = 8
+
+
+def test_fig7_ndetect_resolution(benchmark, capsys):
+    netlist = load_circuit(CIRCUIT)
+    pattern_sets = {
+        n: generate_ndetect_tests(netlist, n, seed=8).patterns for n in N_LEVELS
+    }
+    diagnoser = Diagnoser(netlist)
+
+    defects0 = sample_defect_set(netlist, 1, seed=42)
+    big = pattern_sets[max(N_LEVELS)]
+    datalog0 = apply_test(netlist, big, defects0).datalog
+    benchmark.pedantic(
+        lambda: diagnoser.diagnose(big, datalog0), rounds=3, iterations=1
+    )
+
+    rows = []
+    for n in N_LEVELS:
+        patterns = pattern_sets[n]
+        recalls, resolutions, classes = [], [], []
+        for trial in range(TRIALS):
+            defects = sample_defect_set(netlist, 1, seed=5000 + trial)
+            result = apply_test(netlist, patterns, defects)
+            if result.datalog.is_passing_device:
+                continue
+            report = diagnoser.diagnose(patterns, result.datalog)
+            outcome = score_report(netlist, report, defects, 0, 0)
+            recalls.append(outcome.recall_near)
+            resolutions.append(outcome.resolution)
+            classes.append(classed_resolution(netlist, patterns, report))
+        count = len(recalls) or 1
+        rows.append(
+            (
+                n,
+                patterns.n,
+                len(recalls),
+                f"{sum(recalls) / count:.2f}",
+                f"{sum(resolutions) / count:.1f}",
+                f"{sum(classes) / count:.1f}",
+            )
+        )
+    text = format_table(
+        ["N-detect", "patterns", "trials", "recall", "resolution",
+         "distinct classes"],
+        rows,
+        title=f"Figure 7: diagnosis sharpness vs N-detect level ({CIRCUIT}, k=1)",
+    )
+    with capsys.disabled():
+        _harness.emit("fig7_ndetect", text)

@@ -1,0 +1,74 @@
+"""Figure 8 (extension) -- diagnosis quality versus fail-log truncation.
+
+Production testers stop logging after a configured number of failing
+cycles; diagnosis then sees a prefix of the evidence with the rest of the
+test *unobserved* (not passing!).  Expected shape: recall degrades
+gracefully as the log shrinks -- a couple of failing patterns already
+locate most defects -- while resolution widens (less distinguishing and
+exculpatory evidence).  Timed kernel: diagnosis from a 2-record log.
+"""
+
+import _harness
+from repro.campaign.metrics import score_report
+from repro.campaign.samplers import sample_defect_set
+from repro.campaign.tables import format_table
+from repro.circuit.library import load_circuit
+from repro.core.diagnose import Diagnoser
+from repro.tester.harness import apply_test
+
+CIRCUIT = "alu8"
+LIMITS = (None, 8, 4, 2, 1)
+TRIALS = 8
+
+
+def test_fig8_log_truncation(benchmark, capsys):
+    netlist = load_circuit(CIRCUIT)
+    campaign = _harness.campaign_for(CIRCUIT)
+    patterns = campaign.patterns
+    diagnoser = Diagnoser(netlist)
+
+    defects0 = sample_defect_set(netlist, 2, seed=404)
+    datalog0 = apply_test(netlist, patterns, defects0).datalog.truncate(
+        max_failing_patterns=2
+    )
+    benchmark.pedantic(
+        lambda: diagnoser.diagnose(patterns, datalog0), rounds=3, iterations=1
+    )
+
+    rows = []
+    for limit in LIMITS:
+        recalls, resolutions, kept = [], [], []
+        for trial in range(TRIALS):
+            defects = sample_defect_set(netlist, 2, seed=8000 + trial)
+            result = apply_test(netlist, patterns, defects)
+            if result.datalog.is_passing_device:
+                continue
+            datalog = (
+                result.datalog
+                if limit is None
+                else result.datalog.truncate(max_failing_patterns=limit)
+            )
+            if datalog.is_passing_device:
+                continue
+            report = diagnoser.diagnose(patterns, datalog)
+            outcome = score_report(netlist, report, defects, 0, 0)
+            recalls.append(outcome.recall_near)
+            resolutions.append(outcome.resolution)
+            kept.append(len(datalog.failing_indices))
+        n = len(recalls) or 1
+        rows.append(
+            (
+                "full" if limit is None else limit,
+                f"{sum(kept) / n:.1f}",
+                len(recalls),
+                f"{sum(recalls) / n:.2f}",
+                f"{sum(resolutions) / n:.1f}",
+            )
+        )
+    text = format_table(
+        ["log limit", "avg failing kept", "trials", "recall", "resolution"],
+        rows,
+        title=f"Figure 8: diagnosis vs ATE fail-log truncation ({CIRCUIT}, k=2)",
+    )
+    with capsys.disabled():
+        _harness.emit("fig8_truncation", text)

@@ -1,0 +1,56 @@
+"""Kernel micro-benchmarks (performance regression guard).
+
+Not a paper table: these time the primitives everything else is built
+on, so a performance regression in a core loop is caught here rather
+than as a mysterious slowdown of the experiment harness.
+"""
+
+import pytest
+
+import _harness  # noqa: F401  (keeps sys.path behavior identical to other benches)
+from repro.circuit.library import load_circuit
+from repro.circuit.netlist import Site
+from repro.core.backtrace import flip_criticality
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+from repro.sim.threeval import simulate3, x_injection_reach
+from repro.sim.event import resimulate_with_overrides
+
+
+@pytest.fixture(scope="module")
+def workload():
+    netlist = load_circuit("mul8")
+    patterns = PatternSet.random(netlist, 64, seed=1)
+    base = simulate(netlist, patterns)
+    return netlist, patterns, base
+
+
+def test_kernel_full_simulation(benchmark, workload):
+    netlist, patterns, _base = workload
+    benchmark(simulate, netlist, patterns)
+
+
+def test_kernel_threeval_simulation(benchmark, workload):
+    netlist, patterns, _base = workload
+    benchmark(simulate3, netlist, patterns)
+
+
+def test_kernel_cone_resimulation(benchmark, workload):
+    netlist, patterns, base = workload
+    site = Site(netlist.topo_order[len(netlist.topo_order) // 4])
+    flipped = (base[site.net] ^ patterns.mask) & patterns.mask
+    benchmark(
+        resimulate_with_overrides, netlist, base, {site: flipped}, patterns.mask
+    )
+
+
+def test_kernel_x_injection(benchmark, workload):
+    netlist, patterns, base = workload
+    site = Site(netlist.topo_order[len(netlist.topo_order) // 4])
+    benchmark(x_injection_reach, netlist, patterns, site, base)
+
+
+def test_kernel_flip_criticality(benchmark, workload):
+    netlist, patterns, base = workload
+    site = Site(netlist.topo_order[10])
+    benchmark(flip_criticality, netlist, patterns, site, base)

@@ -1,0 +1,47 @@
+"""Table 1 -- benchmark circuit characteristics.
+
+Reproduces the standard "circuits used in the evaluation" table: size,
+interface, test-set length and stuck-at coverage per circuit.  The timed
+kernel is test generation on a representative mid-size circuit.
+"""
+
+import _harness
+from repro.atpg.random_gen import generate_stuck_at_tests
+from repro.campaign.tables import format_table
+from repro.circuit.library import SUITE_MEDIUM, SUITE_SMALL, load_circuit
+
+CIRCUITS = tuple(SUITE_SMALL) + tuple(SUITE_MEDIUM)
+
+
+def test_table1_circuit_characteristics(benchmark, capsys):
+    benchmark.pedantic(
+        lambda: generate_stuck_at_tests(load_circuit("alu8"), seed=7),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = []
+    for name in CIRCUITS:
+        netlist = load_circuit(name)
+        report = generate_stuck_at_tests(netlist, seed=7)
+        rows.append(
+            (
+                name,
+                len(netlist.inputs),
+                len(netlist.outputs),
+                netlist.n_gates,
+                netlist.depth,
+                len(netlist.sites()),
+                report.n_faults,
+                report.patterns.n,
+                f"{report.coverage:.1%}",
+            )
+        )
+    text = format_table(
+        ["circuit", "PI", "PO", "gates", "depth", "sites", "faults",
+         "patterns", "SA coverage"],
+        rows,
+        title="Table 1: benchmark circuit characteristics",
+    )
+    with capsys.disabled():
+        _harness.emit("table1_circuits", text)

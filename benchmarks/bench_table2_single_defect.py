@@ -1,0 +1,38 @@
+"""Table 2 -- single-defect diagnosis per defect family.
+
+The sanity anchor of the evaluation: with one injected defect the proposed
+method must locate it essentially always, for every behavioral family
+(stuck-at, bridge, open, transition, and the model-free byzantine case),
+with small candidate counts.  Timed kernel: one single-defect diagnosis.
+"""
+
+import _harness
+from repro.campaign.samplers import PURE_MIXES
+from repro.campaign.tables import format_table
+from repro.core.diagnose import Diagnoser
+
+
+def test_table2_single_defect(benchmark, capsys):
+    netlist, patterns, datalog = _harness.representative_trial("alu8", k=1)
+    diagnoser = Diagnoser(netlist)
+    benchmark.pedantic(
+        lambda: diagnoser.diagnose(patterns, datalog), rounds=3, iterations=1
+    )
+
+    rows = []
+    for family, mix in PURE_MIXES.items():
+        for circuit in _harness.ACCURACY_CIRCUITS:
+            aggregates = _harness.run_config(
+                circuit, k=1, methods=("xcover",), mix=mix, seed=21
+            )
+            agg = aggregates.get("xcover")
+            if agg is None:
+                continue
+            rows.append((family, circuit, agg.n_trials) + _harness.method_row(agg))
+    text = format_table(
+        ["family", "circuit", "trials"] + _harness.METHOD_COLUMNS,
+        rows,
+        title="Table 2: single-defect diagnosis by defect family (proposed method)",
+    )
+    with capsys.disabled():
+        _harness.emit("table2_single_defect", text)

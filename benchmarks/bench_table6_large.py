@@ -1,0 +1,45 @@
+"""Table 6 -- large-circuit campaign (scalability of accuracy).
+
+Repeats the k=2 accuracy measurement on the large tier (hundreds of
+gates, four-digit site counts) to show the method's accuracy does not
+erode with design size -- only runtime grows (Figure 2 characterizes
+how).  Fewer trials than the mid-tier tables; these are the slow cells.
+Timed kernel: one large-circuit diagnosis.
+"""
+
+import _harness
+from repro.campaign.tables import format_table
+from repro.circuit.library import load_circuit
+from repro.core.diagnose import Diagnoser
+
+CIRCUITS = ("csa32", "mul8", "rca32")
+TRIALS = 5
+
+
+def test_table6_large_circuits(benchmark, capsys):
+    netlist, patterns, datalog = _harness.representative_trial("mul8", k=2, seed=55)
+    diagnoser = Diagnoser(netlist)
+    benchmark.pedantic(
+        lambda: diagnoser.diagnose(patterns, datalog), rounds=3, iterations=1
+    )
+
+    rows = []
+    for circuit in CIRCUITS:
+        loaded = load_circuit(circuit)
+        aggregates = _harness.run_config(
+            circuit, k=2, methods=("xcover",), trials=TRIALS, seed=61
+        )
+        agg = aggregates.get("xcover")
+        if agg is None:
+            continue
+        rows.append(
+            (circuit, loaded.n_gates, len(loaded.sites()), agg.n_trials)
+            + _harness.method_row(agg)
+        )
+    text = format_table(
+        ["circuit", "gates", "sites", "trials"] + _harness.METHOD_COLUMNS,
+        rows,
+        title="Table 6: large-tier accuracy (proposed method, k=2)",
+    )
+    with capsys.disabled():
+        _harness.emit("table6_large", text)

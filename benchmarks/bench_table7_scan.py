@@ -1,0 +1,47 @@
+"""Table 7 -- full-scan cores: defects in next-state logic.
+
+Diagnosis accuracy on the scan-inserted combinational cores of sequential
+designs (counters, an LFSR, a shift register).  The defect population
+lives in the next-state logic and is observed through flop captures --
+the exact setting the method targets in practice.  Expected: accuracy on
+par with the combinational suite; shift-register-like cores are trivial
+(near-1 resolution), arithmetic next-state logic behaves like the adders.
+Timed kernel: one scan-core diagnosis.
+"""
+
+import _harness
+from repro.campaign.tables import format_table
+from repro.circuit.library import SUITE_SCAN, load_circuit
+from repro.core.diagnose import Diagnoser
+
+
+def test_table7_scan_cores(benchmark, capsys):
+    netlist, patterns, datalog = _harness.representative_trial(
+        "scan_cnt16", k=1, seed=31
+    )
+    diagnoser = Diagnoser(netlist)
+    benchmark.pedantic(
+        lambda: diagnoser.diagnose(patterns, datalog), rounds=3, iterations=1
+    )
+
+    rows = []
+    for circuit in SUITE_SCAN:
+        loaded = load_circuit(circuit)
+        for k in (1, 2):
+            aggregates = _harness.run_config(
+                circuit, k=k, methods=("xcover",), seed=71
+            )
+            agg = aggregates.get("xcover")
+            if agg is None:
+                continue
+            rows.append(
+                (circuit, loaded.n_gates, k, agg.n_trials)
+                + _harness.method_row(agg)
+            )
+    text = format_table(
+        ["scan core", "gates", "k", "trials"] + _harness.METHOD_COLUMNS,
+        rows,
+        title="Table 7: diagnosis on full-scan cores of sequential designs",
+    )
+    with capsys.disabled():
+        _harness.emit("table7_scan", text)

@@ -1,0 +1,112 @@
+"""A complete silicon-debug session, end to end.
+
+The grand tour: a *sequential* design gets scan inserted and its
+responses compacted; a lot of dice (some with multiple interacting
+defects, one with a systematic defect) fails on the tester with truncated
+fail logs in scan coordinates; the debug engineer diagnoses every die
+from the text logs alone, sharpens one ambiguous case with adaptive
+re-testing, and aggregates the lot into a yield-learning report with a
+systematic-defect flag.
+
+Run:  python examples/debug_session.py
+"""
+
+from repro import Diagnoser, PatternSet, apply_test, scan_insert
+from repro._rng import make_rng
+from repro.campaign.samplers import sample_defect_set
+from repro.campaign.volume import VolumeAggregate
+from repro.circuit.netlist import Site
+from repro.core.distinguish import adaptive_diagnose
+from repro.faults.injection import FaultyCircuit
+from repro.faults.models import StuckAtDefect
+from repro.seq.generators import counter
+from repro.tester.scan import from_tester_log, parse_tester_log, format_tester_log, to_tester_log
+
+N_DICE = 14
+LOG_LIMIT = 6  # ATE: stop logging after 6 failing captures
+
+
+def main() -> int:
+    # ------------------------------------------------------------ design
+    design = counter(8)
+    scan = scan_insert(design, n_chains=2)
+    core = scan.netlist
+    patterns = PatternSet.random(core, 48, seed=77)
+    print(f"design: {design}  ->  scan core {core.n_gates} gates, "
+          f"{len(core.outputs)} observed bits")
+
+    # ------------------------------------------------------------ the lot
+    rng = make_rng(1234)
+    systematic = StuckAtDefect(Site("d5"), 0)  # repeat offender in the lot
+    volume = VolumeAggregate()
+    ambiguous: tuple | None = None
+    diagnoser = Diagnoser(core)
+    failing_dice = 0
+
+    for die in range(N_DICE):
+        if die % 3 == 0:
+            defects = [systematic]
+        else:
+            defects = sample_defect_set(core, k=rng.choice((1, 2)),
+                                        seed=rng.getrandbits(32))
+        test = apply_test(core, patterns, defects)
+        if test.datalog.is_passing_device:
+            continue
+        failing_dice += 1
+
+        # Tester side: scan-coordinate text log, truncated like real ATE.
+        truncated = test.datalog.truncate(max_failing_patterns=LOG_LIMIT)
+        text_log = format_tester_log(to_tester_log(scan.config, truncated))
+
+        # Debug side: text log -> logical datalog -> diagnosis.
+        recovered = from_tester_log(
+            scan.config, parse_tester_log(text_log), patterns.n
+        )
+        recovered = type(recovered)(
+            recovered.circuit_name, recovered.n_patterns, recovered.records,
+            n_observed=truncated.n_observed,
+        )
+        report = diagnoser.diagnose(patterns, recovered)
+        volume.add(report)
+        if report.resolution > 6 and ambiguous is None:
+            ambiguous = (die, defects, report)
+
+    print(f"\nlot summary: {failing_dice}/{N_DICE} dice failed and were "
+          f"diagnosed from truncated scan logs")
+
+    # ---------------------------------------------------- adaptive sharpening
+    if ambiguous is not None:
+        die, defects, first_report = ambiguous
+        print(f"\ndie #{die} is ambiguous ({first_report.resolution} candidates)"
+              " -- re-inserting for adaptive test...")
+        dut = FaultyCircuit(core, defects)
+        session = adaptive_diagnose(
+            core, patterns, dut.simulate_outputs, target_resolution=4, seed=9
+        )
+        print(f"  after {session.patterns_added} distinguishing patterns: "
+              f"{session.initial_resolution} -> {session.final_resolution} candidates")
+
+    # ---------------------------------------------------------- yield report
+    print("\nmechanism Pareto (top model per die):")
+    for kind, count in volume.mechanism_pareto():
+        print(f"  {kind:>9s} {count:3d} {'#' * count}")
+    flagged = volume.systematic_suspects(n_sites=len(core.sites()))
+    print("\nsystematic-defect screen:")
+    if flagged:
+        offender_zone = {"d5"} | set(core.driver("d5").inputs) | {
+            dest for dest, _pin in core.fanout("d5")
+        }
+        for net, score in flagged[:5]:
+            marker = (
+                "  <-- injected repeat offender's cell"
+                if net in offender_zone or net == "d5"
+                else ""
+            )
+            print(f"  net {net}: surprise {score:.1f}{marker}")
+    else:
+        print("  nothing anomalous")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

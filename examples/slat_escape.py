@@ -1,0 +1,77 @@
+"""The headline scenario: failing patterns that violate SLAT assumptions.
+
+SLAT-class diagnosis assumes every failing pattern is explainable by one
+stuck-at fault in isolation.  This script manufactures devices where two
+defects corrupt *disjoint outputs on the same pattern* (so no single site
+can explain it) and shows, side by side, how the per-test baseline loses
+exactly those patterns while the assumption-free method explains them and
+still locates every defect.
+
+Run:  python examples/slat_escape.py
+"""
+
+from repro import (
+    Diagnoser,
+    apply_test,
+    diagnose_slat,
+    load_circuit,
+    provision_patterns,
+    sample_defect_set,
+)
+from repro.campaign.metrics import score_report
+from repro.campaign.tables import format_table
+
+
+def main() -> int:
+    netlist = load_circuit("alu8")
+    patterns = provision_patterns(netlist)
+
+    rows = []
+    for seed in range(12):
+        defects = sample_defect_set(netlist, k=3, seed=seed, interacting=True)
+        test = apply_test(netlist, patterns, defects)
+        if test.datalog.is_passing_device:
+            continue
+
+        slat = diagnose_slat(netlist, patterns, test.datalog)
+        ours = Diagnoser(netlist).diagnose(patterns, test.datalog)
+
+        slat_score = score_report(netlist, slat, defects, 0, 0)
+        ours_score = score_report(netlist, ours, defects, 0, 0)
+        rows.append(
+            (
+                seed,
+                len(test.datalog.failing_indices),
+                int(slat.stats["n_non_slat_patterns"]),
+                f"{slat_score.recall_near:.2f}",
+                f"{ours_score.recall_near:.2f}",
+                len(ours.uncovered_atoms),
+            )
+        )
+
+    print(
+        format_table(
+            [
+                "seed",
+                "failing pats",
+                "non-SLAT pats",
+                "SLAT recall",
+                "ours recall",
+                "ours unexplained",
+            ],
+            rows,
+            title="Interacting triple defects on alu8: SLAT escape analysis",
+        )
+    )
+    non_slat_total = sum(r[2] for r in rows)
+    print(
+        f"\n{non_slat_total} failing patterns across {len(rows)} devices had NO "
+        "single-stuck-at explanation -- the patterns SLAT silently drops.\n"
+        "The assumption-free method explains them via joint flip/pin "
+        "assignments over multiplet sites (masking and joint sensitization)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""From an ATE datalog file to a PFA work order.
+
+This example mirrors the hand-off in a real failure-analysis flow: the
+tester side dumps a plain-text datalog; the diagnosis side reads it back
+(no access to the defective device, only the netlist and the evidence),
+and produces a ranked *work order* for the physical failure analysis lab:
+which sites to cross-section first, what mechanism to expect at each, and
+which neighborhood to deprocess.
+
+Run:  python examples/tester_to_pfa.py
+"""
+
+from pathlib import Path
+import tempfile
+
+from repro import (
+    Datalog,
+    Diagnoser,
+    apply_test,
+    load_circuit,
+    provision_patterns,
+    sample_defect_set,
+)
+
+
+def tester_side(netlist, patterns, out_path: Path) -> None:
+    """What happens at the ATE: test a (secretly defective) device."""
+    defects = sample_defect_set(netlist, k=2, seed=4242)
+    test = apply_test(netlist, patterns, defects)
+    out_path.write_text(test.datalog.to_text())
+    print("[tester] defects on this die (hidden from diagnosis):")
+    for defect in defects:
+        print(f"[tester]   {defect}")
+    print(f"[tester] wrote datalog: {out_path} "
+          f"({len(test.datalog.failing_indices)} failing patterns)")
+
+
+def diagnosis_side(netlist, patterns, log_path: Path) -> None:
+    """What the FA lab receives: netlist + datalog text, nothing else."""
+    datalog = Datalog.from_text(log_path.read_text())
+    report = Diagnoser(netlist).diagnose(patterns, datalog)
+
+    print("\n=== PFA WORK ORDER", "=" * 40)
+    print(f"device: {report.circuit}   method: {report.method}")
+    print(f"evidence: {len(datalog.failing_indices)} failing patterns, "
+          f"{datalog.n_fail_atoms} failing (pattern, output) observations")
+    if report.uncovered_atoms:
+        print(f"WARNING: {len(report.uncovered_atoms)} observations unexplained "
+              "- suspect >2 interacting defects or an inter-cell mechanism")
+    print("\nminimal explanations (multiplets), best first:")
+    for rank, multiplet in enumerate(report.multiplets[:5], start=1):
+        print(f"  #{rank} {multiplet.describe()}")
+    print("\nsite work list:")
+    for rank, candidate in enumerate(report.candidates[:8], start=1):
+        best = candidate.best
+        mechanism = best.kind if best else "unknown"
+        if best and best.aggressor:
+            mechanism = f"short to net {best.aggressor}"
+        neighborhood = sorted(
+            {candidate.site.net}
+            | set(
+                netlist.driver(candidate.site.net).inputs
+                if netlist.driver(candidate.site.net)
+                else ()
+            )
+        )
+        print(f"  {rank}. site {candidate.site}  expect: {mechanism:<18s} "
+              f"deprocess near nets: {', '.join(neighborhood)}")
+
+
+def main() -> int:
+    netlist = load_circuit("csa16")
+    patterns = provision_patterns(netlist)
+    with tempfile.TemporaryDirectory() as tmp:
+        log_path = Path(tmp) / "die_0042.datalog"
+        tester_side(netlist, patterns, log_path)
+        diagnosis_side(netlist, patterns, log_path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

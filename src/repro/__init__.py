@@ -1,0 +1,172 @@
+"""repro -- Multiple defect diagnosis using no assumptions on failing
+pattern characteristics (DAC 2008): a full open reproduction.
+
+Quickstart::
+
+    from repro import (
+        load_circuit, provision_patterns, sample_defect_set, apply_test,
+        Diagnoser,
+    )
+
+    netlist = load_circuit("alu8")
+    patterns = provision_patterns(netlist)
+    defects = sample_defect_set(netlist, k=2, seed=42)
+    test = apply_test(netlist, patterns, defects)
+    report = Diagnoser(netlist).diagnose(patterns, test.datalog)
+    print(report.summary())
+
+Layer map (see DESIGN.md for the full inventory):
+
+- ``repro.circuit`` netlists, ``.bench`` I/O, benchmark generators,
+- ``repro.sim`` bit-parallel 2-/3-valued simulation,
+- ``repro.faults`` fault models, multi-defect DUT emulation, collapsing,
+- ``repro.atpg`` PODEM + compacted random test generation,
+- ``repro.tester`` datalogs and test application,
+- ``repro.core`` the diagnosis method and its baselines,
+- ``repro.campaign`` injection experiments and metrics.
+"""
+
+from repro.circuit import (
+    Gate,
+    GateKind,
+    Netlist,
+    NetlistBuilder,
+    Site,
+    circuit_names,
+    load_circuit,
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+)
+from repro.sim import PatternSet, simulate, simulate3, simulate_outputs
+from repro.faults import (
+    BridgeDefect,
+    BridgeKind,
+    ByzantineDefect,
+    Defect,
+    FaultyCircuit,
+    OpenDefect,
+    StuckAtDefect,
+    TransitionDefect,
+    TransitionKind,
+    collapse_stuck_at,
+    stuck_at_universe,
+)
+from repro.atpg import Podem, generate_stuck_at_tests, generate_transition_tests
+from repro.atpg.ndetect import generate_ndetect_tests
+from repro.sim.timing import (
+    SmallDelayDefect,
+    apply_delay_test,
+    arrival_times,
+    static_slack,
+)
+from repro.core.delaydiag import diagnose_small_delay
+from repro.tester import Datalog, FailRecord, TestResult, apply_test
+from repro.tester.scan import ScanChainConfig, ScanFail, from_tester_log, to_tester_log
+from repro.core import (
+    Candidate,
+    Diagnoser,
+    DiagnosisConfig,
+    DiagnosisReport,
+    Hypothesis,
+    Multiplet,
+    diagnose_single_fault,
+    diagnose_slat,
+)
+from repro.core.dictionary import build_dictionary, diagnose_dictionary
+from repro.core.distinguish import adaptive_diagnose, distinguishing_pattern
+from repro.core.equivalence import classed_resolution, group_candidates
+from repro.tester.compactor import attach_compactor
+from repro.seq import (
+    Flop,
+    ScanDesign,
+    SequentialNetlist,
+    parse_bench_sequential,
+    scan_insert,
+    unroll,
+)
+from repro.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    DefectMix,
+    sample_defect_set,
+)
+from repro.campaign.driver import provision_patterns
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Gate",
+    "GateKind",
+    "Netlist",
+    "NetlistBuilder",
+    "Site",
+    "circuit_names",
+    "load_circuit",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "PatternSet",
+    "simulate",
+    "simulate3",
+    "simulate_outputs",
+    "BridgeDefect",
+    "BridgeKind",
+    "ByzantineDefect",
+    "Defect",
+    "FaultyCircuit",
+    "OpenDefect",
+    "StuckAtDefect",
+    "TransitionDefect",
+    "TransitionKind",
+    "collapse_stuck_at",
+    "stuck_at_universe",
+    "Podem",
+    "generate_stuck_at_tests",
+    "generate_transition_tests",
+    "generate_ndetect_tests",
+    "SmallDelayDefect",
+    "apply_delay_test",
+    "arrival_times",
+    "static_slack",
+    "diagnose_small_delay",
+    "Datalog",
+    "FailRecord",
+    "TestResult",
+    "apply_test",
+    "ScanChainConfig",
+    "ScanFail",
+    "from_tester_log",
+    "to_tester_log",
+    "build_dictionary",
+    "diagnose_dictionary",
+    "adaptive_diagnose",
+    "distinguishing_pattern",
+    "classed_resolution",
+    "group_candidates",
+    "attach_compactor",
+    "Flop",
+    "ScanDesign",
+    "SequentialNetlist",
+    "parse_bench_sequential",
+    "scan_insert",
+    "unroll",
+    "Candidate",
+    "Diagnoser",
+    "DiagnosisConfig",
+    "DiagnosisReport",
+    "Hypothesis",
+    "Multiplet",
+    "diagnose_single_fault",
+    "diagnose_slat",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "DefectMix",
+    "sample_defect_set",
+    "provision_patterns",
+    "ReproError",
+]

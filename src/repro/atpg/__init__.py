@@ -1,0 +1,27 @@
+"""Automatic test pattern generation.
+
+- :mod:`repro.atpg.podem` -- a classic PODEM implementation for stuck-at
+  faults plus a justification-only mode,
+- :mod:`repro.atpg.random_gen` -- random pattern generation with fault-
+  simulation-based compaction and deterministic PODEM top-off,
+- :mod:`repro.atpg.transition` -- launch-on-capture transition test pairs,
+- :mod:`repro.atpg.ndetect` -- N-detect pattern sets,
+- :mod:`repro.atpg.diagnostic` -- diagnostic (distinguishability) expansion.
+"""
+
+from repro.atpg.podem import Podem, PodemResult, justify
+from repro.atpg.random_gen import generate_stuck_at_tests, AtpgReport
+from repro.atpg.transition import generate_transition_tests
+from repro.atpg.ndetect import generate_ndetect_tests
+from repro.atpg.diagnostic import expand_diagnostic
+
+__all__ = [
+    "Podem",
+    "PodemResult",
+    "justify",
+    "generate_stuck_at_tests",
+    "AtpgReport",
+    "generate_transition_tests",
+    "generate_ndetect_tests",
+    "expand_diagnostic",
+]

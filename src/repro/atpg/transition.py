@@ -1,0 +1,73 @@
+"""Launch-on-capture transition test generation.
+
+A transition fault (slow-to-rise at site ``s``) needs a two-vector test:
+the launch vector sets ``s`` to the initial value, the capture vector both
+creates the transition and propagates the (late) old value to an output --
+i.e. the capture vector is a stuck-at test for the initial value at ``s``.
+This module pairs PODEM-generated capture vectors with justification-only
+launch vectors and interleaves them so that the simulator's
+consecutive-pattern delay semantics (see
+:class:`~repro.faults.models.TransitionDefect`) observes every intended
+launch/capture edge.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro._rng import make_rng
+from repro.atpg.podem import Podem, justify
+from repro.circuit.netlist import Netlist, Site
+from repro.faults.models import StuckAtDefect, TransitionKind
+from repro.sim.patterns import PatternSet
+
+
+@dataclass
+class TransitionAtpgReport:
+    patterns: PatternSet
+    n_targets: int
+    n_covered: int
+
+    @property
+    def coverage(self) -> float:
+        return self.n_covered / self.n_targets if self.n_targets else 1.0
+
+
+def generate_transition_tests(
+    netlist: Netlist,
+    sites: list[Site] | None = None,
+    seed: int | random.Random | None = None,
+    max_backtracks: int = 256,
+) -> TransitionAtpgReport:
+    """Generate LOC pairs covering slow-to-rise/fall at the given sites.
+
+    ``sites`` defaults to all stems.  Returns the interleaved
+    (launch, capture) pattern set.
+    """
+    rng = make_rng(seed)
+    if sites is None:
+        sites = [Site(net) for net in netlist.nets()]
+    engine = Podem(netlist, max_backtracks=max_backtracks, seed=rng.getrandbits(32))
+    vectors: list[dict[str, int]] = []
+    covered = 0
+    n_targets = 0
+    for site in sites:
+        for kind in (TransitionKind.SLOW_TO_RISE, TransitionKind.SLOW_TO_FALL):
+            n_targets += 1
+            initial = 0 if kind is TransitionKind.SLOW_TO_RISE else 1
+            # Capture vector: detect stuck-at-<initial> at the site.
+            capture = engine.generate(StuckAtDefect(site, initial))
+            if not capture.success:
+                continue
+            launch = justify(
+                netlist, site.net, initial,
+                max_backtracks=max_backtracks, seed=rng.getrandbits(32),
+            )
+            if launch is None:
+                continue
+            vectors.append(launch)
+            vectors.append(capture.pattern)
+            covered += 1
+    patterns = PatternSet.from_vectors(netlist.inputs, vectors)
+    return TransitionAtpgReport(patterns, n_targets, covered)

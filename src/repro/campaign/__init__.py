@@ -1,0 +1,33 @@
+"""Defect-injection experiment framework.
+
+Drives the reproduction experiments end to end: sample a defect set, build
+the failing device, apply the test, run one or more diagnosis methods,
+score each against ground truth, and aggregate over trials.
+
+- :mod:`repro.campaign.samplers` -- randomized defect-set sampling,
+- :mod:`repro.campaign.metrics` -- per-trial scoring (recall / precision /
+  resolution) with equivalence-aware site matching,
+- :mod:`repro.campaign.driver` -- the trial/campaign runner,
+- :mod:`repro.campaign.tables` -- plain-text table/figure rendering used
+  by the benchmark harness.
+"""
+
+from repro.campaign.samplers import DefectMix, sample_defect_set
+from repro.campaign.metrics import TrialOutcome, score_report
+from repro.campaign.driver import Campaign, CampaignConfig, CampaignResult
+from repro.campaign.tables import format_table, format_series
+from repro.campaign.volume import VolumeAggregate, aggregate_reports
+
+__all__ = [
+    "DefectMix",
+    "sample_defect_set",
+    "TrialOutcome",
+    "score_report",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "format_table",
+    "format_series",
+    "VolumeAggregate",
+    "aggregate_reports",
+]

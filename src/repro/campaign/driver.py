@@ -1,0 +1,215 @@
+"""The campaign runner: injected-defect trials end to end.
+
+A :class:`Campaign` owns one circuit and one test set (ATPG-generated and
+cached per circuit) and runs seeded trials: sample a defect set, emulate
+the failing device, collect the datalog, run each requested diagnosis
+method, and score it against ground truth.  Every experiment table in
+``benchmarks/`` is a thin configuration of this driver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro._rng import make_rng, spawn
+from repro.atpg.random_gen import generate_stuck_at_tests
+from repro.campaign.metrics import Aggregate, TrialOutcome, aggregate_by, score_report
+from repro.campaign.samplers import DEFAULT_MIX, DefectMix, sample_defect_set
+from repro.circuit.library import load_circuit
+from repro.circuit.netlist import Netlist
+from repro.core.diagnose import DiagnosisConfig, Diagnoser
+from repro.core.single_fault import diagnose_single_fault
+from repro.core.slat import diagnose_slat
+from repro.errors import FaultModelError, OscillationError, ReproError
+from repro.sim.patterns import PatternSet
+from repro.tester.harness import apply_test
+
+_dictionary_cache: dict[tuple[str, int], object] = {}
+
+
+def _run_dictionary(netlist: Netlist, patterns: PatternSet, datalog):
+    """Dictionary baseline with a per-(circuit, test set) build cache.
+
+    The cache mirrors reality: the dictionary is built once per test set
+    and amortized over every diagnosed device; its build cost is reported
+    in the diagnosis stats.
+    """
+    from repro.core.dictionary import build_dictionary, diagnose_dictionary
+
+    key = (netlist.name, patterns.n)
+    dictionary = _dictionary_cache.get(key)
+    if dictionary is None:
+        dictionary = build_dictionary(netlist, patterns)
+        _dictionary_cache[key] = dictionary
+    return diagnose_dictionary(dictionary, datalog)
+
+
+#: Registry of diagnosis methods runnable by the campaign driver.
+METHODS: dict[str, Callable] = {
+    "xcover": lambda netlist, patterns, datalog: Diagnoser(netlist).diagnose(
+        patterns, datalog
+    ),
+    "slat": diagnose_slat,
+    "single": diagnose_single_fault,
+    "dictionary": _run_dictionary,
+}
+
+_pattern_cache: dict[tuple[str, int], PatternSet] = {}
+
+
+def provision_patterns(
+    netlist: Netlist, seed: int = 7, min_patterns: int = 16
+) -> PatternSet:
+    """ATPG-provisioned (compacted, topped-off) test set, cached per circuit.
+
+    Tops up with random patterns when the compacted set is very short, so
+    every circuit sees a believable production test length and delay
+    defects get launch/capture diversity.
+    """
+    key = (netlist.name, seed)
+    cached = _pattern_cache.get(key)
+    if cached is not None:
+        return cached
+    report = generate_stuck_at_tests(netlist, seed=seed)
+    patterns = report.patterns
+    if patterns.n < min_patterns:
+        filler = PatternSet.random(netlist, min_patterns - patterns.n, seed + 1)
+        patterns = patterns.concat(filler).dedup()
+    _pattern_cache[key] = patterns
+    return patterns
+
+
+@dataclass
+class CampaignConfig:
+    """One experiment's parameters (a row group of a table)."""
+
+    circuit: str
+    n_trials: int = 20
+    k: int = 2
+    mix: DefectMix = field(default_factory=lambda: DEFAULT_MIX)
+    methods: tuple[str, ...] = ("xcover",)
+    seed: int = 1
+    interacting: bool = False
+    diagnosis_config: DiagnosisConfig | None = None
+
+
+@dataclass
+class CampaignResult:
+    """All trial outcomes of one campaign plus convenience aggregation."""
+
+    config: CampaignConfig
+    outcomes: list[TrialOutcome] = field(default_factory=list)
+    skipped_trials: int = 0  #: defect sets that produced no failures/oscillated
+    wall_seconds: float = 0.0
+
+    def by_method(self) -> dict[str, Aggregate]:
+        return aggregate_by(self.outcomes, key=lambda o: o.method)
+
+    def aggregate(self, method: str) -> Aggregate:
+        return Aggregate.over(method, [o for o in self.outcomes if o.method == method])
+
+
+class Campaign:
+    """Reusable trial runner for one circuit."""
+
+    def __init__(
+        self,
+        circuit: str | Netlist,
+        patterns: PatternSet | None = None,
+        pattern_seed: int = 7,
+    ):
+        self.netlist = (
+            circuit if isinstance(circuit, Netlist) else load_circuit(circuit)
+        )
+        self.patterns = patterns or provision_patterns(self.netlist, pattern_seed)
+
+    def run_trial(
+        self,
+        trial_seed: int,
+        k: int,
+        mix: DefectMix = DEFAULT_MIX,
+        methods: Sequence[str] = ("xcover",),
+        interacting: bool = False,
+        diagnosis_config: DiagnosisConfig | None = None,
+        max_resample: int = 10,
+    ) -> list[TrialOutcome] | None:
+        """One trial: returns outcomes per method, or None if the sampled
+        defect sets never produced observable failures."""
+        rng = make_rng(trial_seed)
+        for _attempt in range(max_resample):
+            try:
+                defects = sample_defect_set(
+                    self.netlist, k, spawn(rng, "defects"), mix, interacting
+                )
+                result = apply_test(self.netlist, self.patterns, defects)
+            except (OscillationError, FaultModelError):
+                continue
+            if result.device_fails:
+                break
+        else:
+            return None
+
+        outcomes: list[TrialOutcome] = []
+        for method in methods:
+            runner = self._resolve(method, diagnosis_config)
+            report = runner(self.netlist, self.patterns, result.datalog)
+            outcome = score_report(
+                self.netlist,
+                report,
+                defects,
+                n_failing_patterns=len(result.datalog.failing_indices),
+                n_fail_atoms=result.datalog.n_fail_atoms,
+            )
+            # Carry method-specific statistics (e.g. SLAT's non-SLAT pattern
+            # counts) into the outcome so tables can aggregate them.
+            outcome.extra.update(
+                {
+                    key: float(value)
+                    for key, value in report.stats.items()
+                    if isinstance(value, (int, float)) and key != "seconds"
+                }
+            )
+            outcomes.append(outcome)
+        return outcomes
+
+    def run(self, config: CampaignConfig) -> CampaignResult:
+        """Run ``config.n_trials`` seeded trials."""
+        started = time.perf_counter()
+        result = CampaignResult(config=config)
+        for trial in range(config.n_trials):
+            outcomes = self.run_trial(
+                trial_seed=config.seed * 1_000_003 + trial,
+                k=config.k,
+                mix=config.mix,
+                methods=config.methods,
+                interacting=config.interacting,
+                diagnosis_config=config.diagnosis_config,
+            )
+            if outcomes is None:
+                result.skipped_trials += 1
+                continue
+            result.outcomes.extend(outcomes)
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    @staticmethod
+    def _resolve(
+        method: str, diagnosis_config: DiagnosisConfig | None
+    ) -> Callable:
+        if method == "xcover" and diagnosis_config is not None:
+            return lambda netlist, patterns, datalog: Diagnoser(
+                netlist, diagnosis_config
+            ).diagnose(patterns, datalog)
+        try:
+            return METHODS[method]
+        except KeyError:
+            raise ReproError(
+                f"unknown diagnosis method {method!r}; known: {sorted(METHODS)}"
+            ) from None
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    """Convenience one-shot campaign over a registered circuit."""
+    return Campaign(config.circuit).run(config)

@@ -1,0 +1,100 @@
+"""Campaign result export: CSV and JSON for downstream analysis.
+
+The benchmark harness prints human tables; this module emits
+machine-readable artifacts so campaign data can be re-analyzed (plotting,
+regression tracking, cross-lot comparisons) without re-running anything.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Mapping
+
+from repro.campaign.driver import CampaignResult
+from repro.campaign.metrics import Aggregate, TrialOutcome
+
+OUTCOME_FIELDS = [
+    "circuit",
+    "method",
+    "k",
+    "families",
+    "recall_exact",
+    "recall_net",
+    "recall_near",
+    "precision",
+    "resolution",
+    "success",
+    "n_failing_patterns",
+    "n_fail_atoms",
+    "uncovered_atoms",
+    "seconds",
+    "best_multiplet_size",
+]
+
+AGGREGATE_FIELDS = [
+    "group",
+    "n_trials",
+    "recall_exact",
+    "recall_net",
+    "recall_near",
+    "precision",
+    "resolution",
+    "success_rate",
+    "uncovered_atoms",
+    "seconds",
+]
+
+
+def _outcome_row(outcome: TrialOutcome) -> dict:
+    row = {field: getattr(outcome, field) for field in OUTCOME_FIELDS}
+    row["families"] = "+".join(outcome.families)
+    row["success"] = int(outcome.success)
+    return row
+
+
+def outcomes_to_csv(result: CampaignResult) -> str:
+    """One CSV row per (trial, method) outcome."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=OUTCOME_FIELDS)
+    writer.writeheader()
+    for outcome in result.outcomes:
+        writer.writerow(_outcome_row(outcome))
+    return buffer.getvalue()
+
+
+def aggregates_to_csv(aggregates: Mapping[str, Aggregate]) -> str:
+    """One CSV row per aggregation group (typically per method)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=AGGREGATE_FIELDS)
+    writer.writeheader()
+    for aggregate in aggregates.values():
+        writer.writerow({field: getattr(aggregate, field) for field in AGGREGATE_FIELDS})
+    return buffer.getvalue()
+
+
+def result_to_json(result: CampaignResult, indent: int | None = 2) -> str:
+    """Full campaign record: config echo, outcomes, per-method aggregates."""
+    config = result.config
+    payload = {
+        "config": {
+            "circuit": config.circuit,
+            "n_trials": config.n_trials,
+            "k": config.k,
+            "methods": list(config.methods),
+            "seed": config.seed,
+            "interacting": config.interacting,
+            "mix": dict(config.mix.items()),
+        },
+        "skipped_trials": result.skipped_trials,
+        "wall_seconds": result.wall_seconds,
+        "outcomes": [
+            {**_outcome_row(o), "extra": dict(o.extra)} for o in result.outcomes
+        ],
+        "aggregates": {
+            name: {field: getattr(agg, field) for field in AGGREGATE_FIELDS}
+            for name, agg in result.by_method().items()
+        },
+    }
+    return json.dumps(payload, indent=indent)

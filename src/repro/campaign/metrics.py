@@ -1,0 +1,166 @@
+"""Per-trial diagnosis scoring.
+
+Ground truth is the set of sites where the injected defects originate
+errors.  Matching is equivalence-aware at three strictness levels:
+
+- ``exact``: the reported site equals the true site,
+- ``net``: the reported site lies on the true net (stem/branch conflated),
+- ``near``: the reported net is within one gate of the true net -- the
+  tolerance physical failure analysis actually works with, and the level
+  at which logically equivalent candidates (e.g. an inverter's input vs
+  output stuck faults) count as a correct localization.
+
+The headline metrics follow diagnosis literature conventions:
+
+- **recall** (a.k.a. diagnosability / accuracy): fraction of true sites
+  located,
+- **precision**: fraction of reported sites that are true (or adjacent),
+- **resolution**: number of reported candidate sites (lower is better,
+  given recall),
+- **success**: all true defect sites located in one report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.circuit.netlist import Netlist, Site
+from repro.core.report import DiagnosisReport
+from repro.faults.models import Defect
+
+
+def _neighbor_nets(netlist: Netlist, net: str) -> frozenset[str]:
+    """The net itself, its driver's inputs and its direct fanout outputs."""
+    near = {net}
+    gate = netlist.driver(net)
+    if gate is not None:
+        near.update(gate.inputs)
+    for dest, _pin in netlist.fanout(net):
+        near.add(dest)
+    return frozenset(near)
+
+
+@dataclass
+class TrialOutcome:
+    """Scored result of one (defect set, method) diagnosis run."""
+
+    circuit: str
+    method: str
+    k: int
+    families: tuple[str, ...]
+    recall_exact: float
+    recall_net: float
+    recall_near: float
+    precision: float
+    resolution: int
+    success: bool
+    n_failing_patterns: int
+    n_fail_atoms: int
+    uncovered_atoms: int
+    seconds: float
+    best_multiplet_size: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+def score_report(
+    netlist: Netlist,
+    report: DiagnosisReport,
+    defects: Iterable[Defect],
+    n_failing_patterns: int,
+    n_fail_atoms: int,
+) -> TrialOutcome:
+    """Compare a diagnosis report against injected ground truth."""
+    defects = list(defects)
+    truth: set[Site] = set()
+    for defect in defects:
+        truth.update(defect.ground_truth_sites())
+    truth_nets = {site.net for site in truth}
+    near_nets: set[str] = set()
+    for net in truth_nets:
+        near_nets.update(_neighbor_nets(netlist, net))
+
+    reported = [c.site for c in report.candidates]
+    reported_nets = {site.net for site in reported}
+
+    hit_exact = sum(1 for t in truth if t in set(reported))
+    hit_net = sum(1 for t in truth if t.net in reported_nets)
+    hit_near = sum(
+        1
+        for t in truth
+        if reported_nets & _neighbor_nets(netlist, t.net)
+    )
+    n_truth = len(truth) or 1
+
+    precise = sum(1 for site in reported if site.net in near_nets)
+    precision = precise / len(reported) if reported else 0.0
+
+    return TrialOutcome(
+        circuit=report.circuit,
+        method=report.method,
+        k=len(defects),
+        families=tuple(sorted(d.family for d in defects)),
+        recall_exact=hit_exact / n_truth,
+        recall_net=hit_net / n_truth,
+        recall_near=hit_near / n_truth,
+        precision=precision,
+        resolution=len(reported),
+        success=hit_near == len(truth),
+        n_failing_patterns=n_failing_patterns,
+        n_fail_atoms=n_fail_atoms,
+        uncovered_atoms=len(report.uncovered_atoms),
+        seconds=float(report.stats.get("seconds", 0.0)),
+        best_multiplet_size=(
+            report.best_multiplet.size if report.best_multiplet else 0
+        ),
+    )
+
+
+@dataclass
+class Aggregate:
+    """Mean statistics over a group of trial outcomes."""
+
+    group: str
+    n_trials: int
+    recall_exact: float
+    recall_net: float
+    recall_near: float
+    precision: float
+    resolution: float
+    success_rate: float
+    uncovered_atoms: float
+    seconds: float
+
+    @classmethod
+    def over(cls, group: str, outcomes: list[TrialOutcome]) -> "Aggregate":
+        n = len(outcomes)
+        if n == 0:
+            return cls(group, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+
+        def mean(getter) -> float:
+            return sum(getter(o) for o in outcomes) / n
+
+        return cls(
+            group=group,
+            n_trials=n,
+            recall_exact=mean(lambda o: o.recall_exact),
+            recall_net=mean(lambda o: o.recall_net),
+            recall_near=mean(lambda o: o.recall_near),
+            precision=mean(lambda o: o.precision),
+            resolution=mean(lambda o: o.resolution),
+            success_rate=mean(lambda o: 1.0 if o.success else 0.0),
+            uncovered_atoms=mean(lambda o: o.uncovered_atoms),
+            seconds=mean(lambda o: o.seconds),
+        )
+
+
+def aggregate_by(
+    outcomes: list[TrialOutcome], key
+) -> dict[str, Aggregate]:
+    """Group outcomes by ``key(outcome)`` and aggregate each group."""
+    groups: dict[str, list[TrialOutcome]] = {}
+    for outcome in outcomes:
+        groups.setdefault(str(key(outcome)), []).append(outcome)
+    return {
+        name: Aggregate.over(name, members) for name, members in sorted(groups.items())
+    }

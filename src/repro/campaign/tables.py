@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment tables and figures.
+
+The benchmark harness prints every reproduced table/figure in the same
+row/series structure as the paper's evaluation; these helpers keep the
+formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value else "0"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Aligned monospace table."""
+    str_rows = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence,
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """A 'figure' as data columns plus an ASCII trend bar per series point.
+
+    Keeps the exact numbers (for EXPERIMENTS.md comparison) while giving a
+    quick visual read of who wins and where curves cross.
+    """
+    headers = [x_label]
+    for name in series:
+        headers += [name, ""]
+    rows = []
+    peak = max((max(vals) for vals in series.values() if len(vals)), default=1.0) or 1.0
+    for i, x in enumerate(xs):
+        row: list[str] = [format_cell(x)]
+        for name, vals in series.items():
+            value = vals[i] if i < len(vals) else float("nan")
+            bar = "#" * int(round(width * (value / peak))) if value == value else "?"
+            row += [format_cell(value), bar]
+        rows.append(row)
+    return format_table(headers, rows, title=title)

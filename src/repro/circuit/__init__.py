@@ -1,0 +1,37 @@
+"""Gate-level netlist substrate.
+
+This subpackage provides everything the diagnosis stack needs to represent
+and manipulate combinational, full-scan-modeled circuits:
+
+- :mod:`repro.circuit.gates` -- gate primitives and bit-parallel evaluation,
+- :mod:`repro.circuit.netlist` -- the :class:`~repro.circuit.netlist.Netlist`
+  graph with levelization, cones and validation,
+- :mod:`repro.circuit.bench` -- ISCAS ``.bench`` reader/writer,
+- :mod:`repro.circuit.builder` -- a small imperative construction DSL,
+- :mod:`repro.circuit.generators` -- parametric open benchmark circuits,
+- :mod:`repro.circuit.library` -- the named circuit suite used by the
+  experiments.
+"""
+
+from repro.circuit.gates import GateKind, Gate
+from repro.circuit.netlist import Netlist, Site
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.bench import parse_bench, parse_bench_file, write_bench
+from repro.circuit.verilog import parse_verilog, parse_verilog_file, write_verilog
+from repro.circuit.library import circuit_names, load_circuit
+
+__all__ = [
+    "GateKind",
+    "Gate",
+    "Netlist",
+    "Site",
+    "NetlistBuilder",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "parse_verilog",
+    "parse_verilog_file",
+    "write_verilog",
+    "circuit_names",
+    "load_circuit",
+]

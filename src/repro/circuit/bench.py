@@ -1,0 +1,160 @@
+"""ISCAS ``.bench`` format reader and writer.
+
+The ``.bench`` format is the lingua franca of the open ISCAS-85/89
+combinational benchmarks::
+
+    # c17
+    INPUT(1)
+    INPUT(2)
+    ...
+    OUTPUT(22)
+    10 = NAND(1, 3)
+    22 = NAND(10, 16)
+
+Sequential ``DFF`` elements are handled by the full-scan convention: the
+flip-flop output becomes a pseudo primary input and its data input a pseudo
+primary output, which is exactly how a scan tester sees the combinational
+core.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.circuit.gates import Gate, GateKind, KIND_ALIASES
+from repro.circuit.netlist import Netlist
+from repro.errors import ParseError
+
+_ASSIGN_RE = re.compile(
+    r"^(?P<out>[^\s=]+)\s*=\s*(?P<kind>[A-Za-z_][A-Za-z0-9_]*)\s*\((?P<ins>[^)]*)\)$"
+)
+_IO_RE = re.compile(r"^(?P<dir>INPUT|OUTPUT)\s*\((?P<net>[^)]+)\)$", re.IGNORECASE)
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` source text into a :class:`Netlist`.
+
+    DFFs are scan-replaced: ``Q = DFF(D)`` adds pseudo-input ``Q`` and
+    pseudo-output ``D``.
+    """
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: list[Gate] = []
+    pseudo_inputs: list[str] = []
+    pseudo_outputs: list[str] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            net = io_match.group("net").strip()
+            if io_match.group("dir").upper() == "INPUT":
+                inputs.append(net)
+            else:
+                outputs.append(net)
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if not assign:
+            raise ParseError(f"unrecognized statement {line!r}", line=lineno)
+        out = assign.group("out").strip()
+        kind_name = assign.group("kind").lower()
+        ins = tuple(s.strip() for s in assign.group("ins").split(",") if s.strip())
+        if kind_name == "dff":
+            if len(ins) != 1:
+                raise ParseError(f"DFF {out!r} must have exactly one input", lineno)
+            pseudo_inputs.append(out)
+            pseudo_outputs.append(ins[0])
+            continue
+        kind = KIND_ALIASES.get(kind_name)
+        if kind is None or kind is GateKind.INPUT:
+            raise ParseError(f"unknown gate kind {kind_name!r}", line=lineno)
+        try:
+            gates.append(Gate(out, kind, ins))
+        except Exception as exc:
+            raise ParseError(str(exc), line=lineno) from exc
+
+    return Netlist(
+        name,
+        inputs + pseudo_inputs,
+        outputs + pseudo_outputs,
+        gates,
+    )
+
+
+def parse_bench_file(path: str | Path) -> Netlist:
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialize a netlist back to ``.bench`` text.
+
+    MUX and CONST gates, which have no native ``.bench`` encoding, are
+    lowered to their NAND/NOT equivalents so the output is consumable by
+    third-party ISCAS tooling.  Round-tripping through
+    :func:`parse_bench` therefore yields a *functionally* identical netlist
+    (bit-exact responses), not necessarily a structurally identical one.
+    """
+    lines = [f"# {netlist.name} (written by repro)"]
+    lines += [f"INPUT({net})" for net in netlist.inputs]
+    lines += [f"OUTPUT({net})" for net in netlist.outputs]
+    fresh = 0
+
+    def lowered(gate: Gate) -> Iterable[str]:
+        nonlocal fresh
+        if gate.kind is GateKind.MUX:
+            a, b, sel = gate.inputs
+            fresh += 1
+            nsel, ta, tb = (
+                f"_{gate.output}_ns{fresh}",
+                f"_{gate.output}_ta{fresh}",
+                f"_{gate.output}_tb{fresh}",
+            )
+            yield f"{nsel} = NOT({sel})"
+            yield f"{ta} = NAND({a}, {nsel})"
+            yield f"{tb} = NAND({b}, {sel})"
+            yield f"{gate.output} = NAND({ta}, {tb})"
+        elif gate.kind is GateKind.CONST0:
+            # No constants in .bench: tie to x AND NOT x over the first input.
+            anchor = netlist.inputs[0]
+            fresh += 1
+            inv = f"_{gate.output}_inv{fresh}"
+            yield f"{inv} = NOT({anchor})"
+            yield f"{gate.output} = AND({anchor}, {inv})"
+        elif gate.kind is GateKind.CONST1:
+            anchor = netlist.inputs[0]
+            fresh += 1
+            inv = f"_{gate.output}_inv{fresh}"
+            yield f"{inv} = NOT({anchor})"
+            yield f"{gate.output} = OR({anchor}, {inv})"
+        else:
+            kind = "BUFF" if gate.kind is GateKind.BUF else gate.kind.value.upper()
+            yield f"{gate.output} = {kind}({', '.join(gate.inputs)})"
+
+    for net in netlist.topo_order:
+        lines.extend(lowered(netlist.gates[net]))
+    return "\n".join(lines) + "\n"
+
+
+#: The ISCAS-85 c17 benchmark, smallest member of the open suite; embedded
+#: verbatim so the registry always has at least one literal ISCAS circuit.
+C17_BENCH = """\
+# c17 - ISCAS-85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""

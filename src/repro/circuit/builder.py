@@ -1,0 +1,154 @@
+"""Imperative construction DSL for netlists.
+
+The generators in :mod:`repro.circuit.generators` and most tests build
+circuits through this class rather than assembling :class:`Gate` lists by
+hand.  Each gate method returns the freshly created output net name so
+expressions compose naturally::
+
+    b = NetlistBuilder("half_adder")
+    a, c = b.input("a"), b.input("c")
+    b.output(b.xor(a, c, name="sum"))
+    b.output(b.and_(a, c, name="carry"))
+    netlist = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.circuit.gates import Gate, GateKind
+from repro.circuit.netlist import Netlist
+from repro.errors import NetlistError
+
+
+class NetlistBuilder:
+    """Accumulates gates and produces an immutable :class:`Netlist`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._inputs: list[str] = []
+        self._outputs: list[str] = []
+        self._gates: list[Gate] = []
+        self._defined: set[str] = set()
+        self._auto = 0
+
+    # -- net management -----------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        while True:
+            self._auto += 1
+            candidate = f"{prefix}{self._auto}"
+            if candidate not in self._defined:
+                return candidate
+
+    def _define(self, net: str | None, prefix: str) -> str:
+        if net is None:
+            net = self._fresh(prefix)
+        if net in self._defined:
+            raise NetlistError(f"net {net!r} already defined")
+        self._defined.add(net)
+        return net
+
+    # -- interface ------------------------------------------------------------
+
+    def input(self, name: str | None = None) -> str:
+        net = self._define(name, "pi")
+        self._inputs.append(net)
+        return net
+
+    def inputs(self, *names: str) -> list[str]:
+        return [self.input(n) for n in names]
+
+    def input_bus(self, prefix: str, width: int) -> list[str]:
+        """Declare ``width`` inputs named ``prefix0..prefix{width-1}``."""
+        return [self.input(f"{prefix}{i}") for i in range(width)]
+
+    def output(self, net: str) -> str:
+        """Mark an existing net as a primary output."""
+        if net not in self._defined:
+            raise NetlistError(f"cannot expose undefined net {net!r} as output")
+        self._outputs.append(net)
+        return net
+
+    def output_bus(self, nets: Iterable[str]) -> list[str]:
+        return [self.output(net) for net in nets]
+
+    # -- gates ------------------------------------------------------------------
+
+    def gate(self, kind: GateKind, ins: Sequence[str], name: str | None = None) -> str:
+        for src in ins:
+            if src not in self._defined:
+                raise NetlistError(f"gate input {src!r} is undefined")
+        out = self._define(name, "n")
+        self._gates.append(Gate(out, kind, tuple(ins)))
+        return out
+
+    def and_(self, *ins: str, name: str | None = None) -> str:
+        return self.gate(GateKind.AND, ins, name)
+
+    def nand(self, *ins: str, name: str | None = None) -> str:
+        return self.gate(GateKind.NAND, ins, name)
+
+    def or_(self, *ins: str, name: str | None = None) -> str:
+        return self.gate(GateKind.OR, ins, name)
+
+    def nor(self, *ins: str, name: str | None = None) -> str:
+        return self.gate(GateKind.NOR, ins, name)
+
+    def xor(self, *ins: str, name: str | None = None) -> str:
+        return self.gate(GateKind.XOR, ins, name)
+
+    def xnor(self, *ins: str, name: str | None = None) -> str:
+        return self.gate(GateKind.XNOR, ins, name)
+
+    def not_(self, a: str, name: str | None = None) -> str:
+        return self.gate(GateKind.NOT, (a,), name)
+
+    def buf(self, a: str, name: str | None = None) -> str:
+        return self.gate(GateKind.BUF, (a,), name)
+
+    def mux(self, a: str, b: str, sel: str, name: str | None = None) -> str:
+        """2:1 multiplexer: output is ``b`` when ``sel`` is 1, else ``a``."""
+        return self.gate(GateKind.MUX, (a, b, sel), name)
+
+    def const0(self, name: str | None = None) -> str:
+        return self.gate(GateKind.CONST0, (), name)
+
+    def const1(self, name: str | None = None) -> str:
+        return self.gate(GateKind.CONST1, (), name)
+
+    # -- composite helpers --------------------------------------------------------
+
+    def reduce_tree(self, kind: GateKind, nets: Sequence[str], name: str | None = None) -> str:
+        """Balanced reduction tree (e.g. wide AND built from 2-input gates)."""
+        if not nets:
+            raise NetlistError("cannot reduce an empty net list")
+        if len(nets) == 1:
+            # Degenerate reduction: insert a buffer when a name is required.
+            return self.buf(nets[0], name) if name is not None else nets[0]
+        layer = list(nets)
+        while len(layer) > 1:
+            nxt: list[str] = []
+            for i in range(0, len(layer) - 1, 2):
+                last_pair = len(layer) <= 2
+                nxt.append(
+                    self.gate(kind, (layer[i], layer[i + 1]), name if last_pair else None)
+                )
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        return layer[0]
+
+    def full_adder(self, a: str, b: str, cin: str) -> tuple[str, str]:
+        """Returns (sum, carry-out) built from basic gates."""
+        axb = self.xor(a, b)
+        s = self.xor(axb, cin)
+        carry = self.or_(self.and_(a, b), self.and_(axb, cin))
+        return s, carry
+
+    # -- finalization -----------------------------------------------------------
+
+    def build(self) -> Netlist:
+        if not self._outputs:
+            raise NetlistError(f"circuit {self.name!r} has no outputs")
+        return Netlist(self.name, self._inputs, self._outputs, self._gates)

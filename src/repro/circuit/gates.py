@@ -1,0 +1,268 @@
+"""Gate primitives and their bit-parallel evaluation semantics.
+
+Two evaluation domains are provided:
+
+**Two-valued bit-parallel.**  A net value is an arbitrary-precision Python
+integer used as a bit vector: bit *i* holds the net's logic value under
+pattern *i*.  Because Python integers are unbounded, a single gate
+evaluation simulates *all* patterns of a test set at once.  Inverting gates
+need the ``mask`` argument (``(1 << n_patterns) - 1``) to complement only
+the live bits.
+
+**Three-valued bit-parallel.**  A net value is a pair of bit vectors
+``(ones, zeros)``: bit *i* of ``ones`` means "may be 1 under pattern *i*",
+bit *i* of ``zeros`` means "may be 0".  Binary 1 is ``(1, 0)``, binary 0 is
+``(0, 1)`` and the unknown ``X`` is ``(1, 1)``.  This encoding makes
+three-valued evaluation a handful of bitwise operations per gate and is the
+engine behind the X-injection analysis at the heart of the diagnosis
+method: forcing ``X`` at a site over-approximates *every* possible defect
+behavior there.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import NetlistError
+
+TV = tuple  # three-valued value: (ones, zeros) bit vectors
+
+
+class GateKind(enum.Enum):
+    """The primitive cell types understood by the simulators and ATPG."""
+
+    INPUT = "input"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"  # inputs (a, b, sel): out = b if sel else a
+    CONST0 = "const0"
+    CONST1 = "const1"
+
+    @property
+    def min_inputs(self) -> int:
+        return _ARITY[self][0]
+
+    @property
+    def max_inputs(self) -> int | None:
+        """Maximum fanin, or ``None`` when the gate is n-ary."""
+        return _ARITY[self][1]
+
+    @property
+    def inverting(self) -> bool:
+        """True when the gate complements its natural body function."""
+        return self in (GateKind.NOT, GateKind.NAND, GateKind.NOR, GateKind.XNOR)
+
+    @property
+    def controlling_value(self) -> int | None:
+        """The input value that alone determines the output, if any.
+
+        0 for AND/NAND, 1 for OR/NOR, ``None`` for XOR-like, BUF/NOT and MUX.
+        Central to PODEM backtracing and critical path tracing.
+        """
+        if self in (GateKind.AND, GateKind.NAND):
+            return 0
+        if self in (GateKind.OR, GateKind.NOR):
+            return 1
+        return None
+
+    @property
+    def controlled_output(self) -> int | None:
+        """Output value produced when a controlling input is present."""
+        if self.controlling_value is None:
+            return None
+        # AND with a 0 -> 0, OR with a 1 -> 1; inverted for NAND/NOR.
+        body = 0 if self in (GateKind.AND, GateKind.NAND) else 1
+        return body ^ 1 if self.inverting else body
+
+
+_ARITY: dict[GateKind, tuple[int, int | None]] = {
+    GateKind.INPUT: (0, 0),
+    GateKind.BUF: (1, 1),
+    GateKind.NOT: (1, 1),
+    GateKind.AND: (2, None),
+    GateKind.NAND: (2, None),
+    GateKind.OR: (2, None),
+    GateKind.NOR: (2, None),
+    GateKind.XOR: (2, None),
+    GateKind.XNOR: (2, None),
+    GateKind.MUX: (3, 3),
+    GateKind.CONST0: (0, 0),
+    GateKind.CONST1: (0, 0),
+}
+
+#: Names accepted by parsers, normalized to :class:`GateKind`.
+KIND_ALIASES: dict[str, GateKind] = {
+    "input": GateKind.INPUT,
+    "buf": GateKind.BUF,
+    "buff": GateKind.BUF,
+    "not": GateKind.NOT,
+    "inv": GateKind.NOT,
+    "and": GateKind.AND,
+    "nand": GateKind.NAND,
+    "or": GateKind.OR,
+    "nor": GateKind.NOR,
+    "xor": GateKind.XOR,
+    "xnor": GateKind.XNOR,
+    "mux": GateKind.MUX,
+    "const0": GateKind.CONST0,
+    "const1": GateKind.CONST1,
+    "gnd": GateKind.CONST0,
+    "vdd": GateKind.CONST1,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: its output net name, kind and ordered input nets.
+
+    Following ISCAS convention the gate is *named by its output net*; the
+    pair (gate, input pin index) identifies a fanout branch.
+    """
+
+    output: str
+    kind: GateKind
+    inputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        lo, hi = _ARITY[self.kind]
+        n = len(self.inputs)
+        if n < lo or (hi is not None and n > hi):
+            raise NetlistError(
+                f"gate {self.output!r}: {self.kind.value} takes "
+                f"{lo}{'' if hi == lo else '+' if hi is None else f'..{hi}'} "
+                f"inputs, got {n}"
+            )
+
+    def pin_of(self, net: str) -> list[int]:
+        """Indices of the input pins driven by ``net`` (possibly several)."""
+        return [i for i, name in enumerate(self.inputs) if name == net]
+
+
+# ---------------------------------------------------------------------------
+# Two-valued bit-parallel evaluation
+# ---------------------------------------------------------------------------
+
+
+def eval2(kind: GateKind, ins: Sequence[int], mask: int) -> int:
+    """Evaluate ``kind`` over two-valued bit vectors.
+
+    ``mask`` bounds the complement for inverting gates; every returned
+    vector is confined to ``mask``.
+    """
+    if kind is GateKind.AND or kind is GateKind.NAND:
+        v = mask
+        for x in ins:
+            v &= x
+        return (v ^ mask) if kind is GateKind.NAND else v
+    if kind is GateKind.OR or kind is GateKind.NOR:
+        v = 0
+        for x in ins:
+            v |= x
+        return (v ^ mask) if kind is GateKind.NOR else v
+    if kind is GateKind.XOR or kind is GateKind.XNOR:
+        v = 0
+        for x in ins:
+            v ^= x
+        return (v ^ mask) if kind is GateKind.XNOR else v & mask
+    if kind is GateKind.BUF:
+        return ins[0] & mask
+    if kind is GateKind.NOT:
+        return (ins[0] ^ mask) & mask
+    if kind is GateKind.MUX:
+        a, b, sel = ins
+        return ((a & ~sel) | (b & sel)) & mask
+    if kind is GateKind.CONST0:
+        return 0
+    if kind is GateKind.CONST1:
+        return mask
+    raise NetlistError(f"cannot evaluate gate kind {kind}")
+
+
+# ---------------------------------------------------------------------------
+# Three-valued bit-parallel evaluation
+# ---------------------------------------------------------------------------
+
+#: Three-valued constants for a single-bit slot.
+TV_ZERO: TV = (0, 1)
+TV_ONE: TV = (1, 0)
+TV_X: TV = (1, 1)
+
+
+def tv_const(value: int, mask: int) -> TV:
+    """Lift a two-valued bit vector into the three-valued domain."""
+    value &= mask
+    return (value, value ^ mask)
+
+
+def tv_all_x(mask: int) -> TV:
+    return (mask, mask)
+
+
+def tv_not(a: TV) -> TV:
+    return (a[1], a[0])
+
+
+def eval3(kind: GateKind, ins: Sequence[TV], mask: int) -> TV:
+    """Evaluate ``kind`` over three-valued ``(ones, zeros)`` bit vectors.
+
+    The encoding is *pessimistic-exact* per gate: a bit of the output can be
+    1 (resp. 0) iff some assignment of the X inputs makes it so under the
+    gate function evaluated gate-locally.
+    """
+    if kind is GateKind.AND or kind is GateKind.NAND:
+        ones, zeros = mask, 0
+        for o, z in ins:
+            ones &= o
+            zeros |= z
+        out = (ones, zeros & mask)
+        return tv_not(out) if kind is GateKind.NAND else out
+    if kind is GateKind.OR or kind is GateKind.NOR:
+        ones, zeros = 0, mask
+        for o, z in ins:
+            ones |= o
+            zeros &= z
+        out = (ones & mask, zeros)
+        return tv_not(out) if kind is GateKind.NOR else out
+    if kind is GateKind.XOR or kind is GateKind.XNOR:
+        ones, zeros = 0, mask  # fold starting from constant 0
+        for o, z in ins:
+            n_ones = (ones & z) | (zeros & o)
+            n_zeros = (ones & o) | (zeros & z)
+            ones, zeros = n_ones & mask, n_zeros & mask
+        out = (ones, zeros)
+        return tv_not(out) if kind is GateKind.XNOR else out
+    if kind is GateKind.BUF:
+        return (ins[0][0] & mask, ins[0][1] & mask)
+    if kind is GateKind.NOT:
+        return (ins[0][1] & mask, ins[0][0] & mask)
+    if kind is GateKind.MUX:
+        (a1, a0), (b1, b0), (s1, s0) = ins
+        ones = ((s0 & a1) | (s1 & b1)) & mask
+        zeros = ((s0 & a0) | (s1 & b0)) & mask
+        return (ones, zeros)
+    if kind is GateKind.CONST0:
+        return (0, mask)
+    if kind is GateKind.CONST1:
+        return (mask, 0)
+    raise NetlistError(f"cannot evaluate gate kind {kind}")
+
+
+def tv_xmask(v: TV) -> int:
+    """Bits where the three-valued vector is X."""
+    return v[0] & v[1]
+
+
+def tv_binary(v: TV, mask: int) -> int:
+    """Two-valued projection of the non-X bits (X bits read as 0).
+
+    Callers must combine with :func:`tv_xmask` to know which bits are valid.
+    """
+    return v[0] & ~v[1] & mask

@@ -1,0 +1,261 @@
+"""Parametric open-benchmark circuit generators.
+
+The DAC 2008 evaluation ran on open ISCAS benchmarks plus industrial
+designs, neither of which can be redistributed here beyond c17 (embedded in
+:mod:`repro.circuit.bench`).  These generators produce structurally rich
+substitutes -- arithmetic (heavy reconvergence), selection/decode trees
+(high fanout), parity (XOR-dominated, every path sensitizable) and seeded
+random DAGs (irregular reconvergent fanout) -- spanning tens to thousands
+of gates.  Diagnosis difficulty is governed by exactly these structural
+properties, so sweeping them reproduces the behavioral space of the
+original benchmarks.  Real ``.bench`` files remain loadable through
+:func:`repro.circuit.bench.parse_bench_file`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro._rng import make_rng
+from repro.circuit.bench import C17_BENCH, parse_bench
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.gates import GateKind
+from repro.circuit.netlist import Netlist
+
+
+def c17() -> Netlist:
+    """The ISCAS-85 c17 benchmark (6 NAND gates)."""
+    return parse_bench(C17_BENCH, name="c17")
+
+
+def ripple_carry_adder(width: int, name: str | None = None) -> Netlist:
+    """``width``-bit ripple-carry adder: a + b + cin -> sum, cout."""
+    b = NetlistBuilder(name or f"rca{width}")
+    a_bus = b.input_bus("a", width)
+    b_bus = b.input_bus("b", width)
+    carry = b.input("cin")
+    for i in range(width):
+        s, carry = b.full_adder(a_bus[i], b_bus[i], carry)
+        b.output(b.buf(s, name=f"sum{i}"))
+    b.output(b.buf(carry, name="cout"))
+    return b.build()
+
+
+def carry_select_adder(width: int, block: int = 4, name: str | None = None) -> Netlist:
+    """Carry-select adder: per-block dual ripple chains muxed by the carry.
+
+    Exercises MUX gates and long reconvergent select nets.
+    """
+    b = NetlistBuilder(name or f"csa{width}x{block}")
+    a_bus = b.input_bus("a", width)
+    b_bus = b.input_bus("b", width)
+    carry = b.input("cin")
+    sums: list[str] = []
+    for base in range(0, width, block):
+        hi = min(base + block, width)
+        c0 = b.const0()
+        c1 = b.const1()
+        sums0: list[str] = []
+        sums1: list[str] = []
+        for i in range(base, hi):
+            s0, c0 = b.full_adder(a_bus[i], b_bus[i], c0)
+            s1, c1 = b.full_adder(a_bus[i], b_bus[i], c1)
+            sums0.append(s0)
+            sums1.append(s1)
+        for offset, (s0, s1) in enumerate(zip(sums0, sums1)):
+            sums.append(b.mux(s0, s1, carry, name=f"sum{base + offset}"))
+        carry = b.mux(c0, c1, carry)
+    b.output_bus(sums)
+    b.output(b.buf(carry, name="cout"))
+    return b.build()
+
+
+def array_multiplier(width: int, name: str | None = None) -> Netlist:
+    """``width`` x ``width`` unsigned array multiplier (carry-save rows)."""
+    b = NetlistBuilder(name or f"mul{width}")
+    a_bus = b.input_bus("a", width)
+    b_bus = b.input_bus("b", width)
+    # Partial products.
+    pp = [[b.and_(a_bus[i], b_bus[j]) for i in range(width)] for j in range(width)]
+    sums = list(pp[0])
+    carries: list[str] = []
+    outs = [sums[0]]
+    for row in range(1, width):
+        new_sums: list[str] = []
+        new_carries: list[str] = []
+        for col in range(width):
+            addend = pp[row][col]
+            prev_sum = sums[col + 1] if col + 1 < width else b.const0()
+            cin = carries[col] if col < len(carries) else b.const0()
+            s, c = b.full_adder(addend, prev_sum, cin)
+            new_sums.append(s)
+            new_carries.append(c)
+        sums = new_sums
+        carries = new_carries
+        outs.append(sums[0])
+    # Final ripple over the remaining carry row.
+    carry = b.const0()
+    for col in range(1, width):
+        s, carry = b.full_adder(sums[col], carries[col - 1], carry)
+        outs.append(s)
+    outs.append(b.or_(carry, carries[width - 1]))
+    for bit, net in enumerate(outs):
+        b.output(b.buf(net, name=f"p{bit}"))
+    return b.build()
+
+
+def parity_tree(width: int, name: str | None = None) -> Netlist:
+    """Balanced XOR parity tree over ``width`` inputs."""
+    b = NetlistBuilder(name or f"parity{width}")
+    ins = b.input_bus("d", width)
+    b.output(b.reduce_tree(GateKind.XOR, ins, name="parity"))
+    return b.build()
+
+
+def mux_tree(select_bits: int, name: str | None = None) -> Netlist:
+    """``2**select_bits``:1 multiplexer tree (high-fanout select nets)."""
+    b = NetlistBuilder(name or f"muxtree{select_bits}")
+    data = b.input_bus("d", 2**select_bits)
+    sels = b.input_bus("s", select_bits)
+    layer = data
+    for bit in range(select_bits):
+        layer = [
+            b.mux(layer[2 * i], layer[2 * i + 1], sels[bit])
+            for i in range(len(layer) // 2)
+        ]
+    b.output(b.buf(layer[0], name="y"))
+    return b.build()
+
+
+def decoder(select_bits: int, name: str | None = None) -> Netlist:
+    """``select_bits``-to-``2**select_bits`` one-hot decoder with enable."""
+    b = NetlistBuilder(name or f"dec{select_bits}")
+    sels = b.input_bus("s", select_bits)
+    enable = b.input("en")
+    inv = [b.not_(s) for s in sels]
+    for code in range(2**select_bits):
+        terms = [sels[i] if (code >> i) & 1 else inv[i] for i in range(select_bits)]
+        b.output(b.reduce_tree(GateKind.AND, terms + [enable], name=f"y{code}"))
+    return b.build()
+
+
+def comparator(width: int, name: str | None = None) -> Netlist:
+    """Magnitude comparator: outputs eq, lt, gt for two ``width``-bit values."""
+    b = NetlistBuilder(name or f"cmp{width}")
+    a_bus = b.input_bus("a", width)
+    b_bus = b.input_bus("b", width)
+    bit_eq = [b.xnor(a_bus[i], b_bus[i]) for i in range(width)]
+    eq = b.reduce_tree(GateKind.AND, bit_eq, name="eq")
+    lt_terms: list[str] = []
+    for i in reversed(range(width)):
+        term = [b.and_(b.not_(a_bus[i]), b_bus[i])]
+        term += [bit_eq[j] for j in range(i + 1, width)]
+        lt_terms.append(b.reduce_tree(GateKind.AND, term))
+    lt = b.reduce_tree(GateKind.OR, lt_terms, name="lt")
+    b.output(eq)
+    b.output(lt)
+    b.output(b.nor(eq, lt, name="gt"))
+    return b.build()
+
+
+def alu(width: int, name: str | None = None) -> Netlist:
+    """Small ALU: op selects among AND, OR, XOR and ADD; flags zero/carry.
+
+    Dense reconvergence: every result bit depends on both operand buses and
+    both op-select nets, which makes multi-defect interaction common --
+    precisely the regime the diagnosis method targets.
+    """
+    b = NetlistBuilder(name or f"alu{width}")
+    a_bus = b.input_bus("a", width)
+    b_bus = b.input_bus("b", width)
+    op0, op1 = b.input("op0"), b.input("op1")
+    carry = b.const0()
+    result: list[str] = []
+    for i in range(width):
+        and_i = b.and_(a_bus[i], b_bus[i])
+        or_i = b.or_(a_bus[i], b_bus[i])
+        xor_i = b.xor(a_bus[i], b_bus[i])
+        add_i, carry = b.full_adder(a_bus[i], b_bus[i], carry)
+        lo = b.mux(and_i, or_i, op0)
+        hi = b.mux(xor_i, add_i, op0)
+        result.append(b.mux(lo, hi, op1, name=f"r{i}"))
+    b.output_bus(result)
+    b.output(b.buf(carry, name="carry"))
+    zero_terms = [b.not_(r) for r in result]
+    b.output(b.reduce_tree(GateKind.AND, zero_terms, name="zero"))
+    return b.build()
+
+
+def majority(width: int, name: str | None = None) -> Netlist:
+    """Majority voter over ``width`` (odd) inputs, sum-of-products form."""
+    if width % 2 == 0:
+        raise ValueError("majority voter needs an odd input count")
+    b = NetlistBuilder(name or f"maj{width}")
+    ins = b.input_bus("v", width)
+    from itertools import combinations
+
+    need = width // 2 + 1
+    terms = [
+        b.reduce_tree(GateKind.AND, list(combo))
+        for combo in combinations(ins, need)
+    ]
+    b.output(b.reduce_tree(GateKind.OR, terms, name="maj"))
+    return b.build()
+
+
+_RANDOM_KINDS = (
+    GateKind.AND,
+    GateKind.NAND,
+    GateKind.OR,
+    GateKind.NOR,
+    GateKind.XOR,
+    GateKind.XNOR,
+    GateKind.NOT,
+)
+
+
+def random_dag(
+    n_gates: int,
+    n_inputs: int = 16,
+    n_outputs: int = 8,
+    seed: int | random.Random = 0,
+    max_fanin: int = 3,
+    locality: int = 24,
+    name: str | None = None,
+) -> Netlist:
+    """Seeded random combinational DAG with tunable reconvergent fanout.
+
+    ``locality`` bounds how far back a gate may pick its fanins; smaller
+    values create long narrow circuits, larger values create wide shallow
+    ones with heavy fanout.  Every dangling internal net is compressed into
+    one of the ``n_outputs`` outputs through a balanced XOR tree (like a
+    response compactor), so the whole circuit is structurally observable --
+    the property ATPG-ready benchmarks have.  The XOR compressors add a few
+    gates on top of ``n_gates``.
+    """
+    rng = make_rng(seed)
+    b = NetlistBuilder(name or f"rnd{n_gates}g{n_inputs}i")
+    pool = b.input_bus("pi", n_inputs)
+    for _ in range(n_gates):
+        kind = rng.choice(_RANDOM_KINDS)
+        fanin = 1 if kind is GateKind.NOT else rng.randint(2, max_fanin)
+        window = pool[-locality:]
+        srcs = [rng.choice(window) for _ in range(fanin)]
+        if fanin > 1 and len(set(srcs)) == 1:
+            srcs[0] = rng.choice(window)
+        pool.append(b.gate(kind, srcs))
+    internal = pool[n_inputs:]
+    used = {src for gate in b._gates for src in gate.inputs}
+    dangling = [net for net in internal if net not in used]
+    if not dangling:  # pragma: no cover - a DAG always has sinks
+        dangling = [internal[-1]]
+    if len(dangling) <= n_outputs:
+        for net in dangling:
+            b.output(net)
+    else:
+        groups: list[list[str]] = [[] for _ in range(n_outputs)]
+        for i, net in enumerate(dangling):
+            groups[i % n_outputs].append(net)
+        for idx, group in enumerate(groups):
+            b.output(b.reduce_tree(GateKind.XOR, group, name=f"po{idx}"))
+    return b.build()

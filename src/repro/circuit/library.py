@@ -1,0 +1,114 @@
+"""Named benchmark circuit registry.
+
+All experiments address circuits by name through :func:`load_circuit`, so a
+benchmark table is fully described by (circuit name, seed, parameters).
+The suite mixes the embedded ISCAS c17 with parametric generator instances
+ordered by size; ``SUITE_SMALL`` .. ``SUITE_LARGE`` are the tiers used by
+the reproduction experiments (Table 1 reports their characteristics).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.circuit import generators as gen
+from repro.circuit.netlist import Netlist
+from repro.errors import NetlistError
+
+
+def _scan_core(make_sequential) -> Callable[[], Netlist]:
+    """Factory adapter: sequential generator -> full-scan combinational core."""
+
+    def build() -> Netlist:
+        from repro.seq.transform import scan_insert
+
+        return scan_insert(make_sequential(), n_chains=2).netlist
+
+    return build
+
+_REGISTRY: dict[str, Callable[[], Netlist]] = {
+    "c17": gen.c17,
+    "rca4": lambda: gen.ripple_carry_adder(4),
+    "rca8": lambda: gen.ripple_carry_adder(8),
+    "rca16": lambda: gen.ripple_carry_adder(16),
+    "rca32": lambda: gen.ripple_carry_adder(32),
+    "csa16": lambda: gen.carry_select_adder(16),
+    "csa32": lambda: gen.carry_select_adder(32),
+    "mul4": lambda: gen.array_multiplier(4),
+    "mul6": lambda: gen.array_multiplier(6),
+    "mul8": lambda: gen.array_multiplier(8),
+    "mul12": lambda: gen.array_multiplier(12),
+    "parity8": lambda: gen.parity_tree(8),
+    "parity16": lambda: gen.parity_tree(16),
+    "parity32": lambda: gen.parity_tree(32),
+    "mux8": lambda: gen.mux_tree(3),
+    "mux16": lambda: gen.mux_tree(4),
+    "mux64": lambda: gen.mux_tree(6),
+    "dec4": lambda: gen.decoder(4),
+    "dec5": lambda: gen.decoder(5),
+    "cmp8": lambda: gen.comparator(8),
+    "cmp16": lambda: gen.comparator(16),
+    "alu4": lambda: gen.alu(4),
+    "alu8": lambda: gen.alu(8),
+    "alu16": lambda: gen.alu(16),
+    "maj7": lambda: gen.majority(7),
+    "rnd100": lambda: gen.random_dag(100, n_inputs=12, n_outputs=8, seed=1),
+    "rnd300": lambda: gen.random_dag(300, n_inputs=20, n_outputs=12, seed=2),
+    "rnd1000": lambda: gen.random_dag(1000, n_inputs=32, n_outputs=16, seed=3),
+    "rnd3000": lambda: gen.random_dag(3000, n_inputs=48, n_outputs=24, seed=4),
+}
+
+
+def _register_scan_cores() -> None:
+    """Full-scan cores of the sequential benchmarks (lazy import cycle guard)."""
+    from repro.seq import generators as seq_gen
+
+    _REGISTRY.update(
+        {
+            "scan_cnt8": _scan_core(lambda: seq_gen.counter(8)),
+            "scan_cnt16": _scan_core(lambda: seq_gen.counter(16)),
+            "scan_lfsr16": _scan_core(lambda: seq_gen.lfsr((0, 2, 3, 5), 16)),
+            "scan_sr32": _scan_core(lambda: seq_gen.shift_register(32)),
+        }
+    )
+
+
+_register_scan_cores()
+
+#: Full-scan cores of sequential designs (defects in next-state logic).
+SUITE_SCAN = ("scan_cnt8", "scan_cnt16", "scan_lfsr16", "scan_sr32")
+
+#: Small circuits: exhaustive analysis is feasible (exact cover, brute force).
+SUITE_SMALL = ("c17", "rca4", "parity8", "mux8", "maj7", "mul4", "dec4")
+
+#: Medium tier: the workhorse of the accuracy experiments.  (The larger
+#: random DAGs stay out of this tier: random logic is massively redundant,
+#: which makes their ATPG dominated by untestability proofs -- they remain
+#: registered for structural/scaling use.)
+SUITE_MEDIUM = ("rca16", "csa16", "mul6", "alu8", "cmp8", "dec5", "rnd100")
+
+#: Large tier: runtime-scaling experiments.
+SUITE_LARGE = ("rca32", "csa32", "mul8", "alu16", "cmp16", "mul12", "rnd1000", "rnd3000")
+
+
+def circuit_names() -> list[str]:
+    """All registered benchmark names, smallest tiers first."""
+    return list(_REGISTRY)
+
+
+def load_circuit(name: str) -> Netlist:
+    """Instantiate a registered benchmark circuit by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise NetlistError(
+            f"unknown circuit {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return factory()
+
+
+def register_circuit(name: str, factory: Callable[[], Netlist]) -> None:
+    """Add a user circuit to the registry (e.g. a parsed ISCAS file)."""
+    if name in _REGISTRY:
+        raise NetlistError(f"circuit {name!r} already registered")
+    _REGISTRY[name] = factory

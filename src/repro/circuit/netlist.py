@@ -1,0 +1,387 @@
+"""The :class:`Netlist` combinational circuit graph.
+
+A netlist is a DAG of :class:`~repro.circuit.gates.Gate` instances named by
+their output nets (ISCAS convention).  Sequential designs are assumed to be
+full-scan, so scan flip-flops appear as pseudo primary inputs/outputs and
+every simulation and diagnosis question reduces to the combinational core.
+
+Besides the graph itself this module provides the structural queries the
+rest of the stack leans on:
+
+- levelization / topological order (simulation schedules),
+- fanout tables and fan-in/fan-out cones (structural pruning in diagnosis),
+- fanout-free regions (critical path tracing),
+- the :class:`Site` abstraction -- a *defect site* is either a stem (a net)
+  or a specific fanout branch (a gate input pin), which is the granularity
+  at which the diagnosis reports candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.circuit.gates import Gate, GateKind
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class Site:
+    """A potential defect location.
+
+    ``Site("n42")`` is the *stem* of net ``n42`` (the gate output or primary
+    input itself).  ``Site("n42", branch=("g7", 1))`` is the fanout branch
+    of ``n42`` feeding pin 1 of gate ``g7``; a defect there disturbs only
+    that connection while the stem and sibling branches stay healthy.
+
+    Sites are totally ordered (stem before its branches), so mixed
+    stem/branch collections sort without surprises.
+    """
+
+    net: str
+    branch: tuple[str, int] | None = None
+
+    def _sort_key(self) -> tuple:
+        return (self.net, self.branch is not None, self.branch or ("", -1))
+
+    def __lt__(self, other: "Site") -> bool:
+        if not isinstance(other, Site):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    @property
+    def is_stem(self) -> bool:
+        return self.branch is None
+
+    def __str__(self) -> str:
+        if self.branch is None:
+            return self.net
+        gate, pin = self.branch
+        return f"{self.net}->{gate}.{pin}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Site":
+        """Inverse of ``str(site)``; accepts ``net`` or ``net->gate.pin``."""
+        if "->" not in text:
+            return cls(text)
+        net, _, rest = text.partition("->")
+        gate, _, pin = rest.rpartition(".")
+        if not gate or not pin.isdigit():
+            raise NetlistError(f"malformed site {text!r}")
+        return cls(net, (gate, int(pin)))
+
+
+class Netlist:
+    """An immutable-after-construction combinational netlist.
+
+    Parameters
+    ----------
+    name:
+        Circuit name, used in reports and the benchmark registry.
+    inputs:
+        Ordered primary input net names (includes scan pseudo-inputs).
+    outputs:
+        Ordered primary output net names (includes scan pseudo-outputs).
+        An output may name a primary input directly (feed-through).
+    gates:
+        Gate instances; each defines the net named by its ``output``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        gates: Iterable[Gate],
+    ):
+        self.name = name
+        self.inputs: tuple[str, ...] = tuple(inputs)
+        self.outputs: tuple[str, ...] = tuple(outputs)
+        self.gates: dict[str, Gate] = {}
+        for gate in gates:
+            if gate.output in self.gates:
+                raise NetlistError(f"net {gate.output!r} defined twice")
+            if gate.kind is GateKind.INPUT:
+                raise NetlistError(
+                    f"gate {gate.output!r}: INPUT pseudo-gates are implied by "
+                    "the `inputs` list and must not appear in `gates`"
+                )
+            self.gates[gate.output] = gate
+        self._input_set = frozenset(self.inputs)
+        if len(self._input_set) != len(self.inputs):
+            raise NetlistError("duplicate primary input name")
+        clash = self._input_set & self.gates.keys()
+        if clash:
+            raise NetlistError(f"nets defined both as input and gate: {sorted(clash)}")
+        self._validate_references()
+        self._order = self._levelize()
+        self._fanouts = self._build_fanouts()
+        self._level = {net: lvl for lvl, net in self._iter_levels()}
+        self._cone_cache: dict[str, frozenset[str]] = {}
+
+    # -- construction-time checks ------------------------------------------
+
+    def _validate_references(self) -> None:
+        known = self._input_set | self.gates.keys()
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                if net not in known:
+                    raise NetlistError(
+                        f"gate {gate.output!r} references undefined net {net!r}"
+                    )
+        for net in self.outputs:
+            if net not in known:
+                raise NetlistError(f"primary output {net!r} is undefined")
+
+    def _levelize(self) -> tuple[str, ...]:
+        """Topological order of gate output nets (inputs excluded).
+
+        Raises :class:`NetlistError` on combinational cycles.
+        """
+        indeg: dict[str, int] = {}
+        dependents: dict[str, list[str]] = {}
+        for gate in self.gates.values():
+            gate_feeds = 0
+            for net in set(gate.inputs):
+                if net in self.gates:
+                    gate_feeds += 1
+                    dependents.setdefault(net, []).append(gate.output)
+            indeg[gate.output] = gate_feeds
+        ready = [net for net, d in indeg.items() if d == 0]
+        ready.sort()  # determinism independent of dict insertion order
+        order: list[str] = []
+        from heapq import heapify, heappop, heappush
+
+        heapify(ready)
+        while ready:
+            net = heappop(ready)
+            order.append(net)
+            for dep in dependents.get(net, ()):
+                indeg[dep] -= 1
+                if indeg[dep] == 0:
+                    heappush(ready, dep)
+        if len(order) != len(self.gates):
+            cyclic = sorted(net for net, d in indeg.items() if d > 0)
+            raise NetlistError(f"combinational cycle through nets {cyclic[:8]}")
+        return tuple(order)
+
+    def _build_fanouts(self) -> dict[str, tuple[tuple[str, int], ...]]:
+        fanouts: dict[str, list[tuple[str, int]]] = {net: [] for net in self.nets()}
+        for net in self._order:  # deterministic order
+            gate = self.gates[net]
+            for pin, src in enumerate(gate.inputs):
+                fanouts[src].append((net, pin))
+        return {net: tuple(dests) for net, dests in fanouts.items()}
+
+    def _iter_levels(self) -> Iterator[tuple[int, str]]:
+        level: dict[str, int] = {net: 0 for net in self.inputs}
+        for net in self._order:
+            gate = self.gates[net]
+            lvl = 1 + max((level.get(src, 0) for src in gate.inputs), default=0)
+            level[net] = lvl
+            yield lvl, net
+        for net in self.inputs:
+            yield 0, net
+
+    # -- basic queries -------------------------------------------------------
+
+    def nets(self) -> Iterator[str]:
+        """All net names: primary inputs first, then gates in topo order."""
+        yield from self.inputs
+        yield from self._order
+
+    @property
+    def topo_order(self) -> tuple[str, ...]:
+        """Gate output nets in topological (evaluation) order."""
+        return self._order
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.inputs) + len(self.gates)
+
+    @property
+    def depth(self) -> int:
+        """Longest input-to-net path length in gates."""
+        return max(self._level.values(), default=0)
+
+    def level(self, net: str) -> int:
+        return self._level[net]
+
+    def is_input(self, net: str) -> bool:
+        return net in self._input_set
+
+    def driver(self, net: str) -> Gate | None:
+        """The gate driving ``net``, or ``None`` for a primary input."""
+        return self.gates.get(net)
+
+    def fanout(self, net: str) -> tuple[tuple[str, int], ...]:
+        """(gate, pin) pairs fed by ``net``."""
+        return self._fanouts[net]
+
+    def fanout_count(self, net: str) -> int:
+        return len(self._fanouts[net])
+
+    # -- cones ----------------------------------------------------------------
+
+    def fanin_cone(self, roots: Iterable[str]) -> set[str]:
+        """All nets with a structural path *to* any root (roots included)."""
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            gate = self.gates.get(net)
+            if gate is not None:
+                stack.extend(src for src in gate.inputs if src not in seen)
+        return seen
+
+    def fanout_cone(self, roots: Iterable[str]) -> set[str]:
+        """All nets reachable *from* any root (roots included).
+
+        Per-root cones are memoized: the diagnosis engines query cones for
+        the same handful of nets thousands of times.
+        """
+        result: set[str] = set()
+        for root in roots:
+            result |= self._single_fanout_cone(root)
+        return result
+
+    def _single_fanout_cone(self, root: str) -> frozenset[str]:
+        cached = self._cone_cache.get(root)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        stack = [root]
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            stack.extend(
+                dest for dest, _pin in self._fanouts.get(net, ()) if dest not in seen
+            )
+        cone = frozenset(seen)
+        self._cone_cache[root] = cone
+        return cone
+
+    def output_cone_map(self) -> dict[str, frozenset[str]]:
+        """For every net, the set of primary outputs it can reach.
+
+        Computed in one reverse-topological sweep; heavily used to prune the
+        candidate space per failing pattern.
+        """
+        reach: dict[str, set[str]] = {net: set() for net in self.nets()}
+        for out in self.outputs:
+            reach[out].add(out)
+        for net in reversed(self._order):
+            acc = reach[net]
+            for dest, _pin in self._fanouts[net]:
+                acc |= reach[dest]
+        for net in self.inputs:
+            acc = reach[net]
+            for dest, _pin in self._fanouts[net]:
+                acc |= reach[dest]
+        return {net: frozenset(outs) for net, outs in reach.items()}
+
+    # -- fanout-free regions ---------------------------------------------------
+
+    def ffr_root(self, net: str) -> str:
+        """Root of the fanout-free region containing ``net``.
+
+        Walking forward from ``net``, the FFR root is the first net that
+        either fans out to more than one pin or is a primary output.
+        """
+        current = net
+        while True:
+            fan = self._fanouts[current]
+            if len(fan) != 1 or current in self.outputs:
+                return current
+            current = fan[0][0]
+
+    # -- defect sites ------------------------------------------------------------
+
+    def sites(self, include_branches: bool = True) -> list[Site]:
+        """Enumerate candidate defect sites.
+
+        Every net contributes a stem site.  When ``include_branches`` is
+        true, every fanout branch of a multi-fanout net contributes a branch
+        site as well (a single-fanout branch is electrically the stem).
+        """
+        out: list[Site] = [Site(net) for net in self.nets()]
+        if include_branches:
+            for net in self.nets():
+                fan = self._fanouts[net]
+                if len(fan) > 1:
+                    out.extend(Site(net, (gate, pin)) for gate, pin in fan)
+        return out
+
+    def validate_site(self, site: Site) -> None:
+        if site.net not in self._input_set and site.net not in self.gates:
+            raise NetlistError(f"site {site}: unknown net {site.net!r}")
+        if site.branch is not None:
+            gate_name, pin = site.branch
+            gate = self.gates.get(gate_name)
+            if gate is None:
+                raise NetlistError(f"site {site}: unknown gate {gate_name!r}")
+            if pin >= len(gate.inputs) or gate.inputs[pin] != site.net:
+                raise NetlistError(
+                    f"site {site}: pin {pin} of {gate_name!r} is not driven "
+                    f"by {site.net!r}"
+                )
+
+    # -- derived circuits -----------------------------------------------------
+
+    def extract_cone(self, output: str, name: str | None = None) -> "Netlist":
+        """The self-contained subcircuit computing a single output."""
+        if output not in self.gates and output not in self._input_set:
+            raise NetlistError(f"unknown output net {output!r}")
+        cone = self.fanin_cone([output])
+        new_inputs = [net for net in self.inputs if net in cone]
+        new_gates = [self.gates[net] for net in self._order if net in cone]
+        return Netlist(
+            name or f"{self.name}_cone_{output}",
+            new_inputs,
+            [output],
+            new_gates,
+        )
+
+    # -- misc ----------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Summary statistics used by Table 1 of the evaluation."""
+        kind_histogram: dict[str, int] = {}
+        for gate in self.gates.values():
+            kind_histogram[gate.kind.value] = kind_histogram.get(gate.kind.value, 0) + 1
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "gates": self.n_gates,
+            "nets": self.n_nets,
+            "depth": self.depth,
+            "sites": len(self.sites()),
+            **{f"kind_{k}": v for k, v in sorted(kind_histogram.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, inputs={len(self.inputs)}, "
+            f"outputs={len(self.outputs)}, gates={self.n_gates})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Netlist):
+            return NotImplemented
+        return (
+            self.inputs == other.inputs
+            and self.outputs == other.outputs
+            and self.gates == other.gates
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing is enough
+        return id(self)

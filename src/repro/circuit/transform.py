@@ -1,0 +1,207 @@
+"""Functionality-preserving netlist transformations.
+
+- :func:`constant_propagate` -- sweep constants through the logic,
+  simplifying gates whose inputs are known (the cleanup pass synthesis
+  would run after tying off unused inputs),
+- :func:`to_nand_inv` -- re-express every gate with 2-input NANDs and
+  inverters (a technology-mapping stand-in), used by the structural
+  ablation: the same defect diagnosed on differently mapped logic.
+
+Both return new netlists with the original primary interface; every
+original net keeps its name (transform outputs may add fresh internal
+nets), so defect sites remain addressable after transformation.
+Functional equivalence is property-tested.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import Gate, GateKind
+from repro.circuit.netlist import Netlist
+from repro.errors import NetlistError
+
+
+def constant_propagate(netlist: Netlist, name: str | None = None) -> Netlist:
+    """Fold constants: gates with known-constant inputs simplify.
+
+    The interface (inputs/outputs) is preserved; an output that becomes
+    constant is driven by a CONST gate.  Simplifications: AND/NAND with a
+    0 input, OR/NOR with a 1 input, XOR chains with constant operands,
+    NOT/BUF of constants, MUX with constant select.
+    """
+    const: dict[str, int] = {}
+    gates: list[Gate] = []
+
+    def value_of(net: str) -> int | None:
+        return const.get(net)
+
+    for net in netlist.topo_order:
+        gate = netlist.gates[net]
+        kind = gate.kind
+        ins = list(gate.inputs)
+        vals = [value_of(src) for src in ins]
+
+        if kind is GateKind.CONST0:
+            const[net] = 0
+            continue
+        if kind is GateKind.CONST1:
+            const[net] = 1
+            continue
+        if kind in (GateKind.BUF, GateKind.NOT):
+            v = vals[0]
+            if v is not None:
+                const[net] = v ^ (1 if kind is GateKind.NOT else 0)
+                continue
+            gates.append(gate)
+            continue
+        if kind is GateKind.MUX:
+            a, b, sel = ins
+            sv = vals[2]
+            if sv is not None:
+                chosen, cv = (b, vals[1]) if sv else (a, vals[0])
+                if cv is not None:
+                    const[net] = cv
+                else:
+                    gates.append(Gate(net, GateKind.BUF, (chosen,)))
+                continue
+            if vals[0] is not None and vals[0] == vals[1]:
+                const[net] = vals[0]
+                continue
+            gates.append(gate)
+            continue
+
+        ctrl = kind.controlling_value
+        if ctrl is not None:
+            if any(v == ctrl for v in vals):
+                const[net] = kind.controlled_output  # type: ignore[assignment]
+                continue
+            live = [src for src, v in zip(ins, vals) if v is None]
+            if not live:
+                # all inputs at non-controlling constants
+                body = 1 if ctrl == 0 else 0
+                const[net] = body ^ (1 if kind.inverting else 0)
+                continue
+            if len(live) == 1:
+                lowered = (
+                    GateKind.NOT if kind.inverting else GateKind.BUF
+                )
+                gates.append(Gate(net, lowered, (live[0],)))
+                continue
+            if len(live) != len(ins):
+                gates.append(Gate(net, kind, tuple(live)))
+                continue
+            gates.append(gate)
+            continue
+        if kind in (GateKind.XOR, GateKind.XNOR):
+            parity = 1 if kind is GateKind.XNOR else 0
+            live = []
+            for src, v in zip(ins, vals):
+                if v is None:
+                    live.append(src)
+                else:
+                    parity ^= v
+            if not live:
+                const[net] = parity
+                continue
+            if len(live) == 1:
+                gates.append(
+                    Gate(net, GateKind.NOT if parity else GateKind.BUF, (live[0],))
+                )
+                continue
+            base_kind = GateKind.XNOR if parity else GateKind.XOR
+            gates.append(Gate(net, base_kind, tuple(live)))
+            continue
+        raise NetlistError(f"constant propagation cannot handle {kind}")
+
+    # Materialize constants still referenced by surviving logic or outputs.
+    needed = set(netlist.outputs)
+    for gate in gates:
+        needed.update(gate.inputs)
+    for net, value in const.items():
+        if net in needed:
+            gates.append(
+                Gate(net, GateKind.CONST1 if value else GateKind.CONST0, ())
+            )
+    return Netlist(
+        name or f"{netlist.name}_swept", netlist.inputs, netlist.outputs, gates
+    )
+
+
+def to_nand_inv(netlist: Netlist, name: str | None = None) -> Netlist:
+    """Re-map every gate onto 2-input NANDs and inverters.
+
+    Original net names survive as the mapped gates' outputs; helper nets
+    get a ``_ni`` prefix.  The mapping is naive (no sharing/optimization)
+    -- it exists to study how structural granularity affects diagnosis,
+    not to win area.
+    """
+    gates: list[Gate] = []
+    fresh = 0
+
+    def wire(tag: str) -> str:
+        nonlocal fresh
+        fresh += 1
+        return f"_ni{fresh}_{tag}"
+
+    def nand(out: str, a: str, b: str) -> str:
+        gates.append(Gate(out, GateKind.NAND, (a, b)))
+        return out
+
+    def inv(out: str, a: str) -> str:
+        gates.append(Gate(out, GateKind.NAND, (a, a)))
+        return out
+
+    def nand_tree(ins: list[str], out: str) -> str:
+        """AND of ins, then inverted -- i.e. a wide NAND ending at `out`."""
+        acc = ins[0]
+        for nxt in ins[1:-1]:
+            acc = inv(wire("a"), nand(wire("n"), acc, nxt))
+        return nand(out, acc, ins[-1]) if len(ins) > 1 else inv(out, ins[0])
+
+    for net in netlist.topo_order:
+        gate = netlist.gates[net]
+        kind, ins = gate.kind, list(gate.inputs)
+        if kind is GateKind.BUF:
+            inv(net, inv(wire("b"), ins[0]))
+        elif kind is GateKind.NOT:
+            inv(net, ins[0])
+        elif kind is GateKind.NAND:
+            nand_tree(ins, net)
+        elif kind is GateKind.AND:
+            inv(net, nand_tree(ins, wire("nd")))
+        elif kind in (GateKind.OR, GateKind.NOR):
+            inverted = [inv(wire("i"), src) for src in ins]
+            if kind is GateKind.OR:
+                nand_tree(inverted, net)  # OR = NAND of inverted inputs
+            else:
+                inv(net, nand_tree(inverted, wire("nd")))
+        elif kind in (GateKind.XOR, GateKind.XNOR):
+            acc = ins[0]
+            for index, nxt in enumerate(ins[1:]):
+                last = index == len(ins) - 2
+                target = net if (last and kind is GateKind.XOR) else wire("x")
+                m = nand(wire("m"), acc, nxt)
+                acc = nand(
+                    target,
+                    nand(wire("l"), acc, m),
+                    nand(wire("r"), m, nxt),
+                )
+            if kind is GateKind.XNOR:
+                inv(net, acc)
+        elif kind is GateKind.MUX:
+            a, b, sel = ins
+            nsel = inv(wire("ns"), sel)
+            nand(net, nand(wire("ta"), a, nsel), nand(wire("tb"), b, sel))
+        elif kind is GateKind.CONST0:
+            anchor = netlist.inputs[0]
+            inv_a = inv(wire("c"), anchor)
+            inv(net, nand(wire("nd"), anchor, inv_a))
+        elif kind is GateKind.CONST1:
+            anchor = netlist.inputs[0]
+            inv_a = inv(wire("c"), anchor)
+            nand(net, anchor, inv_a)
+        else:  # pragma: no cover
+            raise NetlistError(f"cannot map {kind}")
+
+    return Netlist(
+        name or f"{netlist.name}_nand", netlist.inputs, netlist.outputs, gates
+    )

@@ -1,0 +1,195 @@
+"""Structural Verilog (gate-primitive subset) reader and writer.
+
+Handles the flat, primitive-instantiation netlist style that synthesized
+benchmark circuits (e.g. the ISCAS-89 Verilog distributions) use::
+
+    module top (a, b, z);
+      input a, b;
+      output z;
+      wire w;
+      nand U1 (w, a, b);
+      not  U2 (z, w);
+    endmodule
+
+Supported: scalar ``input``/``output``/``wire`` declarations (comma
+lists), the Verilog gate primitives (``buf not and nand or nor xor
+xnor``, first port is the output), line and block comments, and multiple
+statements per line.  Unsupported on purpose: vectors, ``assign``
+expressions, hierarchy -- a diagnosis netlist is flat by construction.
+
+DFF cells (``dff``-named instances with ports ``(Q, D)`` or any
+non-primitive cell whose name contains ``dff``) are scan-replaced exactly
+like the ``.bench`` reader: Q becomes a pseudo input, D a pseudo output.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuit.gates import Gate, GateKind, KIND_ALIASES
+from repro.circuit.netlist import Netlist
+from repro.errors import ParseError
+
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>[A-Za-z_][\w$]*)\s*\((?P<ports>[^)]*)\)\s*;", re.DOTALL
+)
+
+
+def _split_names(blob: str) -> list[str]:
+    return [name.strip() for name in blob.split(",") if name.strip()]
+
+
+def parse_verilog(text: str, name: str | None = None) -> Netlist:
+    """Parse a flat gate-level Verilog module into a :class:`Netlist`."""
+    clean = _COMMENT_RE.sub(" ", text)
+    module = _MODULE_RE.search(clean)
+    if module is None:
+        raise ParseError("no `module ... ( ... );` header found")
+    body_start = module.end()
+    body_end = clean.find("endmodule", body_start)
+    if body_end < 0:
+        raise ParseError("missing `endmodule`")
+    body = clean[body_start:body_end]
+
+    inputs: list[str] = []
+    outputs: list[str] = []
+    wires: set[str] = set()
+    gates: list[Gate] = []
+    pseudo_inputs: list[str] = []
+    pseudo_outputs: list[str] = []
+
+    for raw in body.split(";"):
+        statement = " ".join(raw.split())
+        if not statement:
+            continue
+        keyword, _, rest = statement.partition(" ")
+        keyword = keyword.lower()
+        if keyword in ("input", "output", "wire"):
+            names = _split_names(rest)
+            if not names:
+                raise ParseError(f"empty {keyword} declaration")
+            if keyword == "input":
+                inputs.extend(names)
+            elif keyword == "output":
+                outputs.extend(names)
+            else:
+                wires.update(names)
+            continue
+        # Gate instantiation:  <cell> [instance_name] ( ports... )
+        match = re.match(
+            r"(?P<cell>[A-Za-z_][\w$]*)\s*(?P<inst>[A-Za-z_][\w$]*)?\s*"
+            r"\((?P<ports>[^)]*)\)$",
+            statement,
+        )
+        if not match:
+            raise ParseError(f"unrecognized statement {statement!r}")
+        cell = match.group("cell").lower()
+        ports = _split_names(match.group("ports"))
+        if not ports:
+            raise ParseError(f"instance with no ports: {statement!r}")
+        out, ins = ports[0], tuple(ports[1:])
+        if "dff" in cell:
+            if len(ports) < 2:
+                raise ParseError(f"DFF {statement!r} needs (Q, D) ports")
+            pseudo_inputs.append(out)
+            pseudo_outputs.append(ports[1])
+            continue
+        kind = KIND_ALIASES.get(cell)
+        if kind is None or kind is GateKind.INPUT:
+            raise ParseError(f"unsupported cell {cell!r}")
+        try:
+            gates.append(Gate(out, kind, ins))
+        except Exception as exc:
+            raise ParseError(str(exc)) from exc
+
+    return Netlist(
+        name or module.group("name"),
+        inputs + pseudo_inputs,
+        outputs + pseudo_outputs,
+        gates,
+    )
+
+
+def parse_verilog_file(path: str | Path) -> Netlist:
+    path = Path(path)
+    return parse_verilog(path.read_text(), name=path.stem)
+
+
+_PRIMITIVE_OF = {
+    GateKind.BUF: "buf",
+    GateKind.NOT: "not",
+    GateKind.AND: "and",
+    GateKind.NAND: "nand",
+    GateKind.OR: "or",
+    GateKind.NOR: "nor",
+    GateKind.XOR: "xor",
+    GateKind.XNOR: "xnor",
+}
+
+
+def _sanitize(net: str) -> str:
+    """Make a net name a legal Verilog simple identifier."""
+    if re.fullmatch(r"[A-Za-z_][\w$]*", net):
+        return net
+    return "n_" + re.sub(r"[^\w$]", "_", net)
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Serialize a netlist as flat primitive-instantiation Verilog.
+
+    MUX and CONST gates are lowered to primitive equivalents (as in the
+    ``.bench`` writer); net names that are not legal Verilog identifiers
+    (e.g. the numeric ISCAS names) are prefixed.  Functional round-trip is
+    guaranteed; structural identity is not (lowering may add gates).
+    """
+    rename = {net: _sanitize(net) for net in netlist.nets()}
+    if len(set(rename.values())) != len(rename):
+        raise ParseError("net name sanitization produced a collision")
+    lines = [f"// {netlist.name} (written by repro)"]
+    ports = [rename[n] for n in netlist.inputs] + [rename[n] for n in netlist.outputs]
+    lines.append(f"module {_sanitize(netlist.name)} ({', '.join(ports)});")
+    lines.append(f"  input {', '.join(rename[n] for n in netlist.inputs)};")
+    lines.append(f"  output {', '.join(rename[n] for n in netlist.outputs)};")
+    internal = [n for n in netlist.topo_order if n not in netlist.outputs]
+    aux: list[str] = []
+    body: list[str] = []
+    fresh = 0
+
+    def new_wire(tag: str) -> str:
+        nonlocal fresh
+        fresh += 1
+        wire = f"_lw_{tag}{fresh}"
+        aux.append(wire)
+        return wire
+
+    for index, net in enumerate(netlist.topo_order):
+        gate = netlist.gates[net]
+        out = rename[net]
+        ins = [rename[src] for src in gate.inputs]
+        if gate.kind in _PRIMITIVE_OF:
+            prim = _PRIMITIVE_OF[gate.kind]
+            body.append(f"  {prim} U{index} ({out}, {', '.join(ins)});")
+        elif gate.kind is GateKind.MUX:
+            a, b, sel = ins
+            nsel, ta, tb = new_wire("ns"), new_wire("ta"), new_wire("tb")
+            body.append(f"  not U{index}n ({nsel}, {sel});")
+            body.append(f"  and U{index}a ({ta}, {a}, {nsel});")
+            body.append(f"  and U{index}b ({tb}, {b}, {sel});")
+            body.append(f"  or U{index} ({out}, {ta}, {tb});")
+        elif gate.kind in (GateKind.CONST0, GateKind.CONST1):
+            anchor = rename[netlist.inputs[0]]
+            inv = new_wire("inv")
+            body.append(f"  not U{index}n ({inv}, {anchor});")
+            prim = "and" if gate.kind is GateKind.CONST0 else "or"
+            body.append(f"  {prim} U{index} ({out}, {anchor}, {inv});")
+        else:  # pragma: no cover - all kinds handled above
+            raise ParseError(f"cannot emit {gate.kind}")
+
+    wires = [rename[n] for n in internal] + aux
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    lines.extend(body)
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

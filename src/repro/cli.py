@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro`` / ``repro-diagnose``.
+
+Subcommands:
+
+- ``circuits``            list registered benchmark circuits,
+- ``stats <circuit>``     print a circuit's characteristics,
+- ``atpg <circuit>``      generate and report a compacted test set,
+- ``inject <circuit>``    sample defects, apply the test, write a datalog,
+- ``diagnose <circuit>``  run the diagnosis against a datalog file,
+- ``campaign <circuit>``  run a scored injection campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import __version__
+from repro.atpg.random_gen import generate_stuck_at_tests
+from repro.campaign.driver import Campaign, CampaignConfig, provision_patterns
+from repro.campaign.samplers import DEFAULT_MIX, sample_defect_set
+from repro.campaign.tables import format_table
+from repro.circuit.bench import parse_bench_file
+from repro.circuit.library import circuit_names, load_circuit
+from repro.circuit.netlist import Netlist
+from repro.core.diagnose import Diagnoser
+from repro.core.single_fault import diagnose_single_fault
+from repro.core.slat import diagnose_slat
+from repro.tester.datalog import Datalog
+from repro.tester.harness import apply_test
+
+
+def _load(circuit: str) -> Netlist:
+    path = Path(circuit)
+    if path.exists():
+        if path.suffix == ".bench":
+            return parse_bench_file(path)
+        if path.suffix in (".v", ".vg"):
+            from repro.circuit.verilog import parse_verilog_file
+
+            return parse_verilog_file(path)
+    return load_circuit(circuit)
+
+
+def _cmd_circuits(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in circuit_names():
+        netlist = load_circuit(name)
+        stats = netlist.stats()
+        rows.append(
+            (name, stats["inputs"], stats["outputs"], stats["gates"], stats["depth"])
+        )
+    print(format_table(["circuit", "PIs", "POs", "gates", "depth"], rows))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    netlist = _load(args.circuit)
+    for key, value in netlist.stats().items():
+        print(f"{key:>14}: {value}")
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    netlist = _load(args.circuit)
+    if args.n_detect > 1:
+        from repro.atpg.ndetect import generate_ndetect_tests
+
+        ndreport = generate_ndetect_tests(netlist, args.n_detect, seed=args.seed)
+        print(
+            f"{netlist.name}: {ndreport.patterns.n} patterns, "
+            f"{ndreport.fraction_meeting_target:.1%} of testable faults "
+            f"detected >= {args.n_detect} times"
+        )
+        return 0
+    report = generate_stuck_at_tests(netlist, seed=args.seed)
+    print(
+        f"{netlist.name}: {report.patterns.n} patterns, "
+        f"coverage {report.coverage:.1%} of {report.n_faults} collapsed faults "
+        f"({report.n_untestable} untestable, {report.n_aborted} aborted)"
+    )
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from repro.sim.timing import arrival_times, propagation_depths
+
+    netlist = _load(args.circuit)
+    arrival = arrival_times(netlist)
+    depth = propagation_depths(netlist)
+    critical = max(arrival.values())
+    print(f"{netlist.name}: critical path {critical:.0f} gate delays")
+    slack_histogram: dict[int, int] = {}
+    for net in netlist.nets():
+        slack = int(critical - (arrival[net] + depth[net]))
+        slack_histogram[slack] = slack_histogram.get(slack, 0) + 1
+    print("slack histogram (nets per slack bucket):")
+    for slack in sorted(slack_histogram):
+        print(f"  slack {slack:>3d}: {'#' * min(slack_histogram[slack], 60)}")
+    return 0
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    netlist = _load(args.circuit)
+    patterns = provision_patterns(netlist, args.pattern_seed)
+    defects = sample_defect_set(netlist, args.defects, seed=args.seed, mix=DEFAULT_MIX)
+    result = apply_test(netlist, patterns, defects)
+    print(f"injected: {', '.join(map(str, defects))}", file=sys.stderr)
+    print(
+        f"device {'FAILS' if result.device_fails else 'passes'} "
+        f"({len(result.datalog.failing_indices)}/{patterns.n} failing patterns)",
+        file=sys.stderr,
+    )
+    text = result.datalog.to_text()
+    if args.output:
+        Path(args.output).write_text(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    netlist = _load(args.circuit)
+    patterns = provision_patterns(netlist, args.pattern_seed)
+    datalog = Datalog.from_text(Path(args.datalog).read_text())
+    if args.method == "xcover":
+        report = Diagnoser(netlist).diagnose(patterns, datalog)
+    elif args.method == "slat":
+        report = diagnose_slat(netlist, patterns, datalog)
+    else:
+        report = diagnose_single_fault(netlist, patterns, datalog)
+    print(report.summary())
+    if args.json:
+        Path(args.json).write_text(report.to_json())
+        print(f"(full report written to {args.json})", file=sys.stderr)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    campaign = Campaign(args.circuit)
+    config = CampaignConfig(
+        circuit=args.circuit,
+        n_trials=args.trials,
+        k=args.defects,
+        methods=tuple(args.methods.split(",")),
+        seed=args.seed,
+        interacting=args.interacting,
+    )
+    result = campaign.run(config)
+    if args.csv:
+        from repro.campaign.export import outcomes_to_csv
+
+        Path(args.csv).write_text(outcomes_to_csv(result))
+    if args.json:
+        from repro.campaign.export import result_to_json
+
+        Path(args.json).write_text(result_to_json(result))
+    rows = [
+        (
+            agg.group,
+            agg.n_trials,
+            f"{agg.recall_near:.2f}",
+            f"{agg.precision:.2f}",
+            f"{agg.resolution:.1f}",
+            f"{agg.success_rate:.2f}",
+            f"{agg.seconds * 1000:.0f}ms",
+        )
+        for agg in result.by_method().values()
+    ]
+    print(
+        format_table(
+            ["method", "trials", "recall", "precision", "resolution", "success", "time"],
+            rows,
+            title=f"campaign {args.circuit} k={args.defects}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Assumption-free multiple defect diagnosis (DAC 2008 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("circuits", help="list benchmark circuits").set_defaults(
+        func=_cmd_circuits
+    )
+
+    p = sub.add_parser("stats", help="circuit characteristics")
+    p.add_argument("circuit")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("atpg", help="generate a compacted stuck-at test set")
+    p.add_argument("circuit")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--n-detect", type=int, default=1)
+    p.set_defaults(func=_cmd_atpg)
+
+    p = sub.add_parser("timing", help="static timing profile of a circuit")
+    p.add_argument("circuit")
+    p.set_defaults(func=_cmd_timing)
+
+    p = sub.add_parser("inject", help="sample defects and emit a datalog")
+    p.add_argument("circuit")
+    p.add_argument("-k", "--defects", type=int, default=2)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--pattern-seed", type=int, default=7)
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_inject)
+
+    p = sub.add_parser("diagnose", help="diagnose a datalog")
+    p.add_argument("circuit")
+    p.add_argument("datalog")
+    p.add_argument(
+        "--method", choices=("xcover", "slat", "single"), default="xcover"
+    )
+    p.add_argument("--pattern-seed", type=int, default=7)
+    p.add_argument("--json", help="also write the full report as JSON")
+    p.set_defaults(func=_cmd_diagnose)
+
+    p = sub.add_parser("campaign", help="run a scored injection campaign")
+    p.add_argument("circuit")
+    p.add_argument("-k", "--defects", type=int, default=2)
+    p.add_argument("-n", "--trials", type=int, default=10)
+    p.add_argument("--methods", default="xcover,slat,single")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--interacting", action="store_true")
+    p.add_argument("--csv", help="write per-trial outcomes as CSV")
+    p.add_argument("--json", help="write the full campaign record as JSON")
+    p.set_defaults(func=_cmd_campaign)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

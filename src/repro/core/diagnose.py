@@ -1,0 +1,350 @@
+"""The assumption-free multiple defect diagnosis pipeline.
+
+:class:`Diagnoser` wires the stages together:
+
+1. structural candidate envelope (:mod:`repro.core.backtrace`),
+2. exact per-test single-flip analysis (:mod:`repro.core.pertest`) --
+   under *any* defect mechanism a site per pattern is either correct or
+   flipped, so subset-flip matching is an exact, fault-model-free
+   explanation criterion,
+3. multiplet covering over failing patterns, with a bounded joint-flip
+   pair search for the interacting-defect residue
+   (:mod:`repro.core.cover`),
+4. enumeration of all minimum covers (the resolution of the diagnosis),
+5. fault-model allocation and vindication (:mod:`repro.core.refine`),
+6. ranking and report assembly (:mod:`repro.core.report`).
+
+No stage assumes anything about failing patterns: a pattern may be failed
+by one defect, by several interacting defects, or by behavior matching no
+classical fault model.  The X-injection envelope
+(:mod:`repro.core.xcover`) -- the sound over-approximation of the same
+criterion -- is available as an alternative engine
+(``DiagnosisConfig(engine="xcover")``) and is what ablation A compares
+against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.circuit.netlist import Netlist, Site
+from repro.core.backtrace import candidate_sites
+from repro.core.cover import (
+    enumerate_min_covers,
+    enumerate_pertest_min_covers,
+    greedy_cover,
+    greedy_pertest_cover,
+)
+from repro.core.pertest import PerTestAnalysis, build_pertest
+from repro.core.refine import RefineConfig, allocate_hypotheses
+from repro.core.report import Candidate, DiagnosisReport, Hypothesis, Multiplet
+from repro.core.scoring import multiplet_iou
+from repro.core.xcover import build_xcover
+from repro.errors import DiagnosisError
+from repro.faults.models import (
+    BridgeDefect,
+    Defect,
+    OpenDefect,
+    StuckAtDefect,
+    TransitionDefect,
+    TransitionKind,
+)
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+from repro.tester.datalog import Datalog
+
+METHOD_NAME = "xcover"  #: campaign/report tag of the proposed method
+
+
+@dataclass(frozen=True)
+class DiagnosisConfig:
+    """Tuning knobs of the proposed diagnosis (defaults fit the paper scope)."""
+
+    engine: str = "pertest"  #: "pertest" (exact) or "xcover" (envelope-only)
+    include_branches: bool = True
+    max_multiplet_size: int = 6
+    pair_cap: int = 300
+    enumerate_exact: bool = True
+    exact_max_candidates: int = 18
+    exact_max_size: int = 3
+    max_reported_multiplets: int = 10
+    #: Per failing pattern, how many exact singleton explainers join the
+    #: candidate list even when outside every minimum cover (0 disables).
+    #: This is the per-test reporting of the method: each failing pattern
+    #: names its own suspects, and the union is the resolution.
+    per_pattern_candidates: int = 6
+    #: Drop per-pattern extras for which no concrete fault model survives
+    #: vindication (arbitrary-only coincidental equivalents).  Multiplet
+    #: members are never dropped, so model-free (byzantine) defects located
+    #: by the covering stage stay reported.
+    drop_unmodeled_extras: bool = True
+    greedy_top_k: int = 24  #: xcover engine only
+    rescue_pair_cap: int = 400  #: xcover engine only
+    refine: RefineConfig = field(default_factory=RefineConfig)
+
+
+class Diagnoser:
+    """Reusable diagnosis engine bound to one netlist."""
+
+    def __init__(self, netlist: Netlist, config: DiagnosisConfig | None = None):
+        self.netlist = netlist
+        self.config = config or DiagnosisConfig()
+        if self.config.engine not in ("pertest", "xcover"):
+            raise DiagnosisError(f"unknown engine {self.config.engine!r}")
+
+    def diagnose(self, patterns: PatternSet, datalog: Datalog) -> DiagnosisReport:
+        """Run the full pipeline against one device's datalog."""
+        cfg = self.config
+        if datalog.n_patterns != patterns.n:
+            raise DiagnosisError(
+                f"datalog covers {datalog.n_patterns} patterns, "
+                f"test set has {patterns.n}"
+            )
+        started = time.perf_counter()
+        if datalog.is_passing_device:
+            return DiagnosisReport(
+                method=METHOD_NAME,
+                circuit=self.netlist.name,
+                stats={"seconds": 0.0, "n_failing_patterns": 0},
+            )
+
+        base_values = simulate(self.netlist, patterns)
+        sites = candidate_sites(self.netlist, datalog, cfg.include_branches)
+        t_sim = time.perf_counter()
+
+        if cfg.engine == "pertest":
+            evidence, multiplet_sets, uncovered, extras, stage_stats = (
+                self._run_pertest(patterns, datalog, sites, base_values)
+            )
+        else:
+            evidence, multiplet_sets, uncovered, stage_stats = self._run_xcover(
+                patterns, datalog, base_values
+            )
+            extras = ()
+        t_cover = time.perf_counter()
+
+        # Candidates = union over every surviving minimum cover (that union is
+        # the diagnosis resolution) plus the per-pattern exact explainers; the
+        # reported multiplet list is capped.
+        all_sites: list[Site] = []
+        for group in list(multiplet_sets) + [extras]:
+            for site in group:
+                if site not in all_sites:
+                    all_sites.append(site)
+        reported_sets = multiplet_sets[: cfg.max_reported_multiplets]
+
+        core_sites = {site for group in multiplet_sets for site in group}
+        candidates = []
+        for site in all_sites:
+            hypotheses = allocate_hypotheses(
+                self.netlist, patterns, datalog, site, base_values, evidence, cfg.refine
+            )
+            if (
+                cfg.drop_unmodeled_extras
+                and site not in core_sites
+                and all(h.kind == "arbitrary" for h in hypotheses)
+            ):
+                # A per-pattern extra that no concrete model survives for is
+                # a coincidental equivalent; passing-pattern evidence has
+                # already vindicated every mechanism it could have had.
+                continue
+            candidates.append(
+                Candidate(
+                    site=site,
+                    hypotheses=hypotheses,
+                    explained_atoms=len(evidence.atoms_of(site)),
+                )
+            )
+        # Rank: sites a concrete fault model survives for come first (a site
+        # only explainable as "arbitrary" is usually a coincidental
+        # equivalent), then by explained evidence and match quality.
+        candidates.sort(
+            key=lambda c: (
+                c.best_kind == "arbitrary",
+                -c.explained_atoms,
+                tuple(-x for x in (c.best.score if c.best else (0.0, 0.0, 0))),
+                str(c.site),
+            )
+        )
+        hypothesis_by_site = {c.site: c.hypotheses for c in candidates}
+        t_refine = time.perf_counter()
+
+        multiplets = [
+            self._assemble_multiplet(
+                evidence, group, hypothesis_by_site, patterns, base_values
+            )
+            for group in reported_sets
+        ]
+        multiplets.sort(key=lambda m: m.rank_key)
+
+        finished = time.perf_counter()
+        stats = {
+            "seconds": finished - started,
+            "seconds_analysis": t_sim - started,
+            "seconds_cover": t_cover - t_sim,
+            "seconds_refine": t_refine - t_cover,
+            "n_failing_patterns": float(len(datalog.failing_indices)),
+            "n_fail_atoms": float(datalog.n_fail_atoms),
+            "n_candidate_space": float(len(sites)),
+            "n_min_covers": float(len(multiplet_sets)),
+            **stage_stats,
+        }
+        return DiagnosisReport(
+            method=METHOD_NAME,
+            circuit=self.netlist.name,
+            candidates=tuple(candidates),
+            multiplets=tuple(multiplets),
+            uncovered_atoms=frozenset(uncovered),
+            stats=stats,
+        )
+
+    # -- engines -----------------------------------------------------------------
+
+    def _run_pertest(self, patterns, datalog, sites, base_values):
+        cfg = self.config
+        analysis = build_pertest(self.netlist, patterns, datalog, sites, base_values)
+        solution = greedy_pertest_cover(
+            analysis, max_size=cfg.max_multiplet_size, pair_cap=cfg.pair_cap
+        )
+        multiplet_sets: list[tuple[Site, ...]] = []
+        if cfg.enumerate_exact:
+            # Enumerate at least up to the size the greedy needed, so that
+            # every tying alternative of a pair-rescued explanation is
+            # reported (bounded overall by max_checks inside).
+            depth = min(
+                max(cfg.exact_max_size, len(solution.sites)),
+                cfg.max_multiplet_size,
+            )
+            multiplet_sets = enumerate_pertest_min_covers(
+                analysis,
+                seed_sites=solution.sites + solution.pair_candidates,
+                max_candidates=cfg.exact_max_candidates,
+                max_size=depth,
+            )
+        known = {tuple(sorted(map(str, m))) for m in multiplet_sets}
+        if solution.sites and tuple(sorted(map(str, solution.sites))) not in known:
+            multiplet_sets.append(solution.sites)
+        uncovered = {
+            (idx, out)
+            for idx in solution.unexplained
+            for out in datalog.failing_outputs_of(idx)
+        }
+        # Per-pattern reporting: every failing pattern contributes its best
+        # exact singleton explainers to the candidate list, so a defect whose
+        # patterns happen to be aliased out of the minimum covers is still
+        # located (at some resolution cost).
+        extras: list[Site] = []
+        if cfg.per_pattern_candidates > 0:
+            for idx in datalog.failing_indices:
+                explainers = sorted(
+                    analysis.exact_singletons.get(idx, ()),
+                    key=lambda s: (-len(analysis.atoms_of(s)), str(s)),
+                )
+                extras.extend(explainers[: cfg.per_pattern_candidates])
+            extras.extend(solution.pair_candidates)
+        stats = {
+            "n_unexplained_patterns": float(len(solution.unexplained)),
+            "n_exactly_explained_patterns": float(len(solution.explained)),
+        }
+        return analysis, multiplet_sets, uncovered, tuple(extras), stats
+
+    def _run_xcover(self, patterns, datalog, base_values):
+        cfg = self.config
+        xc = build_xcover(
+            self.netlist,
+            patterns,
+            datalog,
+            include_branches=cfg.include_branches,
+            base_values=base_values,
+        )
+        solution = greedy_cover(
+            xc,
+            max_size=cfg.max_multiplet_size,
+            top_k=cfg.greedy_top_k,
+            rescue_pair_cap=cfg.rescue_pair_cap,
+        )
+        multiplet_sets: list[tuple[Site, ...]] = []
+        if cfg.enumerate_exact:
+            multiplet_sets = enumerate_min_covers(
+                xc,
+                max_candidates=cfg.exact_max_candidates,
+                max_size=cfg.exact_max_size,
+            )
+        known = {tuple(sorted(map(str, m))) for m in multiplet_sets}
+        if solution.sites and tuple(sorted(map(str, solution.sites))) not in known:
+            multiplet_sets.append(solution.sites)
+        stats = {"n_joint_evaluations": float(solution.joint_evaluations)}
+        return xc, multiplet_sets, set(solution.uncovered), stats
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _assemble_multiplet(
+        self,
+        evidence,
+        sites: tuple[Site, ...],
+        hypothesis_by_site: dict[Site, tuple[Hypothesis, ...]],
+        patterns: PatternSet,
+        base_values: dict[str, int],
+    ) -> Multiplet:
+        if isinstance(evidence, PerTestAnalysis):
+            explained = evidence.explained_patterns(sites)
+            covered = sum(
+                len(evidence.datalog.failing_outputs_of(idx)) for idx in explained
+            )
+        else:
+            covered = len(evidence.joint_covered_atoms(sites))
+        iou = 0.0
+        defects = _concrete_defects(
+            [hypothesis_by_site.get(site, ()) for site in sites]
+        )
+        if defects is not None:
+            joint = multiplet_iou(
+                self.netlist, patterns, defects, evidence.atoms, base_values
+            )
+            if joint is not None:
+                iou = joint
+        return Multiplet(
+            sites=tuple(sites),
+            covered_atoms=covered,
+            total_atoms=len(evidence.atoms),
+            iou=iou,
+        )
+
+
+def _concrete_defects(
+    hypothesis_lists: list[tuple[Hypothesis, ...]],
+) -> list[Defect] | None:
+    """Best concrete defect per site, or None if some site is model-free."""
+    defects: list[Defect] = []
+    for hypotheses in hypothesis_lists:
+        concrete = next((h for h in hypotheses if h.kind != "arbitrary"), None)
+        if concrete is None:
+            return None
+        defects.append(_hypothesis_to_defect(concrete))
+    return defects
+
+
+def _hypothesis_to_defect(h: Hypothesis) -> Defect:
+    if h.kind in ("sa0", "sa1"):
+        return StuckAtDefect(h.site, int(h.kind[-1]))
+    if h.kind in ("open0", "open1"):
+        return OpenDefect(h.site, int(h.kind[-1]))
+    if h.kind == "bridge":
+        assert h.aggressor is not None
+        return BridgeDefect(h.site.net, h.aggressor)
+    if h.kind == "str":
+        return TransitionDefect(h.site, TransitionKind.SLOW_TO_RISE)
+    if h.kind == "stf":
+        return TransitionDefect(h.site, TransitionKind.SLOW_TO_FALL)
+    raise DiagnosisError(f"cannot materialize hypothesis kind {h.kind!r}")
+
+
+def diagnose(
+    netlist: Netlist,
+    patterns: PatternSet,
+    datalog: Datalog,
+    config: DiagnosisConfig | None = None,
+) -> DiagnosisReport:
+    """One-shot convenience wrapper around :class:`Diagnoser`."""
+    return Diagnoser(netlist, config).diagnose(patterns, datalog)

@@ -1,0 +1,142 @@
+"""Fault-dictionary (cause-effect) diagnosis baseline.
+
+The classical pre-computed alternative the effect-cause paradigm competes
+with: simulate the *entire* fault universe once, store every fault's full
+response signature, and diagnose by looking observed responses up in the
+dictionary.  Lookup is fast, but the dictionary build is
+O(|universe| x simulation) per test set and must be redone whenever the
+patterns change -- the cost structure the reproduced paper's approach
+avoids (it only ever simulates inside the failing die's candidate
+envelope).  Ablation D quantifies this trade.
+
+The dictionary here covers the collapsed single stuck-at universe; like
+every single-fault technique it degrades on multi-defect composite
+responses, which the ranked partial-match lookup makes measurable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Netlist
+from repro.core.report import Candidate, DiagnosisReport, Hypothesis, Multiplet
+from repro.core.scoring import atoms_iou, diff_to_atoms, match_counts
+from repro.core.xcover import Atom
+from repro.errors import DiagnosisError
+from repro.faults.collapse import collapse_stuck_at
+from repro.faults.models import StuckAtDefect
+from repro.sim.faultsim import defect_output_diff
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+from repro.tester.datalog import Datalog
+
+METHOD_NAME = "dictionary"
+
+
+@dataclass
+class FaultDictionary:
+    """Precomputed full-response signatures of the stuck-at universe."""
+
+    netlist: Netlist
+    patterns: PatternSet
+    signatures: dict[StuckAtDefect, frozenset[Atom]]
+    build_seconds: float
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.signatures)
+
+    def lookup(
+        self, datalog: Datalog, top_k: int = 10
+    ) -> list[tuple[float, StuckAtDefect, frozenset[Atom]]]:
+        """Entries ranked by IoU against the observed fail atoms."""
+        observed = frozenset(datalog.fail_atoms())
+        scored = [
+            (atoms_iou(signature, observed), fault, signature)
+            for fault, signature in self.signatures.items()
+            if signature & observed
+        ]
+        scored.sort(key=lambda item: (-item[0], str(item[1])))
+        return scored[:top_k]
+
+
+def build_dictionary(
+    netlist: Netlist,
+    patterns: PatternSet,
+    include_branches: bool = True,
+) -> FaultDictionary:
+    """Simulate the whole collapsed stuck-at universe (the expensive step)."""
+    started = time.perf_counter()
+    base_values = simulate(netlist, patterns)
+    signatures: dict[StuckAtDefect, frozenset[Atom]] = {}
+    for fault in collapse_stuck_at(netlist, include_branches).representatives:
+        diff = defect_output_diff(netlist, patterns, fault, base_values)
+        signatures[fault] = diff_to_atoms(diff)
+    return FaultDictionary(
+        netlist=netlist,
+        patterns=patterns,
+        signatures=signatures,
+        build_seconds=time.perf_counter() - started,
+    )
+
+
+def diagnose_dictionary(
+    dictionary: FaultDictionary,
+    datalog: Datalog,
+    top_k: int = 10,
+) -> DiagnosisReport:
+    """Dictionary lookup diagnosis (requires a prebuilt dictionary)."""
+    if datalog.n_patterns != dictionary.patterns.n:
+        raise DiagnosisError("datalog/dictionary pattern count mismatch")
+    started = time.perf_counter()
+    netlist = dictionary.netlist
+    if datalog.is_passing_device:
+        return DiagnosisReport(method=METHOD_NAME, circuit=netlist.name)
+
+    observed = frozenset(datalog.fail_atoms())
+    ranked = dictionary.lookup(datalog, top_k=top_k)
+    exact = [(iou, f, sig) for iou, f, sig in ranked if iou == 1.0]
+    kept = exact if exact else ranked
+
+    failing = datalog.failing_indices
+    candidates = []
+    multiplets = []
+    for iou, fault, signature in kept:
+        hits, misses, fa = match_counts(
+            signature, observed, failing, datalog.n_observed
+        )
+        hypothesis = Hypothesis(
+            kind=f"sa{fault.value}",
+            site=fault.site,
+            hits=hits,
+            misses=misses,
+            false_alarms=fa,
+        )
+        candidates.append(
+            Candidate(site=fault.site, hypotheses=(hypothesis,), explained_atoms=hits)
+        )
+        multiplets.append(
+            Multiplet(
+                sites=(fault.site,),
+                covered_atoms=hits,
+                total_atoms=len(observed),
+                iou=iou,
+            )
+        )
+    stats = {
+        "seconds": time.perf_counter() - started,
+        "build_seconds": dictionary.build_seconds,
+        "n_dictionary_entries": float(dictionary.n_entries),
+        "n_exact_matches": float(len(exact)),
+        "best_iou": ranked[0][0] if ranked else 0.0,
+    }
+    best_sig = kept[0][2] if kept else frozenset()
+    return DiagnosisReport(
+        method=METHOD_NAME,
+        circuit=netlist.name,
+        candidates=tuple(candidates),
+        multiplets=tuple(multiplets),
+        uncovered_atoms=frozenset(observed - best_sig),
+        stats=stats,
+    )

@@ -1,0 +1,278 @@
+"""Exact per-test (per-failing-pattern) explanation analysis.
+
+The observation that makes assumption-free diagnosis *exact* at gate
+level: under any defect mechanism whatsoever, a candidate site carries,
+for each pattern, either its fault-free value or the complement.  The
+whole faulty circuit at pattern ``t`` is therefore the fault-free circuit
+with every defect site *overridden*: each site in the multiplet either
+flipped or **pinned at its fault-free value**.  Pinning matters -- a
+defect site whose faulty value happens to equal the fault-free one still
+blocks error propagation from an upstream defect through it (e.g. a
+stuck-at-0 net that the other defect would have driven to 1).
+
+Hence a multiplet ``M`` explains failing pattern ``t`` **iff some
+assignment (flip / pin per site of M) reproduces exactly the observed
+failing outputs of t** -- no fault model enters the criterion.  This
+subsumes and sharpens SLAT: SLAT additionally demands a singleton whose
+flips come from one stuck-at value across patterns.
+
+Everything here is bit-parallel *over the failing patterns only*: passing
+patterns carry no per-test information (every multiplet trivially
+"explains" them with the all-pins assignment), so the analysis simulates
+on the failing-pattern subset, which keeps assignment enumeration cheap
+even for multiplet sizes of 5-6.
+
+Relationship to the X-cover stage: X injection is the sound
+over-approximation (necessary condition) used to prune the candidate
+space and bound masking-pair searches; the assignment check is the exact
+verifier used for covering, enumeration and ranking.  Ablation A measures
+the gap between diagnosing with the envelope alone versus with exact
+verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, Mapping, Sequence
+
+from repro.circuit.netlist import Netlist, Site
+from repro.core.xcover import Atom
+from repro.sim.event import changed_outputs, resimulate_with_overrides
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+from repro.tester.datalog import Datalog
+
+
+@dataclass
+class PerTestAnalysis:
+    """Single-flip effects of every candidate site plus joint-flip services.
+
+    Internally all diff vectors live in *work space*: bit ``j`` refers to
+    the ``j``-th failing pattern.  Public accessors take and return
+    original pattern indices.
+    """
+
+    netlist: Netlist
+    patterns: PatternSet  #: the full applied test set (original indices)
+    datalog: Datalog
+    sites: tuple[Site, ...]
+    atoms: frozenset[Atom]
+    site_atoms: dict[Site, frozenset[Atom]]
+    #: failing pattern (original index) -> sites whose lone flip reproduces it
+    exact_singletons: dict[int, tuple[Site, ...]]
+    #: per-site per-output flip diffs in work space
+    flip_diff: dict[Site, dict[str, int]]
+    _work_patterns: PatternSet = None  # type: ignore[assignment]
+    _work_base: dict[str, int] = field(default_factory=dict)
+    _pos_of: dict[int, int] = field(default_factory=dict)
+    _observed_pos: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: (flips, pins) -> per-output work-space diff cache
+    _joint_cache: dict[
+        tuple[frozenset[Site], frozenset[Site]], dict[str, int]
+    ] = field(default_factory=dict)
+
+    # -- single-site queries ---------------------------------------------------
+
+    def atoms_of(self, site: Site) -> frozenset[Atom]:
+        """Observed fail atoms that flipping ``site`` reproduces."""
+        return self.site_atoms.get(site, frozenset())
+
+    def diff_at(self, site: Site, pattern_index: int) -> frozenset[str]:
+        """Outputs flipped by inverting ``site`` under one failing pattern."""
+        pos = self._pos_of[pattern_index]
+        diff = self.flip_diff.get(site)
+        if diff is None:
+            diff = self.assignment_diff((site,))
+        return frozenset(out for out, vec in diff.items() if (vec >> pos) & 1)
+
+    def exact_match(self, site: Site, pattern_index: int) -> bool:
+        return site in self.exact_singletons.get(pattern_index, ())
+
+    # -- joint queries ---------------------------------------------------------------
+
+    def assignment_diff(
+        self, flips: Iterable[Site], pins: Iterable[Site] = ()
+    ) -> dict[str, int]:
+        """Work-space per-output diff of flipping ``flips`` / pinning ``pins``.
+
+        Pinned sites are overridden at their fault-free values, modeling a
+        defect site that agrees with the healthy value but still dominates
+        its node (blocking propagation from other defects).  A pin outside
+        the flips' combined fanout cone can never be disturbed and is
+        dropped, which normalizes the cache key -- the reuse this buys
+        across multiplet-enumeration combos is what keeps exact
+        enumeration tractable.  Cached by the normalized (flips, pins).
+        """
+        flip_key = frozenset(flips)
+        pin_key = frozenset(pins) - flip_key
+        if pin_key and flip_key:
+            affected = self.netlist.fanout_cone(site.net for site in flip_key)
+            pin_key = frozenset(s for s in pin_key if s.net in affected)
+        key = (flip_key, pin_key)
+        cached = self._joint_cache.get(key)
+        if cached is not None:
+            return cached
+        if not flip_key:
+            result: dict[str, int] = {}
+        else:
+            mask = self._work_patterns.mask
+            overrides = {
+                site: (self._work_base[site.net] ^ mask) & mask for site in flip_key
+            }
+            for site in pin_key:
+                overrides[site] = self._work_base[site.net]
+            changed = resimulate_with_overrides(
+                self.netlist, self._work_base, overrides, mask
+            )
+            result = changed_outputs(self.netlist, changed, self._work_base, mask)
+        self._joint_cache[key] = result
+        return result
+
+    def joint_flip_diff(self, sites: Iterable[Site]) -> dict[str, int]:
+        """Work-space per-output diff of flipping all ``sites`` (no pins)."""
+        return self.assignment_diff(sites)
+
+    def subset_explains(self, subset: Sequence[Site], pattern_index: int) -> bool:
+        """Does the multiplet ``subset`` explain pattern ``t`` exactly?
+
+        Tries every flip/pin assignment over the subset's sites.
+        """
+        pos = self._pos_of[pattern_index]
+        observed = self._observed_pos[pos]
+        sites = list(dict.fromkeys(subset))
+        for r in range(1, len(sites) + 1):
+            for flips in combinations(sites, r):
+                diff = self.assignment_diff(flips, sites)
+                predicted = frozenset(
+                    out for out, vec in diff.items() if (vec >> pos) & 1
+                )
+                if predicted and predicted == observed:
+                    return True
+        return False
+
+    def explained_patterns(
+        self, multiplet: Sequence[Site], max_flips: int | None = None
+    ) -> set[int]:
+        """Failing patterns (original indices) explained by some flip/pin
+        assignment of the multiplet.
+
+        Enumerates flip sets by increasing size with the remaining sites
+        pinned; each assignment costs one bit-parallel resimulation over
+        the failing patterns, cached across calls.
+        """
+        sites = list(dict.fromkeys(multiplet))
+        limit = len(sites) if max_flips is None else min(max_flips, len(sites))
+        remaining = set(range(self._work_patterns.n))
+        explained: set[int] = set()
+        failing = self.datalog.failing_indices
+        for size in range(1, limit + 1):
+            if not remaining:
+                break
+            for flips in combinations(sites, size):
+                diff = self.assignment_diff(flips, sites)
+                for pos in list(remaining):
+                    predicted = frozenset(
+                        out for out, vec in diff.items() if (vec >> pos) & 1
+                    )
+                    if predicted and predicted == self._observed_pos[pos]:
+                        explained.add(failing[pos])
+                        remaining.discard(pos)
+        return explained
+
+    def explains_all(self, multiplet: Sequence[Site]) -> bool:
+        return self.explained_patterns(multiplet) == set(self.datalog.failing_indices)
+
+
+def build_pertest(
+    netlist: Netlist,
+    patterns: PatternSet,
+    datalog: Datalog,
+    sites: Sequence[Site],
+    base_values: Mapping[str, int] | None = None,
+) -> PerTestAnalysis:
+    """Compute single-flip effects and exact singleton matches for ``sites``.
+
+    ``base_values`` (full-test-set fault-free values) is accepted for API
+    symmetry but the analysis derives its own failing-subset simulation.
+    """
+    del base_values  # the analysis works on the failing-pattern subset
+    failing = datalog.failing_indices
+    work = patterns.subset(list(failing))
+    work_base = simulate(netlist, work)
+    pos_of = {idx: pos for pos, idx in enumerate(failing)}
+    observed_pos = {
+        pos: datalog.failing_outputs_of(idx) for pos, idx in enumerate(failing)
+    }
+    atoms = frozenset(datalog.fail_atoms())
+
+    flip_diff: dict[Site, dict[str, int]] = {}
+    site_atoms: dict[Site, frozenset[Atom]] = {}
+    exact: dict[int, list[Site]] = {idx: [] for idx in failing}
+    mask = work.mask
+    for site in sites:
+        flipped = (work_base[site.net] ^ mask) & mask
+        changed = resimulate_with_overrides(netlist, work_base, {site: flipped}, mask)
+        diff = changed_outputs(netlist, changed, work_base, mask)
+        flip_diff[site] = diff
+        covered: set[Atom] = set()
+        for pos, idx in enumerate(failing):
+            predicted = frozenset(
+                out for out, vec in diff.items() if (vec >> pos) & 1
+            )
+            covered.update((idx, out) for out in predicted & observed_pos[pos])
+            if predicted and predicted == observed_pos[pos]:
+                exact[idx].append(site)
+        site_atoms[site] = frozenset(covered)
+
+    analysis = PerTestAnalysis(
+        netlist=netlist,
+        patterns=patterns,
+        datalog=datalog,
+        sites=tuple(sites),
+        atoms=atoms,
+        site_atoms=site_atoms,
+        exact_singletons={idx: tuple(v) for idx, v in exact.items()},
+        flip_diff=flip_diff,
+        _work_patterns=work,
+        _work_base=work_base,
+        _pos_of=pos_of,
+        _observed_pos=observed_pos,
+    )
+    for site in sites:
+        analysis._joint_cache[(frozenset((site,)), frozenset())] = flip_diff[site]
+    return analysis
+
+
+def pair_search(
+    analysis: PerTestAnalysis,
+    pattern_index: int,
+    pool: Sequence[Site] | None = None,
+    cap: int = 300,
+) -> list[tuple[Site, Site]]:
+    """Site pairs whose joint assignment reproduces pattern ``t`` exactly.
+
+    Used for failing patterns with no singleton explanation -- the
+    signature of interacting defects (joint sensitization or masking).
+    The pool defaults to candidate sites inside the fan-in cone of the
+    pattern's failing outputs, ranked by single-flip overlap with the
+    observed failures so that promising pairs are tried first.
+    """
+    observed = analysis.datalog.failing_outputs_of(pattern_index)
+    if pool is None:
+        cone = analysis.netlist.fanin_cone(observed)
+        pool = [s for s in analysis.sites if s.net in cone]
+
+    def overlap(site: Site) -> int:
+        return len(analysis.diff_at(site, pattern_index) & observed)
+
+    ranked = sorted(pool, key=overlap, reverse=True)
+    matches: list[tuple[Site, Site]] = []
+    tried = 0
+    for a, b in combinations(ranked, 2):
+        if tried >= cap:
+            break
+        tried += 1
+        if analysis.subset_explains((a, b), pattern_index):
+            matches.append((a, b))
+    return matches

@@ -1,0 +1,154 @@
+"""Fault-model allocation for candidate sites.
+
+Once the covering stage has located *where* the defects act, refinement
+asks *what* each site is doing: for every candidate site it simulates the
+concrete fault models consistent with the site's evidence -- stuck-at,
+open (on branch sites), dominant bridge against a bounded aggressor pool,
+and slow-to-rise/fall transitions -- scores each against the datalog, and
+vindicates deterministic models contradicted by passing patterns.  A
+model-free ``arbitrary`` hypothesis is always kept so that a byzantine
+defect (the no-assumptions stress case) still yields a correctly located,
+honestly labeled candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.circuit.netlist import Netlist, Site
+from repro.core.report import Hypothesis
+from repro.core.scoring import match_counts, predicted_atoms
+from repro.core.xcover import XCoverAnalysis
+from repro.errors import OscillationError
+from repro.faults.models import (
+    BridgeDefect,
+    OpenDefect,
+    StuckAtDefect,
+    TransitionDefect,
+    TransitionKind,
+)
+from repro.sim.patterns import PatternSet
+from repro.tester.datalog import Datalog
+
+
+@dataclass(frozen=True)
+class RefineConfig:
+    """Knobs for the hypothesis allocation stage."""
+
+    vindicate: bool = True
+    max_aggressors: int = 8
+    bridge_level_distance: int = 2
+    try_bridges: bool = True
+    try_transitions: bool = True
+
+
+def allocate_hypotheses(
+    netlist: Netlist,
+    patterns: PatternSet,
+    datalog: Datalog,
+    site: Site,
+    base_values: Mapping[str, int],
+    xc: XCoverAnalysis,
+    config: RefineConfig | None = None,
+) -> tuple[Hypothesis, ...]:
+    """Ranked fault-model hypotheses for one candidate site."""
+    config = config or RefineConfig()
+    observed = xc.atoms
+    failing = datalog.failing_indices
+    own_atoms = xc.atoms_of(site)
+
+    hypotheses: list[Hypothesis] = []
+
+    def score(kind: str, defect, aggressor: str | None = None) -> None:
+        try:
+            predicted = predicted_atoms(netlist, patterns, defect, base_values)
+        except OscillationError:
+            return
+        hits, misses, fa = match_counts(
+            predicted, observed, failing, datalog.n_observed
+        )
+        if hits == 0:
+            return
+        if config.vindicate and fa > 0:
+            return  # deterministic model contradicted by a passing pattern
+        hypotheses.append(
+            Hypothesis(
+                kind=kind,
+                site=site,
+                aggressor=aggressor,
+                hits=hits,
+                misses=misses,
+                false_alarms=fa,
+            )
+        )
+
+    # Stuck-at on stems, "open" labeling on branches (a stuck branch is a
+    # broken connection; the stem and sibling branches remain healthy).
+    for value in (0, 1):
+        if site.is_stem:
+            score(f"sa{value}", StuckAtDefect(site, value))
+        else:
+            score(f"open{value}", OpenDefect(site, value))
+
+    if config.try_transitions:
+        score("str", TransitionDefect(site, TransitionKind.SLOW_TO_RISE))
+        score("stf", TransitionDefect(site, TransitionKind.SLOW_TO_FALL))
+
+    if config.try_bridges and site.is_stem and not netlist.is_input(site.net):
+        for aggressor in _aggressor_pool(netlist, patterns, site, base_values, xc, config):
+            score(
+                "bridge",
+                BridgeDefect(site.net, aggressor),
+                aggressor=aggressor,
+            )
+
+    hypotheses.sort(key=lambda h: h.score, reverse=True)
+
+    # The model-free fallback: located, no behavioral commitment.
+    arbitrary = Hypothesis(
+        kind="arbitrary",
+        site=site,
+        hits=len(own_atoms),
+        misses=len(observed - own_atoms),
+        false_alarms=0,
+    )
+    return tuple(hypotheses) + (arbitrary,)
+
+
+def _aggressor_pool(
+    netlist: Netlist,
+    patterns: PatternSet,
+    site: Site,
+    base_values: Mapping[str, int],
+    xc: XCoverAnalysis,
+    config: RefineConfig,
+) -> list[str]:
+    """Bounded dominant-bridge aggressor candidates for a victim site.
+
+    Level proximity proxies layout adjacency (as in the bridge fault
+    universe); the aggressor must disagree with the victim on at least one
+    failing pattern the victim can explain (otherwise the bridge is never
+    activated there), and must not close a structural loop.
+    """
+    victim = site.net
+    victim_level = netlist.level(victim)
+    relevant = {idx for idx, _out in xc.atoms_of(site)}
+    if not relevant:
+        relevant = set(xc.datalog.failing_indices)
+    relevance_mask = 0
+    for idx in relevant:
+        relevance_mask |= 1 << idx
+    victim_cone = netlist.fanout_cone([victim])
+    scored: list[tuple[int, str]] = []
+    for net in netlist.nets():
+        if net == victim or net in victim_cone:
+            continue
+        if abs(netlist.level(net) - victim_level) > config.bridge_level_distance:
+            continue
+        disagreement = (base_values[net] ^ base_values[victim]) & relevance_mask
+        count = bin(disagreement).count("1")
+        if count:
+            scored.append((count, net))
+    scored.sort(key=lambda kv: (-kv[0], kv[1]))
+    return [net for _count, net in scored[: config.max_aggressors]]

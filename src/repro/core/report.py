@@ -1,0 +1,274 @@
+"""Diagnosis result data structures.
+
+A diagnosis run produces a :class:`DiagnosisReport`:
+
+- ranked :class:`Multiplet` s -- minimal site sets that jointly explain
+  every observed failing pattern,
+- ranked :class:`Candidate` s -- individual sites with the fault-model
+  :class:`Hypothesis` list that the refinement stage allocated to them,
+- bookkeeping (uncovered fail atoms, SLAT statistics, timings) consumed by
+  the campaign metrics and the experiment tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.circuit.netlist import Site
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """One concrete fault-model explanation attached to a candidate site.
+
+    ``kind`` is one of ``sa0``, ``sa1``, ``open0``, ``open1``, ``bridge``
+    (with ``aggressor`` set), ``str``, ``stf`` or ``arbitrary``.  Scores
+    compare the hypothesis' simulated response against the datalog:
+
+    - ``hits``: observed fail atoms the hypothesis reproduces,
+    - ``misses``: observed fail atoms it does not reproduce (possibly
+      owned by another defect of the multiplet -- not disqualifying),
+    - ``false_alarms``: predicted failures on patterns observed passing
+      (disqualifying for always-active models, see vindication).
+    """
+
+    kind: str
+    site: Site
+    aggressor: str | None = None
+    hits: int = 0
+    misses: int = 0
+    false_alarms: int = 0
+
+    @property
+    def precision(self) -> float:
+        predicted = self.hits + self.false_alarms
+        return self.hits / predicted if predicted else 0.0
+
+    @property
+    def recall(self) -> float:
+        observed = self.hits + self.misses
+        return self.hits / observed if observed else 0.0
+
+    @property
+    def score(self) -> tuple[float, float, int]:
+        """Sort key: higher is better."""
+        return (self.precision, self.recall, -self.false_alarms)
+
+    def describe(self) -> str:
+        tag = self.kind if self.aggressor is None else f"bridge<-{self.aggressor}"
+        return (
+            f"{self.site} {tag} "
+            f"(hits={self.hits}, misses={self.misses}, fa={self.false_alarms})"
+        )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A suspected defect site with its ranked model hypotheses."""
+
+    site: Site
+    hypotheses: tuple[Hypothesis, ...]
+    explained_atoms: int = 0
+
+    @property
+    def best(self) -> Hypothesis | None:
+        return self.hypotheses[0] if self.hypotheses else None
+
+    @property
+    def best_kind(self) -> str:
+        return self.best.kind if self.best else "arbitrary"
+
+    def describe(self) -> str:
+        models = ", ".join(h.kind for h in self.hypotheses[:3]) or "arbitrary"
+        return f"{self.site} [{models}]"
+
+
+@dataclass(frozen=True)
+class Multiplet:
+    """A set of sites that jointly explains the observed failures."""
+
+    sites: tuple[Site, ...]
+    covered_atoms: int
+    total_atoms: int
+    iou: float = 0.0  #: joint-simulation match quality (0 when unavailable)
+
+    @property
+    def size(self) -> int:
+        return len(self.sites)
+
+    @property
+    def complete(self) -> bool:
+        return self.covered_atoms == self.total_atoms
+
+    @property
+    def rank_key(self) -> tuple:
+        """Smaller first: incomplete last, small multiplets and high IoU first."""
+        return (not self.complete, self.size, -self.iou, tuple(map(str, self.sites)))
+
+    def describe(self) -> str:
+        body = ", ".join(str(s) for s in self.sites)
+        return (
+            f"{{{body}}} covers {self.covered_atoms}/{self.total_atoms}"
+            f" iou={self.iou:.2f}"
+        )
+
+
+@dataclass
+class DiagnosisReport:
+    """Complete outcome of one diagnosis run."""
+
+    method: str
+    circuit: str
+    candidates: tuple[Candidate, ...] = ()
+    multiplets: tuple[Multiplet, ...] = ()
+    uncovered_atoms: frozenset[tuple[int, str]] = frozenset()
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def candidate_sites(self) -> frozenset[Site]:
+        return frozenset(c.site for c in self.candidates)
+
+    @property
+    def best_multiplet(self) -> Multiplet | None:
+        return self.multiplets[0] if self.multiplets else None
+
+    @property
+    def best_sites(self) -> frozenset[Site]:
+        """Sites of the top-ranked multiplet (empty when none)."""
+        best = self.best_multiplet
+        return frozenset(best.sites) if best else frozenset()
+
+    @property
+    def resolution(self) -> int:
+        """Number of reported candidate sites (smaller = sharper diagnosis)."""
+        return len(self.candidates)
+
+    @property
+    def classification(self) -> str:
+        """Coarse verdict for triage routing:
+
+        - ``"passing"`` -- no failing evidence at all,
+        - ``"explained"`` -- a complete multiplet reproduces every failure,
+        - ``"partially-explained"`` -- candidates exist but some fail atoms
+          stay uncovered (suspect more interacting defects than the search
+          bound, or behavior beyond the site model),
+        - ``"outside-model"`` -- the device fails but *no* candidate
+          explains anything: the defect is outside the combinational site
+          model (clock/scan-chain/supply problems), so physical analysis
+          should not open the logic.  (This is the analogue of the
+          empty-suspect-list signal intra-cell flows use to redirect PFA.)
+        """
+        failing = self.stats.get("n_failing_patterns", 0)
+        if not failing and not self.uncovered_atoms and not self.candidates:
+            return "passing"
+        if not self.candidates:
+            return "outside-model"
+        best = self.best_multiplet
+        if best is not None and best.complete and not self.uncovered_atoms:
+            return "explained"
+        return "partially-explained"
+
+    def contains(self, sites: Iterable[Site]) -> bool:
+        """True when every queried site appears among the candidates."""
+        mine = self.candidate_sites
+        return all(site in mine for site in sites)
+
+    # -- serialization (for tool interop / archiving diagnosis sessions) ----
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "circuit": self.circuit,
+            "candidates": [
+                {
+                    "site": str(c.site),
+                    "explained_atoms": c.explained_atoms,
+                    "hypotheses": [
+                        {
+                            "kind": h.kind,
+                            "aggressor": h.aggressor,
+                            "hits": h.hits,
+                            "misses": h.misses,
+                            "false_alarms": h.false_alarms,
+                        }
+                        for h in c.hypotheses
+                    ],
+                }
+                for c in self.candidates
+            ],
+            "multiplets": [
+                {
+                    "sites": [str(s) for s in m.sites],
+                    "covered_atoms": m.covered_atoms,
+                    "total_atoms": m.total_atoms,
+                    "iou": m.iou,
+                }
+                for m in self.multiplets
+            ],
+            "uncovered_atoms": sorted(
+                [idx, out] for idx, out in self.uncovered_atoms
+            ),
+            "stats": dict(self.stats),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DiagnosisReport":
+        candidates = tuple(
+            Candidate(
+                site=Site.parse(c["site"]),
+                explained_atoms=c.get("explained_atoms", 0),
+                hypotheses=tuple(
+                    Hypothesis(
+                        kind=h["kind"],
+                        site=Site.parse(c["site"]),
+                        aggressor=h.get("aggressor"),
+                        hits=h.get("hits", 0),
+                        misses=h.get("misses", 0),
+                        false_alarms=h.get("false_alarms", 0),
+                    )
+                    for h in c.get("hypotheses", [])
+                ),
+            )
+            for c in data.get("candidates", [])
+        )
+        multiplets = tuple(
+            Multiplet(
+                sites=tuple(Site.parse(s) for s in m["sites"]),
+                covered_atoms=m.get("covered_atoms", 0),
+                total_atoms=m.get("total_atoms", 0),
+                iou=m.get("iou", 0.0),
+            )
+            for m in data.get("multiplets", [])
+        )
+        return cls(
+            method=data["method"],
+            circuit=data["circuit"],
+            candidates=candidates,
+            multiplets=multiplets,
+            uncovered_atoms=frozenset(
+                (int(idx), out) for idx, out in data.get("uncovered_atoms", [])
+            ),
+            stats=dict(data.get("stats", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DiagnosisReport":
+        return cls.from_dict(json.loads(text))
+
+    def summary(self) -> str:
+        lines = [
+            f"diagnosis[{self.method}] on {self.circuit}: "
+            f"{len(self.candidates)} candidate sites, "
+            f"{len(self.multiplets)} multiplets, "
+            f"{len(self.uncovered_atoms)} uncovered fail atoms",
+        ]
+        for multiplet in self.multiplets[:5]:
+            lines.append("  multiplet " + multiplet.describe())
+        for candidate in self.candidates[:10]:
+            lines.append("  site " + candidate.describe())
+        return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Response-match metrics and passing-pattern vindication.
+
+Scoring compares the simulated response of a hypothesized fault (or a
+whole multiplet of them) against the datalog at the granularity of fail
+atoms -- (pattern, output) pairs:
+
+- ``hits``: observed fail atoms the hypothesis reproduces,
+- ``misses``: observed atoms it does not reproduce,
+- ``false_alarms``: failures predicted on patterns the tester saw passing.
+
+Vindication is the classic effect-cause step of using *passing* patterns
+as exculpatory evidence: a deterministic, always-active model (stuck-at,
+open, dominant bridge, gross delay) that predicts a failure on an observed
+passing pattern is contradicted by silicon and removed.  Under multiple
+defects this is slightly aggressive -- another defect could in principle
+mask the predicted failure -- so it is switchable
+(:attr:`~repro.core.diagnose.DiagnosisConfig.vindicate`, measured by
+ablation C) and never removes the model-free ``arbitrary`` hypothesis,
+preserving the no-assumptions envelope.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.circuit.netlist import Netlist
+from repro.core.xcover import Atom
+from repro.errors import OscillationError
+from repro.faults.injection import FaultyCircuit
+from repro.faults.models import Defect
+from repro.sim.faultsim import defect_output_diff
+from repro.sim.patterns import PatternSet
+
+
+def diff_to_atoms(diff: Mapping[str, int]) -> frozenset[Atom]:
+    """Expand per-output mismatch vectors into (pattern, output) atoms."""
+    atoms: set[Atom] = set()
+    for out, vec in diff.items():
+        v = vec
+        while v:
+            low = v & -v
+            atoms.add((low.bit_length() - 1, out))
+            v ^= low
+    return frozenset(atoms)
+
+
+def predicted_atoms(
+    netlist: Netlist,
+    patterns: PatternSet,
+    defect: Defect,
+    base_values: Mapping[str, int],
+) -> frozenset[Atom]:
+    """Fail atoms the single ``defect`` would produce on this test set."""
+    diff = defect_output_diff(netlist, patterns, defect, base_values)
+    return diff_to_atoms(diff)
+
+
+def match_counts(
+    predicted: frozenset[Atom],
+    observed: frozenset[Atom],
+    failing_indices: Iterable[int],
+    n_observed: int | None = None,
+) -> tuple[int, int, int]:
+    """(hits, misses, false_alarms) of a predicted response.
+
+    ``false_alarms`` counts predicted atoms on patterns with an *observed*
+    pass: patterns at index >= ``n_observed`` (an ATE-truncated fail log)
+    carry no evidence either way and never vindicate.  Predicted atoms on
+    failing patterns at unobserved outputs are tolerated (another defect
+    of the multiplet may mask them) and count neither way.
+    """
+    failing = set(failing_indices)
+    hits = len(predicted & observed)
+    misses = len(observed - predicted)
+    false_alarms = sum(
+        1
+        for idx, _out in predicted - observed
+        if idx not in failing and (n_observed is None or idx < n_observed)
+    )
+    return hits, misses, false_alarms
+
+
+def atoms_iou(predicted: frozenset[Atom], observed: frozenset[Atom]) -> float:
+    """Intersection-over-union response similarity (1.0 = perfect match)."""
+    union = predicted | observed
+    if not union:
+        return 1.0
+    return len(predicted & observed) / len(union)
+
+
+def multiplet_iou(
+    netlist: Netlist,
+    patterns: PatternSet,
+    defects: Iterable[Defect],
+    observed: frozenset[Atom],
+    base_values: Mapping[str, int],
+) -> float | None:
+    """Joint-simulation IoU of a concrete multiplet, or None if unsimulable."""
+    defects = list(defects)
+    if not defects:
+        return None
+    try:
+        faulty = FaultyCircuit(netlist, defects).simulate_outputs(patterns)
+    except OscillationError:
+        return None
+    mask = patterns.mask
+    diff = {
+        out: (faulty[out] ^ base_values[out]) & mask
+        for out in netlist.outputs
+        if (faulty[out] ^ base_values[out]) & mask
+    }
+    return atoms_iou(diff_to_atoms(diff), observed)

@@ -1,0 +1,140 @@
+"""X-injection coverage analysis.
+
+The assumption-free core of the diagnosis.  Forcing ``X`` at a set of
+sites and three-valued simulating the *fault-free* netlist
+over-approximates the joint behavior of **any** defects at those sites:
+every net either keeps its fault-free binary value or is X (monotonicity),
+and every output a real defect set could corrupt is X.  Consequently:
+
+- a site set ``S`` *can explain* failing pattern ``t`` iff joint X
+  injection at ``S`` makes every observed failing output of ``t`` X;
+- this predicate is monotone in ``S``, which the covering stage exploits;
+- for a single defect the individual per-site reach is already exact,
+  but with multiple defects a site's error can need another defect to
+  unblock its propagation path (masking), so *joint* reach is the sound
+  notion -- the distinction measured by ablation A.
+
+All reaches are computed bit-parallel over the whole pattern set, cone
+restricted for the single-site case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.circuit.gates import tv_all_x, tv_xmask
+from repro.circuit.netlist import Netlist, Site
+from repro.core.backtrace import candidate_sites
+from repro.errors import DiagnosisError
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+from repro.sim.threeval import simulate3, x_injection_reach
+from repro.tester.datalog import Datalog
+
+Atom = tuple[int, str]  # (pattern index, output net)
+
+
+@dataclass
+class XCoverAnalysis:
+    """Per-site and joint X reach against one datalog."""
+
+    netlist: Netlist
+    patterns: PatternSet
+    datalog: Datalog
+    base_values: dict[str, int]
+    sites: tuple[Site, ...]
+    reach: dict[Site, dict[str, int]]
+    atoms: frozenset[Atom]
+    site_atoms: dict[Site, frozenset[Atom]] = field(default_factory=dict)
+
+    # -- single-site queries ---------------------------------------------------
+
+    def atoms_of(self, site: Site) -> frozenset[Atom]:
+        """Observed fail atoms individually coverable by ``site``."""
+        return self.site_atoms.get(site, frozenset())
+
+    def covers_pattern(self, site: Site, pattern_index: int) -> bool:
+        """Can ``site`` alone contribute to explaining this failing pattern?"""
+        return any(idx == pattern_index for idx, _out in self.atoms_of(site))
+
+    def pattern_candidates(self, pattern_index: int) -> list[Site]:
+        """Sites individually able to cover >=1 atom of this pattern."""
+        return [s for s in self.sites if self.covers_pattern(s, pattern_index)]
+
+    # -- joint queries ---------------------------------------------------------------
+
+    def joint_reach(self, sites: Iterable[Site]) -> dict[str, int]:
+        """Per-output X vectors under simultaneous X injection at ``sites``."""
+        overrides = {site: tv_all_x(self.patterns.mask) for site in sites}
+        if not overrides:
+            return {}
+        values3 = simulate3(self.netlist, self.patterns, overrides)
+        out: dict[str, int] = {}
+        for net in self.netlist.outputs:
+            xm = tv_xmask(values3[net])
+            if xm:
+                out[net] = xm
+        return out
+
+    def joint_covered_atoms(self, sites: Iterable[Site]) -> frozenset[Atom]:
+        """Observed fail atoms explainable by defects at all of ``sites``."""
+        sites = list(sites)
+        if not sites:
+            return frozenset()
+        if len(sites) == 1:
+            return self.atoms_of(sites[0])
+        reach = self.joint_reach(sites)
+        covered = {
+            (idx, out)
+            for idx, out in self.atoms
+            if reach.get(out, 0) >> idx & 1
+        }
+        return frozenset(covered)
+
+    def explains_all(self, sites: Iterable[Site]) -> bool:
+        return self.joint_covered_atoms(sites) == self.atoms
+
+
+def build_xcover(
+    netlist: Netlist,
+    patterns: PatternSet,
+    datalog: Datalog,
+    include_branches: bool = True,
+    base_values: Mapping[str, int] | None = None,
+    restrict_sites: Sequence[Site] | None = None,
+) -> XCoverAnalysis:
+    """Run the per-site X analysis over the structural candidate envelope."""
+    if datalog.n_patterns != patterns.n:
+        raise DiagnosisError(
+            f"datalog covers {datalog.n_patterns} patterns, test set has {patterns.n}"
+        )
+    if base_values is None:
+        base_values = simulate(netlist, patterns)
+    base_values = dict(base_values)
+    if restrict_sites is None:
+        sites = candidate_sites(netlist, datalog, include_branches)
+    else:
+        sites = list(restrict_sites)
+    atoms = frozenset(datalog.fail_atoms())
+
+    reach: dict[Site, dict[str, int]] = {}
+    site_atoms: dict[Site, frozenset[Atom]] = {}
+    for site in sites:
+        r = x_injection_reach(netlist, patterns, site, base_values)
+        reach[site] = r
+        covered = {
+            (idx, out) for idx, out in atoms if r.get(out, 0) >> idx & 1
+        }
+        site_atoms[site] = frozenset(covered)
+
+    return XCoverAnalysis(
+        netlist=netlist,
+        patterns=patterns,
+        datalog=datalog,
+        base_values=base_values,
+        sites=tuple(sites),
+        reach=reach,
+        atoms=atoms,
+        site_atoms=site_atoms,
+    )

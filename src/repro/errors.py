@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by library code derives from :class:`ReproError` so that
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate specific failure kinds.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class NetlistError(ReproError):
+    """A netlist is structurally invalid (dangling net, cycle, bad arity...)."""
+
+
+class ParseError(NetlistError):
+    """A circuit description file could not be parsed.
+
+    Carries the offending line number when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """A simulation could not be carried out (width mismatch, unknown net...)."""
+
+
+class OscillationError(SimulationError):
+    """A faulty circuit failed to reach a stable state.
+
+    Raised by two-valued multi-defect simulation when an injected defect
+    (typically a bridging fault whose aggressor lies in the victim's fanout
+    cone) creates a combinational loop that oscillates.  Three-valued
+    simulation resolves the same situation to ``X`` instead of raising.
+    """
+
+
+class FaultModelError(ReproError):
+    """A fault or defect description is inconsistent with the netlist."""
+
+
+class AtpgError(ReproError):
+    """Test generation failed in an unexpected way (not mere untestability)."""
+
+
+class DiagnosisError(ReproError):
+    """The diagnosis engine was driven with inconsistent inputs."""
+
+
+class DatalogError(ReproError):
+    """A tester datalog is malformed or inconsistent with the circuit."""

@@ -1,0 +1,39 @@
+"""Fault models, defect emulation and fault-universe services.
+
+- :mod:`repro.faults.models` -- the defect/fault class hierarchy with the
+  simulation hooks that define each behavior,
+- :mod:`repro.faults.injection` -- :class:`FaultyCircuit`, the multi-defect
+  device-under-test emulator,
+- :mod:`repro.faults.universe` -- fault list enumeration,
+- :mod:`repro.faults.collapse` -- structural stuck-at equivalence collapsing.
+"""
+
+from repro.faults.models import (
+    BridgeKind,
+    TransitionKind,
+    Defect,
+    StuckAtDefect,
+    BridgeDefect,
+    OpenDefect,
+    TransitionDefect,
+    ByzantineDefect,
+)
+from repro.faults.injection import FaultyCircuit
+from repro.faults.universe import stuck_at_universe, transition_universe, bridge_pairs
+from repro.faults.collapse import collapse_stuck_at
+
+__all__ = [
+    "BridgeKind",
+    "TransitionKind",
+    "Defect",
+    "StuckAtDefect",
+    "BridgeDefect",
+    "OpenDefect",
+    "TransitionDefect",
+    "ByzantineDefect",
+    "FaultyCircuit",
+    "stuck_at_universe",
+    "transition_universe",
+    "bridge_pairs",
+    "collapse_stuck_at",
+]

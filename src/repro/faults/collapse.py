@@ -1,0 +1,210 @@
+"""Structural stuck-at fault collapsing.
+
+Implements classic equivalence collapsing over the stuck-at universe:
+
+- ``AND``: sa0 on any input is equivalent to sa0 on the output,
+- ``NAND``: input sa0 == output sa1,
+- ``OR``: input sa1 == output sa1,
+- ``NOR``: input sa1 == output sa0,
+- ``BUF``/``NOT``: inputs and outputs pairwise equivalent (with inversion),
+- a fanout branch feeding the *only* reader of a net is the stem itself
+  (already enforced by the :class:`~repro.circuit.netlist.Site`
+  enumeration, which only creates branch sites on multi-fanout nets).
+
+XOR/XNOR/MUX gates admit no structural equivalences and are left alone.
+Only equivalence (not dominance) collapsing is performed: diagnosis wants
+candidate *classes* whose members are indistinguishable by any test, and
+dominance would merge distinguishable faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateKind
+from repro.circuit.netlist import Netlist, Site
+from repro.faults.models import StuckAtDefect
+
+_FaultKey = tuple[Site, int]
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict[_FaultKey, _FaultKey] = {}
+
+    def add(self, key: _FaultKey) -> None:
+        self._parent.setdefault(key, key)
+
+    def find(self, key: _FaultKey) -> _FaultKey:
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[key] != root:  # path compression
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: _FaultKey, b: _FaultKey) -> None:
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def classes(self) -> dict[_FaultKey, list[_FaultKey]]:
+        groups: dict[_FaultKey, list[_FaultKey]] = {}
+        for key in self._parent:
+            groups.setdefault(self.find(key), []).append(key)
+        return groups
+
+
+@dataclass(frozen=True)
+class CollapseResult:
+    """Outcome of stuck-at collapsing."""
+
+    classes: tuple[tuple[StuckAtDefect, ...], ...]
+    representative: dict[StuckAtDefect, StuckAtDefect]
+
+    @property
+    def representatives(self) -> list[StuckAtDefect]:
+        return [cls[0] for cls in self.classes]
+
+    def equivalent(self, a: StuckAtDefect, b: StuckAtDefect) -> bool:
+        return self.representative[a] == self.representative[b]
+
+    @property
+    def collapse_ratio(self) -> float:
+        total = sum(len(cls) for cls in self.classes)
+        return len(self.classes) / total if total else 1.0
+
+
+def _input_site(netlist: Netlist, gate_out: str, pin: int, src: str) -> Site:
+    if netlist.fanout_count(src) > 1:
+        return Site(src, (gate_out, pin))
+    return Site(src)
+
+
+def collapse_stuck_at(netlist: Netlist, include_branches: bool = True) -> CollapseResult:
+    """Equivalence-collapse the stuck-at universe of ``netlist``."""
+    uf = _UnionFind()
+    for site in netlist.sites(include_branches=include_branches):
+        uf.add((site, 0))
+        uf.add((site, 1))
+
+    for out_net in netlist.topo_order:
+        gate = netlist.gates[out_net]
+        out0, out1 = (Site(out_net), 0), (Site(out_net), 1)
+        # Without branch sites, a multi-fanout stem must NOT be merged with a
+        # single reader's gate output (the stem fault is observable through
+        # the sibling branches too) -- drop those pins from the union rules.
+        in_sites = [
+            _input_site(netlist, out_net, pin, src)
+            for pin, src in enumerate(gate.inputs)
+            if include_branches or netlist.fanout_count(src) == 1
+        ]
+        if not in_sites:
+            continue
+        kind = gate.kind
+        if kind is GateKind.AND:
+            for s in in_sites:
+                uf.union(out0, (s, 0))
+        elif kind is GateKind.NAND:
+            for s in in_sites:
+                uf.union(out1, (s, 0))
+        elif kind is GateKind.OR:
+            for s in in_sites:
+                uf.union(out1, (s, 1))
+        elif kind is GateKind.NOR:
+            for s in in_sites:
+                uf.union(out0, (s, 1))
+        elif kind is GateKind.BUF:
+            uf.union(out0, (in_sites[0], 0))
+            uf.union(out1, (in_sites[0], 1))
+        elif kind is GateKind.NOT:
+            uf.union(out0, (in_sites[0], 1))
+            uf.union(out1, (in_sites[0], 0))
+        # XOR/XNOR/MUX/CONST: no structural equivalence.
+
+    groups = uf.classes()
+    classes: list[tuple[StuckAtDefect, ...]] = []
+    representative: dict[StuckAtDefect, StuckAtDefect] = {}
+    for members in groups.values():
+        faults = sorted(
+            (StuckAtDefect(site, v) for site, v in members),
+            key=lambda f: (str(f.site), f.value),
+        )
+        rep = faults[0]
+        classes.append(tuple(faults))
+        for fault in faults:
+            representative[fault] = rep
+    classes.sort(key=lambda cls: (str(cls[0].site), cls[0].value))
+    return CollapseResult(tuple(classes), representative)
+
+
+# ---------------------------------------------------------------------------
+# Dominance reduction and checkpoint faults (ATPG target shrinking)
+# ---------------------------------------------------------------------------
+
+
+def dominance_reduce(
+    netlist: Netlist, result: CollapseResult | None = None
+) -> list[StuckAtDefect]:
+    """Equivalence classes further reduced by structural dominance.
+
+    Classic rules: for AND/NAND, the output's controlled-inverse fault
+    (sa1 for AND, sa0 for NAND) *dominates* each input sa1/sa0 -- any test
+    for the input fault also detects the output fault -- so the output
+    fault can be dropped from an ATPG target list.  Dually for OR/NOR.
+
+    Caveats (documented, tested): dominance preserves *detection*, not
+    distinguishability, so diagnosis must not use it; and in redundant
+    logic a dominating fault can be testable while every dominated fault
+    is not, in which case dropping loses coverage -- the guarantee holds
+    for irredundant circuits.
+    """
+    if result is None:
+        result = collapse_stuck_at(netlist)
+    representative = result.representative
+    dropped: set[StuckAtDefect] = set()
+    for out_net in netlist.topo_order:
+        gate = netlist.gates[out_net]
+        kind = gate.kind
+        if kind.controlling_value is None:
+            continue
+        # The output fault produced when NO input is at the controlling
+        # value dominates each input's non-controlling stuck fault.
+        non_ctrl = kind.controlling_value ^ 1
+        # Faulty response of the dominated tests == output as if every input
+        # were non-controlling: that polarity is the dominating output fault.
+        out_value = non_ctrl ^ (1 if kind.inverting else 0)
+        out_fault = representative[StuckAtDefect(Site(out_net), out_value)]
+        input_faults = [
+            representative[
+                StuckAtDefect(_input_site(netlist, out_net, pin, src), non_ctrl)
+            ]
+            for pin, src in enumerate(gate.inputs)
+        ]
+        if any(f != out_fault for f in input_faults):
+            dropped.add(out_fault)
+    return [rep for rep in result.representatives if rep not in dropped]
+
+
+def checkpoint_faults(netlist: Netlist) -> list[StuckAtDefect]:
+    """The checkpoint set: stuck-at faults on PIs and fanout branches.
+
+    For circuits built from AND/OR/NAND/NOR/NOT/BUF, detecting every
+    (testable) checkpoint fault detects every stuck-at fault (the
+    checkpoint theorem).  XOR-class gates void the guarantee, so callers
+    grading XOR-bearing designs should use the collapsed universe instead.
+    """
+    faults: list[StuckAtDefect] = []
+    for net in netlist.inputs:
+        faults.append(StuckAtDefect(Site(net), 0))
+        faults.append(StuckAtDefect(Site(net), 1))
+    for net in netlist.nets():
+        fan = netlist.fanout(net)
+        if len(fan) > 1:
+            for gate_name, pin in fan:
+                site = Site(net, (gate_name, pin))
+                faults.append(StuckAtDefect(site, 0))
+                faults.append(StuckAtDefect(site, 1))
+    return faults

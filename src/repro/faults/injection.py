@@ -1,0 +1,160 @@
+"""Multi-defect device-under-test emulation.
+
+:class:`FaultyCircuit` wraps a netlist plus an arbitrary set of
+simultaneously present defects and simulates the resulting behavior
+bit-parallel over a whole pattern set.  This is the stand-in for failing
+silicon: the tester harness compares its responses against the fault-free
+circuit to produce the datalog the diagnosis consumes, while the injected
+defect set remains available as ground truth for scoring.
+
+Interacting defects are handled by fixpoint relaxation: bridge hooks read
+the *current* value of their aggressor net, so a defect whose aggressor
+lies later in topological order simply needs another sweep to settle.  A
+defect combination that creates a genuinely oscillating loop (a bridge
+closing a cycle through reconvergent logic) raises
+:class:`~repro.errors.OscillationError` -- two-valued simulation has no
+stable answer there, mirroring a real circuit that would ring or settle to
+an intermediate voltage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.circuit.gates import eval2
+from repro.circuit.netlist import Netlist, Site
+from repro.errors import OscillationError
+from repro.faults.models import Defect, Hook, HookEnv
+from repro.sim.patterns import PatternSet
+
+
+class FaultyCircuit:
+    """A netlist with a set of injected defects."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        defects: Iterable[Defect],
+        max_iterations: int = 16,
+    ):
+        self.netlist = netlist
+        self.defects: tuple[Defect, ...] = tuple(defects)
+        self.max_iterations = max_iterations
+        self._stem_hooks: dict[str, list[Hook]] = {}
+        self._pin_hooks: dict[tuple[str, int], list[Hook]] = {}
+        for defect in self.defects:
+            defect.validate(netlist)
+            for site, hook in defect.hooks():
+                if site.is_stem:
+                    self._stem_hooks.setdefault(site.net, []).append(hook)
+                else:
+                    self._pin_hooks.setdefault(site.branch, []).append(hook)
+
+    # -- ground truth -------------------------------------------------------
+
+    def ground_truth_sites(self) -> frozenset[Site]:
+        sites: set[Site] = set()
+        for defect in self.defects:
+            sites.update(defect.ground_truth_sites())
+        return frozenset(sites)
+
+    # -- simulation -----------------------------------------------------------
+
+    def simulate(self, patterns: PatternSet) -> dict[str, int]:
+        """Settled value of every net under every pattern."""
+        netlist = self.netlist
+        mask = patterns.mask
+        values: dict[str, int] = {}
+        env = HookEnv(values, mask)
+
+        # Pass 0 seeds with hook-free values so aggressor reads are defined.
+        for net in netlist.inputs:
+            values[net] = patterns.bits[net]
+        for net in netlist.topo_order:
+            gate = netlist.gates[net]
+            values[net] = eval2(gate.kind, [values[s] for s in gate.inputs], mask)
+
+        for _ in range(self.max_iterations):
+            changed = False
+            for net in netlist.inputs:
+                new = self._apply_stem(net, patterns.bits[net], env)
+                if new != values[net]:
+                    values[net] = new
+                    changed = True
+            for net in netlist.topo_order:
+                gate = netlist.gates[net]
+                ins = [
+                    self._read_pin(net, pin, values[src], env)
+                    for pin, src in enumerate(gate.inputs)
+                ]
+                new = self._apply_stem(net, eval2(gate.kind, ins, mask), env)
+                if new != values[net]:
+                    values[net] = new
+                    changed = True
+            if not changed:
+                return values
+        unstable = self._find_unstable(values, patterns)
+        raise OscillationError(
+            f"defect set {list(map(str, self.defects))} oscillates "
+            f"(nets {unstable[:6]})"
+        )
+
+    def simulate_outputs(self, patterns: PatternSet) -> dict[str, int]:
+        values = self.simulate(patterns)
+        return {net: values[net] for net in self.netlist.outputs}
+
+    # -- internals ---------------------------------------------------------------
+
+    def _apply_stem(self, net: str, driven: int, env: HookEnv) -> int:
+        value = driven
+        for hook in self._stem_hooks.get(net, ()):
+            value = hook(value, env) & env.mask
+        return value
+
+    def _read_pin(self, gate_out: str, pin: int, stem_value: int, env: HookEnv) -> int:
+        hooks = self._pin_hooks.get((gate_out, pin))
+        if not hooks:
+            return stem_value
+        value = stem_value
+        for hook in hooks:
+            value = hook(value, env) & env.mask
+        return value
+
+    def _find_unstable(self, values: dict[str, int], patterns: PatternSet) -> list[str]:
+        """One more sweep, recording which nets still move (for diagnostics)."""
+        mask = patterns.mask
+        env = HookEnv(values, mask)
+        moved: list[str] = []
+        for net in self.netlist.topo_order:
+            gate = self.netlist.gates[net]
+            ins = [
+                self._read_pin(net, pin, values[src], env)
+                for pin, src in enumerate(gate.inputs)
+            ]
+            new = self._apply_stem(net, eval2(gate.kind, ins, mask), env)
+            if new != values[net]:
+                moved.append(net)
+                values[net] = new
+        return moved
+
+
+def defect_creates_feedback(netlist: Netlist, defects: Sequence[Defect]) -> bool:
+    """True when a bridge's aggressor lies inside its victim's fanout cone.
+
+    Such a defect closes a structural loop; two-valued simulation may
+    oscillate.  Campaign samplers use this predicate to draw realistic
+    non-ringing shorts (a ringing short manifests as unstable tester reads,
+    which is outside any logic-diagnosis scope).
+    """
+    from repro.faults.models import BridgeDefect
+
+    for defect in defects:
+        if isinstance(defect, BridgeDefect):
+            cone = netlist.fanout_cone([defect.victim])
+            if defect.aggressor in cone:
+                return True
+            if defect.kind.value != "dom":
+                back = netlist.fanout_cone([defect.aggressor])
+                if defect.victim in back:
+                    return True
+    return False

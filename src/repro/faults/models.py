@@ -1,0 +1,274 @@
+"""Defect and fault model hierarchy.
+
+A single class family serves two roles:
+
+1. **Ground-truth defects** injected into a simulated device under test
+   (through :class:`repro.faults.injection.FaultyCircuit`) to emulate the
+   silicon failures the diagnosis must explain, and
+2. **Model faults** hypothesized, simulated and ranked by the diagnosis
+   engine, ATPG and the SLAT baseline.
+
+Every behavior is defined by its *hooks*: bit-parallel functions that
+rewrite a site's value vector during simulation.  A hook receives the
+site's fault-free-driven value (all patterns at once) plus a
+:class:`HookEnv` giving access to other nets' current values (bridges) and
+to previous-pattern values (delay defects), and returns the faulty vector.
+
+The ``ByzantineDefect`` deserves emphasis: it flips its site on an
+arbitrary seeded subset of patterns with no underlying model at all.  It
+exists precisely because the reproduced method claims to make *no
+assumption on failing pattern characteristics* -- a diagnosis that only
+handles stuck-at-explainable patterns will lose these defects, while the
+X-envelope approach keeps them.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro._rng import make_rng
+from repro.circuit.netlist import Netlist, Site
+from repro.errors import FaultModelError
+
+
+class BridgeKind(enum.Enum):
+    """Two-net short behaviors."""
+
+    DOMINANT = "dom"  # victim takes the aggressor's value
+    WIRED_AND = "wand"  # both nets take AND of the two drivers
+    WIRED_OR = "wor"  # both nets take OR of the two drivers
+
+
+class TransitionKind(enum.Enum):
+    SLOW_TO_RISE = "str"
+    SLOW_TO_FALL = "stf"
+
+
+class HookEnv:
+    """Simulation context handed to defect hooks."""
+
+    def __init__(self, values: Mapping[str, int], mask: int):
+        self._values = values
+        self.mask = mask
+
+    def value(self, net: str) -> int:
+        """Current (this relaxation pass) settled value vector of ``net``."""
+        return self._values[net]
+
+    def prev_shift(self, vec: int) -> int:
+        """Previous-pattern view of a value vector.
+
+        Bit *i* of the result is bit *i-1* of ``vec``; pattern 0, having no
+        predecessor, sees its own value (i.e. no transition before the
+        first pattern).
+        """
+        return (((vec << 1) | (vec & 1))) & self.mask
+
+
+Hook = Callable[[int, HookEnv], int]
+
+
+@dataclass(frozen=True)
+class Defect(ABC):
+    """Base class; concrete defects are small frozen dataclasses."""
+
+    @abstractmethod
+    def ground_truth_sites(self) -> tuple[Site, ...]:
+        """Sites where this defect *originates* errors (scoring reference)."""
+
+    @abstractmethod
+    def hooks(self) -> tuple[tuple[Site, Hook], ...]:
+        """(site, hook) pairs installed into the faulty simulator."""
+
+    def validate(self, netlist: Netlist) -> None:
+        for site, _hook in self.hooks():
+            netlist.validate_site(site)
+
+    @property
+    def family(self) -> str:
+        """Short behavior-class tag used in reports and campaign tables."""
+        return type(self).__name__.replace("Defect", "").lower()
+
+
+@dataclass(frozen=True)
+class StuckAtDefect(Defect):
+    """Site permanently tied to ``value`` (0 or 1)."""
+
+    site: Site
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise FaultModelError(f"stuck-at value must be 0/1, got {self.value!r}")
+
+    def ground_truth_sites(self) -> tuple[Site, ...]:
+        return (self.site,)
+
+    def hooks(self) -> tuple[tuple[Site, Hook], ...]:
+        forced = self.value
+
+        def hook(_v: int, env: HookEnv) -> int:
+            return env.mask if forced else 0
+
+        return ((self.site, hook),)
+
+    def __str__(self) -> str:
+        return f"{self.site} sa{self.value}"
+
+
+@dataclass(frozen=True)
+class OpenDefect(Defect):
+    """Broken interconnect; the floating node reads ``float_value``.
+
+    Behaviorally stuck-at-like (resistive opens in CMOS settle to a rail
+    through leakage), but kept as a distinct class: a *branch* open leaves
+    the stem and sibling branches healthy, which is what distinguishes it
+    from a stem stuck-at during physical failure analysis.
+    """
+
+    site: Site
+    float_value: int
+
+    def __post_init__(self) -> None:
+        if self.float_value not in (0, 1):
+            raise FaultModelError("open float value must be 0/1")
+
+    def ground_truth_sites(self) -> tuple[Site, ...]:
+        return (self.site,)
+
+    def hooks(self) -> tuple[tuple[Site, Hook], ...]:
+        forced = self.float_value
+
+        def hook(_v: int, env: HookEnv) -> int:
+            return env.mask if forced else 0
+
+        return ((self.site, hook),)
+
+    def __str__(self) -> str:
+        return f"{self.site} open@{self.float_value}"
+
+
+@dataclass(frozen=True)
+class BridgeDefect(Defect):
+    """Short between two nets (stems).
+
+    ``DOMINANT``: the victim net takes the aggressor's value; the aggressor
+    is unaffected.  ``WIRED_AND``/``WIRED_OR``: both nets resolve to the
+    AND/OR of the two driven values.
+    """
+
+    victim: str
+    aggressor: str
+    kind: BridgeKind = BridgeKind.DOMINANT
+
+    def __post_init__(self) -> None:
+        if self.victim == self.aggressor:
+            raise FaultModelError("bridge victim and aggressor must differ")
+
+    def validate(self, netlist: Netlist) -> None:
+        super().validate(netlist)
+        if self.kind is BridgeKind.DOMINANT:
+            netlist.validate_site(Site(self.aggressor))
+
+    def ground_truth_sites(self) -> tuple[Site, ...]:
+        if self.kind is BridgeKind.DOMINANT:
+            return (Site(self.victim),)
+        return (Site(self.victim), Site(self.aggressor))
+
+    def hooks(self) -> tuple[tuple[Site, Hook], ...]:
+        aggressor, victim, kind = self.aggressor, self.victim, self.kind
+
+        def victim_hook(v: int, env: HookEnv) -> int:
+            a = env.value(aggressor)
+            if kind is BridgeKind.DOMINANT:
+                return a
+            if kind is BridgeKind.WIRED_AND:
+                return v & a
+            return v | a
+
+        entries: list[tuple[Site, Hook]] = [(Site(victim), victim_hook)]
+        if kind is not BridgeKind.DOMINANT:
+
+            def aggressor_hook(a: int, env: HookEnv) -> int:
+                v = env.value(victim)
+                return (a & v) if kind is BridgeKind.WIRED_AND else (a | v)
+
+            entries.append((Site(aggressor), aggressor_hook))
+        return tuple(entries)
+
+    def __str__(self) -> str:
+        return f"bridge({self.victim}<-{self.aggressor},{self.kind.value})"
+
+
+@dataclass(frozen=True)
+class TransitionDefect(Defect):
+    """Gross-delay defect: the site is slow to rise or slow to fall.
+
+    With full-scan launch/capture semantics, the captured value at pattern
+    *i* is the pattern *i-1* value whenever the site attempts the slow
+    transition; the node completes the transition before the next launch.
+    """
+
+    site: Site
+    kind: TransitionKind
+
+    def ground_truth_sites(self) -> tuple[Site, ...]:
+        return (self.site,)
+
+    def hooks(self) -> tuple[tuple[Site, Hook], ...]:
+        slow_rise = self.kind is TransitionKind.SLOW_TO_RISE
+
+        def hook(v: int, env: HookEnv) -> int:
+            prev = env.prev_shift(v)
+            # Slow-to-rise: a 0->1 transition is captured as 0  => v AND prev.
+            # Slow-to-fall: a 1->0 transition is captured as 1  => v OR prev.
+            return (v & prev) if slow_rise else (v | prev)
+
+        return ((self.site, hook),)
+
+    def __str__(self) -> str:
+        return f"{self.site} {self.kind.value}"
+
+
+@dataclass(frozen=True)
+class ByzantineDefect(Defect):
+    """Model-free defect: flips its site on a seeded random pattern subset.
+
+    ``activity`` is the flip probability per pattern.  No fault model
+    reproduces this behavior; it is the acid test for assumption-free
+    diagnosis.
+    """
+
+    site: Site
+    seed: int
+    activity: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.activity <= 1.0:
+            raise FaultModelError("byzantine activity must be in (0, 1]")
+
+    def ground_truth_sites(self) -> tuple[Site, ...]:
+        return (self.site,)
+
+    def flip_vector(self, n_patterns: int) -> int:
+        """Deterministic flip mask for a test set of ``n_patterns``."""
+        rng = make_rng(self.seed)
+        vec = 0
+        for i in range(n_patterns):
+            if rng.random() < self.activity:
+                vec |= 1 << i
+        return vec
+
+    def hooks(self) -> tuple[tuple[Site, Hook], ...]:
+        defect = self
+
+        def hook(v: int, env: HookEnv) -> int:
+            return v ^ (defect.flip_vector(env.mask.bit_length()) & env.mask)
+
+        return ((self.site, hook),)
+
+    def __str__(self) -> str:
+        return f"{self.site} byz(seed={self.seed},p={self.activity})"

@@ -1,0 +1,29 @@
+"""Sequential-circuit substrate.
+
+The diagnosis method operates on the combinational core of a full-scan
+design.  This subpackage supplies the missing front half of that story:
+
+- :mod:`repro.seq.model` -- :class:`SequentialNetlist` (gates + D
+  flip-flops) and the sequential ``.bench`` reader,
+- :mod:`repro.seq.transform` -- scan insertion (sequential design ->
+  combinational core + scan-chain configuration) and time-frame
+  unrolling (for reasoning about non-scan behavior),
+- :mod:`repro.seq.generators` -- parametric sequential benchmarks
+  (shift registers, LFSRs, counters).
+"""
+
+from repro.seq.model import Flop, SequentialNetlist, parse_bench_sequential
+from repro.seq.transform import ScanDesign, scan_insert, unroll
+from repro.seq.generators import counter, lfsr, shift_register
+
+__all__ = [
+    "Flop",
+    "SequentialNetlist",
+    "parse_bench_sequential",
+    "ScanDesign",
+    "scan_insert",
+    "unroll",
+    "counter",
+    "lfsr",
+    "shift_register",
+]

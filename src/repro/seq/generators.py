@@ -1,0 +1,90 @@
+"""Parametric sequential benchmark circuits."""
+
+from __future__ import annotations
+
+from repro.circuit.builder import NetlistBuilder
+from repro.errors import NetlistError
+from repro.seq.model import Flop, SequentialNetlist
+
+
+def shift_register(width: int, name: str | None = None) -> SequentialNetlist:
+    """Serial-in serial-out shift register: out is ``din`` delayed by width."""
+    if width < 1:
+        raise NetlistError("shift register needs width >= 1")
+    b = NetlistBuilder("core")
+    din = b.input("din")
+    stages = [b.input(f"q{i}") for i in range(width)]  # flop outputs
+    d_nets = []
+    prev = din
+    for i, q in enumerate(stages):
+        d_nets.append(b.buf(prev, name=f"d{i}"))
+        prev = q
+    out = b.buf(stages[-1], name="dout")
+    b.output(out)
+    core = b.build()
+    flops = [Flop(f"q{i}", f"d{i}") for i in range(width)]
+    return SequentialNetlist(
+        name or f"sr{width}",
+        ["din"],
+        ["dout"],
+        [g for g in core.gates.values()],
+        flops,
+    )
+
+
+def lfsr(taps: tuple[int, ...], width: int, name: str | None = None) -> SequentialNetlist:
+    """Fibonacci LFSR: feedback = XOR of tapped stages, shifts toward q0.
+
+    ``taps`` are stage indices (0-based) XORed into the new q[width-1].
+    Seeded non-zero via ``init=1`` on stage 0.
+    """
+    if not taps or any(t < 0 or t >= width for t in taps):
+        raise NetlistError("taps must be non-empty stage indices < width")
+    b = NetlistBuilder("core")
+    stages = [b.input(f"q{i}") for i in range(width)]
+    feedback = stages[taps[0]]
+    for t in taps[1:]:
+        feedback = b.xor(feedback, stages[t])
+    feedback = b.buf(feedback, name="fb")
+    d_nets = []
+    for i in range(width - 1):
+        d_nets.append(b.buf(stages[i + 1], name=f"d{i}"))
+    d_nets.append(b.buf(feedback, name=f"d{width - 1}"))
+    b.output(b.buf(stages[0], name="serial"))
+    core = b.build()
+    flops = [
+        Flop(f"q{i}", f"d{i}", init=1 if i == 0 else 0) for i in range(width)
+    ]
+    return SequentialNetlist(
+        name or f"lfsr{width}",
+        [],
+        ["serial"],
+        [g for g in core.gates.values()],
+        flops,
+    )
+
+
+def counter(width: int, name: str | None = None) -> SequentialNetlist:
+    """Binary up-counter with enable; outputs the count bits."""
+    if width < 1:
+        raise NetlistError("counter needs width >= 1")
+    b = NetlistBuilder("core")
+    enable = b.input("en")
+    stages = [b.input(f"q{i}") for i in range(width)]
+    carry = enable
+    outs = []
+    for i in range(width):
+        b.xor(stages[i], carry, name=f"d{i}")
+        carry = b.and_(stages[i], carry)
+        outs.append(b.buf(stages[i], name=f"count{i}"))
+    for net in outs:
+        b.output(net)
+    core = b.build()
+    flops = [Flop(f"q{i}", f"d{i}") for i in range(width)]
+    return SequentialNetlist(
+        name or f"cnt{width}",
+        ["en"],
+        [f"count{i}" for i in range(width)],
+        [g for g in core.gates.values()],
+        flops,
+    )

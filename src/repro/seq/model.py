@@ -1,0 +1,119 @@
+"""Sequential netlist model: combinational gates plus D flip-flops."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.circuit.gates import Gate, GateKind, KIND_ALIASES
+from repro.circuit.netlist import Netlist
+from repro.errors import NetlistError, ParseError
+
+
+@dataclass(frozen=True)
+class Flop:
+    """One D flip-flop: ``q`` is driven from ``d`` at each clock edge."""
+
+    q: str
+    d: str
+    init: int = 0
+
+    def __post_init__(self) -> None:
+        if self.init not in (0, 1):
+            raise NetlistError(f"flop {self.q!r}: init must be 0/1")
+
+
+class SequentialNetlist:
+    """A single-clock synchronous design.
+
+    The combinational part follows the same conventions as
+    :class:`~repro.circuit.netlist.Netlist`; flop outputs (``q`` nets) act
+    as additional combinational sources.  Validation builds the
+    combinational core once, which also proves the gate graph acyclic.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        gates: Iterable[Gate],
+        flops: Sequence[Flop],
+    ):
+        self.name = name
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self.flops = tuple(flops)
+        q_names = [f.q for f in self.flops]
+        if len(set(q_names)) != len(q_names):
+            raise NetlistError("duplicate flop output net")
+        # The scan view: q nets become pseudo inputs, d nets pseudo outputs.
+        self._core = Netlist(
+            f"{name}_core",
+            list(inputs) + q_names,
+            list(outputs) + [f.d for f in self.flops],
+            gates,
+        )
+        self.gates = self._core.gates
+
+    @property
+    def n_gates(self) -> int:
+        return self._core.n_gates
+
+    @property
+    def n_flops(self) -> int:
+        return len(self.flops)
+
+    def combinational_core(self) -> Netlist:
+        """The full-scan combinational view (q = pseudo PI, d = pseudo PO)."""
+        return self._core
+
+    def __repr__(self) -> str:
+        return (
+            f"SequentialNetlist({self.name!r}, inputs={len(self.inputs)}, "
+            f"outputs={len(self.outputs)}, gates={self.n_gates}, "
+            f"flops={self.n_flops})"
+        )
+
+
+def parse_bench_sequential(text: str, name: str = "bench") -> SequentialNetlist:
+    """Parse ``.bench`` keeping DFFs as flops (cf. the scan-replacing
+    :func:`repro.circuit.bench.parse_bench`)."""
+    import re
+
+    assign_re = re.compile(
+        r"^(?P<out>[^\s=]+)\s*=\s*(?P<kind>[A-Za-z_][A-Za-z0-9_]*)\s*"
+        r"\((?P<ins>[^)]*)\)$"
+    )
+    io_re = re.compile(r"^(?P<dir>INPUT|OUTPUT)\s*\((?P<net>[^)]+)\)$", re.IGNORECASE)
+
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: list[Gate] = []
+    flops: list[Flop] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io = io_re.match(line)
+        if io:
+            (inputs if io.group("dir").upper() == "INPUT" else outputs).append(
+                io.group("net").strip()
+            )
+            continue
+        assign = assign_re.match(line)
+        if not assign:
+            raise ParseError(f"unrecognized statement {line!r}", line=lineno)
+        out = assign.group("out").strip()
+        kind_name = assign.group("kind").lower()
+        ins = tuple(s.strip() for s in assign.group("ins").split(",") if s.strip())
+        if kind_name == "dff":
+            if len(ins) != 1:
+                raise ParseError(f"DFF {out!r} must have exactly one input", lineno)
+            flops.append(Flop(out, ins[0]))
+            continue
+        kind = KIND_ALIASES.get(kind_name)
+        if kind is None or kind is GateKind.INPUT:
+            raise ParseError(f"unknown gate kind {kind_name!r}", line=lineno)
+        gates.append(Gate(out, kind, ins))
+    return SequentialNetlist(name, inputs, outputs, gates, flops)

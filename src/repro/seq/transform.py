@@ -1,0 +1,102 @@
+"""Scan insertion and time-frame unrolling.
+
+Scan insertion produces exactly the artifact the diagnosis flow consumes:
+the combinational core (flop outputs as pseudo primary inputs, flop data
+inputs as pseudo primary outputs) together with the
+:class:`~repro.tester.scan.ScanChainConfig` that says where each captured
+bit physically sits on the tester.  Primary outputs are modeled as a
+parallel-measure register on chain 0; the flops are stitched round-robin
+onto chains 1..N.
+
+Time-frame unrolling expands ``n_frames`` clock cycles of the sequential
+design into one combinational netlist (``f<t>_`` prefixes), with flops
+wired frame-to-frame and frame 0 fed by their initial values.  It is the
+reference model for sequential behavior (LFSRs, counters) and the basis
+for reasoning about non-scan test application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gates import Gate, GateKind
+from repro.circuit.netlist import Netlist
+from repro.errors import NetlistError
+from repro.seq.model import SequentialNetlist
+from repro.tester.scan import ScanCell, ScanChainConfig
+
+
+@dataclass
+class ScanDesign:
+    """Result of scan insertion."""
+
+    netlist: Netlist  #: the combinational core the tester exercises
+    config: ScanChainConfig  #: tester-side placement of every observed bit
+    flop_order: tuple[str, ...]  #: q nets in chain-stitching order
+
+
+def scan_insert(seq: SequentialNetlist, n_chains: int = 1) -> ScanDesign:
+    """Insert scan: full observability/controllability of every flop."""
+    if n_chains < 1:
+        raise NetlistError("scan insertion needs >= 1 chain")
+    core = seq.combinational_core()
+    mapping: dict[str, ScanCell] = {}
+    # Primary outputs: parallel-measure "chain 0".
+    for position, out in enumerate(seq.outputs):
+        mapping[out] = ScanCell(0, position)
+    # Flop capture bits (their D nets) round-robin on chains 1..n.
+    counters = [0] * n_chains
+    flop_order = []
+    for index, flop in enumerate(seq.flops):
+        chain = 1 + index % n_chains
+        mapping[flop.d] = ScanCell(chain, counters[chain - 1])
+        counters[chain - 1] += 1
+        flop_order.append(flop.q)
+    config = ScanChainConfig(core, mapping=mapping)
+    return ScanDesign(netlist=core, config=config, flop_order=tuple(flop_order))
+
+
+def unroll(seq: SequentialNetlist, n_frames: int, name: str | None = None) -> Netlist:
+    """Expand ``n_frames`` cycles into one combinational netlist.
+
+    Nets of frame *t* are prefixed ``f<t>_``.  Primary inputs exist per
+    frame; primary outputs are exposed per frame.  Flop q nets of frame 0
+    are constants (their ``init`` values); at frame *t > 0* they are
+    buffers of the previous frame's d nets.
+    """
+    if n_frames < 1:
+        raise NetlistError("unroll needs >= 1 frame")
+    gates: list[Gate] = []
+    inputs: list[str] = []
+    outputs: list[str] = []
+
+    def net_at(net: str, frame: int) -> str:
+        return f"f{frame}_{net}"
+
+    for frame in range(n_frames):
+        for pi in seq.inputs:
+            inputs.append(net_at(pi, frame))
+        for flop in seq.flops:
+            q = net_at(flop.q, frame)
+            if frame == 0:
+                kind = GateKind.CONST1 if flop.init else GateKind.CONST0
+                gates.append(Gate(q, kind, ()))
+            else:
+                gates.append(Gate(q, GateKind.BUF, (net_at(flop.d, frame - 1),)))
+        for gate in seq.gates.values():
+            gates.append(
+                Gate(
+                    net_at(gate.output, frame),
+                    gate.kind,
+                    tuple(net_at(src, frame) for src in gate.inputs),
+                )
+            )
+        for po in seq.outputs:
+            outputs.append(net_at(po, frame))
+
+    return Netlist(
+        name or f"{seq.name}_x{n_frames}",
+        inputs,
+        outputs,
+        gates,
+    )

@@ -1,0 +1,24 @@
+"""Simulation substrate.
+
+- :mod:`repro.sim.patterns` -- bit-packed test pattern sets,
+- :mod:`repro.sim.logicsim` -- two-valued bit-parallel simulation,
+- :mod:`repro.sim.threeval` -- three-valued (0/1/X) simulation with site
+  overrides (the X-injection engine of the diagnosis method),
+- :mod:`repro.sim.event` -- cone-restricted incremental resimulation,
+- :mod:`repro.sim.faultsim` -- single-fault simulation services for ATPG,
+  the SLAT baseline and candidate refinement.
+"""
+
+from repro.sim.patterns import PatternSet
+from repro.sim.logicsim import simulate, simulate_outputs
+from repro.sim.threeval import simulate3, x_injection_reach
+from repro.sim.event import resimulate_with_overrides
+
+__all__ = [
+    "PatternSet",
+    "simulate",
+    "simulate_outputs",
+    "simulate3",
+    "x_injection_reach",
+    "resimulate_with_overrides",
+]

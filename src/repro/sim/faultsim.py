@@ -1,0 +1,193 @@
+"""Single-defect fault simulation services.
+
+Used by ATPG (coverage grading, fault dropping), the SLAT baseline
+(per-pattern response matching) and diagnosis candidate refinement
+(validating a hypothesized fault model against the datalog).
+
+The fast path expresses a defect as a set of *site overrides* computed from
+fault-free values -- valid whenever the defect's behavior does not depend
+on nets inside its own fanout cone -- and resimulates only the overridden
+cone.  Context-dependent cases (e.g. a bridge whose aggressor is disturbed
+by the victim) transparently fall back to the full
+:class:`~repro.faults.injection.FaultyCircuit` fixpoint simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.circuit.netlist import Netlist, Site
+from repro.errors import OscillationError
+from repro.faults.injection import FaultyCircuit
+from repro.faults.models import (
+    BridgeDefect,
+    BridgeKind,
+    ByzantineDefect,
+    Defect,
+    OpenDefect,
+    StuckAtDefect,
+    TransitionDefect,
+    TransitionKind,
+)
+from repro.sim.event import changed_outputs, resimulate_with_overrides
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+
+
+def _prev_shift(vec: int, mask: int) -> int:
+    return ((vec << 1) | (vec & 1)) & mask
+
+
+def single_defect_overrides(
+    netlist: Netlist,
+    patterns: PatternSet,
+    defect: Defect,
+    base_values: Mapping[str, int],
+) -> dict[Site, int] | None:
+    """Site-override encoding of ``defect``, or ``None`` if context-dependent.
+
+    The encoding assumes every net the defect *reads* keeps its fault-free
+    value, which holds exactly when those nets are outside the defect's own
+    fanout cone.
+    """
+    mask = patterns.mask
+    if isinstance(defect, (StuckAtDefect, OpenDefect)):
+        forced = defect.value if isinstance(defect, StuckAtDefect) else defect.float_value
+        return {defect.site: mask if forced else 0}
+    if isinstance(defect, TransitionDefect):
+        v = base_values[defect.site.net]
+        prev = _prev_shift(v, mask)
+        faulty = (v & prev) if defect.kind is TransitionKind.SLOW_TO_RISE else (v | prev)
+        return {defect.site: faulty}
+    if isinstance(defect, ByzantineDefect):
+        v = base_values[defect.site.net]
+        return {defect.site: v ^ (defect.flip_vector(patterns.n) & mask)}
+    if isinstance(defect, BridgeDefect):
+        victim_cone = netlist.fanout_cone([defect.victim])
+        if defect.aggressor in victim_cone:
+            return None
+        a = base_values[defect.aggressor]
+        v = base_values[defect.victim]
+        if defect.kind is BridgeKind.DOMINANT:
+            return {Site(defect.victim): a}
+        if defect.victim in netlist.fanout_cone([defect.aggressor]):
+            return None
+        merged = (v & a) if defect.kind is BridgeKind.WIRED_AND else (v | a)
+        return {Site(defect.victim): merged, Site(defect.aggressor): merged}
+    return None
+
+
+def defect_output_diff(
+    netlist: Netlist,
+    patterns: PatternSet,
+    defect: Defect,
+    base_values: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """Per-output bit vectors of patterns where the defect flips the output.
+
+    Only outputs with at least one differing pattern appear.
+    """
+    if base_values is None:
+        base_values = simulate(netlist, patterns)
+    mask = patterns.mask
+    overrides = single_defect_overrides(netlist, patterns, defect, base_values)
+    if overrides is not None:
+        changed = resimulate_with_overrides(netlist, base_values, overrides, mask)
+        return changed_outputs(netlist, changed, base_values, mask)
+    faulty = FaultyCircuit(netlist, [defect]).simulate_outputs(patterns)
+    diff: dict[str, int] = {}
+    for net in netlist.outputs:
+        delta = (faulty[net] ^ base_values[net]) & mask
+        if delta:
+            diff[net] = delta
+    return diff
+
+
+def detect_vector(
+    netlist: Netlist,
+    patterns: PatternSet,
+    defect: Defect,
+    base_values: Mapping[str, int] | None = None,
+) -> int:
+    """Bit vector of patterns that detect ``defect`` on any output."""
+    vec = 0
+    for delta in defect_output_diff(netlist, patterns, defect, base_values).values():
+        vec |= delta
+    return vec
+
+
+@dataclass
+class FaultCoverageResult:
+    """Outcome of grading a pattern set against a fault list."""
+
+    detected: list[Defect] = field(default_factory=list)
+    undetected: list[Defect] = field(default_factory=list)
+    unsimulable: list[Defect] = field(default_factory=list)
+    detect_bits: dict[Defect, int] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.detected) + len(self.undetected)
+        return len(self.detected) / total if total else 1.0
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.detected) + len(self.undetected) + len(self.unsimulable)
+
+
+def fault_coverage(
+    netlist: Netlist,
+    patterns: PatternSet,
+    faults: Iterable[Defect],
+    base_values: Mapping[str, int] | None = None,
+) -> FaultCoverageResult:
+    """Grade ``patterns`` against ``faults`` (serial, bit-parallel per fault).
+
+    Defects whose injected circuit oscillates are reported separately as
+    ``unsimulable`` rather than silently dropped.
+    """
+    if base_values is None:
+        base_values = simulate(netlist, patterns)
+    result = FaultCoverageResult()
+    for fault in faults:
+        try:
+            vec = detect_vector(netlist, patterns, fault, base_values)
+        except OscillationError:
+            result.unsimulable.append(fault)
+            continue
+        result.detect_bits[fault] = vec
+        if vec:
+            result.detected.append(fault)
+        else:
+            result.undetected.append(fault)
+    return result
+
+
+def effective_pattern_order(
+    netlist: Netlist,
+    patterns: PatternSet,
+    faults: Sequence[Defect],
+) -> list[int]:
+    """Greedy pattern ranking by marginal fault detection (for compaction).
+
+    Returns pattern indices ordered so that prefixes maximize coverage;
+    patterns detecting nothing new are omitted.
+    """
+    grading = fault_coverage(netlist, patterns, faults)
+    remaining = dict(grading.detect_bits)
+    remaining = {f: v for f, v in remaining.items() if v}
+    order: list[int] = []
+    while remaining:
+        counts: dict[int, int] = {}
+        for vec in remaining.values():
+            while vec:
+                low = vec & -vec
+                idx = low.bit_length() - 1
+                counts[idx] = counts.get(idx, 0) + 1
+                vec ^= low
+        best = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+        order.append(best)
+        bit = 1 << best
+        remaining = {f: v for f, v in remaining.items() if not (v & bit)}
+    return order

@@ -1,0 +1,163 @@
+"""Bit-packed test pattern sets.
+
+A :class:`PatternSet` stores, for each primary input, one arbitrary-size
+integer whose bit *i* is that input's value under pattern *i*.  All
+simulators in the package operate directly on this packed form, so a single
+pass over the netlist evaluates the complete test set.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro._rng import make_rng
+from repro.circuit.netlist import Netlist
+from repro.errors import SimulationError
+
+
+class PatternSet:
+    """An ordered set of input assignments for a fixed input list."""
+
+    def __init__(self, inputs: Sequence[str], n: int, bits: Mapping[str, int]):
+        self.inputs: tuple[str, ...] = tuple(inputs)
+        self.n = int(n)
+        if self.n < 0:
+            raise SimulationError("pattern count must be non-negative")
+        self.mask = (1 << self.n) - 1
+        self.bits: dict[str, int] = {}
+        for name in self.inputs:
+            value = bits.get(name, 0)
+            if value < 0 or value > self.mask:
+                raise SimulationError(
+                    f"input {name!r}: bit vector {value:#x} exceeds {self.n} patterns"
+                )
+            self.bits[name] = value
+        extra = set(bits) - set(self.inputs)
+        if extra:
+            raise SimulationError(f"bit vectors for unknown inputs: {sorted(extra)}")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_vectors(
+        cls, inputs: Sequence[str], vectors: Iterable[Mapping[str, int] | Sequence[int]]
+    ) -> "PatternSet":
+        """Build from per-pattern assignments (mappings or ordered tuples)."""
+        inputs = tuple(inputs)
+        bits = {name: 0 for name in inputs}
+        n = 0
+        for vec in vectors:
+            if isinstance(vec, Mapping):
+                row = [vec[name] for name in inputs]
+            else:
+                if len(vec) != len(inputs):
+                    raise SimulationError(
+                        f"vector has {len(vec)} values for {len(inputs)} inputs"
+                    )
+                row = list(vec)
+            for name, value in zip(inputs, row):
+                if value not in (0, 1):
+                    raise SimulationError(f"input {name!r}: non-binary value {value!r}")
+                bits[name] |= value << n
+            n += 1
+        return cls(inputs, n, bits)
+
+    @classmethod
+    def random(
+        cls,
+        netlist_or_inputs: Netlist | Sequence[str],
+        n: int,
+        seed: int | random.Random | None = None,
+    ) -> "PatternSet":
+        """``n`` uniformly random patterns."""
+        inputs = _input_list(netlist_or_inputs)
+        rng = make_rng(seed)
+        mask = (1 << n) - 1
+        bits = {name: rng.getrandbits(n) & mask if n else 0 for name in inputs}
+        return cls(inputs, n, bits)
+
+    @classmethod
+    def exhaustive(cls, netlist_or_inputs: Netlist | Sequence[str]) -> "PatternSet":
+        """All ``2**k`` input combinations (counter order)."""
+        inputs = _input_list(netlist_or_inputs)
+        k = len(inputs)
+        if k > 22:
+            raise SimulationError(f"refusing exhaustive set for {k} inputs")
+        n = 1 << k
+        bits: dict[str, int] = {}
+        for idx, name in enumerate(inputs):
+            # Input idx toggles with period 2**(idx+1): blocks of 2**idx ones.
+            vec = 0
+            period = 1 << (idx + 1)
+            ones = (1 << (1 << idx)) - 1
+            for base in range(1 << idx, n, period):
+                vec |= ones << base
+            bits[name] = vec
+        return cls(inputs, n, bits)
+
+    # -- accessors -----------------------------------------------------------
+
+    def pattern(self, i: int) -> dict[str, int]:
+        """Pattern *i* as an input->value mapping."""
+        if not 0 <= i < self.n:
+            raise IndexError(f"pattern index {i} out of range 0..{self.n - 1}")
+        return {name: (self.bits[name] >> i) & 1 for name in self.inputs}
+
+    def as_tuple(self, i: int) -> tuple[int, ...]:
+        if not 0 <= i < self.n:
+            raise IndexError(f"pattern index {i} out of range 0..{self.n - 1}")
+        return tuple((self.bits[name] >> i) & 1 for name in self.inputs)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[dict[str, int]]:
+        return (self.pattern(i) for i in range(self.n))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternSet):
+            return NotImplemented
+        return (
+            self.inputs == other.inputs and self.n == other.n and self.bits == other.bits
+        )
+
+    def __repr__(self) -> str:
+        return f"PatternSet({len(self.inputs)} inputs, {self.n} patterns)"
+
+    # -- manipulation ----------------------------------------------------------
+
+    def subset(self, indices: Sequence[int]) -> "PatternSet":
+        """A new set containing ``indices`` in the given order."""
+        bits = {name: 0 for name in self.inputs}
+        for new_i, old_i in enumerate(indices):
+            if not 0 <= old_i < self.n:
+                raise IndexError(f"pattern index {old_i} out of range")
+            for name in self.inputs:
+                bits[name] |= ((self.bits[name] >> old_i) & 1) << new_i
+        return PatternSet(self.inputs, len(indices), bits)
+
+    def concat(self, other: "PatternSet") -> "PatternSet":
+        if self.inputs != other.inputs:
+            raise SimulationError("cannot concat pattern sets with different inputs")
+        bits = {
+            name: self.bits[name] | (other.bits[name] << self.n) for name in self.inputs
+        }
+        return PatternSet(self.inputs, self.n + other.n, bits)
+
+    def dedup(self) -> "PatternSet":
+        """Remove repeated patterns, keeping first occurrences in order."""
+        seen: set[tuple[int, ...]] = set()
+        keep: list[int] = []
+        for i in range(self.n):
+            row = self.as_tuple(i)
+            if row not in seen:
+                seen.add(row)
+                keep.append(i)
+        return self.subset(keep)
+
+
+def _input_list(netlist_or_inputs: Netlist | Sequence[str]) -> tuple[str, ...]:
+    if isinstance(netlist_or_inputs, Netlist):
+        return netlist_or_inputs.inputs
+    return tuple(netlist_or_inputs)

@@ -1,0 +1,130 @@
+"""Three-valued (0/1/X) bit-parallel simulation and X injection.
+
+This module is the analytical engine behind the assumption-free diagnosis:
+forcing ``X`` at a candidate defect site and three-valued-simulating
+over-approximates *every* possible faulty behavior at that site (stuck-at,
+bridge, delayed, intermittent, byzantine...).  An output that stays binary
+under the X injection provably cannot be corrupted by any defect at that
+site for that pattern -- the pruning theorem the candidate envelope rests
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.circuit.gates import TV, eval3, tv_all_x, tv_const, tv_xmask
+from repro.circuit.netlist import Netlist, Site
+from repro.errors import SimulationError
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+
+
+def simulate3(
+    netlist: Netlist,
+    patterns: PatternSet,
+    overrides: Mapping[Site, TV] | None = None,
+) -> dict[str, TV]:
+    """Full three-valued simulation with site overrides.
+
+    Each override replaces a stem or branch value with an arbitrary
+    three-valued vector ``(ones, zeros)``; binary input patterns are lifted
+    automatically.  Returns the three-valued value of every net.
+    """
+    if tuple(patterns.inputs) != netlist.inputs:
+        raise SimulationError("pattern inputs do not match circuit inputs")
+    mask = patterns.mask
+    stem_over: dict[str, TV] = {}
+    pin_over: dict[tuple[str, int], TV] = {}
+    for site, value in (overrides or {}).items():
+        netlist.validate_site(site)
+        if site.is_stem:
+            stem_over[site.net] = value
+        else:
+            pin_over[site.branch] = value
+
+    values: dict[str, TV] = {}
+    for net in netlist.inputs:
+        values[net] = stem_over.get(net, tv_const(patterns.bits[net], mask))
+    for net in netlist.topo_order:
+        gate = netlist.gates[net]
+        ins = [
+            pin_over.get((net, pin), values[src])
+            for pin, src in enumerate(gate.inputs)
+        ]
+        out = eval3(gate.kind, ins, mask)
+        values[net] = stem_over.get(net, out)
+    return values
+
+
+def x_injection_reach(
+    netlist: Netlist,
+    patterns: PatternSet,
+    site: Site,
+    base_values: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """Per-output X reach of forcing ``X`` at ``site`` for every pattern.
+
+    Returns ``{output net: bit vector}`` where bit *i* set means "a defect
+    at ``site`` may corrupt this output under pattern *i*".  Only outputs
+    with a non-zero vector are present.
+
+    The simulation is restricted to the fanout cone of the injection point;
+    everything outside the cone provably keeps its fault-free binary value
+    (X-monotonicity), so ``base_values`` (from a prior fault-free
+    :func:`~repro.sim.logicsim.simulate`) supplies those directly.  This
+    cone restriction is what makes per-site X analysis cheap enough to run
+    for every candidate site of every failing pattern.
+    """
+    netlist.validate_site(site)
+    if base_values is None:
+        base_values = simulate(netlist, patterns)
+    mask = patterns.mask
+    all_x = tv_all_x(mask)
+
+    if site.is_stem:
+        cone = netlist.fanout_cone([site.net])
+        entry_net = site.net
+        pin_target: tuple[str, int] | None = None
+    else:
+        gate_name, pin = site.branch
+        cone = netlist.fanout_cone([gate_name])
+        entry_net = gate_name
+        pin_target = (gate_name, pin)
+
+    values3: dict[str, TV] = {}
+
+    def read(net: str) -> TV:
+        tv = values3.get(net)
+        if tv is None:
+            tv = tv_const(base_values[net], mask)
+        return tv
+
+    if pin_target is None and netlist.is_input(entry_net):
+        values3[entry_net] = all_x
+
+    for net in netlist.topo_order:
+        if net not in cone:
+            continue
+        if pin_target is None and net == entry_net:
+            values3[net] = all_x
+            continue
+        gate = netlist.gates[net]
+        ins = [
+            all_x if pin_target == (net, pin_idx) else read(src)
+            for pin_idx, src in enumerate(gate.inputs)
+        ]
+        values3[net] = eval3(gate.kind, ins, mask)
+
+    reach: dict[str, int] = {}
+    for out_net in netlist.outputs:
+        tv = values3.get(out_net)
+        if tv is None:
+            continue
+        xm = tv_xmask(tv) & mask
+        if xm:
+            reach[out_net] = xm
+    # A primary output that *is* the injected stem is trivially corrupted.
+    if pin_target is None and entry_net in netlist.outputs:
+        reach[entry_net] = mask
+    return reach

@@ -1,0 +1,242 @@
+"""Unit-delay timing analysis and small-delay defect capture.
+
+Two layers:
+
+**Static timing** -- every gate costs one unit delay; :func:`arrival_times`
+is the longest input-to-net path, :func:`propagation_depths` the longest
+net-to-output path, and their sum (plus a defect's extra delay) against
+the clock period decides whether a small-delay defect *can* be captured.
+
+**Dynamic (per-pattern-pair) timing** -- :func:`timed_capture` computes,
+for each consecutive launch/capture pattern pair, the *transition arrival
+time* of every net under the actual stimulus: a net that does not switch
+is stable (arrival 0); a switching gate output arrives one unit after the
+latest switching input that participates in the change.  A
+:class:`~repro.faults.models` small-delay defect adds its delta at its
+site; any output whose transition arrives after the clock period captures
+its previous-cycle value.  This gives the classic small-delay behavior:
+the same defect is caught by long sensitized paths and escapes through
+short ones -- a *pattern-dependent* faulty behavior that still satisfies
+the per-test flip/pin exactness criterion, so the unchanged diagnosis
+applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.circuit.netlist import Netlist, Site
+from repro.errors import SimulationError
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+
+
+def arrival_times(netlist: Netlist, gate_delay: float = 1.0) -> dict[str, float]:
+    """Static longest input-to-net arrival time (topological pass)."""
+    arrival: dict[str, float] = {net: 0.0 for net in netlist.inputs}
+    for net in netlist.topo_order:
+        gate = netlist.gates[net]
+        arrival[net] = gate_delay + max(
+            (arrival[src] for src in gate.inputs), default=0.0
+        )
+    return arrival
+
+
+def propagation_depths(netlist: Netlist, gate_delay: float = 1.0) -> dict[str, float]:
+    """Static longest net-to-primary-output path delay (reverse pass)."""
+    depth: dict[str, float] = {net: float("-inf") for net in netlist.nets()}
+    for out in netlist.outputs:
+        depth[out] = max(depth[out], 0.0)
+    for net in reversed(netlist.topo_order):
+        gate = netlist.gates[net]
+        if depth[net] == float("-inf"):
+            continue
+        for src in gate.inputs:
+            depth[src] = max(depth[src], depth[net] + gate_delay)
+    return {net: (0.0 if d == float("-inf") else d) for net, d in depth.items()}
+
+
+def static_slack(
+    netlist: Netlist, site: Site, period: float, gate_delay: float = 1.0
+) -> float:
+    """Worst-path slack through ``site``'s net for the given clock period."""
+    arrival = arrival_times(netlist, gate_delay)
+    depth = propagation_depths(netlist, gate_delay)
+    return period - (arrival[site.net] + depth[site.net])
+
+
+@dataclass(frozen=True)
+class SmallDelayDefect:
+    """Extra propagation delay at one site (in gate-delay units).
+
+    Unlike :class:`~repro.faults.models.TransitionDefect` (gross delay,
+    always one full cycle late), a small-delay defect only corrupts
+    captures whose *actually sensitized* path through the site, plus
+    ``delta``, exceeds the clock period -- evaluated per pattern pair by
+    :func:`timed_capture`.
+    """
+
+    site: Site
+    delta: float
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise SimulationError("small-delay delta must be positive")
+
+    def ground_truth_sites(self) -> tuple[Site, ...]:
+        return (self.site,)
+
+    @property
+    def family(self) -> str:
+        return "smalldelay"
+
+    def __str__(self) -> str:
+        return f"{self.site} +{self.delta:g}d"
+
+
+def timed_capture(
+    netlist: Netlist,
+    patterns: PatternSet,
+    period: float,
+    defects: tuple[SmallDelayDefect, ...] | list[SmallDelayDefect] = (),
+    gate_delay: float = 1.0,
+) -> dict[str, int]:
+    """Per-output captured values under launch/capture timing.
+
+    Consecutive patterns form launch/capture pairs (the convention shared
+    with :class:`~repro.faults.models.TransitionDefect`).  For each
+    capture, nets that switch get transition arrival times (one
+    ``gate_delay`` after their latest switching cause, plus any defect
+    delta at their site).  An output whose final transition arrives after
+    ``period`` captures its *pre-late-wave* value: the circuit evaluated
+    with the defect sites held at their launch values -- all on-time
+    events have settled, only the wave originating at the slow sites is
+    missing.  Pattern 0 has no launch and captures cleanly.
+    """
+    if period <= 0:
+        raise SimulationError("clock period must be positive")
+    extra: dict[str, float] = {}
+    for defect in defects:
+        netlist.validate_site(defect.site)
+        if not defect.site.is_stem:
+            raise SimulationError(
+                "timed capture models stem small-delay defects "
+                f"(got branch site {defect.site})"
+            )
+        extra[defect.site.net] = extra.get(defect.site.net, 0.0) + defect.delta
+
+    base = simulate(netlist, patterns)
+    # Pre-late-wave view: defect sites pinned at their previous-pattern
+    # (launch) values -- what the outputs show until the slow wave lands.
+    stale_base = base
+    if extra:
+        prev_shift = {
+            net: (((base[net] << 1) | (base[net] & 1)) & patterns.mask)
+            for net in extra
+        }
+        stale_base = simulate(
+            netlist,
+            patterns,
+            {Site(net): prev_shift[net] for net in extra},
+        )
+
+    captured = {out: 0 for out in netlist.outputs}
+    for index in range(patterns.n):
+        now = {net: (vec >> index) & 1 for net, vec in base.items()}
+        if index == 0:
+            for out in netlist.outputs:
+                captured[out] |= now[out] << 0
+            continue
+        prev = {net: (vec >> (index - 1)) & 1 for net, vec in base.items()}
+        arrival: dict[str, float] = {}
+        for net in netlist.inputs:
+            arrival[net] = (
+                extra.get(net, 0.0) if now[net] != prev[net] else 0.0
+            )
+        for net in netlist.topo_order:
+            gate = netlist.gates[net]
+            if now[net] == prev[net]:
+                arrival[net] = 0.0
+                continue
+            switching = [
+                arrival[src]
+                for src in gate.inputs
+                if now[src] != prev[src]
+            ]
+            latest = max(switching, default=0.0)
+            arrival[net] = latest + gate_delay + extra.get(net, 0.0)
+        for out in netlist.outputs:
+            if arrival[out] > period:
+                value = (stale_base[out] >> index) & 1
+            else:
+                value = now[out]
+            captured[out] |= value << index
+    return captured
+
+
+def healthy_max_arrival(
+    netlist: Netlist, patterns: PatternSet, gate_delay: float = 1.0
+) -> float:
+    """Largest dynamic transition arrival of the healthy circuit.
+
+    The tightest clock period at which the fault-free circuit still
+    captures correctly under this pattern sequence (pattern-dependent, so
+    possibly below the static critical path).
+    """
+    base = simulate(netlist, patterns)
+    worst = 0.0
+    for index in range(1, patterns.n):
+        now = {net: (vec >> index) & 1 for net, vec in base.items()}
+        prev = {net: (vec >> (index - 1)) & 1 for net, vec in base.items()}
+        arrival: dict[str, float] = {
+            net: 0.0 for net in netlist.inputs
+        }
+        for net in netlist.topo_order:
+            gate = netlist.gates[net]
+            if now[net] == prev[net]:
+                arrival[net] = 0.0
+                continue
+            arrival[net] = gate_delay + max(
+                (arrival[src] for src in gate.inputs if now[src] != prev[src]),
+                default=0.0,
+            )
+        worst = max(worst, max(arrival[out] for out in netlist.outputs))
+    return worst
+
+
+def apply_delay_test(
+    netlist: Netlist,
+    patterns: PatternSet,
+    defects: list[SmallDelayDefect],
+    period: float | None = None,
+    gate_delay: float = 1.0,
+):
+    """Timing-aware analogue of :func:`repro.tester.harness.apply_test`.
+
+    ``period`` defaults to the circuit's static critical path (zero-slack
+    clocking) -- the tightest clock the healthy circuit still passes at.
+    Returns a :class:`~repro.tester.harness.TestResult`.
+    """
+    from repro.sim.logicsim import mismatched_outputs, simulate_outputs
+    from repro.tester.datalog import Datalog
+    from repro.tester.harness import TestResult
+
+    if period is None:
+        period = max(arrival_times(netlist, gate_delay).values())
+    golden = simulate_outputs(netlist, patterns)
+    needed = healthy_max_arrival(netlist, patterns, gate_delay)
+    if period < needed:
+        raise SimulationError(
+            f"clock period {period} is too fast for the healthy circuit "
+            f"(needs {needed})"
+        )
+    faulty = timed_capture(netlist, patterns, period, tuple(defects), gate_delay)
+    diff = mismatched_outputs(golden, faulty, patterns.mask)
+    datalog = Datalog.from_output_diff(netlist.name, patterns.n, diff)
+    return TestResult(
+        datalog=datalog,
+        golden_outputs=golden,
+        faulty_outputs=faulty,
+        defects=tuple(defects),
+    )

@@ -1,0 +1,12 @@
+"""Tester-side services: datalog capture and test application.
+
+The :class:`~repro.tester.datalog.Datalog` is the interface artifact
+between manufacturing test and diagnosis -- exactly the information a
+full-response ATE datalog carries: for each applied pattern, which outputs
+mismatched the expected response.
+"""
+
+from repro.tester.datalog import Datalog, FailRecord
+from repro.tester.harness import apply_test, TestResult
+
+__all__ = ["Datalog", "FailRecord", "apply_test", "TestResult"]

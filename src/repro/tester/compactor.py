@@ -1,0 +1,89 @@
+"""Output response compaction (space compaction).
+
+Industrial test responses are rarely observed output-by-output: an XOR
+space compactor (or MISR) squeezes hundreds of scan channels into a few
+tester pins.  Compaction is lossy for diagnosis -- failing outputs are
+only known up to XOR parity groups, and two errors in one group can alias
+(cancel) entirely.
+
+Because the compactor is itself combinational logic, this module models
+it exactly by *appending it to the netlist*: the compacted circuit's
+outputs are the compactor pins, and the entire diagnosis stack (X-cover,
+per-test analysis, covering, refinement) runs unchanged on it -- the
+information loss shows up as wider candidate envelopes and aliased
+patterns, which is precisely the effect the compaction experiment
+(Figure 5) quantifies.
+"""
+
+from __future__ import annotations
+
+from repro._rng import make_rng
+from repro.circuit.gates import Gate, GateKind
+from repro.circuit.netlist import Netlist
+from repro.errors import NetlistError
+
+
+def attach_compactor(
+    netlist: Netlist,
+    n_signatures: int,
+    seed: int | None = None,
+    name: str | None = None,
+) -> Netlist:
+    """Return ``netlist`` with an XOR space compactor on its outputs.
+
+    The original outputs are dealt into ``n_signatures`` parity groups
+    (seeded random assignment, balanced) and each group is XOR-reduced
+    into one new primary output ``sig<i>``.  With ``n_signatures >= the
+    output count`` the circuit is returned unchanged (no compaction).
+    """
+    if n_signatures < 1:
+        raise NetlistError("a compactor needs at least one signature output")
+    outputs = list(netlist.outputs)
+    if n_signatures >= len(outputs):
+        return netlist
+    rng = make_rng(seed)
+    shuffled = outputs[:]
+    rng.shuffle(shuffled)
+    groups: list[list[str]] = [[] for _ in range(n_signatures)]
+    for index, out in enumerate(shuffled):
+        groups[index % n_signatures].append(out)
+
+    gates = list(netlist.gates.values())
+    new_outputs: list[str] = []
+    fresh = 0
+
+    def xor_tree(nets: list[str], result_name: str) -> str:
+        nonlocal fresh
+        layer = list(nets)
+        while len(layer) > 1:
+            nxt: list[str] = []
+            for i in range(0, len(layer) - 1, 2):
+                last = len(layer) <= 2
+                if last:
+                    out_name = result_name
+                else:
+                    fresh += 1
+                    out_name = f"_cmp{fresh}"
+                gates.append(Gate(out_name, GateKind.XOR, (layer[i], layer[i + 1])))
+                nxt.append(out_name)
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        if layer[0] != result_name:
+            gates.append(Gate(result_name, GateKind.BUF, (layer[0],)))
+        return result_name
+
+    for index, group in enumerate(groups):
+        new_outputs.append(xor_tree(group, f"sig{index}"))
+
+    return Netlist(
+        name or f"{netlist.name}_cmp{n_signatures}",
+        netlist.inputs,
+        new_outputs,
+        gates,
+    )
+
+
+def compaction_ratio(original: Netlist, compacted: Netlist) -> float:
+    """Observability reduction factor (original outputs per signature)."""
+    return len(original.outputs) / len(compacted.outputs)

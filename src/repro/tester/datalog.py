@@ -1,0 +1,234 @@
+"""The tester datalog: observed pass/fail evidence per pattern.
+
+A datalog records, for every applied test pattern, the set of primary
+(scan) outputs whose captured value mismatched the expected fault-free
+response.  It is the *only* information diagnosis may use about the
+failing device -- no assumptions are made about why any pattern failed.
+
+The text serialization is deliberately simple and line-oriented, similar
+in spirit to STIL/ATE fail logs::
+
+    # datalog circuit=alu8 patterns=96
+    fail 3: r0 r4
+    fail 17: carry
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import DatalogError
+
+
+@dataclass(frozen=True, order=True)
+class FailRecord:
+    """One failing pattern and its failing outputs."""
+
+    pattern_index: int
+    failing_outputs: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.failing_outputs:
+            raise DatalogError(
+                f"pattern {self.pattern_index}: a fail record needs >=1 output"
+            )
+
+
+class Datalog:
+    """Immutable pass/fail evidence for one device under one test set."""
+
+    def __init__(
+        self,
+        circuit_name: str,
+        n_patterns: int,
+        records: Iterable[FailRecord],
+        n_observed: int | None = None,
+    ):
+        """``n_observed`` marks how far the fail log extends: patterns at
+        index >= n_observed were applied but their results never logged
+        (ATE truncation), so they are neither failing nor passing
+        evidence.  Defaults to the full test set."""
+        self.circuit_name = circuit_name
+        self.n_patterns = n_patterns
+        self.n_observed = n_patterns if n_observed is None else n_observed
+        if not 0 <= self.n_observed <= n_patterns:
+            raise DatalogError(
+                f"n_observed {self.n_observed} outside 0..{n_patterns}"
+            )
+        recs = sorted(records)
+        seen: set[int] = set()
+        for rec in recs:
+            if not 0 <= rec.pattern_index < self.n_observed:
+                raise DatalogError(
+                    f"fail record index {rec.pattern_index} outside the "
+                    f"observed window of {self.n_observed} patterns"
+                )
+            if rec.pattern_index in seen:
+                raise DatalogError(f"duplicate fail record {rec.pattern_index}")
+            seen.add(rec.pattern_index)
+        self.records: tuple[FailRecord, ...] = tuple(recs)
+        self._by_index: dict[int, frozenset[str]] = {
+            rec.pattern_index: rec.failing_outputs for rec in self.records
+        }
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_output_diff(
+        cls, circuit_name: str, n_patterns: int, diff: Mapping[str, int]
+    ) -> "Datalog":
+        """Build from per-output mismatch bit vectors (simulation side)."""
+        per_pattern: dict[int, set[str]] = {}
+        for out, vec in diff.items():
+            v = vec
+            while v:
+                low = v & -v
+                idx = low.bit_length() - 1
+                per_pattern.setdefault(idx, set()).add(out)
+                v ^= low
+        records = [
+            FailRecord(idx, frozenset(outs)) for idx, outs in per_pattern.items()
+        ]
+        return cls(circuit_name, n_patterns, records)
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def failing_indices(self) -> tuple[int, ...]:
+        return tuple(rec.pattern_index for rec in self.records)
+
+    @property
+    def passing_indices(self) -> tuple[int, ...]:
+        """Patterns with *observed* passing results (truncation-aware)."""
+        failing = set(self._by_index)
+        return tuple(i for i in range(self.n_observed) if i not in failing)
+
+    @property
+    def unobserved_indices(self) -> tuple[int, ...]:
+        """Patterns applied but never logged (beyond the truncation point)."""
+        return tuple(range(self.n_observed, self.n_patterns))
+
+    @property
+    def is_passing_device(self) -> bool:
+        return not self.records
+
+    def failing_outputs_of(self, pattern_index: int) -> frozenset[str]:
+        """Failing outputs of a pattern (empty set when it passed)."""
+        return self._by_index.get(pattern_index, frozenset())
+
+    def fail_atoms(self) -> set[tuple[int, str]]:
+        """All observed (pattern, output) failure atoms."""
+        return {
+            (rec.pattern_index, out)
+            for rec in self.records
+            for out in rec.failing_outputs
+        }
+
+    @property
+    def n_fail_atoms(self) -> int:
+        return sum(len(rec.failing_outputs) for rec in self.records)
+
+    def observed_diff(self, output_order: Sequence[str]) -> dict[str, int]:
+        """Inverse of :meth:`from_output_diff`: per-output mismatch vectors."""
+        diff = {out: 0 for out in output_order}
+        for rec in self.records:
+            for out in rec.failing_outputs:
+                if out not in diff:
+                    raise DatalogError(f"datalog names unknown output {out!r}")
+                diff[out] |= 1 << rec.pattern_index
+        return {out: vec for out, vec in diff.items() if vec}
+
+    # -- tester realism ----------------------------------------------------------
+
+    def truncate(
+        self,
+        max_failing_patterns: int | None = None,
+        max_fail_atoms: int | None = None,
+    ) -> "Datalog":
+        """Simulate ATE fail-log truncation.
+
+        Production testers stop logging after a configured number of
+        failing cycles and/or failing bits to bound test time; diagnosis
+        then works from a *prefix* of the evidence.  Records are kept in
+        pattern order; a record that would exceed ``max_fail_atoms`` is
+        dropped whole (testers truncate at capture granularity).
+        """
+        records: list[FailRecord] = []
+        atoms = 0
+        cutoff = self.n_observed
+        for record in self.records:
+            if (
+                max_failing_patterns is not None
+                and len(records) >= max_failing_patterns
+            ) or (
+                max_fail_atoms is not None
+                and atoms + len(record.failing_outputs) > max_fail_atoms
+            ):
+                # The tester stops logging right before this record: later
+                # patterns were applied but their results are unknown.
+                cutoff = record.pattern_index
+                break
+            records.append(record)
+            atoms += len(record.failing_outputs)
+        return Datalog(self.circuit_name, self.n_patterns, records, n_observed=cutoff)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_text(self) -> str:
+        header = f"# datalog circuit={self.circuit_name} patterns={self.n_patterns}"
+        if self.n_observed != self.n_patterns:
+            header += f" observed={self.n_observed}"
+        lines = [header]
+        for rec in self.records:
+            outs = " ".join(sorted(rec.failing_outputs))
+            lines.append(f"fail {rec.pattern_index}: {outs}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "Datalog":
+        circuit_name = "unknown"
+        n_patterns: int | None = None
+        n_observed: int | None = None
+        records: list[FailRecord] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    if token.startswith("circuit="):
+                        circuit_name = token.split("=", 1)[1]
+                    elif token.startswith("patterns="):
+                        n_patterns = int(token.split("=", 1)[1])
+                    elif token.startswith("observed="):
+                        n_observed = int(token.split("=", 1)[1])
+                continue
+            if not line.startswith("fail "):
+                raise DatalogError(f"line {lineno}: unrecognized {line!r}")
+            head, _, tail = line[5:].partition(":")
+            try:
+                index = int(head.strip())
+            except ValueError:
+                raise DatalogError(f"line {lineno}: bad pattern index") from None
+            outs = frozenset(tail.split())
+            records.append(FailRecord(index, outs))
+        if n_patterns is None:
+            n_patterns = max((r.pattern_index for r in records), default=-1) + 1
+        return cls(circuit_name, n_patterns, records, n_observed=n_observed)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Datalog):
+            return NotImplemented
+        return (
+            self.circuit_name == other.circuit_name
+            and self.n_patterns == other.n_patterns
+            and self.n_observed == other.n_observed
+            and self.records == other.records
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Datalog({self.circuit_name!r}, {len(self.records)} failing / "
+            f"{self.n_patterns} patterns, {self.n_fail_atoms} fail atoms)"
+        )

@@ -1,0 +1,56 @@
+"""Test application harness: golden vs defective device comparison.
+
+This is the simulated stand-in for the production tester: it applies a
+pattern set to a :class:`~repro.faults.injection.FaultyCircuit` (the
+"silicon"), compares full responses against the fault-free circuit, and
+emits the :class:`~repro.tester.datalog.Datalog` that diagnosis consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.circuit.netlist import Netlist
+from repro.faults.injection import FaultyCircuit
+from repro.faults.models import Defect
+from repro.sim.logicsim import mismatched_outputs, simulate_outputs
+from repro.sim.patterns import PatternSet
+from repro.tester.datalog import Datalog
+
+
+@dataclass
+class TestResult:
+    """Everything the tester observed (plus simulation-side ground truth)."""
+
+    datalog: Datalog
+    golden_outputs: dict[str, int]
+    faulty_outputs: dict[str, int]
+    defects: tuple[Defect, ...]
+
+    @property
+    def device_fails(self) -> bool:
+        return not self.datalog.is_passing_device
+
+
+def apply_test(
+    netlist: Netlist,
+    patterns: PatternSet,
+    defects: Sequence[Defect],
+) -> TestResult:
+    """Apply ``patterns`` to a device carrying ``defects``; log failures.
+
+    Raises :class:`~repro.errors.OscillationError` if the defect
+    combination has no stable two-valued behavior (a ringing short).
+    """
+    golden = simulate_outputs(netlist, patterns)
+    dut = FaultyCircuit(netlist, defects)
+    faulty = dut.simulate_outputs(patterns)
+    diff = mismatched_outputs(golden, faulty, patterns.mask)
+    datalog = Datalog.from_output_diff(netlist.name, patterns.n, diff)
+    return TestResult(
+        datalog=datalog,
+        golden_outputs=golden,
+        faulty_outputs=faulty,
+        defects=tuple(defects),
+    )

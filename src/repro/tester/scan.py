@@ -1,0 +1,146 @@
+"""Scan-chain coordinates: mapping logical outputs to tester space.
+
+Real ATE fail logs do not name netlist outputs -- they report
+``(cycle, chain, bit position)`` tuples for the scan cells that captured a
+wrong value.  This module models that translation layer:
+
+- :class:`ScanChainConfig` assigns every primary (pseudo) output of the
+  combinational core to a position on one of N scan chains,
+- :class:`ScanFail` is one tester-coordinate failure observation,
+- :func:`to_tester_log` / :func:`from_tester_log` convert between the
+  logical :class:`~repro.tester.datalog.Datalog` and the tester-side
+  representation (text format included),
+
+so the diagnosis flow can consume genuine tester-shaped input.  With one
+capture per pattern, ``cycle`` equals the pattern index; the unload order
+along the chain is position 0 first (closest to scan-out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.circuit.netlist import Netlist
+from repro.errors import DatalogError
+from repro.tester.datalog import Datalog, FailRecord
+
+
+@dataclass(frozen=True, order=True)
+class ScanCell:
+    """One scan cell: which chain it sits on and where."""
+
+    chain: int
+    position: int
+
+
+@dataclass(frozen=True, order=True)
+class ScanFail:
+    """One tester failure observation in scan coordinates."""
+
+    cycle: int  #: capture cycle == pattern index (one capture per pattern)
+    chain: int
+    position: int
+
+
+class ScanChainConfig:
+    """Assignment of the core's outputs onto scan chains.
+
+    The default layout deals outputs onto ``n_chains`` chains round-robin
+    in output-list order -- the balanced stitching a DFT tool would
+    produce.  Custom layouts can be passed as an explicit mapping.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        n_chains: int = 1,
+        mapping: dict[str, ScanCell] | None = None,
+    ):
+        if n_chains < 1:
+            raise DatalogError("a scan configuration needs >= 1 chain")
+        self.netlist = netlist
+        if mapping is None:
+            mapping = {}
+            counters = [0] * n_chains
+            for index, out in enumerate(netlist.outputs):
+                chain = index % n_chains
+                mapping[out] = ScanCell(chain, counters[chain])
+                counters[chain] += 1
+        else:
+            missing = set(netlist.outputs) - set(mapping)
+            if missing:
+                raise DatalogError(f"outputs without a scan cell: {sorted(missing)}")
+            seen: set[ScanCell] = set()
+            for cell in mapping.values():
+                if cell in seen:
+                    raise DatalogError(f"scan cell {cell} assigned twice")
+                seen.add(cell)
+        self.cell_of: dict[str, ScanCell] = dict(mapping)
+        self.output_of: dict[ScanCell, str] = {
+            cell: out for out, cell in self.cell_of.items()
+        }
+        self.n_chains = 1 + max(cell.chain for cell in self.cell_of.values())
+
+    def chain_length(self, chain: int) -> int:
+        return sum(1 for cell in self.cell_of.values() if cell.chain == chain)
+
+
+def to_tester_log(config: ScanChainConfig, datalog: Datalog) -> list[ScanFail]:
+    """Translate a logical datalog into tester-coordinate failures."""
+    fails: list[ScanFail] = []
+    for record in datalog.records:
+        for out in record.failing_outputs:
+            cell = config.cell_of.get(out)
+            if cell is None:
+                raise DatalogError(f"output {out!r} has no scan cell")
+            fails.append(ScanFail(record.pattern_index, cell.chain, cell.position))
+    fails.sort()
+    return fails
+
+
+def from_tester_log(
+    config: ScanChainConfig,
+    fails: Iterable[ScanFail],
+    n_patterns: int,
+    circuit_name: str | None = None,
+) -> Datalog:
+    """Translate tester-coordinate failures back into a logical datalog."""
+    per_pattern: dict[int, set[str]] = {}
+    for fail in fails:
+        out = config.output_of.get(ScanCell(fail.chain, fail.position))
+        if out is None:
+            raise DatalogError(
+                f"no scan cell at chain {fail.chain} position {fail.position}"
+            )
+        per_pattern.setdefault(fail.cycle, set()).add(out)
+    records = [
+        FailRecord(cycle, frozenset(outs)) for cycle, outs in per_pattern.items()
+    ]
+    return Datalog(
+        circuit_name or config.netlist.name, n_patterns, records
+    )
+
+
+def format_tester_log(fails: Sequence[ScanFail]) -> str:
+    """STIL-flavored plain-text rendering: one observation per line."""
+    lines = ["# cycle chain position"]
+    lines += [f"{f.cycle} {f.chain} {f.position}" for f in fails]
+    return "\n".join(lines) + "\n"
+
+
+def parse_tester_log(text: str) -> list[ScanFail]:
+    fails: list[ScanFail] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise DatalogError(f"line {lineno}: expected 'cycle chain position'")
+        try:
+            cycle, chain, position = (int(p) for p in parts)
+        except ValueError:
+            raise DatalogError(f"line {lineno}: non-integer field") from None
+        fails.append(ScanFail(cycle, chain, position))
+    return fails

@@ -1,0 +1,114 @@
+"""Shared fixtures and reference implementations for the test suite.
+
+The deliberately naive :func:`naive_simulate` is the oracle all
+bit-parallel simulators are checked against: it evaluates one pattern at a
+time with straightforward Python semantics and no packing tricks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.gates import GateKind
+from repro.circuit.generators import c17, ripple_carry_adder
+from repro.circuit.netlist import Netlist, Site
+from repro.sim.patterns import PatternSet
+
+
+def naive_gate_eval(kind: GateKind, ins: list[int]) -> int:
+    """Scalar reference semantics for every gate kind."""
+    if kind is GateKind.AND:
+        return int(all(ins))
+    if kind is GateKind.NAND:
+        return int(not all(ins))
+    if kind is GateKind.OR:
+        return int(any(ins))
+    if kind is GateKind.NOR:
+        return int(not any(ins))
+    if kind is GateKind.XOR:
+        return sum(ins) % 2
+    if kind is GateKind.XNOR:
+        return (sum(ins) + 1) % 2
+    if kind is GateKind.BUF:
+        return ins[0]
+    if kind is GateKind.NOT:
+        return 1 - ins[0]
+    if kind is GateKind.MUX:
+        a, b, sel = ins
+        return b if sel else a
+    if kind is GateKind.CONST0:
+        return 0
+    if kind is GateKind.CONST1:
+        return 1
+    raise AssertionError(f"unhandled kind {kind}")
+
+
+def naive_simulate(netlist: Netlist, assignment: dict[str, int]) -> dict[str, int]:
+    """One-pattern reference simulation."""
+    values = dict(assignment)
+    for net in netlist.topo_order:
+        gate = netlist.gates[net]
+        values[net] = naive_gate_eval(gate.kind, [values[s] for s in gate.inputs])
+    return values
+
+
+def naive_simulate_patterns(netlist: Netlist, patterns: PatternSet) -> dict[str, int]:
+    """Bit-packed result assembled from per-pattern naive simulation."""
+    packed = {net: 0 for net in netlist.nets()}
+    for i in range(patterns.n):
+        values = naive_simulate(netlist, patterns.pattern(i))
+        for net, v in values.items():
+            packed[net] |= v << i
+    return packed
+
+
+@pytest.fixture
+def c17_netlist() -> Netlist:
+    return c17()
+
+
+@pytest.fixture
+def rca4() -> Netlist:
+    return ripple_carry_adder(4)
+
+
+@pytest.fixture
+def tiny_and() -> Netlist:
+    """z = (a AND b) OR c -- used by many behavioral unit tests."""
+    b = NetlistBuilder("tiny")
+    a, bb, c = b.inputs("a", "b", "c")
+    ab = b.and_(a, bb, name="ab")
+    b.output(b.or_(ab, c, name="z"))
+    return b.build()
+
+
+@pytest.fixture
+def fanout_circuit() -> Netlist:
+    """One stem with two reconvergent branches (stem analysis exercises)."""
+    b = NetlistBuilder("fanout")
+    a, c = b.inputs("a", "c")
+    stem = b.not_(a, name="stem")
+    left = b.and_(stem, c, name="left")
+    right = b.or_(stem, c, name="right")
+    b.output(b.xor(left, right, name="z"))
+    return b.build()
+
+
+def all_patterns(netlist: Netlist) -> PatternSet:
+    return PatternSet.exhaustive(netlist)
+
+
+def site_by_name(netlist: Netlist, text: str) -> Site:
+    site = Site.parse(text)
+    netlist.validate_site(site)
+    return site
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow-examples",
+        action="store_true",
+        default=False,
+        help="also smoke-test the campaign-heavy examples",
+    )

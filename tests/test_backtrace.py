@@ -1,0 +1,122 @@
+"""Structural candidate extraction and critical path tracing."""
+
+import pytest
+
+from repro.circuit.generators import random_dag
+from repro.circuit.netlist import Site
+from repro.core.backtrace import candidate_sites, cpt_trace, flip_criticality
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+from repro.tester.datalog import Datalog, FailRecord
+
+
+class TestCandidateSites:
+    def test_envelope_is_union_of_cones(self, c17_netlist):
+        datalog = Datalog("c17", 4, [FailRecord(1, frozenset({"22"}))])
+        sites = candidate_sites(c17_netlist, datalog)
+        nets = {s.net for s in sites}
+        assert nets == c17_netlist.fanin_cone(["22"])
+
+    def test_multiple_patterns_union(self, c17_netlist):
+        datalog = Datalog(
+            "c17",
+            4,
+            [FailRecord(0, frozenset({"22"})), FailRecord(2, frozenset({"23"}))],
+        )
+        nets = {s.net for s in candidate_sites(c17_netlist, datalog)}
+        assert nets == c17_netlist.fanin_cone(["22", "23"])
+
+    def test_branch_sites_inside_envelope_only(self, c17_netlist):
+        datalog = Datalog("c17", 4, [FailRecord(1, frozenset({"22"}))])
+        sites = candidate_sites(c17_netlist, datalog)
+        for site in sites:
+            if site.branch:
+                assert site.branch[0] in c17_netlist.fanin_cone(["22"])
+
+    def test_no_branches_flag(self, c17_netlist):
+        datalog = Datalog("c17", 4, [FailRecord(1, frozenset({"22"}))])
+        assert all(
+            s.is_stem
+            for s in candidate_sites(c17_netlist, datalog, include_branches=False)
+        )
+
+    def test_deterministic_order(self, c17_netlist):
+        datalog = Datalog("c17", 4, [FailRecord(1, frozenset({"22", "23"}))])
+        a = candidate_sites(c17_netlist, datalog)
+        b = candidate_sites(c17_netlist, datalog)
+        assert a == b
+
+
+class TestFlipCriticality:
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_matches_per_pattern_brute_force(self, seed):
+        n = random_dag(50, n_inputs=6, n_outputs=4, seed=seed)
+        pats = PatternSet.random(n, 12, seed=seed)
+        base = simulate(n, pats)
+        from tests.conftest import naive_simulate
+
+        for site in [s for s in n.sites() if s.is_stem][::5]:
+            crit = flip_criticality(n, pats, site, base)
+            for i in range(pats.n):
+                assignment = pats.pattern(i)
+                golden = naive_simulate(n, assignment)
+                # brute-force: flip the net by evaluating with an override
+                flipped = simulate(
+                    n,
+                    pats.subset([i]),
+                    {site: (base[site.net] >> i & 1) ^ 1},
+                )
+                for out in n.outputs:
+                    want = flipped[out] != golden[out]
+                    got = bool(crit.get(out, 0) >> i & 1)
+                    assert got == want, (site, i, out)
+
+
+class TestCptTrace:
+    @pytest.mark.parametrize("seed", [1, 3, 8])
+    def test_sound_subset_of_flip_criticality(self, seed):
+        """Every CPT-traced net truly flips the output (soundness).
+
+        Completeness is NOT asserted: classic CPT misses multiple-path
+        sensitization through non-critical stems -- the documented
+        limitation that motivates the exact flip-based engine.
+        """
+        n = random_dag(40, n_inputs=6, n_outputs=3, seed=seed)
+        pats = PatternSet.random(n, 6, seed=seed)
+        base = simulate(n, pats)
+        for out in n.outputs:
+            for i in range(pats.n):
+                traced = cpt_trace(n, pats, base, i, out)
+                exact = {out}
+                for net in n.nets():
+                    if net == out:
+                        continue
+                    crit = flip_criticality(n, pats, Site(net), base)
+                    if crit.get(out, 0) >> i & 1:
+                        exact.add(net)
+                assert traced <= exact, (out, i, traced - exact)
+
+    def test_exact_on_tree_circuits(self):
+        """On fanout-free circuits CPT is complete as well."""
+        from repro.circuit.generators import parity_tree
+
+        n = parity_tree(8)
+        pats = PatternSet.random(n, 8, seed=2)
+        base = simulate(n, pats)
+        out = n.outputs[0]
+        for i in range(pats.n):
+            traced = cpt_trace(n, pats, base, i, out)
+            exact = {out}
+            for net in n.nets():
+                if net == out:
+                    continue
+                crit = flip_criticality(n, pats, Site(net), base)
+                if crit.get(out, 0) >> i & 1:
+                    exact.add(net)
+            assert traced == exact, (out, i)
+
+    def test_critical_nets_include_output(self, c17_netlist):
+        pats = PatternSet.exhaustive(c17_netlist)
+        base = simulate(c17_netlist, pats)
+        traced = cpt_trace(c17_netlist, pats, base, 0, "22")
+        assert "22" in traced

@@ -1,0 +1,97 @@
+"""Single-fault and SLAT baseline behavior, including their failure modes."""
+
+import pytest
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.generators import ripple_carry_adder
+from repro.circuit.netlist import Site
+from repro.core.single_fault import diagnose_single_fault
+from repro.core.slat import diagnose_slat
+from repro.faults.models import StuckAtDefect
+from repro.sim.patterns import PatternSet
+from repro.tester.harness import apply_test
+
+
+@pytest.fixture(scope="module")
+def rca6():
+    return ripple_carry_adder(6)
+
+
+@pytest.fixture(scope="module")
+def pats(rca6):
+    return PatternSet.random(rca6, 40, seed=61)
+
+
+class TestSingleFaultBaseline:
+    def test_exact_match_for_single_stuck(self, rca6, pats):
+        fault = StuckAtDefect(Site("n12"), 0)
+        result = apply_test(rca6, pats, [fault])
+        report = diagnose_single_fault(rca6, pats, result.datalog)
+        assert report.method == "single-stuck-at"
+        # An exact (IoU=1) candidate exists and the true net is among them.
+        assert report.multiplets[0].iou == 1.0
+        assert any(c.site.net == "n12" for c in report.candidates)
+
+    def test_degrades_for_double_defects(self, rca6, pats):
+        defects = [StuckAtDefect(Site("a0"), 1), StuckAtDefect(Site("b5"), 0)]
+        result = apply_test(rca6, pats, defects)
+        report = diagnose_single_fault(rca6, pats, result.datalog)
+        # No single fault reproduces the composite response.
+        assert report.stats["n_exact_matches"] == 0
+        assert report.stats["best_iou"] < 1.0
+
+    def test_passing_device(self, rca6, pats):
+        result = apply_test(rca6, pats, [])
+        report = diagnose_single_fault(rca6, pats, result.datalog)
+        assert not report.candidates
+
+
+class TestSlatBaseline:
+    def test_single_stuck_fully_slat(self, rca6, pats):
+        fault = StuckAtDefect(Site("n12"), 0)
+        result = apply_test(rca6, pats, [fault])
+        report = diagnose_slat(rca6, pats, result.datalog)
+        assert report.stats["n_non_slat_patterns"] == 0
+        assert report.stats["slat_fraction"] == 1.0
+        assert any(c.site.net == "n12" for c in report.candidates)
+
+    def test_independent_doubles_stay_slat(self, rca6, pats):
+        """Defects failing disjoint patterns keep every pattern SLAT."""
+        defects = [StuckAtDefect(Site("a0"), 1), StuckAtDefect(Site("b5"), 0)]
+        result = apply_test(rca6, pats, defects)
+        report = diagnose_slat(rca6, pats, result.datalog)
+        assert report.multiplets
+        assert len({c.site for c in report.candidates}) >= 1
+
+    def test_interacting_defects_create_non_slat_patterns(self):
+        """Two defects failing disjoint-cone outputs on one pattern break
+        the SLAT premise: no single site reaches both failing outputs."""
+        b = NetlistBuilder("ns")
+        p, q = b.inputs("p", "q")
+        b.output(b.not_(p, name="z1"))
+        b.output(b.not_(q, name="z2"))
+        n = b.build()
+        pats = PatternSet.from_vectors(n.inputs, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        defects = [StuckAtDefect(Site("p"), 1), StuckAtDefect(Site("q"), 1)]
+        result = apply_test(n, pats, defects)
+        # Pattern 0 (p=q=0): both outputs fail simultaneously.
+        assert result.datalog.failing_outputs_of(0) == {"z1", "z2"}
+        report = diagnose_slat(n, pats, result.datalog)
+        # No single stuck-at flips both z1 and z2 (disjoint cones).
+        assert report.stats["n_non_slat_patterns"] >= 1
+        assert {(0, "z1"), (0, "z2")} <= set(report.uncovered_atoms)
+
+    def test_passing_device(self, rca6, pats):
+        result = apply_test(rca6, pats, [])
+        report = diagnose_slat(rca6, pats, result.datalog)
+        assert not report.candidates
+
+    def test_tie_group_expansion(self, rca6, pats):
+        """Equivalent faults (same per-test matches) are all reported."""
+        fault = StuckAtDefect(Site("b1"), 1)
+        result = apply_test(rca6, pats, [fault])
+        report = diagnose_slat(rca6, pats, result.datalog)
+        # b1 feeds XOR/AND gates; the fanout-free equivalents tie with it.
+        assert len(report.candidates) >= 1
+        sites = {c.site.net for c in report.candidates}
+        assert "b1" in sites

@@ -1,0 +1,100 @@
+"""Unit tests for ISCAS .bench parsing and writing."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.bench import C17_BENCH, parse_bench, parse_bench_file, write_bench
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.generators import mux_tree
+from repro.errors import ParseError
+from repro.sim.logicsim import simulate_outputs
+from repro.sim.patterns import PatternSet
+
+from tests.conftest import naive_simulate
+
+
+class TestParse:
+    def test_c17_shape(self):
+        n = parse_bench(C17_BENCH, name="c17")
+        assert len(n.inputs) == 5
+        assert len(n.outputs) == 2
+        assert n.n_gates == 6
+
+    def test_comments_and_blank_lines_ignored(self):
+        n = parse_bench("# hello\n\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")
+        assert n.n_gates == 1
+
+    def test_case_insensitive_kinds(self):
+        n = parse_bench("INPUT(a)\nOUTPUT(z)\nz = nOt(a)\n")
+        assert n.gates["z"].kind.value == "not"
+
+    def test_buff_alias(self):
+        n = parse_bench("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n")
+        assert n.gates["z"].kind.value == "buf"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ParseError, match="unknown gate kind"):
+            parse_bench("INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n")
+
+    def test_garbage_line_reports_lineno(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_bench("INPUT(a)\nwhat is this\n")
+
+    def test_dff_scan_replacement(self):
+        text = (
+            "INPUT(clk_d)\nOUTPUT(q_obs)\n"
+            "q = DFF(d_in)\n"
+            "d_in = NOT(q)\n"
+            "q_obs = BUFF(q)\n"
+        )
+        n = parse_bench(text)
+        # q becomes a pseudo input; d_in a pseudo output.
+        assert "q" in n.inputs
+        assert "d_in" in n.outputs
+
+    def test_dff_arity_error(self):
+        with pytest.raises(ParseError, match="DFF"):
+            parse_bench("INPUT(a)\nq = DFF(a, a)\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        n = parse_bench_file(path)
+        assert n.name == "c17"
+        assert n.n_gates == 6
+
+
+class TestWrite:
+    def _functionally_equal(self, a, b, n_random=64):
+        assert tuple(a.inputs) == tuple(b.inputs)
+        assert tuple(a.outputs) == tuple(b.outputs)
+        pats = PatternSet.random(a, n_random, seed=9)
+        assert simulate_outputs(a, pats) == simulate_outputs(b, pats)
+
+    def test_roundtrip_plain_gates(self):
+        original = parse_bench(C17_BENCH, name="c17")
+        again = parse_bench(write_bench(original), name="c17")
+        self._functionally_equal(original, again)
+
+    def test_roundtrip_lowers_mux(self):
+        original = mux_tree(3)
+        text = write_bench(original)
+        assert "MUX" not in text
+        again = parse_bench(text, name="muxtree3")
+        self._functionally_equal(original, again)
+
+    def test_roundtrip_lowers_consts(self):
+        b = NetlistBuilder("consts")
+        a = b.input("a")
+        c0, c1 = b.const0(), b.const1()
+        b.output(b.xor(a, c1, name="z1"))
+        b.output(b.or_(a, c0, name="z0"))
+        original = b.build()
+        text = write_bench(original)
+        assert "CONST" not in text.upper() or "=" in text
+        again = parse_bench(text)
+        for va in (0, 1):
+            want = naive_simulate(original, {"a": va})
+            got = naive_simulate(again, {"a": va})
+            assert got["z1"] == want["z1"] and got["z0"] == want["z0"]

@@ -1,0 +1,109 @@
+"""Unit tests for the NetlistBuilder DSL."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.gates import GateKind
+from repro.errors import NetlistError
+
+from tests.conftest import naive_simulate
+
+
+class TestBasics:
+    def test_explicit_and_auto_names(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        auto = b.input()
+        assert a == "a"
+        assert auto.startswith("pi")
+        z = b.and_(a, auto)
+        assert z.startswith("n")
+        b.output(z)
+        assert b.build().n_gates == 1
+
+    def test_redefinition_rejected(self):
+        b = NetlistBuilder("t")
+        b.input("a")
+        with pytest.raises(NetlistError):
+            b.input("a")
+
+    def test_gate_with_undefined_input(self):
+        b = NetlistBuilder("t")
+        with pytest.raises(NetlistError):
+            b.and_("ghost", "ghost2")
+
+    def test_output_must_exist(self):
+        b = NetlistBuilder("t")
+        with pytest.raises(NetlistError):
+            b.output("ghost")
+
+    def test_build_requires_output(self):
+        b = NetlistBuilder("t")
+        b.input("a")
+        with pytest.raises(NetlistError):
+            b.build()
+
+    def test_input_bus_naming(self):
+        b = NetlistBuilder("t")
+        bus = b.input_bus("d", 3)
+        assert bus == ["d0", "d1", "d2"]
+
+    def test_every_gate_helper(self):
+        b = NetlistBuilder("t")
+        a, c, s = b.inputs("a", "c", "s")
+        nets = [
+            b.and_(a, c),
+            b.nand(a, c),
+            b.or_(a, c),
+            b.nor(a, c),
+            b.xor(a, c),
+            b.xnor(a, c),
+            b.not_(a),
+            b.buf(c),
+            b.mux(a, c, s),
+            b.const0(),
+            b.const1(),
+        ]
+        b.output_bus(nets)
+        n = b.build()
+        kinds = {g.kind for g in n.gates.values()}
+        assert GateKind.MUX in kinds and GateKind.CONST1 in kinds
+        assert n.n_gates == len(nets)
+
+
+class TestComposites:
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8])
+    def test_reduce_tree_equals_flat_and(self, width):
+        b = NetlistBuilder("t")
+        bus = b.input_bus("d", width)
+        b.output(b.reduce_tree(GateKind.AND, bus, name="y"))
+        n = b.build()
+        for values in itertools.product((0, 1), repeat=width):
+            got = naive_simulate(n, dict(zip(bus, values)))["y"]
+            assert got == int(all(values))
+
+    def test_reduce_tree_empty_rejected(self):
+        b = NetlistBuilder("t")
+        with pytest.raises(NetlistError):
+            b.reduce_tree(GateKind.AND, [])
+
+    def test_reduce_tree_names_final_gate(self):
+        b = NetlistBuilder("t")
+        bus = b.input_bus("d", 4)
+        out = b.reduce_tree(GateKind.OR, bus, name="final")
+        assert out == "final"
+
+    def test_full_adder_truth_table(self):
+        b = NetlistBuilder("t")
+        a, c, cin = b.inputs("a", "c", "cin")
+        s, cout = b.full_adder(a, c, cin)
+        b.output(s)
+        b.output(cout)
+        n = b.build()
+        for va, vc, vcin in itertools.product((0, 1), repeat=3):
+            values = naive_simulate(n, {"a": va, "c": vc, "cin": vcin})
+            total = va + vc + vcin
+            assert values[s] == total % 2
+            assert values[cout] == total // 2

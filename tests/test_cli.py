@@ -1,0 +1,161 @@
+"""CLI subcommand tests (driven through main() with captured stdout)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestCircuits:
+    def test_lists_registry(self, capsys):
+        code, out, _err = run(capsys, "circuits")
+        assert code == 0
+        assert "c17" in out
+        assert "gates" in out
+
+
+class TestStats:
+    def test_registered_circuit(self, capsys):
+        code, out, _err = run(capsys, "stats", "c17")
+        assert code == 0
+        assert "gates: 6" in out.replace("  ", " ").replace("gates:  ", "gates: ") or "6" in out
+
+    def test_bench_file(self, capsys, tmp_path):
+        from repro.circuit.bench import C17_BENCH
+
+        path = tmp_path / "mine.bench"
+        path.write_text(C17_BENCH)
+        code, out, _err = run(capsys, "stats", str(path))
+        assert code == 0
+        assert "6" in out
+
+
+class TestAtpg:
+    def test_atpg_reports_coverage(self, capsys):
+        code, out, _err = run(capsys, "atpg", "c17", "--seed", "3")
+        assert code == 0
+        assert "coverage" in out
+
+
+class TestInjectAndDiagnose:
+    def test_pipeline(self, capsys, tmp_path):
+        log = tmp_path / "fail.log"
+        code, _out, err = run(
+            capsys, "inject", "rca4", "-k", "1", "--seed", "4", "-o", str(log)
+        )
+        assert code == 0
+        assert log.exists()
+        assert "injected" in err
+
+        code, out, _err = run(capsys, "diagnose", "rca4", str(log))
+        assert code == 0
+        assert "diagnosis[xcover]" in out
+
+    def test_inject_to_stdout(self, capsys):
+        code, out, _err = run(capsys, "inject", "rca4", "-k", "1", "--seed", "4")
+        assert code == 0
+        assert "datalog" in out
+
+    @pytest.mark.parametrize("method", ["slat", "single"])
+    def test_alternative_methods(self, capsys, tmp_path, method):
+        log = tmp_path / "fail.log"
+        run(capsys, "inject", "rca4", "-k", "1", "--seed", "4", "-o", str(log))
+        code, out, _err = run(
+            capsys, "diagnose", "rca4", str(log), "--method", method
+        )
+        assert code == 0
+        assert "diagnosis[" in out
+
+
+class TestCampaignCommand:
+    def test_small_campaign(self, capsys):
+        code, out, _err = run(
+            capsys,
+            "campaign",
+            "rca4",
+            "-k",
+            "1",
+            "-n",
+            "2",
+            "--methods",
+            "xcover,slat",
+        )
+        assert code == 0
+        assert "recall" in out
+        assert "xcover" in out
+
+
+class TestTimingCommand:
+    def test_timing_profile(self, capsys):
+        code, out, _err = run(capsys, "timing", "rca4")
+        assert code == 0
+        assert "critical path" in out
+        assert "slack" in out
+
+
+class TestNDetectOption:
+    def test_atpg_n_detect(self, capsys):
+        code, out, _err = run(capsys, "atpg", "c17", "--n-detect", "2")
+        assert code == 0
+        assert ">= 2 times" in out
+
+
+class TestJsonOutput:
+    def test_diagnose_writes_json(self, capsys, tmp_path):
+        log = tmp_path / "fail.log"
+        run(capsys, "inject", "rca4", "-k", "1", "--seed", "4", "-o", str(log))
+        out_json = tmp_path / "report.json"
+        code, _out, _err = run(
+            capsys, "diagnose", "rca4", str(log), "--json", str(out_json)
+        )
+        assert code == 0
+        from repro.core.report import DiagnosisReport
+
+        report = DiagnosisReport.from_json(out_json.read_text())
+        assert report.circuit == "rca4"
+
+
+class TestVerilogInput:
+    def test_stats_on_verilog_file(self, capsys, tmp_path):
+        from repro.circuit.generators import c17
+        from repro.circuit.verilog import write_verilog
+
+        path = tmp_path / "c17.v"
+        path.write_text(write_verilog(c17()))
+        code, out, _err = run(capsys, "stats", str(path))
+        assert code == 0
+        assert "gates" in out
+
+
+class TestCampaignExports:
+    def test_csv_and_json(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        json_path = tmp_path / "out.json"
+        code, out, _err = run(
+            capsys,
+            "campaign", "rca4", "-k", "1", "-n", "2",
+            "--methods", "xcover",
+            "--csv", str(csv_path), "--json", str(json_path),
+        )
+        assert code == 0
+        assert csv_path.read_text().startswith("circuit,")
+        import json as _json
+
+        payload = _json.loads(json_path.read_text())
+        assert payload["config"]["circuit"] == "rca4"

@@ -1,0 +1,97 @@
+"""Response compaction substrate tests."""
+
+import pytest
+
+from repro.circuit.generators import ripple_carry_adder
+from repro.circuit.netlist import Site
+from repro.errors import NetlistError
+from repro.faults.models import StuckAtDefect
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+from repro.tester.compactor import attach_compactor, compaction_ratio
+from repro.tester.harness import apply_test
+
+
+@pytest.fixture(scope="module")
+def rca():
+    return ripple_carry_adder(8)  # 9 outputs
+
+
+class TestStructure:
+    def test_output_count(self, rca):
+        cmp3 = attach_compactor(rca, 3, seed=1)
+        assert len(cmp3.outputs) == 3
+        assert all(out.startswith("sig") for out in cmp3.outputs)
+        assert compaction_ratio(rca, cmp3) == pytest.approx(len(rca.outputs) / 3)
+
+    def test_no_compaction_when_wide_enough(self, rca):
+        same = attach_compactor(rca, len(rca.outputs), seed=1)
+        assert same is rca
+
+    def test_single_signature(self, rca):
+        cmp1 = attach_compactor(rca, 1, seed=1)
+        assert len(cmp1.outputs) == 1
+
+    def test_validation(self, rca):
+        with pytest.raises(NetlistError):
+            attach_compactor(rca, 0)
+
+    def test_deterministic_grouping(self, rca):
+        a = attach_compactor(rca, 3, seed=4)
+        b = attach_compactor(rca, 3, seed=4)
+        assert a == b
+        assert a != attach_compactor(rca, 3, seed=5)
+
+    def test_original_logic_preserved(self, rca):
+        cmp3 = attach_compactor(rca, 3, seed=1)
+        pats = PatternSet.random(rca, 32, seed=2)
+        cmp_pats = PatternSet(cmp3.inputs, pats.n, pats.bits)
+        base = simulate(rca, pats)
+        cmp_values = simulate(cmp3, cmp_pats)
+        for net in rca.nets():
+            assert cmp_values[net] == base[net]
+
+
+class TestSemantics:
+    def test_signatures_are_parities(self, rca):
+        cmp2 = attach_compactor(rca, 2, seed=3)
+        pats = PatternSet.random(rca, 24, seed=7)
+        cmp_pats = PatternSet(cmp2.inputs, pats.n, pats.bits)
+        values = simulate(cmp2, cmp_pats)
+        # Each signature equals XOR of its group; groups partition outputs.
+        reconstructed = 0
+        for sig in cmp2.outputs:
+            reconstructed ^= values[sig]
+        total_parity = 0
+        for out in rca.outputs:
+            total_parity ^= values[out]
+        assert reconstructed == total_parity
+
+    def test_single_error_always_visible(self, rca):
+        """One failing output can never alias in an XOR compactor."""
+        cmp2 = attach_compactor(rca, 2, seed=3)
+        pats = PatternSet.random(rca, 24, seed=7)
+        cmp_pats = PatternSet(cmp2.inputs, pats.n, pats.bits)
+        defect = StuckAtDefect(Site("a0"), 1)
+        raw = apply_test(rca, pats, [defect])
+        compacted = apply_test(cmp2, cmp_pats, [defect])
+        for rec in raw.datalog.records:
+            if len(rec.failing_outputs) == 1:
+                assert compacted.datalog.failing_outputs_of(rec.pattern_index)
+
+    def test_diagnosis_through_compaction(self, rca):
+        """Diagnosis still locates the defect from compacted evidence."""
+        from repro.core.diagnose import Diagnoser
+
+        cmp3 = attach_compactor(rca, 3, seed=3)
+        pats = PatternSet.random(rca, 48, seed=9)
+        cmp_pats = PatternSet(cmp3.inputs, pats.n, pats.bits)
+        defect = StuckAtDefect(Site("n12"), 0)
+        result = apply_test(cmp3, cmp_pats, [defect])
+        if result.datalog.is_passing_device:
+            pytest.skip("aliased everywhere (unlucky seed)")
+        report = Diagnoser(cmp3).diagnose(cmp_pats, result.datalog)
+        near = {"n12"} | set(cmp3.driver("n12").inputs) | {
+            dest for dest, _ in cmp3.fanout("n12")
+        }
+        assert {c.site.net for c in report.candidates} & near

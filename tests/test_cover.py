@@ -1,0 +1,129 @@
+"""Multiplet covering tests for both engines (exact per-test and X-envelope)."""
+
+import pytest
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.generators import ripple_carry_adder
+from repro.circuit.netlist import Site
+from repro.core.backtrace import candidate_sites
+from repro.core.cover import (
+    enumerate_min_covers,
+    enumerate_pertest_min_covers,
+    greedy_cover,
+    greedy_pertest_cover,
+)
+from repro.core.pertest import build_pertest
+from repro.core.xcover import build_xcover
+from repro.faults.models import StuckAtDefect
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+from repro.tester.harness import apply_test
+
+
+def _setup(netlist, patterns, defects):
+    result = apply_test(netlist, patterns, defects)
+    assert result.device_fails
+    base = simulate(netlist, patterns)
+    sites = candidate_sites(netlist, result.datalog)
+    pt = build_pertest(netlist, patterns, result.datalog, sites, base)
+    xc = build_xcover(netlist, patterns, result.datalog, base_values=base)
+    return result, pt, xc
+
+
+@pytest.fixture(scope="module")
+def rca6():
+    return ripple_carry_adder(6)
+
+
+@pytest.fixture(scope="module")
+def pats(rca6):
+    return PatternSet.random(rca6, 32, seed=31)
+
+
+class TestGreedyPerTest:
+    def test_single_defect_cover_of_one(self, rca6, pats):
+        _result, pt, _xc = _setup(rca6, pats, [StuckAtDefect(Site("b1"), 1)])
+        solution = greedy_pertest_cover(pt)
+        assert solution.complete
+        assert solution.sites  # some site explains everything
+        assert len(solution.sites) == 1
+
+    def test_two_defects_cover(self, rca6, pats):
+        defects = [StuckAtDefect(Site("a0"), 1), StuckAtDefect(Site("b5"), 0)]
+        _result, pt, _xc = _setup(rca6, pats, defects)
+        solution = greedy_pertest_cover(pt)
+        assert solution.complete
+        assert 1 <= len(solution.sites) <= 3
+
+    def test_solution_is_minimal(self, rca6, pats):
+        defects = [StuckAtDefect(Site("a0"), 1), StuckAtDefect(Site("b5"), 0)]
+        _result, pt, _xc = _setup(rca6, pats, defects)
+        solution = greedy_pertest_cover(pt)
+        explained = pt.explained_patterns(solution.sites)
+        for site in solution.sites:
+            trial = [s for s in solution.sites if s != site]
+            assert not pt.explained_patterns(trial) >= explained or len(
+                solution.sites
+            ) == 1
+
+    def test_masking_needs_pair_phase(self):
+        """Craft a pattern that only a pair explains; greedy must rescue."""
+        b = NetlistBuilder("m")
+        p, q = b.inputs("p", "q")
+        x = b.buf(p, name="x")
+        y = b.buf(q, name="y")
+        b.output(b.and_(x, y, name="z"))
+        n = b.build()
+        pats = PatternSet.from_vectors(n.inputs, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        defects = [StuckAtDefect(Site("x"), 1), StuckAtDefect(Site("y"), 1)]
+        result = apply_test(n, pats, defects)
+        base = simulate(n, pats)
+        sites = candidate_sites(n, result.datalog)
+        pt = build_pertest(n, pats, result.datalog, sites, base)
+        # Pattern (0,0) fails only because BOTH x and y are forced to 1.
+        assert (0, "z") in pt.atoms
+        solution = greedy_pertest_cover(pt)
+        assert solution.complete, solution
+        explained = pt.explained_patterns(solution.sites)
+        assert 0 in explained
+
+
+class TestEnumeratePerTest:
+    def test_reports_all_equivalents(self, rca6, pats):
+        """b1 and its buffered copies explain the same failures."""
+        _result, pt, _xc = _setup(rca6, pats, [StuckAtDefect(Site("b1"), 1)])
+        greedy = greedy_pertest_cover(pt)
+        covers = enumerate_pertest_min_covers(pt, seed_sites=greedy.sites)
+        assert covers
+        sizes = {len(c) for c in covers}
+        assert sizes == {min(sizes)}
+        for cover in covers:
+            assert pt.explains_all(cover)
+
+    def test_empty_for_passing_device(self, rca6, pats):
+        result = apply_test(rca6, pats, [])
+        base = simulate(rca6, pats)
+        pt = build_pertest(rca6, pats, result.datalog, [], base)
+        assert enumerate_pertest_min_covers(pt) == []
+
+
+class TestXcoverEngine:
+    def test_greedy_covers_single(self, rca6, pats):
+        _result, _pt, xc = _setup(rca6, pats, [StuckAtDefect(Site("b1"), 1)])
+        solution = greedy_cover(xc)
+        assert solution.complete
+        assert len(solution.sites) == 1
+
+    def test_enumerate_min_covers_complete(self, rca6, pats):
+        _result, _pt, xc = _setup(rca6, pats, [StuckAtDefect(Site("b1"), 1)])
+        covers = enumerate_min_covers(xc)
+        assert covers
+        for cover in covers:
+            assert xc.joint_covered_atoms(cover) == xc.atoms
+
+    def test_greedy_budget_reported(self, rca6, pats):
+        defects = [StuckAtDefect(Site("a0"), 1), StuckAtDefect(Site("b5"), 0)]
+        _result, _pt, xc = _setup(rca6, pats, defects)
+        solution = greedy_cover(xc)
+        assert solution.joint_evaluations >= 0
+        assert solution.covered | solution.uncovered == xc.atoms

@@ -1,0 +1,175 @@
+"""Datalog structure, serialization and consistency checks."""
+
+import pytest
+
+from repro.errors import DatalogError
+from repro.tester.datalog import Datalog, FailRecord
+
+
+def sample() -> Datalog:
+    return Datalog(
+        "c17",
+        10,
+        [
+            FailRecord(3, frozenset({"22"})),
+            FailRecord(7, frozenset({"22", "23"})),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_empty_record_rejected(self):
+        with pytest.raises(DatalogError):
+            FailRecord(0, frozenset())
+
+    def test_out_of_range_index(self):
+        with pytest.raises(DatalogError):
+            Datalog("c", 5, [FailRecord(5, frozenset({"z"}))])
+
+    def test_duplicate_index(self):
+        with pytest.raises(DatalogError):
+            Datalog(
+                "c",
+                5,
+                [FailRecord(1, frozenset({"z"})), FailRecord(1, frozenset({"w"}))],
+            )
+
+    def test_records_sorted(self):
+        d = Datalog(
+            "c", 9, [FailRecord(8, frozenset({"z"})), FailRecord(2, frozenset({"z"}))]
+        )
+        assert d.failing_indices == (2, 8)
+
+
+class TestQueries:
+    def test_indices_partition(self):
+        d = sample()
+        assert d.failing_indices == (3, 7)
+        assert d.passing_indices == (0, 1, 2, 4, 5, 6, 8, 9)
+        assert not d.is_passing_device
+
+    def test_failing_outputs_of(self):
+        d = sample()
+        assert d.failing_outputs_of(7) == {"22", "23"}
+        assert d.failing_outputs_of(0) == frozenset()
+
+    def test_fail_atoms(self):
+        d = sample()
+        assert d.fail_atoms() == {(3, "22"), (7, "22"), (7, "23")}
+        assert d.n_fail_atoms == 3
+
+    def test_passing_device(self):
+        d = Datalog("c", 4, [])
+        assert d.is_passing_device
+        assert d.passing_indices == (0, 1, 2, 3)
+
+
+class TestDiffConversions:
+    def test_roundtrip_through_vectors(self):
+        d = sample()
+        diff = d.observed_diff(("22", "23"))
+        again = Datalog.from_output_diff("c17", 10, diff)
+        assert again.records == d.records
+
+    def test_from_output_diff(self):
+        diff = {"z": 0b1010}
+        d = Datalog.from_output_diff("c", 4, diff)
+        assert d.failing_indices == (1, 3)
+
+    def test_observed_diff_unknown_output(self):
+        d = sample()
+        with pytest.raises(DatalogError):
+            d.observed_diff(("only-this",))
+
+
+class TestText:
+    def test_roundtrip(self):
+        d = sample()
+        again = Datalog.from_text(d.to_text())
+        assert again == d
+
+    def test_parse_without_header_infers_count(self):
+        d = Datalog.from_text("fail 4: z w\n")
+        assert d.n_patterns == 5
+        assert d.failing_outputs_of(4) == {"z", "w"}
+
+    def test_parse_bad_line(self):
+        with pytest.raises(DatalogError):
+            Datalog.from_text("oops\n")
+
+    def test_parse_bad_index(self):
+        with pytest.raises(DatalogError):
+            Datalog.from_text("fail x: z\n")
+
+    def test_repr_mentions_counts(self):
+        assert "2 failing" in repr(sample())
+
+
+class TestTruncation:
+    def _big(self):
+        records = [
+            FailRecord(i, frozenset({f"o{i % 3}", "shared"})) for i in (2, 5, 7, 9)
+        ]
+        return Datalog("c", 12, records)
+
+    def test_max_failing_patterns(self):
+        truncated = self._big().truncate(max_failing_patterns=2)
+        assert truncated.failing_indices == (2, 5)
+        # Observation window stops at the first unlogged failure.
+        assert truncated.n_observed == 7
+        assert 7 in truncated.unobserved_indices
+        assert 6 in truncated.passing_indices
+
+    def test_max_fail_atoms_drops_whole_records(self):
+        truncated = self._big().truncate(max_fail_atoms=5)
+        # Each record carries 2 atoms; 3rd record would exceed 5.
+        assert truncated.failing_indices == (2, 5)
+        assert truncated.n_observed == 7
+
+    def test_no_truncation_needed(self):
+        original = self._big()
+        same = original.truncate(max_failing_patterns=100)
+        assert same == original
+        assert same.n_observed == original.n_patterns
+
+    def test_text_roundtrip_preserves_window(self):
+        truncated = self._big().truncate(max_failing_patterns=1)
+        again = Datalog.from_text(truncated.to_text())
+        assert again == truncated
+        assert again.n_observed == truncated.n_observed
+
+    def test_records_beyond_window_rejected(self):
+        with pytest.raises(DatalogError, match="observed window"):
+            Datalog("c", 10, [FailRecord(8, frozenset({"z"}))], n_observed=5)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(DatalogError):
+            Datalog("c", 10, [], n_observed=11)
+
+
+class TestTruncationAwareDiagnosis:
+    def test_vindication_not_poisoned_by_truncation(self):
+        """Failures hidden by log truncation must not vindicate the true
+        hypothesis (those patterns are unknown, not passing)."""
+        from repro.circuit.generators import ripple_carry_adder
+        from repro.circuit.netlist import Site
+        from repro.core.diagnose import Diagnoser
+        from repro.faults.models import StuckAtDefect
+        from repro.sim.patterns import PatternSet
+        from repro.tester.harness import apply_test
+
+        netlist = ripple_carry_adder(6)
+        pats = PatternSet.random(netlist, 48, seed=7)
+        defect = StuckAtDefect(Site("n12"), 0)
+        result = apply_test(netlist, pats, [defect])
+        full = result.datalog
+        if len(full.failing_indices) < 4:
+            pytest.skip("need several failing patterns to truncate")
+        truncated = full.truncate(max_failing_patterns=2)
+        report = Diagnoser(netlist).diagnose(pats, truncated)
+        # The true site must still be located with a concrete sa0 model.
+        candidate = next(
+            (c for c in report.candidates if c.site.net == "n12"), None
+        )
+        assert candidate is not None
+        assert any(h.kind == "sa0" for h in candidate.hypotheses)

@@ -1,0 +1,93 @@
+"""Fault-dictionary baseline tests."""
+
+import pytest
+
+from repro.circuit.generators import ripple_carry_adder
+from repro.circuit.netlist import Site
+from repro.core.dictionary import build_dictionary, diagnose_dictionary
+from repro.core.single_fault import diagnose_single_fault
+from repro.errors import DiagnosisError
+from repro.faults.models import StuckAtDefect
+from repro.sim.patterns import PatternSet
+from repro.tester.harness import apply_test
+
+
+@pytest.fixture(scope="module")
+def rca():
+    return ripple_carry_adder(4)
+
+
+@pytest.fixture(scope="module")
+def pats(rca):
+    return PatternSet.random(rca, 32, seed=91)
+
+
+@pytest.fixture(scope="module")
+def dictionary(rca, pats):
+    return build_dictionary(rca, pats)
+
+
+class TestBuild:
+    def test_covers_collapsed_universe(self, rca, dictionary):
+        from repro.faults.collapse import collapse_stuck_at
+
+        assert dictionary.n_entries == len(collapse_stuck_at(rca).representatives)
+        assert dictionary.build_seconds > 0
+
+    def test_signatures_are_atom_sets(self, dictionary):
+        for signature in dictionary.signatures.values():
+            for idx, out in signature:
+                assert isinstance(idx, int)
+                assert isinstance(out, str)
+
+
+class TestDiagnose:
+    def test_exact_hit_for_single_stuck(self, rca, pats, dictionary):
+        result = apply_test(rca, pats, [StuckAtDefect(Site("a1"), 0)])
+        report = diagnose_dictionary(dictionary, result.datalog)
+        assert report.method == "dictionary"
+        assert report.stats["n_exact_matches"] >= 1
+        assert report.multiplets[0].iou == 1.0
+        # Candidate set includes the true site or a collapse-equivalent.
+        assert any(c.site.net in ("a1",) or c.best for c in report.candidates)
+
+    def test_agrees_with_effect_cause_baseline(self, rca, pats, dictionary):
+        """Dictionary lookup and single-fault effect-cause rank the same
+        best explanation (same model, same criterion)."""
+        result = apply_test(rca, pats, [StuckAtDefect(Site("b2"), 1)])
+        dict_report = diagnose_dictionary(dictionary, result.datalog)
+        ec_report = diagnose_single_fault(rca, pats, result.datalog)
+        assert dict_report.multiplets[0].iou == ec_report.multiplets[0].iou == 1.0
+        dict_sites = {c.site for c in dict_report.candidates}
+        ec_sites = {c.site for c in ec_report.candidates}
+        assert dict_sites & ec_sites
+
+    def test_degrades_on_doubles(self, rca, pats, dictionary):
+        defects = [StuckAtDefect(Site("a0"), 1), StuckAtDefect(Site("b3"), 0)]
+        result = apply_test(rca, pats, defects)
+        report = diagnose_dictionary(dictionary, result.datalog)
+        assert report.stats["n_exact_matches"] == 0
+        assert report.stats["best_iou"] < 1.0
+        assert report.uncovered_atoms
+
+    def test_passing_device(self, rca, pats, dictionary):
+        result = apply_test(rca, pats, [])
+        report = diagnose_dictionary(dictionary, result.datalog)
+        assert not report.candidates
+
+    def test_pattern_mismatch_rejected(self, rca, dictionary):
+        from repro.tester.datalog import Datalog, FailRecord
+
+        wrong = Datalog("rca4", 5, [FailRecord(0, frozenset({"sum0"}))])
+        with pytest.raises(DiagnosisError):
+            diagnose_dictionary(dictionary, wrong)
+
+
+class TestCostStructure:
+    def test_build_dominates_lookup(self, rca, pats, dictionary):
+        """The paper's complexity argument: dictionary pays a heavy
+        precompute; per-device lookup is cheap but the build must be
+        amortized across devices and redone per test set."""
+        result = apply_test(rca, pats, [StuckAtDefect(Site("a1"), 0)])
+        report = diagnose_dictionary(dictionary, result.datalog)
+        assert dictionary.build_seconds > report.stats["seconds"]

@@ -1,0 +1,109 @@
+"""Dominance reduction and checkpoint-fault tests."""
+
+import pytest
+
+from repro._rng import make_rng
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.gates import GateKind
+from repro.circuit.generators import c17
+from repro.circuit.netlist import Site
+from repro.faults.collapse import (
+    checkpoint_faults,
+    collapse_stuck_at,
+    dominance_reduce,
+)
+from repro.faults.models import StuckAtDefect
+from repro.sim.faultsim import fault_coverage
+from repro.sim.patterns import PatternSet
+
+
+def random_andor_circuit(seed, n_gates=40, n_inputs=8):
+    """Random AND/OR/NAND/NOR/NOT circuit (checkpoint theorem domain)."""
+    rng = make_rng(seed)
+    b = NetlistBuilder(f"ao{seed}")
+    pool = b.input_bus("pi", n_inputs)
+    kinds = (GateKind.AND, GateKind.OR, GateKind.NAND, GateKind.NOR, GateKind.NOT)
+    for _ in range(n_gates):
+        kind = rng.choice(kinds)
+        fanin = 1 if kind is GateKind.NOT else 2
+        srcs = [rng.choice(pool[-16:]) for _ in range(fanin)]
+        pool.append(b.gate(kind, srcs))
+    used = {src for gate in b._gates for src in gate.inputs}
+    for net in pool[n_inputs:]:
+        if net not in used:
+            b.output(net)
+    return b.build()
+
+
+class TestDominanceReduce:
+    def test_reduces_below_equivalence(self):
+        netlist = c17()
+        equivalence = collapse_stuck_at(netlist).representatives
+        reduced = dominance_reduce(netlist)
+        assert len(reduced) < len(equivalence)
+        assert set(reduced) <= set(equivalence)
+
+    def test_and_gate_drops_output_sa1(self):
+        b = NetlistBuilder("and2")
+        a, c = b.inputs("a", "c")
+        b.output(b.and_(a, c, name="z"))
+        netlist = b.build()
+        reduced = dominance_reduce(netlist)
+        assert StuckAtDefect(Site("z"), 1) not in reduced
+        # Inputs' sa1 faults remain.
+        assert StuckAtDefect(Site("a"), 1) in reduced
+        assert StuckAtDefect(Site("c"), 1) in reduced
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_detection_preserved_on_irredundant_logic(self, seed):
+        """A pattern set detecting every reduced target detects every
+        testable fault of the full collapsed universe."""
+        netlist = random_andor_circuit(seed)
+        patterns = PatternSet.exhaustive(netlist) if len(netlist.inputs) <= 10 else None
+        assert patterns is not None
+        reduced = dominance_reduce(netlist)
+        full = collapse_stuck_at(netlist).representatives
+        # Greedily pick patterns covering the reduced list only.
+        grading = fault_coverage(netlist, patterns, reduced)
+        chosen: set[int] = set()
+        for fault, bits in grading.detect_bits.items():
+            if bits:
+                chosen.add((bits & -bits).bit_length() - 1)
+        subset = patterns.subset(sorted(chosen))
+        # The subset must detect every testable fault of the full universe.
+        full_grading = fault_coverage(netlist, patterns, full)
+        subset_grading = fault_coverage(netlist, subset, full)
+        testable = {f for f in full if full_grading.detect_bits.get(f, 0)}
+        detected = {f for f in testable if subset_grading.detect_bits.get(f, 0)}
+        assert detected == testable
+
+
+class TestCheckpoints:
+    def test_counts(self, fanout_circuit):
+        faults = checkpoint_faults(fanout_circuit)
+        n_branches = sum(
+            len(fanout_circuit.fanout(net))
+            for net in fanout_circuit.nets()
+            if fanout_circuit.fanout_count(net) > 1
+        )
+        assert len(faults) == 2 * (len(fanout_circuit.inputs) + n_branches)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_checkpoint_theorem(self, seed):
+        """Detecting all testable checkpoint faults detects all testable
+        faults (AND/OR-class circuits only)."""
+        netlist = random_andor_circuit(seed)
+        patterns = PatternSet.exhaustive(netlist)
+        checkpoints = checkpoint_faults(netlist)
+        grading = fault_coverage(netlist, patterns, checkpoints)
+        chosen: set[int] = set()
+        for fault, bits in grading.detect_bits.items():
+            if bits:
+                chosen.add((bits & -bits).bit_length() - 1)
+        subset = patterns.subset(sorted(chosen))
+        full = collapse_stuck_at(netlist).representatives
+        full_grading = fault_coverage(netlist, patterns, full)
+        subset_grading = fault_coverage(netlist, subset, full)
+        testable = {f for f in full if full_grading.detect_bits.get(f, 0)}
+        detected = {f for f in testable if subset_grading.detect_bits.get(f, 0)}
+        assert detected == testable

@@ -1,0 +1,99 @@
+"""Campaign driver tests (small trial counts to stay fast)."""
+
+import pytest
+
+from repro.campaign.driver import (
+    Campaign,
+    CampaignConfig,
+    METHODS,
+    provision_patterns,
+    run_campaign,
+)
+from repro.campaign.samplers import PURE_MIXES
+from repro.circuit.library import load_circuit
+from repro.errors import ReproError
+
+
+class TestProvisioning:
+    def test_cached_per_circuit(self):
+        n = load_circuit("c17")
+        a = provision_patterns(n, seed=7)
+        b = provision_patterns(load_circuit("c17"), seed=7)
+        assert a is b  # cache hit by (name, seed)
+
+    def test_min_patterns_topped_up(self):
+        n = load_circuit("c17")
+        pats = provision_patterns(n, seed=8, min_patterns=20)
+        assert pats.n >= 12  # dedup may trim, but well above the tiny core set
+
+
+class TestCampaign:
+    def test_run_trial_outcomes_per_method(self):
+        campaign = Campaign("rca4")
+        outcomes = campaign.run_trial(
+            trial_seed=3, k=1, methods=("xcover", "slat", "single")
+        )
+        assert outcomes is not None
+        assert [o.method for o in outcomes] == [
+            "xcover",
+            "slat",
+            "single-stuck-at",
+        ]
+        for o in outcomes:
+            assert 0.0 <= o.recall_near <= 1.0
+
+    def test_run_config(self):
+        config = CampaignConfig(
+            circuit="rca4", n_trials=3, k=1, methods=("xcover",), seed=2
+        )
+        result = run_campaign(config)
+        assert len(result.outcomes) + result.skipped_trials >= 3 or result.outcomes
+        agg = result.aggregate("xcover")
+        assert agg.n_trials == len(result.outcomes)
+        assert result.wall_seconds > 0
+
+    def test_by_method_grouping(self):
+        config = CampaignConfig(
+            circuit="rca4", n_trials=2, k=1, methods=("xcover", "slat"), seed=2
+        )
+        result = Campaign("rca4").run(config)
+        groups = result.by_method()
+        assert set(groups) <= {"xcover", "slat"}
+
+    def test_unknown_method(self):
+        campaign = Campaign("rca4")
+        with pytest.raises(ReproError, match="unknown diagnosis method"):
+            campaign.run_trial(trial_seed=1, k=1, methods=("nope",))
+
+    def test_method_registry(self):
+        assert set(METHODS) == {"xcover", "slat", "single", "dictionary"}
+
+    def test_dictionary_method_runs(self):
+        campaign = Campaign("rca4")
+        outcomes = campaign.run_trial(trial_seed=3, k=1, methods=("dictionary",))
+        assert outcomes is not None
+        assert outcomes[0].method == "dictionary"
+
+    def test_pure_mix_campaign(self):
+        config = CampaignConfig(
+            circuit="rca4",
+            n_trials=2,
+            k=1,
+            mix=PURE_MIXES["stuck"],
+            methods=("xcover",),
+            seed=3,
+        )
+        result = Campaign("rca4").run(config)
+        for outcome in result.outcomes:
+            assert outcome.families == ("stuckat",)
+
+    def test_deterministic_across_runs(self):
+        config = CampaignConfig(
+            circuit="rca4", n_trials=3, k=2, methods=("xcover",), seed=6
+        )
+        r1 = Campaign("rca4").run(config)
+        r2 = Campaign("rca4").run(config)
+        key = lambda r: [
+            (o.recall_near, o.precision, o.resolution) for o in r.outcomes
+        ]
+        assert key(r1) == key(r2)

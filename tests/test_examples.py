@@ -1,0 +1,75 @@
+"""Smoke tests for the runnable examples (so they never rot).
+
+The fast examples run in-process via runpy; the campaign-heavy ones are
+exercised with reduced workloads through their main() entry points where
+possible, or skipped here and covered by the benchmark harness.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name, argv=()):
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    except SystemExit as exc:
+        assert exc.code in (0, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py", ["rca8", "1"])
+    assert "diagnosis[xcover]" in out
+    assert "located" in out
+
+
+def test_quickstart_multi_defect(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py", ["rca4", "2"])
+    assert "injected defects" in out
+
+
+def test_atpg_flow(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "atpg_flow.py")
+    assert "coverage" in out
+    assert "Transition" in out
+
+
+def test_scan_flow(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "scan_flow.py")
+    assert "top candidate" in out
+    assert "correct cell!" in out
+
+
+def test_yield_learning_small(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "yield_learning.py", ["6"])
+    assert "Pareto" in out
+
+
+def test_tester_to_pfa(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "tester_to_pfa.py")
+    assert "PFA WORK ORDER" in out
+    assert "site work list" in out
+
+
+@pytest.mark.skipif(
+    "not config.getoption('--run-slow-examples', default=False)",
+    reason="campaign-heavy example; run with --run-slow-examples",
+)
+def test_slat_escape(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "slat_escape.py")
+    assert "SLAT" in out
+
+
+@pytest.mark.skipif(
+    "not config.getoption('--run-slow-examples', default=False)",
+    reason="campaign-heavy example; run with --run-slow-examples",
+)
+def test_debug_session(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "debug_session.py")
+    assert "lot summary" in out

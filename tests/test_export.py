@@ -1,0 +1,59 @@
+"""Campaign export tests."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.campaign.driver import Campaign, CampaignConfig
+from repro.campaign.export import (
+    aggregates_to_csv,
+    outcomes_to_csv,
+    result_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = CampaignConfig(
+        circuit="rca4", n_trials=3, k=1, methods=("xcover", "slat"), seed=2
+    )
+    return Campaign("rca4").run(config)
+
+
+class TestCsv:
+    def test_outcomes_csv_parses(self, result):
+        text = outcomes_to_csv(result)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(result.outcomes)
+        assert {row["method"] for row in rows} <= {"xcover", "slat"}
+        for row in rows:
+            assert 0.0 <= float(row["recall_near"]) <= 1.0
+            assert row["success"] in ("0", "1")
+
+    def test_aggregates_csv(self, result):
+        text = aggregates_to_csv(result.by_method())
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert {row["group"] for row in rows} == set(result.by_method())
+        for row in rows:
+            assert int(row["n_trials"]) > 0
+
+
+class TestJson:
+    def test_roundtrips_through_json(self, result):
+        payload = json.loads(result_to_json(result))
+        assert payload["config"]["circuit"] == "rca4"
+        assert payload["config"]["methods"] == ["xcover", "slat"]
+        assert len(payload["outcomes"]) == len(result.outcomes)
+        assert set(payload["aggregates"]) == set(result.by_method())
+
+    def test_extras_included(self, result):
+        payload = json.loads(result_to_json(result))
+        slat_rows = [o for o in payload["outcomes"] if o["method"] == "slat"]
+        assert slat_rows
+        assert "slat_fraction" in slat_rows[0]["extra"]
+
+    def test_mix_echoed(self, result):
+        payload = json.loads(result_to_json(result))
+        assert payload["config"]["mix"]["stuck"] == pytest.approx(0.3)

@@ -1,0 +1,168 @@
+"""Defect model semantics, checked through FaultyCircuit on tiny circuits."""
+
+import pytest
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.netlist import Site
+from repro.errors import FaultModelError
+from repro.faults.injection import FaultyCircuit
+from repro.faults.models import (
+    BridgeDefect,
+    BridgeKind,
+    ByzantineDefect,
+    OpenDefect,
+    StuckAtDefect,
+    TransitionDefect,
+    TransitionKind,
+)
+from repro.sim.logicsim import simulate_outputs
+from repro.sim.patterns import PatternSet
+
+
+@pytest.fixture
+def wire():
+    """z = BUF(a); w = BUF(b) -- two independent observable wires."""
+    b = NetlistBuilder("wire")
+    a, bb = b.inputs("a", "b")
+    b.output(b.buf(a, name="z"))
+    b.output(b.buf(bb, name="w"))
+    return b.build()
+
+
+def outputs_of(netlist, defects, vectors):
+    pats = PatternSet.from_vectors(netlist.inputs, vectors)
+    return FaultyCircuit(netlist, defects).simulate_outputs(pats), pats
+
+
+class TestStuckAt:
+    def test_value_validation(self):
+        with pytest.raises(FaultModelError):
+            StuckAtDefect(Site("a"), 2)
+
+    def test_stem_stuck(self, wire):
+        outs, pats = outputs_of(
+            wire, [StuckAtDefect(Site("a"), 1)], [(0, 0), (1, 1)]
+        )
+        assert outs["z"] == 0b11  # forced to 1 everywhere
+        assert outs["w"] == 0b10  # untouched
+
+    def test_family_and_str(self):
+        d = StuckAtDefect(Site("a"), 0)
+        assert d.family == "stuckat"
+        assert str(d) == "a sa0"
+        assert d.ground_truth_sites() == (Site("a"),)
+
+
+class TestOpen:
+    def test_branch_open_spares_siblings(self, fanout_circuit):
+        from repro.sim.logicsim import simulate
+
+        pats = PatternSet.exhaustive(fanout_circuit)
+        golden = simulate(fanout_circuit, pats)
+        dut = FaultyCircuit(
+            fanout_circuit, [OpenDefect(Site("stem", ("left", 0)), 0)]
+        )
+        values = dut.simulate(pats)
+        # The stem itself still carries the true value.
+        assert values["stem"] == golden["stem"]
+        # left = AND(0, c) = 0; the sibling branch sees the healthy stem.
+        assert values["left"] == 0
+        assert values["right"] == golden["right"]
+
+    def test_float_value_validation(self):
+        with pytest.raises(FaultModelError):
+            OpenDefect(Site("a"), 3)
+
+
+class TestBridge:
+    def test_self_bridge_rejected(self):
+        with pytest.raises(FaultModelError):
+            BridgeDefect("a", "a")
+
+    def test_dominant_bridge(self, wire):
+        outs, pats = outputs_of(
+            wire,
+            [BridgeDefect("z", "w", BridgeKind.DOMINANT)],
+            [(0, 0), (0, 1), (1, 0), (1, 1)],
+        )
+        # victim z follows aggressor w (= b), aggressor unaffected.
+        assert outs["z"] == pats.bits["b"]
+        assert outs["w"] == pats.bits["b"]
+
+    def test_wired_and(self, wire):
+        outs, pats = outputs_of(
+            wire,
+            [BridgeDefect("z", "w", BridgeKind.WIRED_AND)],
+            [(0, 0), (0, 1), (1, 0), (1, 1)],
+        )
+        merged = pats.bits["a"] & pats.bits["b"]
+        assert outs["z"] == merged
+        assert outs["w"] == merged
+
+    def test_wired_or(self, wire):
+        outs, pats = outputs_of(
+            wire,
+            [BridgeDefect("z", "w", BridgeKind.WIRED_OR)],
+            [(0, 0), (0, 1), (1, 0), (1, 1)],
+        )
+        merged = pats.bits["a"] | pats.bits["b"]
+        assert outs["z"] == merged
+        assert outs["w"] == merged
+
+    def test_ground_truth_sites(self):
+        dom = BridgeDefect("v", "a", BridgeKind.DOMINANT)
+        assert dom.ground_truth_sites() == (Site("v"),)
+        wand = BridgeDefect("v", "a", BridgeKind.WIRED_AND)
+        assert set(wand.ground_truth_sites()) == {Site("v"), Site("a")}
+
+
+class TestTransition:
+    def test_slow_to_rise_holds_zero(self, wire):
+        # a: 0 -> 1 -> 1 -> 0; STR delays the 0->1 edge by one pattern.
+        outs, _ = outputs_of(
+            wire,
+            [TransitionDefect(Site("a"), TransitionKind.SLOW_TO_RISE)],
+            [(0, 0), (1, 0), (1, 0), (0, 0)],
+        )
+        assert outs["z"] == 0b0100  # pattern1 captured old 0, pattern2 fine
+
+    def test_slow_to_fall_holds_one(self, wire):
+        # a: 1 -> 0 -> 0 -> 1
+        outs, _ = outputs_of(
+            wire,
+            [TransitionDefect(Site("a"), TransitionKind.SLOW_TO_FALL)],
+            [(1, 0), (0, 0), (0, 0), (1, 0)],
+        )
+        assert outs["z"] == 0b1011  # pattern1 captured stale 1
+
+    def test_first_pattern_has_no_transition(self, wire):
+        outs, _ = outputs_of(
+            wire,
+            [TransitionDefect(Site("a"), TransitionKind.SLOW_TO_RISE)],
+            [(1, 0)],
+        )
+        assert outs["z"] == 0b1  # no predecessor -> no fault effect
+
+
+class TestByzantine:
+    def test_activity_validation(self):
+        with pytest.raises(FaultModelError):
+            ByzantineDefect(Site("a"), seed=1, activity=0.0)
+
+    def test_flip_vector_deterministic(self):
+        d = ByzantineDefect(Site("a"), seed=99, activity=0.5)
+        assert d.flip_vector(64) == d.flip_vector(64)
+        assert d.flip_vector(64) != ByzantineDefect(Site("a"), seed=98).flip_vector(64)
+
+    def test_flips_applied(self, wire):
+        d = ByzantineDefect(Site("a"), seed=5, activity=0.5)
+        pats = PatternSet.from_vectors(wire.inputs, [(0, 0)] * 16)
+        outs = FaultyCircuit(wire, [d]).simulate_outputs(pats)
+        assert outs["z"] == d.flip_vector(16)
+        assert outs["w"] == 0
+
+    def test_full_activity_flips_everything(self, wire):
+        d = ByzantineDefect(Site("a"), seed=5, activity=1.0)
+        pats = PatternSet.from_vectors(wire.inputs, [(0, 0)] * 8)
+        outs = FaultyCircuit(wire, [d]).simulate_outputs(pats)
+        assert outs["z"] == 0b11111111

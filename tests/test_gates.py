@@ -1,0 +1,190 @@
+"""Unit tests for gate primitives and their bit-parallel evaluation."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.gates import (
+    Gate,
+    GateKind,
+    KIND_ALIASES,
+    TV_ONE,
+    TV_X,
+    TV_ZERO,
+    eval2,
+    eval3,
+    tv_all_x,
+    tv_binary,
+    tv_const,
+    tv_not,
+    tv_xmask,
+)
+from repro.errors import NetlistError
+
+from tests.conftest import naive_gate_eval
+
+BINARY_KINDS = [
+    GateKind.AND,
+    GateKind.NAND,
+    GateKind.OR,
+    GateKind.NOR,
+    GateKind.XOR,
+    GateKind.XNOR,
+]
+
+
+class TestArity:
+    def test_not_takes_exactly_one_input(self):
+        with pytest.raises(NetlistError):
+            Gate("z", GateKind.NOT, ("a", "b"))
+
+    def test_and_needs_two_inputs(self):
+        with pytest.raises(NetlistError):
+            Gate("z", GateKind.AND, ("a",))
+
+    def test_mux_needs_three_inputs(self):
+        with pytest.raises(NetlistError):
+            Gate("z", GateKind.MUX, ("a", "b"))
+
+    def test_const_takes_no_inputs(self):
+        with pytest.raises(NetlistError):
+            Gate("z", GateKind.CONST0, ("a",))
+        Gate("z", GateKind.CONST1, ())
+
+    def test_wide_nary_gates_allowed(self):
+        gate = Gate("z", GateKind.NOR, tuple(f"i{i}" for i in range(7)))
+        assert len(gate.inputs) == 7
+
+    def test_pin_of_duplicated_net(self):
+        gate = Gate("z", GateKind.AND, ("a", "b", "a"))
+        assert gate.pin_of("a") == [0, 2]
+        assert gate.pin_of("b") == [1]
+        assert gate.pin_of("missing") == []
+
+
+class TestKindProperties:
+    def test_inverting_flags(self):
+        assert GateKind.NAND.inverting
+        assert GateKind.NOR.inverting
+        assert GateKind.NOT.inverting
+        assert GateKind.XNOR.inverting
+        assert not GateKind.AND.inverting
+        assert not GateKind.BUF.inverting
+
+    def test_controlling_values(self):
+        assert GateKind.AND.controlling_value == 0
+        assert GateKind.NAND.controlling_value == 0
+        assert GateKind.OR.controlling_value == 1
+        assert GateKind.NOR.controlling_value == 1
+        assert GateKind.XOR.controlling_value is None
+        assert GateKind.MUX.controlling_value is None
+
+    def test_controlled_outputs(self):
+        assert GateKind.AND.controlled_output == 0
+        assert GateKind.NAND.controlled_output == 1
+        assert GateKind.OR.controlled_output == 1
+        assert GateKind.NOR.controlled_output == 0
+        assert GateKind.XOR.controlled_output is None
+
+    def test_aliases_cover_common_names(self):
+        assert KIND_ALIASES["buff"] is GateKind.BUF
+        assert KIND_ALIASES["inv"] is GateKind.NOT
+        assert KIND_ALIASES["gnd"] is GateKind.CONST0
+        assert KIND_ALIASES["vdd"] is GateKind.CONST1
+
+
+class TestEval2:
+    @pytest.mark.parametrize("kind", BINARY_KINDS)
+    @pytest.mark.parametrize("fanin", [2, 3])
+    def test_matches_naive_semantics(self, kind, fanin):
+        for values in itertools.product((0, 1), repeat=fanin):
+            packed = [v for v in values]  # 1-bit vectors
+            got = eval2(kind, packed, 1)
+            assert got == naive_gate_eval(kind, list(values)), (kind, values)
+
+    def test_bit_parallel_and(self):
+        # Patterns: a=0011, b=0101 -> and=0001
+        assert eval2(GateKind.AND, [0b0011, 0b0101], 0b1111) == 0b0001
+        assert eval2(GateKind.NAND, [0b0011, 0b0101], 0b1111) == 0b1110
+
+    def test_not_respects_mask(self):
+        assert eval2(GateKind.NOT, [0b0101], 0b1111) == 0b1010
+
+    def test_mux_bit_parallel(self):
+        a, b, sel, mask = 0b0000, 0b1111, 0b0101, 0b1111
+        assert eval2(GateKind.MUX, [a, b, sel], mask) == 0b0101
+
+    def test_consts(self):
+        assert eval2(GateKind.CONST0, [], 0b111) == 0
+        assert eval2(GateKind.CONST1, [], 0b111) == 0b111
+
+    def test_input_kind_rejected(self):
+        with pytest.raises(NetlistError):
+            eval2(GateKind.INPUT, [], 1)
+
+
+def _tv_scalar(kind, ins):
+    """Evaluate a gate on scalar 3-valued inputs via the bit-parallel path."""
+    return eval3(kind, list(ins), 1)
+
+
+def _enumerate_tv(v):
+    """Possible binary values of a scalar TV."""
+    if v == TV_X:
+        return (0, 1)
+    return (1,) if v == TV_ONE else (0,)
+
+
+class TestEval3:
+    @pytest.mark.parametrize("kind", BINARY_KINDS + [GateKind.MUX])
+    def test_pessimistic_exact_per_gate(self, kind):
+        """eval3 output = exactly the set of values reachable over X choices."""
+        fanin = 3 if kind is GateKind.MUX else 2
+        for ins in itertools.product((TV_ZERO, TV_ONE, TV_X), repeat=fanin):
+            got = _tv_scalar(kind, ins)
+            reachable = {
+                naive_gate_eval(kind, list(choice))
+                for choice in itertools.product(*(_enumerate_tv(v) for v in ins))
+            }
+            want = (
+                TV_X
+                if reachable == {0, 1}
+                else (TV_ONE if reachable == {1} else TV_ZERO)
+            )
+            assert got == want, (kind, ins)
+
+    def test_not_swaps(self):
+        assert eval3(GateKind.NOT, [TV_ZERO], 1) == TV_ONE
+        assert eval3(GateKind.NOT, [TV_X], 1) == TV_X
+
+    def test_wide_xor_with_x(self):
+        assert eval3(GateKind.XOR, [TV_ONE, TV_ONE, TV_X], 1) == TV_X
+        assert eval3(GateKind.XOR, [TV_ONE, TV_ONE, TV_ZERO], 1) == TV_ZERO
+
+    def test_and_zero_dominates_x(self):
+        assert eval3(GateKind.AND, [TV_ZERO, TV_X], 1) == TV_ZERO
+
+    def test_or_one_dominates_x(self):
+        assert eval3(GateKind.OR, [TV_ONE, TV_X], 1) == TV_ONE
+
+    def test_mux_equal_data_ignores_x_select(self):
+        assert eval3(GateKind.MUX, [TV_ONE, TV_ONE, TV_X], 1) == TV_ONE
+        assert eval3(GateKind.MUX, [TV_ZERO, TV_ONE, TV_X], 1) == TV_X
+
+
+class TestTvHelpers:
+    def test_tv_const_lifts_binary(self):
+        ones, zeros = tv_const(0b0101, 0b1111)
+        assert ones == 0b0101 and zeros == 0b1010
+
+    def test_tv_all_x(self):
+        assert tv_all_x(0b111) == (0b111, 0b111)
+
+    def test_tv_xmask_and_binary(self):
+        v = (0b110, 0b011)  # bit2=1, bit1=X, bit0=0
+        assert tv_xmask(v) == 0b010
+        assert tv_binary(v, 0b111) == 0b100
+
+    def test_tv_not_involution(self):
+        v = (0b1100, 0b0110)
+        assert tv_not(tv_not(v)) == v

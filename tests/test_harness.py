@@ -1,0 +1,43 @@
+"""Tester harness: datalog capture from defective devices."""
+
+from repro.circuit.netlist import Site
+from repro.faults.models import StuckAtDefect
+from repro.sim.patterns import PatternSet
+from repro.tester.harness import apply_test
+
+
+def test_passing_device_for_no_defects(c17_netlist):
+    pats = PatternSet.exhaustive(c17_netlist)
+    result = apply_test(c17_netlist, pats, [])
+    assert not result.device_fails
+    assert result.datalog.is_passing_device
+    assert result.golden_outputs == result.faulty_outputs
+
+
+def test_stuck_output_fails_where_golden_differs(c17_netlist):
+    pats = PatternSet.exhaustive(c17_netlist)
+    result = apply_test(c17_netlist, pats, [StuckAtDefect(Site("22"), 1)])
+    golden = result.golden_outputs["22"]
+    expected_failing = {
+        i for i in range(pats.n) if not (golden >> i) & 1
+    }
+    assert set(result.datalog.failing_indices) == expected_failing
+    for idx in expected_failing:
+        assert result.datalog.failing_outputs_of(idx) == {"22"}
+
+
+def test_datalog_matches_output_mismatch(tiny_and):
+    pats = PatternSet.exhaustive(tiny_and)
+    result = apply_test(tiny_and, pats, [StuckAtDefect(Site("ab"), 1)])
+    for rec in result.datalog.records:
+        for out in rec.failing_outputs:
+            g = (result.golden_outputs[out] >> rec.pattern_index) & 1
+            f = (result.faulty_outputs[out] >> rec.pattern_index) & 1
+            assert g != f
+
+
+def test_defects_recorded(tiny_and):
+    pats = PatternSet.exhaustive(tiny_and)
+    defects = [StuckAtDefect(Site("ab"), 1)]
+    result = apply_test(tiny_and, pats, defects)
+    assert result.defects == tuple(defects)

@@ -1,0 +1,128 @@
+"""FaultyCircuit multi-defect emulation tests."""
+
+import pytest
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.generators import random_dag
+from repro.circuit.netlist import Site
+from repro.errors import OscillationError
+from repro.faults.injection import FaultyCircuit, defect_creates_feedback
+from repro.faults.models import (
+    BridgeDefect,
+    BridgeKind,
+    StuckAtDefect,
+    TransitionDefect,
+    TransitionKind,
+)
+from repro.sim.logicsim import simulate, simulate_outputs
+from repro.sim.patterns import PatternSet
+
+
+class TestEquivalences:
+    def test_single_stuck_equals_override_sim(self):
+        n = random_dag(60, n_inputs=6, n_outputs=4, seed=2)
+        pats = PatternSet.random(n, 24, seed=2)
+        site = Site(n.topo_order[20])
+        dut = FaultyCircuit(n, [StuckAtDefect(site, 1)])
+        assert dut.simulate_outputs(pats) == simulate_outputs(
+            n, pats, {site: pats.mask}
+        )
+
+    def test_no_defects_is_golden(self, rca4):
+        pats = PatternSet.random(rca4, 16, seed=3)
+        assert FaultyCircuit(rca4, []).simulate_outputs(pats) == simulate_outputs(
+            rca4, pats
+        )
+
+    def test_two_independent_stuck_compose(self, rca4):
+        pats = PatternSet.random(rca4, 16, seed=4)
+        d1 = StuckAtDefect(Site("a0"), 1)
+        d2 = StuckAtDefect(Site("b3"), 0)
+        joint = FaultyCircuit(rca4, [d1, d2]).simulate_outputs(pats)
+        both_overrides = simulate_outputs(
+            rca4, pats, {Site("a0"): pats.mask, Site("b3"): 0}
+        )
+        assert joint == both_overrides
+
+
+class TestBridgesAcrossTopology:
+    def test_backward_aggressor_needs_second_pass(self):
+        """Aggressor later in topo order than victim still resolves."""
+        b = NetlistBuilder("bw")
+        a, c = b.inputs("a", "c")
+        v = b.buf(a, name="v")  # victim early
+        agg = b.and_(c, c, name="agg")  # aggressor later
+        b.output(b.xor(v, agg, name="z"))
+        n = b.build()
+        pats = PatternSet.exhaustive(n)
+        # victim takes aggressor's value; z = agg ^ agg = 0 everywhere.
+        outs = FaultyCircuit(
+            n, [BridgeDefect("v", "agg", BridgeKind.DOMINANT)]
+        ).simulate_outputs(pats)
+        assert outs["z"] == 0
+
+    def test_feedback_bridge_raises_oscillation(self):
+        b = NetlistBuilder("osc")
+        a = b.input("a")
+        v = b.buf(a, name="v")
+        inv = b.not_(v, name="inv")
+        b.output(inv)
+        n = b.build()
+        pats = PatternSet.exhaustive(n)
+        dut = FaultyCircuit(n, [BridgeDefect("v", "inv", BridgeKind.DOMINANT)])
+        with pytest.raises(OscillationError):
+            dut.simulate(pats)
+
+    def test_feedback_predicate(self):
+        b = NetlistBuilder("fb")
+        a = b.input("a")
+        v = b.buf(a, name="v")
+        w = b.not_(v, name="w")
+        b.output(w)
+        n = b.build()
+        assert defect_creates_feedback(n, [BridgeDefect("v", "w")])
+        assert not defect_creates_feedback(n, [BridgeDefect("w", "a")])
+        assert not defect_creates_feedback(n, [StuckAtDefect(Site("v"), 0)])
+
+
+class TestInteraction:
+    def test_masking_pair(self):
+        """One defect can hide another: AND(x, y) with x stuck-0 masks y."""
+        b = NetlistBuilder("mask")
+        x, y = b.inputs("x", "y")
+        b.output(b.and_(x, y, name="z"))
+        n = b.build()
+        pats = PatternSet.exhaustive(n)
+        golden = simulate_outputs(n, pats)["z"]
+        only_y = FaultyCircuit(n, [StuckAtDefect(Site("y"), 1)]).simulate_outputs(pats)
+        both = FaultyCircuit(
+            n, [StuckAtDefect(Site("y"), 1), StuckAtDefect(Site("x"), 0)]
+        ).simulate_outputs(pats)
+        assert only_y["z"] != golden  # y fault visible alone
+        assert both["z"] == 0  # x sa0 masks everything
+
+    def test_stuck_beats_delay_on_same_path(self):
+        b = NetlistBuilder("sd")
+        a = b.input("a")
+        mid = b.buf(a, name="mid")
+        b.output(b.buf(mid, name="z"))
+        n = b.build()
+        pats = PatternSet.from_vectors(n.inputs, [(0,), (1,), (0,)])
+        dut = FaultyCircuit(
+            n,
+            [
+                TransitionDefect(Site("a"), TransitionKind.SLOW_TO_RISE),
+                StuckAtDefect(Site("mid"), 0),
+            ],
+        )
+        assert dut.simulate_outputs(pats)["z"] == 0
+
+    def test_ground_truth_union(self):
+        dut = FaultyCircuit.__new__(FaultyCircuit)  # avoid netlist plumbing
+        dut.defects = (
+            StuckAtDefect(Site("p"), 0),
+            BridgeDefect("q", "r", BridgeKind.WIRED_OR),
+        )
+        assert dut.ground_truth_sites() == frozenset(
+            {Site("p"), Site("q"), Site("r")}
+        )

@@ -1,0 +1,104 @@
+"""Cross-module integration tests: the full flow a user would run."""
+
+import pytest
+
+from repro import (
+    Datalog,
+    DiagnosisConfig,
+    Diagnoser,
+    PatternSet,
+    apply_test,
+    diagnose_single_fault,
+    diagnose_slat,
+    load_circuit,
+    parse_bench,
+    provision_patterns,
+    sample_defect_set,
+    write_bench,
+)
+from repro.campaign.metrics import score_report
+
+
+class TestFullFlow:
+    def test_atpg_inject_diagnose_score(self):
+        netlist = load_circuit("alu4")
+        patterns = provision_patterns(netlist)
+        defects = sample_defect_set(netlist, k=2, seed=71)
+        test = apply_test(netlist, patterns, defects)
+        assert test.device_fails
+        report = Diagnoser(netlist).diagnose(patterns, test.datalog)
+        outcome = score_report(
+            netlist,
+            report,
+            defects,
+            len(test.datalog.failing_indices),
+            test.datalog.n_fail_atoms,
+        )
+        assert outcome.recall_near >= 0.5
+        assert report.multiplets
+        assert report.multiplets[0].covered_atoms > 0
+
+    def test_datalog_serialization_through_diagnosis(self):
+        """A datalog written to text and reloaded diagnoses identically."""
+        netlist = load_circuit("rca4")
+        patterns = provision_patterns(netlist)
+        defects = sample_defect_set(netlist, k=1, seed=5)
+        test = apply_test(netlist, patterns, defects)
+        reloaded = Datalog.from_text(test.datalog.to_text())
+        r1 = Diagnoser(netlist).diagnose(patterns, test.datalog)
+        r2 = Diagnoser(netlist).diagnose(patterns, reloaded)
+        assert [c.site for c in r1.candidates] == [c.site for c in r2.candidates]
+
+    def test_bench_roundtrip_preserves_diagnosis(self):
+        """Export/import through .bench text; same responses, same failures."""
+        netlist = load_circuit("rca4")
+        clone = parse_bench(write_bench(netlist), name="rca4")
+        patterns = provision_patterns(netlist)
+        clone_patterns = PatternSet(clone.inputs, patterns.n, patterns.bits)
+        defects = sample_defect_set(netlist, k=1, seed=9)
+        t1 = apply_test(netlist, patterns, defects)
+        # Same-named nets exist in the clone (plain gates round-trip 1:1).
+        t2 = apply_test(clone, clone_patterns, defects)
+        assert t1.datalog.records == t2.datalog.records
+
+    def test_methods_rank_as_expected_on_interacting_defects(self):
+        """The headline comparison in miniature: on interacting multi-defect
+        trials the proposed method's recall is at least the baselines'."""
+        netlist = load_circuit("alu4")
+        patterns = provision_patterns(netlist)
+        totals = {"xcover": 0.0, "slat": 0.0, "single": 0.0}
+        trials = 0
+        for seed in range(6):
+            defects = sample_defect_set(netlist, k=3, seed=seed, interacting=True)
+            test = apply_test(netlist, patterns, defects)
+            if test.datalog.is_passing_device:
+                continue
+            trials += 1
+            reports = {
+                "xcover": Diagnoser(netlist).diagnose(patterns, test.datalog),
+                "slat": diagnose_slat(netlist, patterns, test.datalog),
+                "single": diagnose_single_fault(netlist, patterns, test.datalog),
+            }
+            for name, report in reports.items():
+                outcome = score_report(netlist, report, defects, 0, 0)
+                totals[name] += outcome.recall_near
+        assert trials >= 3
+        assert totals["xcover"] >= totals["slat"] - 1e-9
+        assert totals["xcover"] >= totals["single"] - 1e-9
+
+    def test_engine_ablation_consistency(self):
+        """Both engines must locate a lone stuck-at defect."""
+        netlist = load_circuit("rca4")
+        patterns = provision_patterns(netlist)
+        defects = sample_defect_set(netlist, k=1, seed=13)
+        test = apply_test(netlist, patterns, defects)
+        exact = Diagnoser(netlist).diagnose(patterns, test.datalog)
+        envelope = Diagnoser(
+            netlist, DiagnosisConfig(engine="xcover")
+        ).diagnose(patterns, test.datalog)
+        truth_nets = {
+            s.net for d in defects for s in d.ground_truth_sites()
+        }
+        exact_nets = {c.site.net for c in exact.candidates}
+        envelope_nets = {c.site.net for c in envelope.candidates}
+        assert truth_nets & exact_nets or truth_nets & envelope_nets

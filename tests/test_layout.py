@@ -1,0 +1,118 @@
+"""Synthetic placement and layout-aware bridge sampling tests."""
+
+import pytest
+
+from repro.circuit.generators import alu, ripple_carry_adder
+from repro.circuit.layout import Box, Placement, layout_bridge_pairs, place
+from repro.faults.models import BridgeKind
+
+
+class TestBox:
+    def test_distance_overlapping(self):
+        a = Box(0, 0, 2, 2)
+        b = Box(1, 1, 3, 3)
+        assert a.distance(b) == 0.0
+
+    def test_distance_axis_gap(self):
+        a = Box(0, 0, 1, 1)
+        b = Box(3, 0, 4, 1)
+        assert a.distance(b) == 2.0
+
+    def test_distance_diagonal(self):
+        a = Box(0, 0, 1, 1)
+        b = Box(2, 3, 3, 4)
+        assert a.distance(b) == pytest.approx(1 + 2)
+
+    def test_symmetry(self):
+        a = Box(0, 0, 1, 1)
+        b = Box(5, 2, 6, 3)
+        assert a.distance(b) == b.distance(a)
+
+
+class TestPlace:
+    @pytest.fixture(scope="class")
+    def placed(self):
+        netlist = ripple_carry_adder(6)
+        return netlist, place(netlist, seed=3)
+
+    def test_every_net_positioned(self, placed):
+        netlist, placement = placed
+        assert set(placement.position) == set(netlist.nets())
+        assert set(placement.boxes) == set(netlist.nets())
+
+    def test_columns_follow_levels(self, placed):
+        netlist, placement = placed
+        for net in netlist.nets():
+            assert placement.position[net][0] == float(netlist.level(net))
+
+    def test_rows_unique_per_column(self, placed):
+        netlist, placement = placed
+        seen = {}
+        for net, (col, row) in placement.position.items():
+            assert (col, row) not in seen, (net, seen.get((col, row)))
+            seen[(col, row)] = net
+
+    def test_deterministic(self):
+        netlist = ripple_carry_adder(4)
+        a = place(netlist, seed=3)
+        b = place(netlist, seed=3)
+        assert a.position == b.position
+        assert a.position != place(netlist, seed=4).position
+
+    def test_clustering_effect(self):
+        """Barycenter sweeps should shorten total wire length vs sweep=0."""
+        netlist = alu(4)
+
+        def wirelength(placement):
+            total = 0.0
+            for net, box in placement.boxes.items():
+                total += (box.x1 - box.x0) + (box.y1 - box.y0)
+            return total
+
+        unswept = place(netlist, seed=5, sweeps=0)
+        swept = place(netlist, seed=5, sweeps=3)
+        assert wirelength(swept) < wirelength(unswept)
+
+
+class TestLayoutBridges:
+    def test_pairs_are_adjacent(self):
+        netlist = ripple_carry_adder(4)
+        placement = place(netlist, seed=1)
+        bridges = layout_bridge_pairs(netlist, placement, max_gap=1.0)
+        assert bridges
+        for bridge in bridges:
+            gap = placement.boxes[bridge.victim].distance(
+                placement.boxes[bridge.aggressor]
+            )
+            assert gap <= 1.0
+
+    def test_no_feedback(self):
+        netlist = ripple_carry_adder(4)
+        for bridge in layout_bridge_pairs(netlist, seed=1):
+            assert bridge.aggressor not in netlist.fanout_cone([bridge.victim])
+
+    def test_wired_single_orientation(self):
+        netlist = ripple_carry_adder(4)
+        bridges = layout_bridge_pairs(
+            netlist, seed=1, kind=BridgeKind.WIRED_AND
+        )
+        unordered = {frozenset((b.victim, b.aggressor)) for b in bridges}
+        assert len(unordered) == len(bridges)
+
+    def test_tighter_gap_fewer_pairs(self):
+        netlist = alu(4)
+        placement = place(netlist, seed=2)
+        near = layout_bridge_pairs(netlist, placement, max_gap=0.5)
+        far = layout_bridge_pairs(netlist, placement, max_gap=2.0)
+        assert len(near) <= len(far)
+
+    def test_bridges_simulate(self):
+        """Sampled layout bridges must inject cleanly (no oscillation)."""
+        from repro.sim.patterns import PatternSet
+        from repro.tester.harness import apply_test
+
+        netlist = ripple_carry_adder(4)
+        pats = PatternSet.random(netlist, 16, seed=9)
+        bridges = layout_bridge_pairs(netlist, seed=1)[:10]
+        for bridge in bridges:
+            apply_test(netlist, pats, [bridge])  # must not raise

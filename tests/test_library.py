@@ -1,0 +1,78 @@
+"""Tests for the benchmark circuit registry."""
+
+import pytest
+
+from repro.circuit.generators import c17
+from repro.circuit.library import (
+    SUITE_LARGE,
+    SUITE_MEDIUM,
+    SUITE_SMALL,
+    circuit_names,
+    load_circuit,
+    register_circuit,
+)
+from repro.errors import NetlistError
+
+
+def test_all_registered_circuits_build():
+    for name in circuit_names():
+        netlist = load_circuit(name)
+        assert netlist.n_gates > 0
+        assert netlist.outputs
+
+
+def test_suites_are_registered():
+    known = set(circuit_names())
+    for suite in (SUITE_SMALL, SUITE_MEDIUM, SUITE_LARGE):
+        assert set(suite) <= known
+
+
+def test_unknown_circuit_error():
+    with pytest.raises(NetlistError, match="unknown circuit"):
+        load_circuit("nonexistent")
+
+
+def test_register_and_reject_duplicate():
+    register_circuit("c17_copy_for_test", c17)
+    assert "c17_copy_for_test" in circuit_names()
+    with pytest.raises(NetlistError, match="already registered"):
+        register_circuit("c17_copy_for_test", c17)
+
+
+def test_load_returns_fresh_instances():
+    a = load_circuit("c17")
+    b = load_circuit("c17")
+    assert a is not b
+    assert a == b
+
+
+def test_suite_size_ordering():
+    small = max(load_circuit(n).n_gates for n in SUITE_SMALL)
+    large = min(load_circuit(n).n_gates for n in SUITE_LARGE)
+    assert small < large
+
+
+def test_scan_suite_registered_and_builds():
+    from repro.circuit.library import SUITE_SCAN
+
+    for name in SUITE_SCAN:
+        core = load_circuit(name)
+        assert core.n_gates > 0
+        # scan cores expose flop data inputs as pseudo outputs
+        assert any(out.startswith("d") for out in core.outputs)
+
+
+def test_scan_core_diagnosable():
+    from repro.circuit.netlist import Site
+    from repro.core.diagnose import Diagnoser
+    from repro.faults.models import StuckAtDefect
+    from repro.sim.patterns import PatternSet
+    from repro.tester.harness import apply_test
+
+    core = load_circuit("scan_cnt16")
+    pats = PatternSet.random(core, 32, seed=2)
+    result = apply_test(core, pats, [StuckAtDefect(Site("d7"), 1)])
+    assert result.device_fails
+    report = Diagnoser(core).diagnose(pats, result.datalog)
+    near = {"d7"} | set(core.driver("d7").inputs)
+    assert {c.site.net for c in report.candidates} & near

@@ -1,0 +1,89 @@
+"""Two-valued simulator tests, checked against the naive oracle."""
+
+import pytest
+
+from repro.circuit.generators import alu, random_dag
+from repro.circuit.netlist import Site
+from repro.errors import SimulationError
+from repro.sim.logicsim import (
+    mismatched_outputs,
+    response_signature,
+    simulate,
+    simulate_outputs,
+)
+from repro.sim.patterns import PatternSet
+
+from tests.conftest import naive_simulate_patterns
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_dag_matches_naive(self, seed):
+        n = random_dag(80, n_inputs=8, n_outputs=5, seed=seed)
+        pats = PatternSet.random(n, 48, seed=seed + 100)
+        assert simulate(n, pats) == naive_simulate_patterns(n, pats)
+
+    def test_alu_matches_naive(self):
+        n = alu(3)
+        pats = PatternSet.random(n, 64, seed=7)
+        assert simulate(n, pats) == naive_simulate_patterns(n, pats)
+
+    def test_c17_exhaustive(self, c17_netlist):
+        pats = PatternSet.exhaustive(c17_netlist)
+        assert simulate(c17_netlist, pats) == naive_simulate_patterns(
+            c17_netlist, pats
+        )
+
+
+class TestOverrides:
+    def test_stem_override_forces_value(self, tiny_and):
+        pats = PatternSet.exhaustive(tiny_and)
+        forced = simulate(tiny_and, pats, {Site("ab"): 0})
+        assert forced["ab"] == 0
+        # z = 0 OR c = c
+        assert forced["z"] == pats.bits["c"]
+
+    def test_input_stem_override(self, tiny_and):
+        pats = PatternSet.exhaustive(tiny_and)
+        forced = simulate(tiny_and, pats, {Site("c"): pats.mask})
+        assert forced["z"] == pats.mask
+
+    def test_branch_override_only_affects_one_reader(self, fanout_circuit):
+        pats = PatternSet.exhaustive(fanout_circuit)
+        base = simulate(fanout_circuit, pats)
+        forced = simulate(
+            fanout_circuit, pats, {Site("stem", ("left", 0)): pats.mask}
+        )
+        # 'right' still sees the true stem; 'left' = AND(1, c) = c.
+        assert forced["right"] == base["right"]
+        assert forced["left"] == pats.bits["c"]
+
+    def test_override_validation(self, tiny_and):
+        pats = PatternSet.exhaustive(tiny_and)
+        with pytest.raises(Exception):
+            simulate(tiny_and, pats, {Site("ghost"): 0})
+        with pytest.raises(SimulationError):
+            simulate(tiny_and, pats, {Site("ab"): 1 << 40})
+
+    def test_pattern_input_mismatch(self, tiny_and, fanout_circuit):
+        pats = PatternSet.exhaustive(fanout_circuit)
+        with pytest.raises(SimulationError):
+            simulate(tiny_and, pats)
+
+
+class TestHelpers:
+    def test_simulate_outputs_projection(self, tiny_and):
+        pats = PatternSet.exhaustive(tiny_and)
+        outs = simulate_outputs(tiny_and, pats)
+        assert set(outs) == {"z"}
+
+    def test_response_signature(self, tiny_and):
+        pats = PatternSet.exhaustive(tiny_and)
+        outs = simulate_outputs(tiny_and, pats)
+        assert response_signature(outs, tiny_and.outputs) == (outs["z"],)
+
+    def test_mismatched_outputs(self):
+        golden = {"x": 0b1100, "y": 0b0000}
+        observed = {"x": 0b1010, "y": 0b0000}
+        diff = mismatched_outputs(golden, observed, 0b1111)
+        assert diff == {"x": 0b0110}

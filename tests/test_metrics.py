@@ -1,0 +1,126 @@
+"""Trial scoring and aggregation tests."""
+
+import pytest
+
+from repro.campaign.metrics import Aggregate, TrialOutcome, aggregate_by, score_report
+from repro.circuit.generators import ripple_carry_adder
+from repro.circuit.netlist import Site
+from repro.core.report import Candidate, DiagnosisReport, Hypothesis, Multiplet
+from repro.faults.models import StuckAtDefect
+
+
+@pytest.fixture(scope="module")
+def rca():
+    return ripple_carry_adder(4)
+
+
+def _report(rca, sites, multiplet=None):
+    candidates = tuple(
+        Candidate(site=s, hypotheses=(Hypothesis("sa0", s),)) for s in sites
+    )
+    multiplets = ()
+    if multiplet:
+        multiplets = (
+            Multiplet(sites=tuple(multiplet), covered_atoms=1, total_atoms=1),
+        )
+    return DiagnosisReport(
+        method="xcover",
+        circuit=rca.name,
+        candidates=candidates,
+        multiplets=multiplets,
+        stats={"seconds": 0.25},
+    )
+
+
+class TestScoreReport:
+    def test_exact_hit(self, rca):
+        truth = [StuckAtDefect(Site("a1"), 0)]
+        report = _report(rca, [Site("a1")], multiplet=[Site("a1")])
+        out = score_report(rca, report, truth, 3, 4)
+        assert out.recall_exact == 1.0
+        assert out.recall_net == 1.0
+        assert out.recall_near == 1.0
+        assert out.precision == 1.0
+        assert out.success
+        assert out.resolution == 1
+        assert out.best_multiplet_size == 1
+        assert out.seconds == 0.25
+
+    def test_branch_vs_stem_net_level_hit(self, rca):
+        branch = next(s for s in rca.sites() if not s.is_stem)
+        truth = [StuckAtDefect(branch, 0)]
+        report = _report(rca, [Site(branch.net)])
+        out = score_report(rca, report, truth, 1, 1)
+        assert out.recall_exact == 0.0
+        assert out.recall_net == 1.0
+        assert out.recall_near == 1.0
+
+    def test_neighbor_hit_counts_as_near(self, rca):
+        # truth at the driver input of some gate, report the gate output.
+        gate_out = rca.topo_order[3]
+        gate = rca.gates[gate_out]
+        truth_net = gate.inputs[0]
+        truth = [StuckAtDefect(Site(truth_net), 0)]
+        report = _report(rca, [Site(gate_out)])
+        out = score_report(rca, report, truth, 1, 1)
+        assert out.recall_exact == 0.0
+        assert out.recall_near == 1.0
+
+    def test_total_miss(self, rca):
+        truth = [StuckAtDefect(Site("a1"), 0)]
+        far = rca.outputs[-1]
+        report = _report(rca, [Site(far)])
+        out = score_report(rca, report, truth, 1, 1)
+        assert out.recall_near == 0.0
+        assert not out.success
+
+    def test_empty_report(self, rca):
+        truth = [StuckAtDefect(Site("a1"), 0)]
+        report = _report(rca, [])
+        out = score_report(rca, report, truth, 1, 1)
+        assert out.precision == 0.0
+        assert out.resolution == 0
+        assert not out.success
+
+    def test_families_recorded(self, rca):
+        truth = [StuckAtDefect(Site("a1"), 0)]
+        out = score_report(rca, _report(rca, [Site("a1")]), truth, 1, 1)
+        assert out.families == ("stuckat",)
+
+
+class TestAggregate:
+    def _outcome(self, method="m", recall=1.0, success=True) -> TrialOutcome:
+        return TrialOutcome(
+            circuit="c",
+            method=method,
+            k=2,
+            families=("stuckat",),
+            recall_exact=recall,
+            recall_net=recall,
+            recall_near=recall,
+            precision=0.5,
+            resolution=4,
+            success=success,
+            n_failing_patterns=3,
+            n_fail_atoms=5,
+            uncovered_atoms=0,
+            seconds=0.1,
+        )
+
+    def test_means(self):
+        agg = Aggregate.over("m", [self._outcome(recall=1.0), self._outcome(recall=0.5, success=False)])
+        assert agg.n_trials == 2
+        assert agg.recall_near == pytest.approx(0.75)
+        assert agg.success_rate == pytest.approx(0.5)
+        assert agg.resolution == 4.0
+
+    def test_empty_group(self):
+        agg = Aggregate.over("m", [])
+        assert agg.n_trials == 0
+        assert agg.recall_near == 0
+
+    def test_aggregate_by(self):
+        outs = [self._outcome("a"), self._outcome("b"), self._outcome("a")]
+        groups = aggregate_by(outs, key=lambda o: o.method)
+        assert set(groups) == {"a", "b"}
+        assert groups["a"].n_trials == 2

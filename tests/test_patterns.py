@@ -1,0 +1,110 @@
+"""Tests for bit-packed pattern sets."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.patterns import PatternSet
+
+
+INPUTS = ("a", "b", "c")
+
+
+class TestConstruction:
+    def test_from_vectors_mappings(self):
+        ps = PatternSet.from_vectors(INPUTS, [{"a": 1, "b": 0, "c": 1}, {"a": 0, "b": 1, "c": 1}])
+        assert ps.n == 2
+        assert ps.pattern(0) == {"a": 1, "b": 0, "c": 1}
+        assert ps.pattern(1) == {"a": 0, "b": 1, "c": 1}
+
+    def test_from_vectors_tuples(self):
+        ps = PatternSet.from_vectors(INPUTS, [(1, 0, 1), (0, 0, 0)])
+        assert ps.as_tuple(0) == (1, 0, 1)
+        assert ps.as_tuple(1) == (0, 0, 0)
+
+    def test_from_vectors_wrong_width(self):
+        with pytest.raises(SimulationError):
+            PatternSet.from_vectors(INPUTS, [(1, 0)])
+
+    def test_from_vectors_non_binary(self):
+        with pytest.raises(SimulationError):
+            PatternSet.from_vectors(INPUTS, [(1, 2, 0)])
+
+    def test_bits_exceeding_width_rejected(self):
+        with pytest.raises(SimulationError):
+            PatternSet(INPUTS, 2, {"a": 0b111})
+
+    def test_unknown_input_bits_rejected(self):
+        with pytest.raises(SimulationError):
+            PatternSet(INPUTS, 2, {"zz": 1})
+
+    def test_random_deterministic(self):
+        a = PatternSet.random(INPUTS, 32, seed=4)
+        b = PatternSet.random(INPUTS, 32, seed=4)
+        assert a == b
+        assert a != PatternSet.random(INPUTS, 32, seed=5)
+
+    def test_exhaustive_counter_order(self):
+        ps = PatternSet.exhaustive(("x", "y"))
+        rows = [ps.as_tuple(i) for i in range(ps.n)]
+        assert rows == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_exhaustive_refuses_huge(self):
+        with pytest.raises(SimulationError):
+            PatternSet.exhaustive([f"i{k}" for k in range(30)])
+
+    def test_zero_patterns(self):
+        ps = PatternSet(INPUTS, 0, {})
+        assert ps.n == 0 and ps.mask == 0
+
+
+class TestAccess:
+    def test_index_bounds(self):
+        ps = PatternSet.random(INPUTS, 4, seed=1)
+        with pytest.raises(IndexError):
+            ps.pattern(4)
+        with pytest.raises(IndexError):
+            ps.as_tuple(-1)
+
+    def test_iteration_matches_pattern(self):
+        ps = PatternSet.random(INPUTS, 5, seed=2)
+        assert list(ps) == [ps.pattern(i) for i in range(5)]
+
+    def test_len(self):
+        assert len(PatternSet.random(INPUTS, 7, seed=0)) == 7
+
+
+class TestManipulation:
+    def test_subset_reorders(self):
+        ps = PatternSet.from_vectors(INPUTS, [(0, 0, 0), (1, 1, 1), (1, 0, 1)])
+        sub = ps.subset([2, 0])
+        assert sub.n == 2
+        assert sub.as_tuple(0) == (1, 0, 1)
+        assert sub.as_tuple(1) == (0, 0, 0)
+
+    def test_subset_bad_index(self):
+        ps = PatternSet.random(INPUTS, 3, seed=1)
+        with pytest.raises(IndexError):
+            ps.subset([3])
+
+    def test_concat(self):
+        a = PatternSet.from_vectors(INPUTS, [(0, 0, 0)])
+        b = PatternSet.from_vectors(INPUTS, [(1, 1, 1), (1, 0, 0)])
+        c = a.concat(b)
+        assert c.n == 3
+        assert c.as_tuple(0) == (0, 0, 0)
+        assert c.as_tuple(2) == (1, 0, 0)
+
+    def test_concat_mismatched_inputs(self):
+        a = PatternSet.random(("x",), 2, seed=1)
+        b = PatternSet.random(("y",), 2, seed=1)
+        with pytest.raises(SimulationError):
+            a.concat(b)
+
+    def test_dedup_keeps_first(self):
+        ps = PatternSet.from_vectors(
+            INPUTS, [(0, 0, 0), (1, 1, 1), (0, 0, 0), (1, 1, 1)]
+        )
+        d = ps.dedup()
+        assert d.n == 2
+        assert d.as_tuple(0) == (0, 0, 0)
+        assert d.as_tuple(1) == (1, 1, 1)

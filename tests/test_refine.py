@@ -1,0 +1,136 @@
+"""Fault-model allocation (refinement) tests."""
+
+import pytest
+
+from repro.circuit.netlist import Site
+from repro.core.backtrace import candidate_sites
+from repro.core.pertest import build_pertest
+from repro.core.refine import RefineConfig, allocate_hypotheses
+from repro.faults.models import (
+    BridgeDefect,
+    StuckAtDefect,
+    TransitionDefect,
+    TransitionKind,
+)
+from repro.circuit.generators import ripple_carry_adder
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+from repro.tester.harness import apply_test
+
+
+@pytest.fixture(scope="module")
+def rca6():
+    return ripple_carry_adder(6)
+
+
+@pytest.fixture(scope="module")
+def pats(rca6):
+    return PatternSet.random(rca6, 40, seed=41)
+
+
+def _hypotheses(netlist, patterns, defects, site, config=None):
+    result = apply_test(netlist, patterns, defects)
+    assert result.device_fails
+    base = simulate(netlist, patterns)
+    sites = candidate_sites(netlist, result.datalog)
+    pt = build_pertest(netlist, patterns, result.datalog, sites, base)
+    return allocate_hypotheses(
+        netlist, patterns, result.datalog, site, base, pt, config
+    )
+
+
+class TestStuckAllocation:
+    def test_correct_polarity_ranked_first(self, rca6, pats):
+        site = Site("b2")
+        hyps = _hypotheses(rca6, pats, [StuckAtDefect(site, 1)], site)
+        assert hyps[0].kind == "sa1"
+        assert hyps[0].false_alarms == 0
+        assert hyps[0].misses == 0
+
+    def test_wrong_polarity_vindicated_away(self, rca6, pats):
+        site = Site("b2")
+        hyps = _hypotheses(rca6, pats, [StuckAtDefect(site, 1)], site)
+        kinds = [h.kind for h in hyps]
+        assert "sa0" not in kinds  # sa0 would predict failures on passers
+
+    def test_arbitrary_always_last(self, rca6, pats):
+        site = Site("b2")
+        hyps = _hypotheses(rca6, pats, [StuckAtDefect(site, 1)], site)
+        assert hyps[-1].kind == "arbitrary"
+        assert hyps[-1].false_alarms == 0
+
+    def test_branch_site_labeled_open(self, rca6, pats):
+        from repro.faults.models import OpenDefect
+
+        # choose a real branch site in the adder
+        branch = next(s for s in rca6.sites() if not s.is_stem)
+        result = apply_test(rca6, pats, [OpenDefect(branch, 1)])
+        if result.datalog.is_passing_device:
+            pytest.skip("invisible branch open")
+        base = simulate(rca6, pats)
+        sites = candidate_sites(rca6, result.datalog)
+        pt = build_pertest(rca6, pats, result.datalog, sites, base)
+        hyps = allocate_hypotheses(rca6, pats, result.datalog, branch, base, pt)
+        concrete = [h.kind for h in hyps if h.kind != "arbitrary"]
+        assert any(k.startswith("open") for k in concrete)
+
+
+class TestBridgeAllocation:
+    def test_dominant_bridge_aggressor_found(self, rca6, pats):
+        victim = "n8"
+        # choose an aggressor near the victim's level outside its cone
+        cone = rca6.fanout_cone([victim])
+        lvl = rca6.level(victim)
+        aggressor = next(
+            net
+            for net in rca6.nets()
+            if net not in cone and net != victim and abs(rca6.level(net) - lvl) <= 2
+        )
+        defect = BridgeDefect(victim, aggressor)
+        site = Site(victim)
+        hyps = _hypotheses(rca6, pats, [defect], site)
+        bridges = [h for h in hyps if h.kind == "bridge"]
+        assert any(h.aggressor == aggressor for h in bridges) or hyps[0].hits > 0
+
+    def test_bridge_disabled_by_config(self, rca6, pats):
+        site = Site("b2")
+        config = RefineConfig(try_bridges=False)
+        hyps = _hypotheses(rca6, pats, [StuckAtDefect(site, 1)], site, config)
+        assert all(h.kind != "bridge" for h in hyps)
+
+
+class TestTransitionAllocation:
+    def test_slow_to_rise_detected(self, rca6, pats):
+        site = Site("n8")
+        defect = TransitionDefect(site, TransitionKind.SLOW_TO_RISE)
+        result = apply_test(rca6, pats, [defect])
+        if result.datalog.is_passing_device:
+            pytest.skip("no launch/capture edge in this pattern set")
+        base = simulate(rca6, pats)
+        sites = candidate_sites(rca6, result.datalog)
+        pt = build_pertest(rca6, pats, result.datalog, sites, base)
+        hyps = allocate_hypotheses(rca6, pats, result.datalog, site, base, pt)
+        assert hyps[0].kind in ("str", "arbitrary")
+        if hyps[0].kind == "str":
+            assert hyps[0].misses == 0
+
+    def test_transitions_disabled_by_config(self, rca6, pats):
+        site = Site("b2")
+        config = RefineConfig(try_transitions=False)
+        hyps = _hypotheses(rca6, pats, [StuckAtDefect(site, 1)], site, config)
+        assert all(h.kind not in ("str", "stf") for h in hyps)
+
+
+class TestVindicationKnob:
+    def test_vindication_off_keeps_contradicted_models(self, rca6, pats):
+        site = Site("b2")
+        strict = _hypotheses(rca6, pats, [StuckAtDefect(site, 1)], site)
+        lax = _hypotheses(
+            rca6,
+            pats,
+            [StuckAtDefect(site, 1)],
+            site,
+            RefineConfig(vindicate=False),
+        )
+        assert len(lax) >= len(strict)
+        assert any(h.false_alarms > 0 for h in lax) or len(lax) == len(strict)

@@ -1,0 +1,157 @@
+"""Report data structures and JSON serialization."""
+
+import pytest
+
+from repro.circuit.netlist import Site
+from repro.core.report import Candidate, DiagnosisReport, Hypothesis, Multiplet
+
+
+def sample_report() -> DiagnosisReport:
+    h1 = Hypothesis("sa1", Site("x"), hits=3, misses=1, false_alarms=0)
+    h2 = Hypothesis("bridge", Site("x"), aggressor="y", hits=2, misses=2)
+    arb = Hypothesis("arbitrary", Site("x"), hits=4)
+    cand = Candidate(site=Site("x"), hypotheses=(h1, h2, arb), explained_atoms=4)
+    branch = Candidate(
+        site=Site("w", ("g", 1)),
+        hypotheses=(Hypothesis("open0", Site("w", ("g", 1)), hits=1),),
+        explained_atoms=1,
+    )
+    multiplet = Multiplet(
+        sites=(Site("x"), Site("w", ("g", 1))),
+        covered_atoms=5,
+        total_atoms=5,
+        iou=0.8,
+    )
+    return DiagnosisReport(
+        method="xcover",
+        circuit="c",
+        candidates=(cand, branch),
+        multiplets=(multiplet,),
+        uncovered_atoms=frozenset({(3, "z")}),
+        stats={"seconds": 0.5},
+    )
+
+
+class TestHypothesis:
+    def test_precision_recall(self):
+        h = Hypothesis("sa0", Site("x"), hits=3, misses=1, false_alarms=1)
+        assert h.precision == pytest.approx(0.75)
+        assert h.recall == pytest.approx(0.75)
+
+    def test_zero_divisions(self):
+        h = Hypothesis("sa0", Site("x"))
+        assert h.precision == 0.0
+        assert h.recall == 0.0
+
+    def test_describe_bridge(self):
+        h = Hypothesis("bridge", Site("x"), aggressor="y")
+        assert "bridge<-y" in h.describe()
+
+
+class TestMultiplet:
+    def test_rank_key_ordering(self):
+        complete_small = Multiplet((Site("a"),), 5, 5, iou=0.5)
+        complete_big = Multiplet((Site("a"), Site("b")), 5, 5, iou=0.9)
+        incomplete = Multiplet((Site("c"),), 3, 5, iou=1.0)
+        ranked = sorted([incomplete, complete_big, complete_small], key=lambda m: m.rank_key)
+        assert ranked[0] == complete_small
+        assert ranked[-1] == incomplete
+
+    def test_complete_flag(self):
+        assert Multiplet((Site("a"),), 5, 5).complete
+        assert not Multiplet((Site("a"),), 4, 5).complete
+
+
+class TestReportQueries:
+    def test_candidate_sites_and_contains(self):
+        report = sample_report()
+        assert Site("x") in report.candidate_sites
+        assert report.contains([Site("x")])
+        assert not report.contains([Site("nope")])
+
+    def test_best_sites(self):
+        report = sample_report()
+        assert Site("x") in report.best_sites
+        assert report.resolution == 2
+
+    def test_empty_report(self):
+        report = DiagnosisReport(method="m", circuit="c")
+        assert report.best_multiplet is None
+        assert report.best_sites == frozenset()
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        report = sample_report()
+        again = DiagnosisReport.from_json(report.to_json())
+        assert again.method == report.method
+        assert again.circuit == report.circuit
+        assert [c.site for c in again.candidates] == [
+            c.site for c in report.candidates
+        ]
+        assert again.candidates[0].hypotheses == report.candidates[0].hypotheses
+        assert again.multiplets == report.multiplets
+        assert again.uncovered_atoms == report.uncovered_atoms
+        assert again.stats == report.stats
+
+    def test_branch_sites_survive(self):
+        report = sample_report()
+        again = DiagnosisReport.from_json(report.to_json())
+        assert again.candidates[1].site == Site("w", ("g", 1))
+
+    def test_json_is_stable(self):
+        report = sample_report()
+        assert report.to_json() == DiagnosisReport.from_json(report.to_json()).to_json()
+
+
+class TestClassification:
+    def test_passing(self):
+        report = DiagnosisReport(method="m", circuit="c", stats={"n_failing_patterns": 0})
+        assert report.classification == "passing"
+
+    def test_explained(self):
+        report = sample_report()
+        assert report.best_multiplet.complete
+        # sample_report carries one uncovered atom -> partially explained.
+        assert report.classification == "partially-explained"
+
+    def test_fully_explained(self):
+        base = sample_report()
+        report = DiagnosisReport(
+            method=base.method,
+            circuit=base.circuit,
+            candidates=base.candidates,
+            multiplets=base.multiplets,
+            uncovered_atoms=frozenset(),
+            stats={"n_failing_patterns": 3},
+        )
+        assert report.classification == "explained"
+
+    def test_outside_model(self):
+        report = DiagnosisReport(
+            method="m",
+            circuit="c",
+            uncovered_atoms=frozenset({(0, "z")}),
+            stats={"n_failing_patterns": 1.0},
+        )
+        assert report.classification == "outside-model"
+
+    def test_end_to_end_outside_model(self):
+        """A datalog fabricated to contradict the circuit (output failing
+        where no site could cause it under the model) classifies away
+        from the logic.  We fake it with an empty-candidate report path:
+        a failing pattern whose 'failing output' is a feed-through of an
+        unused input region is still explainable at gate level, so here
+        we simply check the classification plumbing through diagnose()."""
+        from repro.circuit.generators import ripple_carry_adder
+        from repro.core.diagnose import Diagnoser
+        from repro.faults.models import StuckAtDefect
+        from repro.circuit.netlist import Site
+        from repro.sim.patterns import PatternSet
+        from repro.tester.harness import apply_test
+
+        netlist = ripple_carry_adder(4)
+        pats = PatternSet.random(netlist, 24, seed=3)
+        result = apply_test(netlist, pats, [StuckAtDefect(Site("n8"), 0)])
+        report = Diagnoser(netlist).diagnose(pats, result.datalog)
+        assert report.classification == "explained"

@@ -1,0 +1,55 @@
+"""Seeded RNG helper tests."""
+
+import random
+
+import pytest
+
+from repro._rng import make_rng, sample_distinct, spawn, weighted_choice
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_passthrough_existing_rng(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_default_seed(self):
+        assert make_rng(None).random() == make_rng(None).random()
+
+
+class TestSpawn:
+    def test_deterministic_per_tag(self):
+        a = spawn(make_rng(3), "x").random()
+        b = spawn(make_rng(3), "x").random()
+        assert a == b
+
+    def test_tag_independence(self):
+        assert spawn(make_rng(3), "x").random() != spawn(make_rng(3), "y").random()
+
+
+class TestSampleDistinct:
+    def test_basic(self):
+        got = sample_distinct(make_rng(1), list(range(10)), 4)
+        assert len(set(got)) == 4
+
+    def test_too_many(self):
+        with pytest.raises(ValueError):
+            sample_distinct(make_rng(1), [1, 2], 3)
+
+
+class TestWeightedChoice:
+    def test_respects_zero_weight(self):
+        rng = make_rng(2)
+        for _ in range(50):
+            assert weighted_choice(rng, [("a", 1.0), ("b", 0.0)]) == "a"
+
+    def test_distribution_rough(self):
+        rng = make_rng(3)
+        picks = [weighted_choice(rng, [("a", 0.9), ("b", 0.1)]) for _ in range(200)]
+        assert picks.count("a") > 140
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(1), [("a", 0.0)])

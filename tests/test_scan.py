@@ -1,0 +1,110 @@
+"""Scan-chain coordinate translation tests."""
+
+import pytest
+
+from repro.circuit.generators import ripple_carry_adder
+from repro.circuit.netlist import Site
+from repro.errors import DatalogError
+from repro.faults.models import StuckAtDefect
+from repro.sim.patterns import PatternSet
+from repro.tester.harness import apply_test
+from repro.tester.scan import (
+    ScanCell,
+    ScanChainConfig,
+    ScanFail,
+    format_tester_log,
+    from_tester_log,
+    parse_tester_log,
+    to_tester_log,
+)
+
+
+@pytest.fixture(scope="module")
+def rca():
+    return ripple_carry_adder(6)
+
+
+@pytest.fixture(scope="module")
+def failing_datalog(rca):
+    pats = PatternSet.random(rca, 24, seed=81)
+    result = apply_test(rca, pats, [StuckAtDefect(Site("b2"), 1)])
+    assert result.device_fails
+    return result.datalog
+
+
+class TestConfig:
+    def test_round_robin_layout(self, rca):
+        config = ScanChainConfig(rca, n_chains=3)
+        assert config.n_chains == 3
+        # every output mapped, all cells distinct
+        assert set(config.cell_of) == set(rca.outputs)
+        assert len(set(config.cell_of.values())) == len(rca.outputs)
+        lengths = [config.chain_length(c) for c in range(3)]
+        assert max(lengths) - min(lengths) <= 1  # balanced
+
+    def test_single_chain(self, rca):
+        config = ScanChainConfig(rca)
+        positions = sorted(cell.position for cell in config.cell_of.values())
+        assert positions == list(range(len(rca.outputs)))
+
+    def test_custom_mapping_validation(self, rca):
+        partial = {rca.outputs[0]: ScanCell(0, 0)}
+        with pytest.raises(DatalogError, match="without a scan cell"):
+            ScanChainConfig(rca, mapping=partial)
+
+    def test_duplicate_cell_rejected(self, rca):
+        mapping = {out: ScanCell(0, 0) for out in rca.outputs}
+        with pytest.raises(DatalogError, match="assigned twice"):
+            ScanChainConfig(rca, mapping=mapping)
+
+    def test_zero_chains_rejected(self, rca):
+        with pytest.raises(DatalogError):
+            ScanChainConfig(rca, n_chains=0)
+
+
+class TestTranslation:
+    def test_roundtrip(self, rca, failing_datalog):
+        config = ScanChainConfig(rca, n_chains=2)
+        fails = to_tester_log(config, failing_datalog)
+        back = from_tester_log(config, fails, failing_datalog.n_patterns)
+        assert back == failing_datalog
+
+    def test_fail_count_matches_atoms(self, rca, failing_datalog):
+        config = ScanChainConfig(rca, n_chains=4)
+        fails = to_tester_log(config, failing_datalog)
+        assert len(fails) == failing_datalog.n_fail_atoms
+
+    def test_unknown_cell_rejected(self, rca, failing_datalog):
+        config = ScanChainConfig(rca, n_chains=1)
+        bogus = [ScanFail(0, 7, 99)]
+        with pytest.raises(DatalogError, match="no scan cell"):
+            from_tester_log(config, bogus, failing_datalog.n_patterns)
+
+
+class TestTextFormat:
+    def test_roundtrip(self):
+        fails = [ScanFail(3, 0, 5), ScanFail(7, 1, 2)]
+        assert parse_tester_log(format_tester_log(fails)) == fails
+
+    def test_comments_skipped(self):
+        assert parse_tester_log("# hi\n\n1 0 0\n") == [ScanFail(1, 0, 0)]
+
+    def test_malformed(self):
+        with pytest.raises(DatalogError):
+            parse_tester_log("1 2\n")
+        with pytest.raises(DatalogError):
+            parse_tester_log("a b c\n")
+
+    def test_diagnosis_through_tester_coordinates(self, rca, failing_datalog):
+        """Full loop: logical -> tester text -> logical -> diagnosis."""
+        from repro.core.diagnose import Diagnoser
+        from repro.campaign.driver import provision_patterns
+
+        config = ScanChainConfig(rca, n_chains=2)
+        text = format_tester_log(to_tester_log(config, failing_datalog))
+        recovered = from_tester_log(
+            config, parse_tester_log(text), failing_datalog.n_patterns
+        )
+        pats = PatternSet.random(rca, 24, seed=81)
+        report = Diagnoser(rca).diagnose(pats, recovered)
+        assert any(c.site.net == "b2" for c in report.candidates)

@@ -1,0 +1,76 @@
+"""Response-match metric tests."""
+
+import pytest
+
+from repro.circuit.netlist import Site
+from repro.core.scoring import (
+    atoms_iou,
+    diff_to_atoms,
+    match_counts,
+    multiplet_iou,
+    predicted_atoms,
+)
+from repro.faults.models import StuckAtDefect
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+from repro.tester.harness import apply_test
+
+
+class TestDiffToAtoms:
+    def test_expansion(self):
+        atoms = diff_to_atoms({"z": 0b101, "w": 0b010})
+        assert atoms == {(0, "z"), (2, "z"), (1, "w")}
+
+    def test_empty(self):
+        assert diff_to_atoms({}) == frozenset()
+
+
+class TestMatchCounts:
+    def test_partition(self):
+        predicted = frozenset({(0, "z"), (1, "z"), (5, "w")})
+        observed = frozenset({(0, "z"), (2, "w")})
+        failing = [0, 1, 2]
+        hits, misses, fa = match_counts(predicted, observed, failing)
+        assert hits == 1  # (0, z)
+        assert misses == 1  # (2, w)
+        assert fa == 1  # (5, w) on a passing pattern
+        # (1, z) predicted on a *failing* pattern is tolerated (masking).
+
+    def test_perfect(self):
+        p = frozenset({(0, "z")})
+        assert match_counts(p, p, [0]) == (1, 0, 0)
+
+
+class TestIou:
+    def test_bounds(self):
+        a = frozenset({(0, "z"), (1, "z")})
+        b = frozenset({(1, "z"), (2, "z")})
+        assert atoms_iou(a, a) == 1.0
+        assert atoms_iou(a, frozenset()) == 0.0
+        assert atoms_iou(a, b) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert atoms_iou(frozenset(), frozenset()) == 1.0
+
+
+class TestSimulationBacked:
+    def test_predicted_atoms_match_observed_for_true_fault(self, rca4):
+        pats = PatternSet.random(rca4, 32, seed=3)
+        fault = StuckAtDefect(Site("a1"), 0)
+        result = apply_test(rca4, pats, [fault])
+        base = simulate(rca4, pats)
+        predicted = predicted_atoms(rca4, pats, fault, base)
+        assert predicted == result.datalog.fail_atoms()
+
+    def test_multiplet_iou_perfect_for_truth(self, rca4):
+        pats = PatternSet.random(rca4, 32, seed=3)
+        defects = [StuckAtDefect(Site("a1"), 0), StuckAtDefect(Site("b3"), 1)]
+        result = apply_test(rca4, pats, defects)
+        base = simulate(rca4, pats)
+        observed = frozenset(result.datalog.fail_atoms())
+        assert multiplet_iou(rca4, pats, defects, observed, base) == 1.0
+
+    def test_multiplet_iou_empty_defect_list(self, rca4):
+        pats = PatternSet.random(rca4, 8, seed=3)
+        base = simulate(rca4, pats)
+        assert multiplet_iou(rca4, pats, [], frozenset(), base) is None

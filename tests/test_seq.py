@@ -1,0 +1,176 @@
+"""Sequential substrate tests: model, scan insertion, unrolling."""
+
+import pytest
+
+from repro.circuit.gates import Gate, GateKind
+from repro.errors import NetlistError, ParseError
+from repro.seq.generators import counter, lfsr, shift_register
+from repro.seq.model import Flop, SequentialNetlist, parse_bench_sequential
+from repro.seq.transform import scan_insert, unroll
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+
+
+def simulate_sequential(seq, input_sequence):
+    """Reference cycle-by-cycle simulation through the combinational core."""
+    core = seq.combinational_core()
+    state = {flop.q: flop.init for flop in seq.flops}
+    trace = []
+    for step_inputs in input_sequence:
+        assignment = {**step_inputs, **state}
+        pats = PatternSet.from_vectors(core.inputs, [assignment])
+        values = simulate(core, pats)
+        trace.append({po: values[po] & 1 for po in seq.outputs})
+        state = {flop.q: values[flop.d] & 1 for flop in seq.flops}
+    return trace
+
+
+class TestModel:
+    def test_core_shapes(self):
+        seq = shift_register(4)
+        core = seq.combinational_core()
+        assert "q0" in core.inputs
+        assert "d0" in core.outputs
+        assert seq.n_flops == 4
+
+    def test_duplicate_flop_rejected(self):
+        with pytest.raises(NetlistError, match="duplicate flop"):
+            SequentialNetlist(
+                "x",
+                ["a"],
+                ["z"],
+                [Gate("z", GateKind.BUF, ("a",)), Gate("d", GateKind.BUF, ("a",))],
+                [Flop("q", "d"), Flop("q", "d")],
+            )
+
+    def test_flop_init_validation(self):
+        with pytest.raises(NetlistError):
+            Flop("q", "d", init=2)
+
+    def test_parse_bench_sequential(self):
+        text = (
+            "INPUT(a)\nOUTPUT(z)\n"
+            "q = DFF(d)\n"
+            "d = NAND(a, q)\n"
+            "z = BUFF(q)\n"
+        )
+        seq = parse_bench_sequential(text, name="tff")
+        assert seq.n_flops == 1
+        assert seq.inputs == ("a",)
+        assert seq.outputs == ("z",)
+
+    def test_parse_dff_arity(self):
+        with pytest.raises(ParseError):
+            parse_bench_sequential("q = DFF(a, b)\n")
+
+
+class TestGeneratorsBehavior:
+    def test_shift_register_delays(self):
+        seq = shift_register(3)
+        stream = [1, 0, 1, 1, 0, 0, 1, 0]
+        trace = simulate_sequential(seq, [{"din": bit} for bit in stream])
+        outs = [t["dout"] for t in trace]
+        # Output is the input delayed by 3 cycles (zeros before).
+        assert outs == [0, 0, 0] + stream[:-3]
+
+    def test_counter_counts(self):
+        seq = counter(4)
+        trace = simulate_sequential(seq, [{"en": 1}] * 10)
+        values = [
+            sum(t[f"count{i}"] << i for i in range(4)) for t in trace
+        ]
+        assert values == list(range(10))
+
+    def test_counter_holds_when_disabled(self):
+        seq = counter(3)
+        trace = simulate_sequential(
+            seq, [{"en": 1}, {"en": 1}, {"en": 0}, {"en": 0}, {"en": 1}]
+        )
+        values = [sum(t[f"count{i}"] << i for i in range(3)) for t in trace]
+        assert values == [0, 1, 2, 2, 2]
+
+    def test_lfsr_is_periodic_maximal(self):
+        # x^4 + x^3 + 1 (taps 3,0 in this shift convention) -> period 15.
+        seq = lfsr((0, 3), width=4)
+        trace = simulate_sequential(seq, [{} for _ in range(30)])
+        bits = tuple(t["serial"] for t in trace)
+        assert bits[:15] == bits[15:30]
+        assert any(bits)  # non-degenerate
+
+    def test_lfsr_tap_validation(self):
+        with pytest.raises(NetlistError):
+            lfsr((), width=4)
+        with pytest.raises(NetlistError):
+            lfsr((4,), width=4)
+
+
+class TestScanInsert:
+    def test_every_bit_observed(self):
+        seq = counter(4)
+        design = scan_insert(seq, n_chains=2)
+        cells = set(design.config.cell_of)
+        assert cells == set(design.netlist.outputs)
+        # POs on chain 0, flop captures on chains 1..2
+        for po in seq.outputs:
+            assert design.config.cell_of[po].chain == 0
+        for flop in seq.flops:
+            assert design.config.cell_of[flop.d].chain in (1, 2)
+
+    def test_diagnosis_on_scan_core(self):
+        """A defect inside the sequential logic is located through the
+        scan view exactly like a combinational one."""
+        from repro.circuit.netlist import Site
+        from repro.core.diagnose import Diagnoser
+        from repro.faults.models import StuckAtDefect
+        from repro.tester.harness import apply_test
+
+        seq = counter(5)
+        design = scan_insert(seq, n_chains=2)
+        core = design.netlist
+        pats = PatternSet.random(core, 32, seed=5)
+        defect = StuckAtDefect(Site("d2"), 0)
+        result = apply_test(core, pats, [defect])
+        assert result.device_fails
+        report = Diagnoser(core).diagnose(pats, result.datalog)
+        near = {"d2"} | set(core.driver("d2").inputs)
+        assert {c.site.net for c in report.candidates} & near
+
+    def test_chain_count_validation(self):
+        with pytest.raises(NetlistError):
+            scan_insert(counter(2), n_chains=0)
+
+
+class TestUnroll:
+    def test_matches_reference_simulation(self):
+        seq = counter(3)
+        frames = 6
+        unrolled = unroll(seq, frames)
+        # Drive en=1 in every frame.
+        pats = PatternSet.from_vectors(
+            unrolled.inputs, [{name: 1 for name in unrolled.inputs}]
+        )
+        values = simulate(unrolled, pats)
+        reference = simulate_sequential(seq, [{"en": 1}] * frames)
+        for frame in range(frames):
+            for po in seq.outputs:
+                assert (values[f"f{frame}_{po}"] & 1) == reference[frame][po]
+
+    def test_initial_values_respected(self):
+        seq = lfsr((0, 2), width=3)
+        unrolled = unroll(seq, 1)
+        pats = PatternSet.from_vectors(unrolled.inputs, [{}]) if unrolled.inputs else None
+        if pats is None:
+            pats = PatternSet(unrolled.inputs, 1, {})
+        values = simulate(unrolled, pats)
+        assert values["f0_q0"] & 1 == 1  # seeded stage
+        assert values["f0_q1"] & 1 == 0
+
+    def test_frame_validation(self):
+        with pytest.raises(NetlistError):
+            unroll(counter(2), 0)
+
+    def test_unrolled_size(self):
+        seq = counter(3)
+        unrolled = unroll(seq, 4)
+        assert unrolled.n_gates >= 4 * seq.n_gates
+        assert len(unrolled.inputs) == 4 * len(seq.inputs)

@@ -1,0 +1,57 @@
+"""Table/figure text rendering tests."""
+
+from repro.campaign.tables import format_cell, format_series, format_table
+
+
+class TestFormatCell:
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_trimmed(self):
+        assert format_cell(0.5) == "0.5"
+        assert format_cell(1.0) == "1"
+        assert format_cell(0.0) == "0"
+        assert format_cell(0.333333) == "0.333"
+
+    def test_other(self):
+        assert format_cell("x") == "x"
+        assert format_cell(7) == "7"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [("alpha", 1), ("b", 123456)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        header = lines[2]
+        assert header.startswith("name")
+        assert "value" in header
+        # all rows align on the same column start
+        col = header.index("value")
+        for line in lines[4:]:
+            assert line[col - 2 : col] == "  " or len(line) <= col
+
+    def test_no_title(self):
+        text = format_table(["a"], [(1,)])
+        assert text.splitlines()[0] == "a"
+
+
+class TestFormatSeries:
+    def test_structure(self):
+        text = format_series(
+            "k",
+            [1, 2, 3],
+            {"ours": [1.0, 0.9, 0.8], "slat": [1.0, 0.5, 0.2]},
+            title="Fig",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig"
+        assert "ours" in lines[2]
+        assert "#" in text  # trend bars rendered
+
+    def test_short_series_padded(self):
+        text = format_series("x", [1, 2], {"s": [0.5]})
+        assert "?" in text  # missing point marker

@@ -1,0 +1,91 @@
+"""Three-valued simulation and X-injection tests.
+
+The two key soundness properties the diagnosis method rests on:
+
+- binary consistency: with no X injected, 3-valued == 2-valued simulation;
+- X-monotonicity: injecting X never flips a net 0<->1, it can only turn
+  binary values into X.
+"""
+
+import pytest
+
+from repro.circuit.gates import TV_X, tv_all_x, tv_binary, tv_const, tv_xmask
+from repro.circuit.generators import alu, random_dag
+from repro.circuit.netlist import Site
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+from repro.sim.threeval import simulate3, x_injection_reach
+
+
+class TestBinaryConsistency:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_simulate3_equals_simulate_without_x(self, seed):
+        n = random_dag(70, n_inputs=8, n_outputs=4, seed=seed)
+        pats = PatternSet.random(n, 40, seed=seed)
+        binary = simulate(n, pats)
+        three = simulate3(n, pats)
+        for net in n.nets():
+            assert tv_xmask(three[net]) == 0, net
+            assert tv_binary(three[net], pats.mask) == binary[net], net
+
+
+class TestXMonotonicity:
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_injection_never_flips_binary_values(self, seed):
+        n = random_dag(70, n_inputs=8, n_outputs=4, seed=seed)
+        pats = PatternSet.random(n, 32, seed=seed)
+        binary = simulate(n, pats)
+        sites = [s for s in n.sites() if s.is_stem][:: max(1, n.n_nets // 10)]
+        for site in sites:
+            three = simulate3(n, pats, {site: tv_all_x(pats.mask)})
+            for net in n.nets():
+                if net == site.net:
+                    continue
+                xm = tv_xmask(three[net])
+                stable = pats.mask & ~xm
+                assert tv_binary(three[net], pats.mask) & stable == binary[net] & stable
+
+
+class TestXInjectionReach:
+    def test_equals_full_simulation(self, rca4):
+        pats = PatternSet.random(rca4, 24, seed=9)
+        base = simulate(rca4, pats)
+        for site in rca4.sites():
+            reach = x_injection_reach(rca4, pats, site, base)
+            overrides = {site: tv_all_x(pats.mask)}
+            full = simulate3(rca4, pats, overrides)
+            for out in rca4.outputs:
+                assert reach.get(out, 0) == tv_xmask(full[out]), (site, out)
+
+    def test_input_site_reaches_its_cone(self, c17_netlist):
+        pats = PatternSet.exhaustive(c17_netlist)
+        base = simulate(c17_netlist, pats)
+        reach = x_injection_reach(c17_netlist, pats, Site("1"), base)
+        assert set(reach) <= {"22"}
+        assert reach  # input 1 must be able to corrupt output 22 somewhere
+
+    def test_output_stem_always_reaches_itself(self, c17_netlist):
+        pats = PatternSet.exhaustive(c17_netlist)
+        base = simulate(c17_netlist, pats)
+        reach = x_injection_reach(c17_netlist, pats, Site("22"), base)
+        assert reach["22"] == pats.mask
+
+    def test_branch_site_reach_subset_of_stem(self, fanout_circuit):
+        pats = PatternSet.exhaustive(fanout_circuit)
+        base = simulate(fanout_circuit, pats)
+        stem = x_injection_reach(fanout_circuit, pats, Site("stem"), base)
+        branch = x_injection_reach(
+            fanout_circuit, pats, Site("stem", ("left", 0)), base
+        )
+        # X at one branch is dominated by X at the stem (monotonicity).
+        for out, vec in branch.items():
+            assert vec & ~stem.get(out, 0) == 0
+        assert set(branch) <= set(fanout_circuit.outputs)
+
+    def test_default_base_values_computed(self, c17_netlist):
+        pats = PatternSet.exhaustive(c17_netlist)
+        with_base = x_injection_reach(
+            c17_netlist, pats, Site("11"), simulate(c17_netlist, pats)
+        )
+        without_base = x_injection_reach(c17_netlist, pats, Site("11"), None)
+        assert with_base == without_base

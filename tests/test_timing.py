@@ -1,0 +1,157 @@
+"""Unit-delay timing and small-delay defect tests."""
+
+import pytest
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.generators import ripple_carry_adder
+from repro.circuit.netlist import Site
+from repro.errors import SimulationError
+from repro.sim.logicsim import simulate_outputs
+from repro.sim.patterns import PatternSet
+from repro.sim.timing import (
+    SmallDelayDefect,
+    apply_delay_test,
+    arrival_times,
+    propagation_depths,
+    static_slack,
+    timed_capture,
+)
+
+
+@pytest.fixture
+def pipeline():
+    """in -> g1 -> g2 -> out (depth 2) plus a depth-1 side path."""
+    b = NetlistBuilder("pipe")
+    a, c = b.inputs("a", "c")
+    g1 = b.not_(a, name="g1")
+    g2 = b.xor(g1, c, name="g2")
+    b.output(b.buf(g2, name="out"))
+    b.output(b.buf(c, name="side"))
+    return b.build()
+
+
+class TestStaticTiming:
+    def test_arrival_times(self, pipeline):
+        arrival = arrival_times(pipeline)
+        assert arrival["a"] == 0.0
+        assert arrival["g1"] == 1.0
+        assert arrival["g2"] == 2.0
+        assert arrival["out"] == 3.0
+        assert arrival["side"] == 1.0
+
+    def test_propagation_depths(self, pipeline):
+        depth = propagation_depths(pipeline)
+        assert depth["out"] == 0.0
+        assert depth["g2"] == 1.0
+        assert depth["g1"] == 2.0
+        assert depth["a"] == 3.0
+        # c reaches out through g2 (2 gates) and side directly (1 gate).
+        assert depth["c"] == 2.0
+
+    def test_static_slack(self, pipeline):
+        # Critical path = 3 units; at period 4 net g1 has slack 1.
+        assert static_slack(pipeline, Site("g1"), period=4.0) == pytest.approx(1.0)
+
+    def test_scaled_gate_delay(self, pipeline):
+        arrival = arrival_times(pipeline, gate_delay=2.0)
+        assert arrival["out"] == 6.0
+
+
+class TestSmallDelayDefect:
+    def test_delta_validation(self):
+        with pytest.raises(SimulationError):
+            SmallDelayDefect(Site("x"), 0.0)
+
+    def test_str_and_family(self):
+        d = SmallDelayDefect(Site("x"), 1.5)
+        assert d.family == "smalldelay"
+        assert "+1.5d" in str(d)
+
+
+class TestTimedCapture:
+    def test_healthy_circuit_at_critical_period(self, pipeline):
+        pats = PatternSet.random(pipeline, 16, seed=3)
+        period = max(arrival_times(pipeline).values())
+        captured = timed_capture(pipeline, pats, period)
+        assert captured == simulate_outputs(pipeline, pats)
+
+    def test_small_delta_with_slack_escapes(self, pipeline):
+        """Delay on the short side path is absorbed by its slack."""
+        pats = PatternSet.from_vectors(pipeline.inputs, [(0, 0), (0, 1), (0, 0)])
+        defect = SmallDelayDefect(Site("side"), 1.0)
+        # Critical path 3; side path arrival 1 + 1 extra = 2 <= 3: passes.
+        captured = timed_capture(pipeline, pats, period=3.0, defects=(defect,))
+        assert captured == simulate_outputs(pipeline, pats)
+
+    def test_delta_beyond_slack_detected(self, pipeline):
+        pats = PatternSet.from_vectors(pipeline.inputs, [(0, 0), (0, 1), (0, 0)])
+        defect = SmallDelayDefect(Site("side"), 3.0)  # 1 + 3 > 3: violates
+        captured = timed_capture(pipeline, pats, period=3.0, defects=(defect,))
+        golden = simulate_outputs(pipeline, pats)
+        assert captured["side"] != golden["side"]
+
+    def test_violation_only_on_transitions(self, pipeline):
+        # c never switches -> even a huge delta at 'side' changes nothing.
+        pats = PatternSet.from_vectors(pipeline.inputs, [(0, 1), (1, 1), (0, 1)])
+        defect = SmallDelayDefect(Site("side"), 10.0)
+        captured = timed_capture(pipeline, pats, period=3.0, defects=(defect,))
+        assert captured == simulate_outputs(pipeline, pats)
+
+    def test_first_pattern_clean(self, pipeline):
+        pats = PatternSet.from_vectors(pipeline.inputs, [(1, 1)])
+        defect = SmallDelayDefect(Site("side"), 10.0)
+        captured = timed_capture(pipeline, pats, period=3.0, defects=(defect,))
+        assert captured == simulate_outputs(pipeline, pats)
+
+    def test_period_validation(self, pipeline):
+        pats = PatternSet.random(pipeline, 4, seed=1)
+        with pytest.raises(SimulationError):
+            timed_capture(pipeline, pats, period=0.0)
+
+    def test_branch_sites_rejected(self, fanout_circuit):
+        pats = PatternSet.exhaustive(fanout_circuit)
+        branch = next(s for s in fanout_circuit.sites() if not s.is_stem)
+        with pytest.raises(SimulationError, match="stem"):
+            timed_capture(
+                fanout_circuit, pats, 5.0, (SmallDelayDefect(branch, 1.0),)
+            )
+
+
+class TestDelayTestHarness:
+    def test_detection_grows_with_delta(self):
+        netlist = ripple_carry_adder(6)
+        pats = PatternSet.random(netlist, 64, seed=11)
+        site = Site("n8")
+        fails = []
+        for delta in (0.5, 4.0, 16.0):
+            result = apply_delay_test(netlist, pats, [SmallDelayDefect(site, delta)])
+            fails.append(len(result.datalog.failing_indices))
+        assert fails[0] <= fails[1] <= fails[2]
+        assert fails[-1] > 0
+
+    def test_too_fast_period_rejected(self):
+        netlist = ripple_carry_adder(4)
+        pats = PatternSet.random(netlist, 16, seed=2)
+        with pytest.raises(SimulationError, match="too fast"):
+            apply_delay_test(netlist, pats, [], period=1.0)
+
+    def test_untimed_diagnosis_explains_but_blames_captures(self):
+        """Without timing knowledge the diagnosis still *explains* every
+        failing pattern -- but at the capture side (a late transition is
+        a stale captured output, not a wrong combinational value at the
+        slow net).  The timing-aware post-pass (core.delaydiag) is what
+        projects the blame back to the slow net."""
+        from repro.core.diagnose import Diagnoser
+
+        netlist = ripple_carry_adder(6)
+        pats = PatternSet.random(netlist, 64, seed=11)
+        site = Site("n8")
+        result = apply_delay_test(netlist, pats, [SmallDelayDefect(site, 8.0)])
+        if result.datalog.is_passing_device:
+            pytest.skip("defect invisible at this clocking")
+        report = Diagnoser(netlist).diagnose(pats, result.datalog)
+        assert report.multiplets and report.multiplets[0].complete
+        # Candidates concentrate on the late path downstream of the slow
+        # net (equivalent flip positions along the sensitized segment).
+        cone = netlist.fanout_cone(["n8"])
+        assert {c.site.net for c in report.candidates} & cone

@@ -1,0 +1,50 @@
+"""Fault universe enumeration tests."""
+
+from repro.circuit.generators import c17, ripple_carry_adder
+from repro.faults.models import BridgeKind
+from repro.faults.universe import bridge_pairs, stuck_at_universe, transition_universe
+
+
+def test_stuck_at_universe_counts():
+    n = c17()
+    faults = stuck_at_universe(n)
+    assert len(faults) == 2 * len(n.sites())
+    stems_only = stuck_at_universe(n, include_branches=False)
+    assert len(stems_only) == 2 * n.n_nets
+
+
+def test_transition_universe_counts():
+    n = c17()
+    faults = transition_universe(n)
+    assert len(faults) == 2 * n.n_nets
+    kinds = {f.kind for f in faults}
+    assert len(kinds) == 2
+
+
+def test_bridge_pairs_level_proximity():
+    n = ripple_carry_adder(4)
+    pairs = bridge_pairs(n, max_level_distance=1, max_pairs=None)
+    for p in pairs:
+        assert abs(n.level(p.victim) - n.level(p.aggressor)) <= 1
+
+
+def test_bridge_pairs_exclude_feedback():
+    n = ripple_carry_adder(4)
+    for p in bridge_pairs(n, max_pairs=None):
+        assert p.aggressor not in n.fanout_cone([p.victim])
+
+
+def test_bridge_pairs_cap_and_determinism():
+    n = ripple_carry_adder(8)
+    a = bridge_pairs(n, max_pairs=50, seed=3)
+    b = bridge_pairs(n, max_pairs=50, seed=3)
+    assert len(a) == 50
+    assert a == b
+    assert a != bridge_pairs(n, max_pairs=50, seed=4)
+
+
+def test_wired_bridges_single_orientation():
+    n = c17()
+    wired = bridge_pairs(n, kind=BridgeKind.WIRED_AND, max_pairs=None)
+    seen = {frozenset((p.victim, p.aggressor)) for p in wired}
+    assert len(seen) == len(wired)  # no duplicated unordered pair

@@ -1,0 +1,123 @@
+"""Structural Verilog subset parser/writer tests."""
+
+import pytest
+
+from repro.circuit.bench import C17_BENCH, parse_bench
+from repro.circuit.generators import alu, mux_tree
+from repro.circuit.verilog import (
+    parse_verilog,
+    parse_verilog_file,
+    write_verilog,
+)
+from repro.errors import ParseError
+from repro.sim.logicsim import simulate_outputs
+from repro.sim.patterns import PatternSet
+
+EXAMPLE = """
+// a tiny netlist
+module top (a, b, z);
+  input a, b;
+  output z;
+  wire w;
+  nand U1 (w, a, b);
+  not  U2 (z, w);
+endmodule
+"""
+
+
+class TestParse:
+    def test_example(self):
+        n = parse_verilog(EXAMPLE)
+        assert n.name == "top"
+        assert n.inputs == ("a", "b")
+        assert n.outputs == ("z",)
+        assert n.gates["w"].kind.value == "nand"
+        assert n.gates["z"].kind.value == "not"
+
+    def test_block_comments_stripped(self):
+        n = parse_verilog(
+            "module m (a, z); /* multi\nline */ input a; output z;"
+            " buf U (z, a); endmodule"
+        )
+        assert n.n_gates == 1
+
+    def test_instance_name_optional(self):
+        n = parse_verilog(
+            "module m (a, z); input a; output z; not (z, a); endmodule"
+        )
+        assert n.gates["z"].kind.value == "not"
+
+    def test_multi_name_declarations(self):
+        n = parse_verilog(
+            "module m (a, b, c, z); input a, b, c; output z;"
+            " wire w1, w2; and U1 (w1, a, b); or U2 (w2, w1, c);"
+            " buf U3 (z, w2); endmodule"
+        )
+        assert n.n_gates == 3
+
+    def test_dff_scan_replacement(self):
+        n = parse_verilog(
+            "module m (clk, z); input clk; output z;"
+            " wire d; dff FF (q, d); not U1 (d, q); buf U2 (z, q); endmodule"
+        )
+        assert "q" in n.inputs
+        assert "d" in n.outputs
+
+    def test_missing_module(self):
+        with pytest.raises(ParseError, match="module"):
+            parse_verilog("input a;")
+
+    def test_missing_endmodule(self):
+        with pytest.raises(ParseError, match="endmodule"):
+            parse_verilog("module m (a); input a; buf U (a, a);")
+
+    def test_unsupported_cell(self):
+        with pytest.raises(ParseError, match="unsupported cell"):
+            parse_verilog(
+                "module m (a, z); input a; output z; latch U (z, a); endmodule"
+            )
+
+    def test_garbage_statement(self):
+        with pytest.raises(ParseError):
+            parse_verilog("module m (a); input a; assign x = a & a; endmodule")
+
+    def test_file(self, tmp_path):
+        path = tmp_path / "top.v"
+        path.write_text(EXAMPLE)
+        n = parse_verilog_file(path)
+        assert n.name == "top"
+
+
+class TestWriteRoundtrip:
+    def _roundtrip_equal(self, original):
+        text = write_verilog(original)
+        again = parse_verilog(text)
+        assert len(again.inputs) == len(original.inputs)
+        assert len(again.outputs) == len(original.outputs)
+        pats = PatternSet.random(original, 64, seed=3)
+        pats_again = PatternSet(again.inputs, pats.n, {
+            new: pats.bits[old]
+            for old, new in zip(original.inputs, again.inputs)
+        })
+        want = simulate_outputs(original, pats)
+        got = simulate_outputs(again, pats_again)
+        for old, new in zip(original.outputs, again.outputs):
+            assert got[new] == want[old], (old, new)
+
+    def test_plain_gates(self):
+        self._roundtrip_equal(parse_verilog(EXAMPLE))
+
+    def test_iscas_numeric_names_sanitized(self):
+        original = parse_bench(C17_BENCH, name="c17")
+        text = write_verilog(original)
+        assert "n_1" in text  # numeric net renamed
+        self._roundtrip_equal(original)
+
+    def test_mux_lowered(self):
+        original = mux_tree(3)
+        text = write_verilog(original)
+        assert "mux" not in text.lower().replace("muxtree", "")
+        self._roundtrip_equal(original)
+
+    def test_alu_with_consts(self):
+        self._roundtrip_equal(alu(3))

@@ -1,0 +1,126 @@
+"""Volume diagnosis aggregation tests."""
+
+import pytest
+
+from repro.campaign.volume import VolumeAggregate, _binomial_tail, aggregate_reports
+from repro.circuit.netlist import Site
+from repro.core.report import Candidate, DiagnosisReport, Hypothesis
+
+
+def _report(top_net, kind="sa0", extra_nets=()):
+    candidates = [
+        Candidate(
+            site=Site(top_net),
+            hypotheses=(Hypothesis(kind, Site(top_net), hits=3),),
+            explained_atoms=3,
+        )
+    ]
+    for net in extra_nets:
+        candidates.append(
+            Candidate(site=Site(net), hypotheses=(), explained_atoms=1)
+        )
+    return DiagnosisReport(
+        method="xcover", circuit="c", candidates=tuple(candidates)
+    )
+
+
+class TestAccumulation:
+    def test_counts(self):
+        agg = aggregate_reports(
+            [
+                _report("n1", "sa0", extra_nets=["n2"]),
+                _report("n1", "bridge"),
+                _report("n3", "sa0"),
+            ]
+        )
+        assert agg.n_dice == 3
+        assert agg.mechanism_pareto()[0] == ("sa0", 2)
+        assert agg.net_counts["n1"] == 2
+        assert agg.top_net_counts["n1"] == 2
+        assert agg.average_resolution() == pytest.approx(4 / 3)
+
+    def test_empty_reports_skipped(self):
+        agg = VolumeAggregate()
+        agg.add(DiagnosisReport(method="m", circuit="c"))
+        assert agg.n_dice == 0
+
+    def test_duplicate_nets_in_one_die_count_once(self):
+        report = DiagnosisReport(
+            method="m",
+            circuit="c",
+            candidates=(
+                Candidate(site=Site("n1"), hypotheses=()),
+                Candidate(site=Site("n1", ("g", 0)), hypotheses=()),
+            ),
+        )
+        agg = aggregate_reports([report])
+        assert agg.net_counts["n1"] == 1
+
+
+class TestSystematic:
+    def test_repeated_offender_flagged(self):
+        # 20 dice, all accusing n_hot; background nets vary.
+        reports = [
+            _report("n_hot", extra_nets=[f"bg{i}"]) for i in range(20)
+        ]
+        agg = aggregate_reports(reports)
+        flagged = agg.systematic_suspects(n_sites=500)
+        assert flagged
+        assert flagged[0][0] == "n_hot"
+
+    def test_uniform_background_not_flagged(self):
+        reports = [_report(f"n{i}") for i in range(20)]
+        agg = aggregate_reports(reports)
+        flagged = agg.systematic_suspects(n_sites=500)
+        assert flagged == []
+
+    def test_empty_population(self):
+        agg = VolumeAggregate()
+        assert agg.systematic_scores(100) == {}
+        assert agg.average_resolution() == 0.0
+
+
+class TestBinomialTail:
+    def test_edges(self):
+        assert _binomial_tail(10, 0, 0.5) == 1.0
+        assert _binomial_tail(10, 5, 0.0) == 0.0
+        assert _binomial_tail(10, 5, 1.0) == 1.0
+
+    def test_known_value(self):
+        # P[X >= 1], X ~ Bin(2, 0.5) = 0.75
+        assert _binomial_tail(2, 1, 0.5) == pytest.approx(0.75)
+
+    def test_monotone_in_k(self):
+        tails = [_binomial_tail(20, k, 0.3) for k in range(21)]
+        assert all(a >= b for a, b in zip(tails, tails[1:]))
+
+
+class TestEndToEnd:
+    def test_systematic_defect_discovered_in_population(self):
+        """Inject the SAME defect in many dice plus random ones in others;
+        the aggregate must single out the systematic net."""
+        from repro.campaign.driver import provision_patterns
+        from repro.campaign.samplers import sample_defect_set
+        from repro.circuit.library import load_circuit
+        from repro.core.diagnose import Diagnoser
+        from repro.faults.models import StuckAtDefect
+        from repro.tester.harness import apply_test
+
+        netlist = load_circuit("rca8")
+        patterns = provision_patterns(netlist)
+        diagnoser = Diagnoser(netlist)
+        systematic = StuckAtDefect(Site("n8"), 0)
+        reports = []
+        for die in range(12):
+            if die % 2 == 0:
+                defects = [systematic]
+            else:
+                defects = sample_defect_set(netlist, 1, seed=1000 + die)
+            result = apply_test(netlist, patterns, defects)
+            if result.datalog.is_passing_device:
+                continue
+            reports.append(diagnoser.diagnose(patterns, result.datalog))
+        agg = aggregate_reports(reports)
+        flagged = agg.systematic_suspects(n_sites=len(netlist.sites()))
+        flagged_nets = {net for net, _score in flagged}
+        assert "n8" in flagged_nets
