@@ -8,13 +8,23 @@ score each against ground truth, and aggregate over trials.
 - :mod:`repro.campaign.metrics` -- per-trial scoring (recall / precision /
   resolution) with equivalence-aware site matching,
 - :mod:`repro.campaign.driver` -- the trial/campaign runner,
+- :mod:`repro.campaign.runner` -- resilient execution (worker pool,
+  per-trial timeout, retry, checkpoint/resume),
+- :mod:`repro.campaign.journal` -- the append-only JSONL trial journal,
 - :mod:`repro.campaign.tables` -- plain-text table/figure rendering used
   by the benchmark harness.
 """
 
 from repro.campaign.samplers import DefectMix, sample_defect_set
 from repro.campaign.metrics import TrialOutcome, score_report
-from repro.campaign.driver import Campaign, CampaignConfig, CampaignResult
+from repro.campaign.driver import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    TrialResult,
+)
+from repro.campaign.journal import Journal, TrialRecord
+from repro.campaign.runner import RunnerConfig, execute_campaign
 from repro.campaign.tables import format_table, format_series
 from repro.campaign.volume import VolumeAggregate, aggregate_reports
 
@@ -26,6 +36,11 @@ __all__ = [
     "Campaign",
     "CampaignConfig",
     "CampaignResult",
+    "TrialResult",
+    "Journal",
+    "TrialRecord",
+    "RunnerConfig",
+    "execute_campaign",
     "format_table",
     "format_series",
     "VolumeAggregate",

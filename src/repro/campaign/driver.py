@@ -5,13 +5,17 @@ cached per circuit) and runs seeded trials: sample a defect set, emulate
 the failing device, collect the datalog, run each requested diagnosis
 method, and score it against ground truth.  Every experiment table in
 ``benchmarks/`` is a thin configuration of this driver.
+
+Execution (worker pools, per-trial timeouts, retry, checkpoint/resume)
+lives in :mod:`repro.campaign.runner`; :meth:`Campaign.run` delegates to
+it and with the default :class:`~repro.campaign.runner.RunnerConfig`
+behaves exactly like the historical serial in-process loop.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro._rng import make_rng, spawn
 from repro.atpg.random_gen import generate_stuck_at_tests
@@ -22,28 +26,42 @@ from repro.circuit.netlist import Netlist
 from repro.core.diagnose import DiagnosisConfig, Diagnoser
 from repro.core.single_fault import diagnose_single_fault
 from repro.core.slat import diagnose_slat
-from repro.errors import FaultModelError, OscillationError, ReproError
+from repro.errors import FaultModelError, OscillationError, ReproError, TrialError
 from repro.sim.patterns import PatternSet
 from repro.tester.harness import apply_test
 
-_dictionary_cache: dict[tuple[str, int], object] = {}
+if TYPE_CHECKING:
+    from repro.campaign.runner import RunnerConfig
+
+#: Keyed by (circuit name, pattern-content fingerprint): two different
+#: pattern sets of equal length hash differently, so they never collide the
+#: way the old ``(name, n)`` key could.  Module-level caches are per
+#: process by construction, which makes them safe under the multi-process
+#: runner -- each worker warms its own copy (fork inherits the parent's).
+_dictionary_cache: dict[tuple[str, str], object] = {}
 
 
-def _run_dictionary(netlist: Netlist, patterns: PatternSet, datalog):
-    """Dictionary baseline with a per-(circuit, test set) build cache.
+def dictionary_for(netlist: Netlist, patterns: PatternSet):
+    """Build-once fault dictionary for a (circuit, test set) pair.
 
     The cache mirrors reality: the dictionary is built once per test set
     and amortized over every diagnosed device; its build cost is reported
     in the diagnosis stats.
     """
-    from repro.core.dictionary import build_dictionary, diagnose_dictionary
+    from repro.core.dictionary import build_dictionary
 
-    key = (netlist.name, patterns.n)
+    key = (netlist.name, patterns.fingerprint())
     dictionary = _dictionary_cache.get(key)
     if dictionary is None:
         dictionary = build_dictionary(netlist, patterns)
         _dictionary_cache[key] = dictionary
-    return diagnose_dictionary(dictionary, datalog)
+    return dictionary
+
+
+def _run_dictionary(netlist: Netlist, patterns: PatternSet, datalog):
+    from repro.core.dictionary import diagnose_dictionary
+
+    return diagnose_dictionary(dictionary_for(netlist, patterns), datalog)
 
 
 #: Registry of diagnosis methods runnable by the campaign driver.
@@ -56,7 +74,15 @@ METHODS: dict[str, Callable] = {
     "dictionary": _run_dictionary,
 }
 
-_pattern_cache: dict[tuple[str, int], PatternSet] = {}
+#: Keyed by (circuit name, structural signature, seed, min_patterns): the
+#: provisioned content is a pure function of the netlist and seed, and the
+#: signature keeps two different netlists that share a name apart.
+_pattern_cache: dict[tuple, PatternSet] = {}
+
+
+def _netlist_signature(netlist: Netlist) -> tuple:
+    stats = netlist.stats()
+    return (netlist.name, stats["inputs"], stats["outputs"], stats["gates"])
 
 
 def provision_patterns(
@@ -68,7 +94,7 @@ def provision_patterns(
     every circuit sees a believable production test length and delay
     defects get launch/capture diversity.
     """
-    key = (netlist.name, seed)
+    key = (_netlist_signature(netlist), seed, min_patterns)
     cached = _pattern_cache.get(key)
     if cached is not None:
         return cached
@@ -93,6 +119,30 @@ class CampaignConfig:
     seed: int = 1
     interacting: bool = False
     diagnosis_config: DiagnosisConfig | None = None
+    #: Degrade oscillating defect sets to three-valued simulation instead
+    #: of resampling them away (see :func:`repro.tester.harness.apply_test`).
+    oscillation_fallback: bool = True
+    #: Resampling budget per trial before it counts as skipped.
+    max_resample: int = 10
+
+    def trial_seed(self, trial: int) -> int:
+        """The deterministic seed of trial ``trial`` of this campaign."""
+        return self.seed * 1_000_003 + trial
+
+
+@dataclass
+class TrialResult:
+    """One trial's outcomes plus its resampling diary."""
+
+    outcomes: list[TrialOutcome] | None
+    #: Resample attempts by cause: exception class name for sampling /
+    #: simulation errors, ``"no_failures"`` for defect sets the test set
+    #: never observed.
+    skip_reasons: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def skipped(self) -> bool:
+        return self.outcomes is None
 
 
 @dataclass
@@ -101,8 +151,19 @@ class CampaignResult:
 
     config: CampaignConfig
     outcomes: list[TrialOutcome] = field(default_factory=list)
-    skipped_trials: int = 0  #: defect sets that produced no failures/oscillated
+    skipped_trials: int = 0  #: defect sets that produced no failures
     wall_seconds: float = 0.0
+    #: Resample attempts summed over all trials, by cause (exception class
+    #: name or ``"no_failures"``) -- the breakdown behind ``skipped_trials``.
+    skip_reasons: dict[str, int] = field(default_factory=dict)
+    #: Trials that terminally failed (timeout, crash, in-trial exception).
+    trial_errors: list[TrialError] = field(default_factory=list)
+    #: Trials replayed from a journal instead of executed (``--resume``).
+    resumed_trials: int = 0
+
+    @property
+    def failed_trials(self) -> int:
+        return len(self.trial_errors)
 
     def by_method(self) -> dict[str, Aggregate]:
         return aggregate_by(self.outcomes, key=lambda o: o.method)
@@ -124,6 +185,15 @@ class Campaign:
             circuit if isinstance(circuit, Netlist) else load_circuit(circuit)
         )
         self.patterns = patterns or provision_patterns(self.netlist, pattern_seed)
+        self.pattern_seed = pattern_seed
+        #: (circuit name, pattern seed) when the campaign can be rebuilt
+        #: from the registry in a spawned worker; None when it holds a
+        #: custom netlist or pattern set and workers must inherit by fork.
+        self.spawn_spec: tuple[str, int] | None = (
+            (circuit, pattern_seed)
+            if isinstance(circuit, str) and patterns is None
+            else None
+        )
 
     def run_trial(
         self,
@@ -134,22 +204,61 @@ class Campaign:
         interacting: bool = False,
         diagnosis_config: DiagnosisConfig | None = None,
         max_resample: int = 10,
+        oscillation_fallback: bool = True,
     ) -> list[TrialOutcome] | None:
         """One trial: returns outcomes per method, or None if the sampled
         defect sets never produced observable failures."""
+        return self.run_trial_ex(
+            trial_seed,
+            k,
+            mix=mix,
+            methods=methods,
+            interacting=interacting,
+            diagnosis_config=diagnosis_config,
+            max_resample=max_resample,
+            oscillation_fallback=oscillation_fallback,
+        ).outcomes
+
+    def run_trial_ex(
+        self,
+        trial_seed: int,
+        k: int,
+        mix: DefectMix = DEFAULT_MIX,
+        methods: Sequence[str] = ("xcover",),
+        interacting: bool = False,
+        diagnosis_config: DiagnosisConfig | None = None,
+        max_resample: int = 10,
+        oscillation_fallback: bool = True,
+    ) -> TrialResult:
+        """Like :meth:`run_trial` but keeps the resampling diary.
+
+        Every resample is attributed to its cause instead of vanishing
+        into a counter: exception class names for sampling/simulation
+        errors, ``"no_failures"`` for unobservable defect sets.
+        """
         rng = make_rng(trial_seed)
+        skip_reasons: dict[str, int] = {}
+
+        def count(reason: str) -> None:
+            skip_reasons[reason] = skip_reasons.get(reason, 0) + 1
+
+        on_oscillation = "fallback" if oscillation_fallback else "raise"
         for _attempt in range(max_resample):
             try:
                 defects = sample_defect_set(
                     self.netlist, k, spawn(rng, "defects"), mix, interacting
                 )
-                result = apply_test(self.netlist, self.patterns, defects)
-            except (OscillationError, FaultModelError):
+                result = apply_test(
+                    self.netlist, self.patterns, defects, on_oscillation
+                )
+            except (OscillationError, FaultModelError) as exc:
+                count(type(exc).__name__)
                 continue
             if result.device_fails:
                 break
+            count("no_failures")
         else:
-            return None
+            return TrialResult(outcomes=None, skip_reasons=skip_reasons)
 
         outcomes: list[TrialOutcome] = []
         for method in methods:
@@ -171,28 +280,24 @@ class Campaign:
                     if isinstance(value, (int, float)) and key != "seconds"
                 }
             )
+            if result.oscillation_fallback:
+                outcome.extra["oscillation_fallback"] = 1.0
+                outcome.extra["x_atoms"] = float(result.x_atoms)
             outcomes.append(outcome)
-        return outcomes
+        return TrialResult(outcomes=outcomes, skip_reasons=skip_reasons)
 
-    def run(self, config: CampaignConfig) -> CampaignResult:
-        """Run ``config.n_trials`` seeded trials."""
-        started = time.perf_counter()
-        result = CampaignResult(config=config)
-        for trial in range(config.n_trials):
-            outcomes = self.run_trial(
-                trial_seed=config.seed * 1_000_003 + trial,
-                k=config.k,
-                mix=config.mix,
-                methods=config.methods,
-                interacting=config.interacting,
-                diagnosis_config=config.diagnosis_config,
-            )
-            if outcomes is None:
-                result.skipped_trials += 1
-                continue
-            result.outcomes.extend(outcomes)
-        result.wall_seconds = time.perf_counter() - started
-        return result
+    def run(
+        self, config: CampaignConfig, runner: "RunnerConfig | None" = None
+    ) -> CampaignResult:
+        """Run ``config.n_trials`` seeded trials.
+
+        ``runner`` selects the execution strategy (worker pool, per-trial
+        timeout, retry, journal/resume); the default is the serial
+        in-process loop.  See :mod:`repro.campaign.runner`.
+        """
+        from repro.campaign.runner import execute_campaign
+
+        return execute_campaign(self, config, runner)
 
     @staticmethod
     def _resolve(
@@ -210,6 +315,8 @@ class Campaign:
             ) from None
 
 
-def run_campaign(config: CampaignConfig) -> CampaignResult:
+def run_campaign(
+    config: CampaignConfig, runner: "RunnerConfig | None" = None
+) -> CampaignResult:
     """Convenience one-shot campaign over a registered circuit."""
-    return Campaign(config.circuit).run(config)
+    return Campaign(config.circuit).run(config, runner)

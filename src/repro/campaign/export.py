@@ -88,6 +88,9 @@ def result_to_json(result: CampaignResult, indent: int | None = 2) -> str:
             "mix": dict(config.mix.items()),
         },
         "skipped_trials": result.skipped_trials,
+        "skip_reasons": dict(result.skip_reasons),
+        "trial_errors": [err.to_dict() for err in result.trial_errors],
+        "resumed_trials": result.resumed_trials,
         "wall_seconds": result.wall_seconds,
         "outcomes": [
             {**_outcome_row(o), "extra": dict(o.extra)} for o in result.outcomes

@@ -1,0 +1,270 @@
+"""Append-only JSONL trial journal: checkpoint/resume for campaigns.
+
+Every completed, skipped or failed trial is written as one JSON line the
+moment it finishes, so a campaign killed at any point (including SIGKILL
+mid-write -- a torn final line is tolerated) can be restarted with
+``resume`` and replay nothing: journaled trials are folded back into the
+result and only the remainder executes.  Because trials are seeded and the
+serialization round-trips floats exactly, a resumed campaign converges to
+aggregates identical to an uninterrupted run.
+
+Record schema (one object per line)::
+
+    {"kind": "header", "v": 1, "fingerprint": "<config digest>"}
+    {"kind": "trial", "v": 1, "circuit": "c432", "trial": 5, "seed": 1000016,
+     "status": "ok" | "skipped" | "error", "attempts": 1, "elapsed": 0.12,
+     "outcomes": [...],            # present when status == "ok"
+     "skip_reasons": {"no_failures": 2, "OscillationError": 1},
+     "error": {...}}               # present when status == "error"
+
+The header pins the campaign configuration (everything except the trial
+count, so a journaled campaign may be *extended* with more trials); a
+resume against a journal written under a different configuration raises
+:class:`~repro.errors.JournalError` instead of silently mixing runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import IO
+
+from repro.campaign.metrics import TrialOutcome
+from repro.errors import JournalError, TrialError
+
+SCHEMA_VERSION = 1
+
+
+# -- outcome serialization ----------------------------------------------------
+
+_OUTCOME_FIELDS = tuple(f.name for f in fields(TrialOutcome))
+
+
+def outcome_to_dict(outcome: TrialOutcome) -> dict:
+    """Exact, JSON-safe image of a :class:`TrialOutcome`."""
+    payload = {name: getattr(outcome, name) for name in _OUTCOME_FIELDS}
+    payload["families"] = list(outcome.families)
+    payload["extra"] = dict(outcome.extra)
+    return payload
+
+
+def outcome_from_dict(payload: dict) -> TrialOutcome:
+    """Inverse of :func:`outcome_to_dict` (bit-exact for floats)."""
+    data = dict(payload)
+    data["families"] = tuple(data.get("families", ()))
+    data["extra"] = dict(data.get("extra", {}))
+    unknown = set(data) - set(_OUTCOME_FIELDS)
+    for name in unknown:  # forward compatibility: ignore newer fields
+        del data[name]
+    return TrialOutcome(**data)
+
+
+# -- trial records ------------------------------------------------------------
+
+
+@dataclass
+class TrialRecord:
+    """One trial's terminal state, as journaled."""
+
+    circuit: str
+    trial: int
+    seed: int
+    status: str  #: "ok" | "skipped" | "error"
+    attempts: int = 1
+    elapsed: float = 0.0
+    outcomes: list[TrialOutcome] = field(default_factory=list)
+    skip_reasons: dict[str, int] = field(default_factory=dict)
+    error: TrialError | None = None
+
+    @property
+    def key(self) -> tuple[str, int, int]:
+        return (self.circuit, self.seed, self.trial)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "kind": "trial",
+            "v": SCHEMA_VERSION,
+            "circuit": self.circuit,
+            "trial": self.trial,
+            "seed": self.seed,
+            "status": self.status,
+            "attempts": self.attempts,
+            "elapsed": self.elapsed,
+            "skip_reasons": dict(self.skip_reasons),
+        }
+        if self.status == "ok":
+            payload["outcomes"] = [outcome_to_dict(o) for o in self.outcomes]
+        if self.error is not None:
+            payload["error"] = self.error.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrialRecord":
+        try:
+            record = cls(
+                circuit=str(payload["circuit"]),
+                trial=int(payload["trial"]),
+                seed=int(payload["seed"]),
+                status=str(payload["status"]),
+                attempts=int(payload.get("attempts", 1)),
+                elapsed=float(payload.get("elapsed", 0.0)),
+                outcomes=[
+                    outcome_from_dict(o) for o in payload.get("outcomes", [])
+                ],
+                skip_reasons={
+                    str(k): int(v)
+                    for k, v in payload.get("skip_reasons", {}).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalError(f"malformed trial record: {exc}") from exc
+        if record.status not in ("ok", "skipped", "error"):
+            raise JournalError(f"unknown trial status {record.status!r}")
+        if "error" in payload:
+            record.error = TrialError.from_dict(payload["error"])
+        return record
+
+
+def config_fingerprint(config) -> str:
+    """Digest of everything that determines a trial's result.
+
+    ``n_trials`` is deliberately excluded: a journaled campaign can be
+    extended with more trials without invalidating completed ones.
+    """
+    image = (
+        config.circuit,
+        config.k,
+        tuple(config.methods),
+        config.seed,
+        config.interacting,
+        tuple(config.mix.items()),
+        repr(config.diagnosis_config),
+    )
+    return hashlib.sha256(repr(image).encode()).hexdigest()[:16]
+
+
+# -- the journal file ---------------------------------------------------------
+
+
+class Journal:
+    """Append-only JSONL writer/reader over one campaign's trials."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+
+    # -- reading --------------------------------------------------------------
+
+    def load(self, fingerprint: str | None = None) -> dict[tuple, TrialRecord]:
+        """All journaled trial records keyed by ``(circuit, seed, trial)``.
+
+        A torn final line (the driver was killed mid-write) is discarded;
+        a torn line anywhere *else* means the file was corrupted, not
+        interrupted, and raises.  When two records share a key the later
+        one wins (a retried trial re-journals its terminal state).  When
+        ``fingerprint`` is given, the header must match it.
+        """
+        if not self.path.exists():
+            return {}
+        records: dict[tuple, TrialRecord] = {}
+        header_seen = False
+        lines = self.path.read_text().splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    break  # torn tail from an interrupted append
+                raise JournalError(
+                    f"{self.path}:{lineno}: corrupt journal line: {exc}"
+                ) from exc
+            kind = payload.get("kind")
+            if kind == "header":
+                header_seen = True
+                if (
+                    fingerprint is not None
+                    and payload.get("fingerprint") != fingerprint
+                ):
+                    raise JournalError(
+                        f"{self.path}: journal was written by a different "
+                        f"campaign configuration (fingerprint "
+                        f"{payload.get('fingerprint')!r} != {fingerprint!r}); "
+                        "refusing to resume"
+                    )
+                continue
+            if kind != "trial":
+                continue  # unknown record kinds are skipped, not fatal
+            record = TrialRecord.from_dict(payload)
+            records[record.key] = record
+        if records and not header_seen and fingerprint is not None:
+            raise JournalError(
+                f"{self.path}: journal has trial records but no header; "
+                "cannot verify it belongs to this campaign"
+            )
+        return records
+
+    # -- writing --------------------------------------------------------------
+
+    def start(self, fingerprint: str, resume: bool) -> dict[tuple, TrialRecord]:
+        """Open for appending; returns already-completed records.
+
+        With ``resume=False`` any existing journal is truncated and a fresh
+        header written; with ``resume=True`` existing records are loaded
+        (validating the header) and appends continue after them.
+        """
+        completed: dict[tuple, TrialRecord] = {}
+        if resume:
+            completed = self.load(fingerprint)
+            self._drop_torn_tail()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "a" if resume and self.path.exists() else "w"
+        self._fh = self.path.open(mode, encoding="utf-8")
+        if mode == "w" or (mode == "a" and not completed and self._is_empty()):
+            self._write_line(
+                {"kind": "header", "v": SCHEMA_VERSION, "fingerprint": fingerprint}
+            )
+        return completed
+
+    def append(self, record: TrialRecord) -> None:
+        if self._fh is None:
+            raise JournalError("journal is not open for writing")
+        self._write_line(record.to_dict())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- internals ------------------------------------------------------------
+
+    def _drop_torn_tail(self) -> None:
+        """Truncate a partially written final line so appends start clean."""
+        if not self.path.exists():
+            return
+        raw = self.path.read_bytes()
+        cut = raw.rfind(b"\n") + 1
+        if cut < len(raw):
+            with self.path.open("r+b") as fh:
+                fh.truncate(cut)
+
+    def _is_empty(self) -> bool:
+        try:
+            return self.path.stat().st_size == 0
+        except OSError:
+            return True
+
+    def _write_line(self, payload: dict) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._fh.flush()

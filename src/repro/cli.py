@@ -27,6 +27,7 @@ from repro.circuit.netlist import Netlist
 from repro.core.diagnose import Diagnoser
 from repro.core.single_fault import diagnose_single_fault
 from repro.core.slat import diagnose_slat
+from repro.errors import DatalogError, ReproError
 from repro.tester.datalog import Datalog
 from repro.tester.harness import apply_test
 
@@ -123,7 +124,16 @@ def _cmd_inject(args: argparse.Namespace) -> int:
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     netlist = _load(args.circuit)
     patterns = provision_patterns(netlist, args.pattern_seed)
-    datalog = Datalog.from_text(Path(args.datalog).read_text())
+    path = Path(args.datalog)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise DatalogError(f"{path}: cannot read datalog: {exc}") from exc
+    try:
+        datalog = Datalog.from_text(text)
+        datalog.validate_for(netlist, n_patterns=patterns.n)
+    except DatalogError as exc:
+        raise DatalogError(f"{path}: {exc}") from exc
     if args.method == "xcover":
         report = Diagnoser(netlist).diagnose(patterns, datalog)
     elif args.method == "slat":
@@ -138,6 +148,8 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign.runner import RunnerConfig
+
     campaign = Campaign(args.circuit)
     config = CampaignConfig(
         circuit=args.circuit,
@@ -147,7 +159,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         interacting=args.interacting,
     )
-    result = campaign.run(config)
+    runner = RunnerConfig(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        journal=args.journal,
+        resume=args.resume,
+    )
+    if args.resume and not args.journal:
+        print("campaign: --resume requires --journal", file=sys.stderr)
+        return 2
+    result = campaign.run(config, runner)
     if args.csv:
         from repro.campaign.export import outcomes_to_csv
 
@@ -175,7 +197,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             title=f"campaign {args.circuit} k={args.defects}",
         )
     )
-    return 0
+    if result.resumed_trials:
+        print(
+            f"resumed {result.resumed_trials} journaled trial(s) without "
+            "re-execution",
+            file=sys.stderr,
+        )
+    if result.skip_reasons:
+        reasons = ", ".join(
+            f"{name}={count}" for name, count in sorted(result.skip_reasons.items())
+        )
+        print(
+            f"skipped {result.skipped_trials} trial(s); resamples: {reasons}",
+            file=sys.stderr,
+        )
+    for error in result.trial_errors:
+        print(
+            f"trial {error.trial} failed [{error.cause}] after "
+            f"{error.attempts} attempt(s): {error}",
+            file=sys.stderr,
+        )
+    return 1 if result.trial_errors else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -229,6 +271,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--methods", default="xcover,slat,single")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--interacting", action="store_true")
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; >1 runs trials concurrently in isolation",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-trial wall-clock budget in seconds (kills stuck trials)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries for transient trial failures (crash/timeout)",
+    )
+    p.add_argument(
+        "--journal",
+        help="append-only JSONL trial journal (checkpoint for --resume)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay journaled trials instead of re-executing them",
+    )
     p.add_argument("--csv", help="write per-trial outcomes as CSV")
     p.add_argument("--json", help="write the full campaign record as JSON")
     p.set_defaults(func=_cmd_campaign)
@@ -246,6 +316,14 @@ def main(argv: list[str] | None = None) -> int:
         except Exception:
             pass
         return 0
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except ReproError as exc:
+        # Library errors are user-facing diagnoses (bad file, bad circuit,
+        # mismatched journal...), not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -57,3 +57,87 @@ class DiagnosisError(ReproError):
 
 class DatalogError(ReproError):
     """A tester datalog is malformed or inconsistent with the circuit."""
+
+
+class JournalError(ReproError):
+    """A campaign trial journal cannot be read or does not match the run."""
+
+
+#: Failure causes that may succeed on a retry (environment-induced: a
+#: worker killed by the OS, a machine under load blowing a deadline).
+#: Everything else is deterministic for a given trial seed and retrying
+#: would only reproduce the same failure.
+TRANSIENT_CAUSES = frozenset({"crash", "timeout"})
+
+
+class TrialError(ReproError):
+    """Terminal failure of one campaign trial inside the resilient runner.
+
+    Unlike the other exceptions in this module, a ``TrialError`` is as much
+    a *record* as an exception: the runner stores instances on the campaign
+    result (and in the trial journal) so a sweep can complete while still
+    accounting for every trial that did not.
+
+    ``cause`` is a short machine-readable tag:
+
+    - ``"timeout"``  -- the trial exceeded the per-trial wall-clock budget
+      and its worker was killed,
+    - ``"crash"``    -- the worker process died without reporting a result
+      (segfault-equivalent, OOM kill, unpicklable payload),
+    - ``"oscillation"`` / ``"fault-model"`` / ``"diagnosis"`` -- a
+      deterministic in-trial error of the corresponding exception family,
+    - ``"exception"`` -- any other in-trial exception.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        circuit: str = "",
+        trial: int = -1,
+        seed: int = -1,
+        cause: str = "exception",
+        attempts: int = 1,
+    ):
+        super().__init__(message)
+        self.circuit = circuit
+        self.trial = trial
+        self.seed = seed
+        self.cause = cause
+        self.attempts = attempts
+
+    @property
+    def is_transient(self) -> bool:
+        return self.cause in TRANSIENT_CAUSES
+
+    def to_dict(self) -> dict:
+        return {
+            "message": str(self),
+            "circuit": self.circuit,
+            "trial": self.trial,
+            "seed": self.seed,
+            "cause": self.cause,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrialError":
+        return cls(
+            str(payload.get("message", "trial failed")),
+            circuit=str(payload.get("circuit", "")),
+            trial=int(payload.get("trial", -1)),
+            seed=int(payload.get("seed", -1)),
+            cause=str(payload.get("cause", "exception")),
+            attempts=int(payload.get("attempts", 1)),
+        )
+
+
+def classify_cause(exc: BaseException) -> str:
+    """Map an in-trial exception to a :class:`TrialError` cause tag."""
+    if isinstance(exc, OscillationError):
+        return "oscillation"
+    if isinstance(exc, FaultModelError):
+        return "fault-model"
+    if isinstance(exc, DiagnosisError):
+        return "diagnosis"
+    return "exception"

@@ -62,6 +62,23 @@ class FaultyCircuit:
 
     def simulate(self, patterns: PatternSet) -> dict[str, int]:
         """Settled value of every net under every pattern."""
+        values, unstable = self._settle(patterns)
+        if unstable:
+            raise OscillationError(
+                f"defect set {list(map(str, self.defects))} oscillates "
+                f"(nets {sorted(unstable)[:6]})"
+            )
+        return values
+
+    def _settle(
+        self, patterns: PatternSet
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """Fixpoint relaxation; returns ``(values, unstable)``.
+
+        ``unstable`` maps each net that still moved on the final sweep to
+        the bit mask of patterns under which it moved; it is empty when
+        the relaxation converged.
+        """
         netlist = self.netlist
         mask = patterns.mask
         values: dict[str, int] = {}
@@ -92,16 +109,80 @@ class FaultyCircuit:
                     values[net] = new
                     changed = True
             if not changed:
-                return values
-        unstable = self._find_unstable(values, patterns)
-        raise OscillationError(
-            f"defect set {list(map(str, self.defects))} oscillates "
-            f"(nets {unstable[:6]})"
-        )
+                return values, {}
+        return values, self._find_unstable(values, patterns)
 
     def simulate_outputs(self, patterns: PatternSet) -> dict[str, int]:
         values = self.simulate(patterns)
         return {net: values[net] for net in self.netlist.outputs}
+
+    def simulate_outputs_with_x(
+        self, patterns: PatternSet
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """Outputs plus per-output X masks; oscillation resolves to ``X``.
+
+        Where two-valued relaxation fails to settle, the still-moving bits
+        are treated as three-valued ``X`` and propagated through the
+        structural fanout (plus bridge couplings) as an X-monotonic upper
+        bound, exactly as a real ringing node reads as an indeterminate
+        voltage downstream.  Returns ``(outputs, xmasks)`` where
+        ``xmasks[out]`` has bit *i* set when output ``out`` is unknown
+        under pattern *i*; ``xmasks`` is empty when the circuit settled
+        and the result matches :meth:`simulate_outputs` exactly.
+        """
+        values, unstable = self._settle(patterns)
+        outputs = {net: values[net] for net in self.netlist.outputs}
+        if not unstable:
+            return outputs, {}
+        xmask = self._propagate_x(unstable)
+        out_x = {
+            net: xmask[net] for net in self.netlist.outputs if xmask.get(net, 0)
+        }
+        # Force X bits to 0 so callers that ignore the mask still see a
+        # deterministic (if arbitrary) value, never a mid-oscillation read.
+        for net, xm in out_x.items():
+            outputs[net] &= ~xm
+        return outputs, out_x
+
+    def _propagate_x(self, seeds: dict[str, int]) -> dict[str, int]:
+        """Over-approximate X reach of the unstable bits.
+
+        Structural propagation deliberately ignores controlling side
+        inputs: an X that would in truth be blocked is still reported as
+        X, which only ever removes evidence, never fabricates it.  Bridge
+        defects add non-structural edges (the victim reads its aggressor
+        and vice versa for resistive shorts), so those are propagated too,
+        iterating because a bridge can feed X back upstream of topological
+        order.
+        """
+        from repro.faults.models import BridgeDefect, BridgeKind
+
+        couplings: list[tuple[str, str]] = []
+        for defect in self.defects:
+            if isinstance(defect, BridgeDefect):
+                couplings.append((defect.aggressor, defect.victim))
+                if defect.kind is not BridgeKind.DOMINANT:
+                    couplings.append((defect.victim, defect.aggressor))
+
+        xmask = dict(seeds)
+        for _ in range(max(self.max_iterations, 1)):
+            changed = False
+            for src, dst in couplings:
+                m = xmask.get(src, 0)
+                if m & ~xmask.get(dst, 0):
+                    xmask[dst] = xmask.get(dst, 0) | m
+                    changed = True
+            for net in self.netlist.topo_order:
+                gate = self.netlist.gates[net]
+                m = 0
+                for src in gate.inputs:
+                    m |= xmask.get(src, 0)
+                if m & ~xmask.get(net, 0):
+                    xmask[net] = xmask.get(net, 0) | m
+                    changed = True
+            if not changed:
+                break
+        return xmask
 
     # -- internals ---------------------------------------------------------------
 
@@ -120,11 +201,17 @@ class FaultyCircuit:
             value = hook(value, env) & env.mask
         return value
 
-    def _find_unstable(self, values: dict[str, int], patterns: PatternSet) -> list[str]:
-        """One more sweep, recording which nets still move (for diagnostics)."""
+    def _find_unstable(
+        self, values: dict[str, int], patterns: PatternSet
+    ) -> dict[str, int]:
+        """One more sweep, recording which nets still move and where.
+
+        Returns ``{net: changed-bit mask}`` for every net whose value moved
+        again -- the oscillation seeds for diagnostics and X fallback.
+        """
         mask = patterns.mask
         env = HookEnv(values, mask)
-        moved: list[str] = []
+        moved: dict[str, int] = {}
         for net in self.netlist.topo_order:
             gate = self.netlist.gates[net]
             ins = [
@@ -133,7 +220,7 @@ class FaultyCircuit:
             ]
             new = self._apply_stem(net, eval2(gate.kind, ins, mask), env)
             if new != values[net]:
-                moved.append(net)
+                moved[net] = moved.get(net, 0) | (new ^ values[net])
                 values[net] = new
         return moved
 

@@ -36,6 +36,7 @@ class PatternSet:
         extra = set(bits) - set(self.inputs)
         if extra:
             raise SimulationError(f"bit vectors for unknown inputs: {sorted(extra)}")
+        self._fingerprint: str | None = None
 
     # -- constructors -----------------------------------------------------
 
@@ -124,6 +125,23 @@ class PatternSet:
 
     def __repr__(self) -> str:
         return f"PatternSet({len(self.inputs)} inputs, {self.n} patterns)"
+
+    def fingerprint(self) -> str:
+        """Stable content digest over inputs, count and every bit vector.
+
+        Two pattern sets of equal length but different content hash
+        differently, so caches keyed by fingerprint never collide the way
+        ``(name, n)`` keys can.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(repr((self.inputs, self.n)).encode())
+            for name in self.inputs:
+                h.update(self.bits[name].to_bytes((self.n + 7) // 8 or 1, "little"))
+            self._fingerprint = h.hexdigest()[:16]
+        return self._fingerprint
 
     # -- manipulation ----------------------------------------------------------
 

@@ -187,6 +187,13 @@ class Datalog:
 
     @classmethod
     def from_text(cls, text: str) -> "Datalog":
+        """Parse the line-oriented serialization.
+
+        Every malformed construct raises :class:`DatalogError` carrying
+        the offending line number -- a truncated or corrupted fail log
+        must never surface as an arbitrary ``ValueError``/``KeyError``
+        deep inside diagnosis.
+        """
         circuit_name = "unknown"
         n_patterns: int | None = None
         n_observed: int | None = None
@@ -197,25 +204,77 @@ class Datalog:
                 continue
             if line.startswith("#"):
                 for token in line[1:].split():
+                    for key in ("patterns", "observed"):
+                        if token.startswith(f"{key}="):
+                            value = token.split("=", 1)[1]
+                            try:
+                                parsed = int(value)
+                            except ValueError:
+                                raise DatalogError(
+                                    f"line {lineno}: bad {key}= value {value!r}"
+                                ) from None
+                            if parsed < 0:
+                                raise DatalogError(
+                                    f"line {lineno}: {key}= must be >= 0, "
+                                    f"got {parsed}"
+                                )
+                            if key == "patterns":
+                                n_patterns = parsed
+                            else:
+                                n_observed = parsed
                     if token.startswith("circuit="):
                         circuit_name = token.split("=", 1)[1]
-                    elif token.startswith("patterns="):
-                        n_patterns = int(token.split("=", 1)[1])
-                    elif token.startswith("observed="):
-                        n_observed = int(token.split("=", 1)[1])
                 continue
             if not line.startswith("fail "):
                 raise DatalogError(f"line {lineno}: unrecognized {line!r}")
-            head, _, tail = line[5:].partition(":")
+            head, sep, tail = line[5:].partition(":")
+            if not sep:
+                raise DatalogError(
+                    f"line {lineno}: fail record is missing ':' separator"
+                )
             try:
                 index = int(head.strip())
             except ValueError:
                 raise DatalogError(f"line {lineno}: bad pattern index") from None
+            if index < 0:
+                raise DatalogError(
+                    f"line {lineno}: pattern index must be >= 0, got {index}"
+                )
             outs = frozenset(tail.split())
-            records.append(FailRecord(index, outs))
+            try:
+                records.append(FailRecord(index, outs))
+            except DatalogError as exc:
+                raise DatalogError(f"line {lineno}: {exc}") from None
         if n_patterns is None:
             n_patterns = max((r.pattern_index for r in records), default=-1) + 1
         return cls(circuit_name, n_patterns, records, n_observed=n_observed)
+
+    def validate_for(self, netlist, n_patterns: int | None = None) -> None:
+        """Check this datalog is consistent with a circuit (and test set).
+
+        Raises :class:`DatalogError` naming the first inconsistency: a
+        circuit-name mismatch, a failing output the circuit does not
+        drive, or a pattern budget that does not match the test set the
+        diagnosis will simulate.
+        """
+        if self.circuit_name not in ("unknown", netlist.name):
+            raise DatalogError(
+                f"datalog was captured on circuit {self.circuit_name!r}, "
+                f"not {netlist.name!r}"
+            )
+        known = set(netlist.outputs)
+        for rec in self.records:
+            unknown = rec.failing_outputs - known
+            if unknown:
+                raise DatalogError(
+                    f"pattern {rec.pattern_index}: failing output(s) "
+                    f"{sorted(unknown)} not driven by circuit {netlist.name!r}"
+                )
+        if n_patterns is not None and self.n_patterns != n_patterns:
+            raise DatalogError(
+                f"datalog covers {self.n_patterns} patterns but the test "
+                f"set has {n_patterns}"
+            )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Datalog):

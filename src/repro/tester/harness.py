@@ -27,6 +27,11 @@ class TestResult:
     golden_outputs: dict[str, int]
     faulty_outputs: dict[str, int]
     defects: tuple[Defect, ...]
+    #: True when two-valued simulation oscillated and the response was
+    #: recovered by the three-valued fallback (X bits carry no evidence).
+    oscillation_fallback: bool = False
+    #: Number of (pattern, output) atoms masked to X by the fallback.
+    x_atoms: int = 0
 
     @property
     def device_fails(self) -> bool:
@@ -37,20 +42,52 @@ def apply_test(
     netlist: Netlist,
     patterns: PatternSet,
     defects: Sequence[Defect],
+    on_oscillation: str = "raise",
 ) -> TestResult:
     """Apply ``patterns`` to a device carrying ``defects``; log failures.
 
-    Raises :class:`~repro.errors.OscillationError` if the defect
-    combination has no stable two-valued behavior (a ringing short).
+    ``on_oscillation`` selects what happens when the defect combination has
+    no stable two-valued behavior (a ringing short):
+
+    - ``"raise"`` (default): raise
+      :class:`~repro.errors.OscillationError`, the historical behavior;
+    - ``"fallback"``: degrade to three-valued simulation -- oscillating
+      bits resolve to ``X``, an X-valued capture is neither pass nor fail
+      evidence, and the result records how much evidence was masked
+      (``oscillation_fallback`` / ``x_atoms``).
     """
+    if on_oscillation not in ("raise", "fallback"):
+        raise ValueError(
+            f"on_oscillation must be 'raise' or 'fallback', got {on_oscillation!r}"
+        )
     golden = simulate_outputs(netlist, patterns)
     dut = FaultyCircuit(netlist, defects)
-    faulty = dut.simulate_outputs(patterns)
-    diff = mismatched_outputs(golden, faulty, patterns.mask)
+    fallback = False
+    x_atoms = 0
+    if on_oscillation == "fallback":
+        faulty, xmasks = dut.simulate_outputs_with_x(patterns)
+        diff = mismatched_outputs(golden, faulty, patterns.mask)
+        if xmasks:
+            fallback = True
+            # An X capture mismatches nothing: strip masked bits from the
+            # evidence instead of logging a mid-oscillation read as a fail.
+            for out, xm in xmasks.items():
+                x_atoms += bin(xm & patterns.mask).count("1")
+                if out in diff:
+                    kept = diff[out] & ~xm
+                    if kept:
+                        diff[out] = kept
+                    else:
+                        del diff[out]
+    else:
+        faulty = dut.simulate_outputs(patterns)
+        diff = mismatched_outputs(golden, faulty, patterns.mask)
     datalog = Datalog.from_output_diff(netlist.name, patterns.n, diff)
     return TestResult(
         datalog=datalog,
         golden_outputs=golden,
         faulty_outputs=faulty,
         defects=tuple(defects),
+        oscillation_fallback=fallback,
+        x_atoms=x_atoms,
     )

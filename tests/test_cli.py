@@ -159,3 +159,75 @@ class TestCampaignExports:
 
         payload = _json.loads(json_path.read_text())
         assert payload["config"]["circuit"] == "rca4"
+
+
+class TestResilientCampaignFlags:
+    def test_jobs_and_journal_resume(self, capsys, tmp_path):
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("needs fork start method")
+        journal = tmp_path / "trials.jsonl"
+        args = [
+            "campaign", "rca4", "-k", "1", "-n", "2", "--methods", "xcover",
+            "--jobs", "2", "--timeout", "120", "--journal", str(journal),
+        ]
+        code, out, _err = run(capsys, *args)
+        assert code == 0
+        assert journal.exists()
+        code, out2, err2 = run(capsys, *args, "--resume")
+        assert code == 0
+        assert "resumed 2 journaled trial" in err2
+        # The replayed table is identical to the executed one.
+        assert out == out2
+
+    def test_resume_requires_journal(self, capsys):
+        code, _out, err = run(capsys, "campaign", "rca4", "-n", "1", "--resume")
+        assert code == 2
+        assert "--resume requires --journal" in err
+
+    def test_mismatched_journal_is_diagnosed(self, capsys, tmp_path):
+        journal = tmp_path / "trials.jsonl"
+        base = ["campaign", "rca4", "-n", "1", "--journal", str(journal)]
+        assert run(capsys, *base)[0] == 0
+        code, _out, err = run(
+            capsys, "campaign", "rca4", "-n", "1", "-k", "3",
+            "--journal", str(journal), "--resume",
+        )
+        assert code == 2
+        assert "different campaign" in err
+
+
+class TestErrorReporting:
+    def test_unknown_circuit_is_a_diagnosis_not_a_traceback(self, capsys):
+        code, _out, err = run(capsys, "stats", "not-a-circuit")
+        assert code == 2
+        assert "error:" in err
+        assert "unknown circuit" in err
+
+    def test_corrupt_datalog_names_file_and_line(self, capsys, tmp_path):
+        bad = tmp_path / "bad.log"
+        bad.write_text("# datalog patterns=8\nfail zero: a\n")
+        code, _out, err = run(capsys, "diagnose", "rca4", str(bad))
+        assert code == 2
+        assert "bad.log" in err
+        assert "line 2" in err
+
+    def test_truncated_datalog_rejected(self, capsys, tmp_path):
+        bad = tmp_path / "torn.log"
+        bad.write_text("# datalog patterns=8\nfail 3\n")
+        code, _out, err = run(capsys, "diagnose", "rca4", str(bad))
+        assert code == 2
+        assert "missing ':'" in err
+
+    def test_datalog_for_other_circuit_rejected(self, capsys, tmp_path):
+        log = tmp_path / "fail.log"
+        run(capsys, "inject", "rca4", "-k", "1", "--seed", "4", "-o", str(log))
+        code, _out, err = run(capsys, "diagnose", "c17", str(log))
+        assert code == 2
+        assert "captured on circuit" in err
+
+    def test_missing_datalog_file(self, capsys, tmp_path):
+        code, _out, err = run(capsys, "diagnose", "rca4", str(tmp_path / "no.log"))
+        assert code == 2
+        assert "cannot read datalog" in err

@@ -173,3 +173,63 @@ class TestTruncationAwareDiagnosis:
         )
         assert candidate is not None
         assert any(h.kind == "sa0" for h in candidate.hypotheses)
+
+
+class TestMalformedIngestion:
+    """Corrupted or truncated datalogs must raise DatalogError with context."""
+
+    def test_bad_patterns_header_value(self):
+        with pytest.raises(DatalogError, match="line 1: bad patterns= value"):
+            Datalog.from_text("# datalog circuit=c17 patterns=twelve\n")
+
+    def test_bad_observed_header_value(self):
+        with pytest.raises(DatalogError, match="line 1: bad observed= value"):
+            Datalog.from_text("# datalog patterns=8 observed=4x\nfail 1: a\n")
+
+    def test_negative_patterns_header(self):
+        with pytest.raises(DatalogError, match="patterns= must be >= 0"):
+            Datalog.from_text("# datalog patterns=-4\n")
+
+    def test_truncated_fail_record_missing_colon(self):
+        # A datalog chopped mid-line (e.g. a dying ATE link) ends in a
+        # record without its output list.
+        with pytest.raises(DatalogError, match="line 2: .*missing ':'"):
+            Datalog.from_text("# datalog patterns=8\nfail 3\n")
+
+    def test_negative_pattern_index(self):
+        with pytest.raises(DatalogError, match="line 1: pattern index must be >= 0"):
+            Datalog.from_text("fail -2: a\n")
+
+    def test_record_without_outputs_names_line(self):
+        with pytest.raises(DatalogError, match="line 2: .*>=1 output"):
+            Datalog.from_text("fail 1: a\nfail 3:\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(DatalogError, match="line 3: unrecognized"):
+            Datalog.from_text("# datalog patterns=8\nfail 1: a\n\x00binary junk\n")
+
+
+class TestValidateFor:
+    def test_consistent_datalog_passes(self, c17_netlist):
+        log = Datalog("c17", 10, [FailRecord(3, frozenset({"22"}))])
+        log.validate_for(c17_netlist, n_patterns=10)
+
+    def test_unknown_circuit_name_passes(self, c17_netlist):
+        Datalog("unknown", 10, [FailRecord(0, frozenset({"23"}))]).validate_for(
+            c17_netlist
+        )
+
+    def test_circuit_mismatch(self, c17_netlist):
+        log = Datalog("alu8", 10, [FailRecord(0, frozenset({"22"}))])
+        with pytest.raises(DatalogError, match="captured on circuit 'alu8'"):
+            log.validate_for(c17_netlist)
+
+    def test_output_not_driven_by_circuit(self, c17_netlist):
+        log = Datalog("c17", 10, [FailRecord(0, frozenset({"r9"}))])
+        with pytest.raises(DatalogError, match="not driven by circuit"):
+            log.validate_for(c17_netlist)
+
+    def test_pattern_count_mismatch(self, c17_netlist):
+        log = Datalog("c17", 10, [FailRecord(0, frozenset({"22"}))])
+        with pytest.raises(DatalogError, match="covers 10 patterns"):
+            log.validate_for(c17_netlist, n_patterns=64)

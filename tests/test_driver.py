@@ -97,3 +97,95 @@ class TestCampaign:
             (o.recall_near, o.precision, o.resolution) for o in r.outcomes
         ]
         assert key(r1) == key(r2)
+
+
+class TestSkipReasons:
+    """Resample causes must surface, not vanish into a counter."""
+
+    def test_resample_causes_counted(self, monkeypatch):
+        from repro.campaign import driver as driver_mod
+        from repro.errors import FaultModelError, OscillationError
+
+        campaign = Campaign("rca4")
+        real = driver_mod.apply_test
+        calls = {"n": 0}
+
+        def flaky(netlist, patterns, defects, on_oscillation="raise"):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OscillationError("ringing short")
+            if calls["n"] == 2:
+                raise FaultModelError("bad site")
+            return real(netlist, patterns, defects, on_oscillation)
+
+        monkeypatch.setattr(driver_mod, "apply_test", flaky)
+        result = campaign.run_trial_ex(trial_seed=3, k=1, methods=("xcover",))
+        assert result.outcomes is not None
+        assert result.skip_reasons["OscillationError"] == 1
+        assert result.skip_reasons["FaultModelError"] == 1
+
+    def test_exhausted_trial_reports_reasons(self, monkeypatch):
+        from repro.campaign import driver as driver_mod
+        from repro.errors import OscillationError
+
+        campaign = Campaign("rca4")
+
+        def always_ringing(*_a, **_k):
+            raise OscillationError("ringing short")
+
+        monkeypatch.setattr(driver_mod, "apply_test", always_ringing)
+        result = campaign.run_trial_ex(
+            trial_seed=3, k=1, methods=("xcover",), max_resample=4
+        )
+        assert result.skipped
+        assert result.skip_reasons == {"OscillationError": 4}
+
+    def test_campaign_result_aggregates_reasons(self, monkeypatch):
+        from repro.campaign import driver as driver_mod
+        from repro.errors import FaultModelError
+
+        real = driver_mod.apply_test
+        calls = {"n": 0}
+
+        def fail_first(netlist, patterns, defects, on_oscillation="raise"):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise FaultModelError("bad site")
+            return real(netlist, patterns, defects, on_oscillation)
+
+        monkeypatch.setattr(driver_mod, "apply_test", fail_first)
+        config = CampaignConfig(
+            circuit="rca4", n_trials=2, k=1, methods=("xcover",), seed=2
+        )
+        result = Campaign("rca4").run(config)
+        assert result.skip_reasons.get("FaultModelError") == 1
+
+
+class TestCacheKeys:
+    def test_dictionary_cache_distinguishes_pattern_content(self):
+        from repro.campaign.driver import dictionary_for
+        from repro.sim.patterns import PatternSet
+
+        netlist = load_circuit("c17")
+        a = PatternSet.random(netlist, 8, seed=1)
+        b = PatternSet.random(netlist, 8, seed=2)
+        assert a.n == b.n  # equal length: the old (name, n) key collided
+        dict_a = dictionary_for(netlist, a)
+        dict_b = dictionary_for(netlist, b)
+        assert dict_a is not dict_b
+        assert dictionary_for(netlist, a) is dict_a  # still cached
+
+    def test_pattern_fingerprint_tracks_content(self):
+        from repro.sim.patterns import PatternSet
+
+        netlist = load_circuit("c17")
+        a = PatternSet.random(netlist, 8, seed=1)
+        b = PatternSet.random(netlist, 8, seed=2)
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == PatternSet.random(netlist, 8, seed=1).fingerprint()
+
+    def test_provision_cache_distinguishes_min_patterns(self):
+        netlist = load_circuit("c17")
+        small = provision_patterns(netlist, seed=9, min_patterns=8)
+        large = provision_patterns(netlist, seed=9, min_patterns=24)
+        assert large.n >= small.n

@@ -41,3 +41,62 @@ def test_defects_recorded(tiny_and):
     defects = [StuckAtDefect(Site("ab"), 1)]
     result = apply_test(tiny_and, pats, defects)
     assert result.defects == tuple(defects)
+
+
+class TestOscillationFallback:
+    """Graceful degradation: oscillating defect sets resolve to X."""
+
+    # A dominant bridge whose aggressor lies in the victim's fanout cone:
+    # two-valued simulation of c17 rings on it deterministically.
+    def ringing_bridge(self):
+        from repro.faults.models import BridgeDefect, BridgeKind
+
+        return BridgeDefect("11", "16", BridgeKind.DOMINANT)
+
+    def test_raise_mode_keeps_historical_behavior(self, c17_netlist):
+        import pytest
+
+        from repro.errors import OscillationError
+
+        pats = PatternSet.exhaustive(c17_netlist)
+        with pytest.raises(OscillationError):
+            apply_test(c17_netlist, pats, [self.ringing_bridge()])
+
+    def test_fallback_recovers_partial_evidence(self, c17_netlist):
+        pats = PatternSet.exhaustive(c17_netlist)
+        result = apply_test(
+            c17_netlist, pats, [self.ringing_bridge()], on_oscillation="fallback"
+        )
+        assert result.oscillation_fallback
+        assert result.x_atoms > 0
+        # The stable patterns still yield usable fail evidence.
+        assert result.device_fails
+        assert result.datalog.n_fail_atoms > 0
+
+    def test_fallback_is_deterministic(self, c17_netlist):
+        pats = PatternSet.exhaustive(c17_netlist)
+        first = apply_test(
+            c17_netlist, pats, [self.ringing_bridge()], on_oscillation="fallback"
+        )
+        second = apply_test(
+            c17_netlist, pats, [self.ringing_bridge()], on_oscillation="fallback"
+        )
+        assert first.datalog == second.datalog
+        assert first.x_atoms == second.x_atoms
+        assert first.faulty_outputs == second.faulty_outputs
+
+    def test_fallback_noop_for_stable_defects(self, c17_netlist):
+        pats = PatternSet.exhaustive(c17_netlist)
+        stable = [StuckAtDefect(Site("22"), 1)]
+        raised = apply_test(c17_netlist, pats, stable)
+        degraded = apply_test(c17_netlist, pats, stable, on_oscillation="fallback")
+        assert not degraded.oscillation_fallback
+        assert degraded.x_atoms == 0
+        assert degraded.datalog == raised.datalog
+
+    def test_unknown_mode_rejected(self, c17_netlist):
+        import pytest
+
+        pats = PatternSet.exhaustive(c17_netlist)
+        with pytest.raises(ValueError, match="on_oscillation"):
+            apply_test(c17_netlist, pats, [], on_oscillation="explode")

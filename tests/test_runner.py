@@ -1,0 +1,255 @@
+"""Resilient campaign runner: pool, timeout, retry, crash, resume."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import time
+
+import pytest
+
+from repro.campaign import runner as runner_mod
+from repro.campaign.driver import Campaign, CampaignConfig
+from repro.campaign.journal import Journal, config_fingerprint
+from repro.campaign.runner import RunnerConfig, backoff_delay, execute_campaign
+from repro.errors import JournalError
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="process isolation tests rely on the fork start method",
+)
+
+CONFIG = CampaignConfig(
+    circuit="rca4", n_trials=4, k=1, methods=("xcover",), seed=2
+)
+
+
+def det_key(result):
+    """Deterministic projection of an outcome list (timings excluded)."""
+    return [
+        (
+            o.method,
+            o.recall_exact,
+            o.recall_near,
+            o.precision,
+            o.resolution,
+            o.success,
+            o.n_fail_atoms,
+            {k: v for k, v in o.extra.items() if not k.startswith("seconds")},
+        )
+        for o in result.outcomes
+    ]
+
+
+def det_aggregates(result):
+    return {
+        method: {
+            field: value
+            for field, value in vars(agg).items()
+            if field != "seconds"
+        }
+        for method, agg in result.by_method().items()
+    }
+
+
+class TestSerialEquivalence:
+    def test_default_runner_matches_manual_loop(self):
+        campaign = Campaign("rca4")
+        manual = []
+        for trial in range(CONFIG.n_trials):
+            outcomes = campaign.run_trial(
+                trial_seed=CONFIG.trial_seed(trial), k=CONFIG.k
+            )
+            if outcomes:
+                manual.extend(outcomes)
+        result = campaign.run(CONFIG)
+        assert [o.recall_near for o in result.outcomes] == [
+            o.recall_near for o in manual
+        ]
+
+    @needs_fork
+    def test_parallel_matches_serial(self):
+        campaign = Campaign("rca4")
+        serial = campaign.run(CONFIG, RunnerConfig(jobs=1))
+        parallel = campaign.run(CONFIG, RunnerConfig(jobs=3))
+        assert det_key(serial) == det_key(parallel)
+        assert serial.skipped_trials == parallel.skipped_trials
+        assert serial.skip_reasons == parallel.skip_reasons
+
+    @needs_fork
+    def test_timeout_isolation_matches_serial(self):
+        campaign = Campaign("rca4")
+        serial = campaign.run(CONFIG)
+        isolated = campaign.run(CONFIG, RunnerConfig(jobs=1, timeout=120))
+        assert det_key(serial) == det_key(isolated)
+
+
+@needs_fork
+class TestTimeoutAndCrash:
+    def test_hung_trial_is_killed_not_fatal(self, monkeypatch):
+        real = runner_mod._execute_trial
+
+        def hang_on_trial_zero(campaign, config, trial):
+            if trial == 0:
+                time.sleep(60)
+            return real(campaign, config, trial)
+
+        monkeypatch.setattr(runner_mod, "_execute_trial", hang_on_trial_zero)
+        campaign = Campaign("rca4")
+        result = campaign.run(
+            CONFIG, RunnerConfig(jobs=2, timeout=0.5, retries=0)
+        )
+        assert result.failed_trials == 1
+        error = result.trial_errors[0]
+        assert error.cause == "timeout"
+        assert error.trial == 0
+        assert error.is_transient
+        # Every other trial completed normally.
+        assert len(result.outcomes) == CONFIG.n_trials - 1
+
+    def test_worker_crash_fails_only_its_trial(self, monkeypatch):
+        real = runner_mod._execute_trial
+
+        def die_on_trial_one(campaign, config, trial):
+            if trial == 1:
+                os._exit(3)
+            return real(campaign, config, trial)
+
+        monkeypatch.setattr(runner_mod, "_execute_trial", die_on_trial_one)
+        campaign = Campaign("rca4")
+        result = campaign.run(CONFIG, RunnerConfig(jobs=2, retries=1))
+        assert result.failed_trials == 1
+        error = result.trial_errors[0]
+        assert error.cause == "crash"
+        assert error.trial == 1
+        assert error.attempts == 2  # first attempt + one retry
+        assert len(result.outcomes) == CONFIG.n_trials - 1
+
+    def test_transient_crash_recovers_on_retry(self, monkeypatch, tmp_path):
+        real = runner_mod._execute_trial
+        flag = tmp_path / "crashed-once"
+
+        def crash_first_attempt(campaign, config, trial):
+            if trial == 2 and not flag.exists():
+                flag.write_text("x")
+                os._exit(9)
+            return real(campaign, config, trial)
+
+        monkeypatch.setattr(runner_mod, "_execute_trial", crash_first_attempt)
+        campaign = Campaign("rca4")
+        result = campaign.run(CONFIG, RunnerConfig(jobs=2, retries=2))
+        assert result.failed_trials == 0
+        assert det_key(result) == det_key(campaign.run(CONFIG))
+
+
+class TestBackoff:
+    def test_deterministic_and_bounded(self):
+        delays = [backoff_delay(0.1, attempt, seed=42) for attempt in (1, 2, 3)]
+        assert delays == [
+            backoff_delay(0.1, attempt, seed=42) for attempt in (1, 2, 3)
+        ]
+        for i, delay in enumerate(delays, start=1):
+            assert 0.1 * 2 ** (i - 1) * 0.5 <= delay < 0.1 * 2 ** (i - 1) * 1.5
+
+    def test_jitter_varies_with_seed(self):
+        assert backoff_delay(0.1, 1, seed=1) != backoff_delay(0.1, 1, seed=2)
+
+
+class TestJournalResume:
+    def test_full_resume_executes_nothing(self, tmp_path, monkeypatch):
+        journal = tmp_path / "trials.jsonl"
+        campaign = Campaign("rca4")
+        first = campaign.run(CONFIG, RunnerConfig(journal=journal))
+
+        def boom(*_a, **_k):
+            raise AssertionError("resume must not re-execute journaled trials")
+
+        monkeypatch.setattr(runner_mod, "_execute_trial", boom)
+        resumed = campaign.run(
+            CONFIG, RunnerConfig(journal=journal, resume=True)
+        )
+        assert resumed.resumed_trials == CONFIG.n_trials
+        # Byte-identical aggregates, timings included: every outcome was
+        # replayed from the journal, not re-measured.
+        assert {m: vars(a) for m, a in first.by_method().items()} == {
+            m: vars(a) for m, a in resumed.by_method().items()
+        }
+        assert first.skip_reasons == resumed.skip_reasons
+
+    def test_kill_and_resume_roundtrip(self, tmp_path):
+        journal = tmp_path / "trials.jsonl"
+        campaign = Campaign("rca4")
+        uninterrupted = campaign.run(CONFIG)
+
+        campaign.run(CONFIG, RunnerConfig(journal=journal))
+        # Simulate a SIGKILL mid-campaign: keep the header and the first
+        # completed trial, leave a torn half-written record at the tail.
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2])
+
+        resumed = campaign.run(
+            CONFIG, RunnerConfig(journal=journal, resume=True)
+        )
+        assert resumed.resumed_trials == 1
+        assert det_aggregates(resumed) == det_aggregates(uninterrupted)
+        assert det_key(resumed) == det_key(uninterrupted)
+        # The journal now holds every trial again and resumes to the same
+        # result once more.
+        final = campaign.run(CONFIG, RunnerConfig(journal=journal, resume=True))
+        assert final.resumed_trials == CONFIG.n_trials
+
+    def test_extending_trial_count_reuses_prefix(self, tmp_path):
+        journal = tmp_path / "trials.jsonl"
+        campaign = Campaign("rca4")
+        short = CampaignConfig(
+            circuit="rca4", n_trials=2, k=1, methods=("xcover",), seed=2
+        )
+        campaign.run(short, RunnerConfig(journal=journal))
+        longer = CampaignConfig(
+            circuit="rca4", n_trials=4, k=1, methods=("xcover",), seed=2
+        )
+        extended = campaign.run(
+            longer, RunnerConfig(journal=journal, resume=True)
+        )
+        assert extended.resumed_trials == 2
+        assert det_key(extended) == det_key(campaign.run(longer))
+
+    def test_mismatched_config_refuses_resume(self, tmp_path):
+        journal = tmp_path / "trials.jsonl"
+        campaign = Campaign("rca4")
+        campaign.run(CONFIG, RunnerConfig(journal=journal))
+        other = CampaignConfig(
+            circuit="rca4", n_trials=4, k=2, methods=("xcover",), seed=2
+        )
+        with pytest.raises(JournalError, match="different campaign"):
+            campaign.run(other, RunnerConfig(journal=journal, resume=True))
+
+    def test_resume_without_journal_rejected(self):
+        with pytest.raises(JournalError, match="no journal"):
+            execute_campaign(Campaign("rca4"), CONFIG, RunnerConfig(resume=True))
+
+    def test_journal_records_every_trial(self, tmp_path):
+        journal = tmp_path / "trials.jsonl"
+        Campaign("rca4").run(CONFIG, RunnerConfig(journal=journal))
+        payloads = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        assert payloads[0]["kind"] == "header"
+        assert payloads[0]["fingerprint"] == config_fingerprint(CONFIG)
+        trials = [p for p in payloads if p["kind"] == "trial"]
+        assert sorted(p["trial"] for p in trials) == list(range(CONFIG.n_trials))
+        assert all(p["status"] in ("ok", "skipped", "error") for p in trials)
+
+
+@needs_fork
+class TestJournalUnderIsolation:
+    def test_parallel_journal_resumes_to_serial_result(self, tmp_path):
+        journal = tmp_path / "trials.jsonl"
+        campaign = Campaign("rca4")
+        campaign.run(CONFIG, RunnerConfig(jobs=3, journal=journal))
+        resumed = campaign.run(
+            CONFIG, RunnerConfig(journal=journal, resume=True)
+        )
+        assert resumed.resumed_trials == CONFIG.n_trials
+        assert det_key(resumed) == det_key(campaign.run(CONFIG))
