@@ -14,6 +14,7 @@ behaves exactly like the historical serial in-process loop.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -23,6 +24,7 @@ from repro.campaign.metrics import Aggregate, TrialOutcome, aggregate_by, score_
 from repro.campaign.samplers import DEFAULT_MIX, DefectMix, sample_defect_set
 from repro.circuit.library import load_circuit
 from repro.circuit.netlist import Netlist
+from repro.core.budget import Budget
 from repro.core.diagnose import DiagnosisConfig, Diagnoser
 from repro.core.single_fault import diagnose_single_fault
 from repro.core.slat import diagnose_slat
@@ -168,6 +170,10 @@ class CampaignResult:
     def by_method(self) -> dict[str, Aggregate]:
         return aggregate_by(self.outcomes, key=lambda o: o.method)
 
+    def by_completeness(self) -> dict[str, Aggregate]:
+        """Aggregates split by anytime verdict (exact vs truncated runs)."""
+        return aggregate_by(self.outcomes, key=lambda o: o.completeness)
+
     def aggregate(self, method: str) -> Aggregate:
         return Aggregate.over(method, [o for o in self.outcomes if o.method == method])
 
@@ -205,6 +211,7 @@ class Campaign:
         diagnosis_config: DiagnosisConfig | None = None,
         max_resample: int = 10,
         oscillation_fallback: bool = True,
+        deadline_seconds: float | None = None,
     ) -> list[TrialOutcome] | None:
         """One trial: returns outcomes per method, or None if the sampled
         defect sets never produced observable failures."""
@@ -217,6 +224,7 @@ class Campaign:
             diagnosis_config=diagnosis_config,
             max_resample=max_resample,
             oscillation_fallback=oscillation_fallback,
+            deadline_seconds=deadline_seconds,
         ).outcomes
 
     def run_trial_ex(
@@ -229,14 +237,28 @@ class Campaign:
         diagnosis_config: DiagnosisConfig | None = None,
         max_resample: int = 10,
         oscillation_fallback: bool = True,
+        deadline_seconds: float | None = None,
     ) -> TrialResult:
         """Like :meth:`run_trial` but keeps the resampling diary.
 
         Every resample is attributed to its cause instead of vanishing
         into a counter: exception class names for sampling/simulation
         errors, ``"no_failures"`` for unobservable defect sets.
+
+        ``deadline_seconds`` is a wall-clock budget for the *whole trial*
+        shared across methods: each xcover-engine diagnosis gets the time
+        remaining on the trial clock (further capped by the per-run
+        ``deadline_seconds`` of ``diagnosis_config`` when set), so the
+        trial degrades to truncated-but-reported diagnoses instead of
+        being killed from outside.  Baseline methods (slat, single,
+        dictionary) are not governed -- they are cheap by construction.
         """
         rng = make_rng(trial_seed)
+        trial_deadline = (
+            time.monotonic() + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
         skip_reasons: dict[str, int] = {}
 
         def count(reason: str) -> None:
@@ -262,7 +284,8 @@ class Campaign:
 
         outcomes: list[TrialOutcome] = []
         for method in methods:
-            runner = self._resolve(method, diagnosis_config)
+            budget = self._method_budget(diagnosis_config, trial_deadline)
+            runner = self._resolve(method, diagnosis_config, budget)
             report = runner(self.netlist, self.patterns, result.datalog)
             outcome = score_report(
                 self.netlist,
@@ -300,13 +323,51 @@ class Campaign:
         return execute_campaign(self, config, runner)
 
     @staticmethod
+    def _method_budget(
+        diagnosis_config: DiagnosisConfig | None,
+        trial_deadline: float | None,
+    ) -> Budget | None:
+        """A fresh per-method :class:`Budget`, or None when ungoverned.
+
+        Each method gets its own budget (truncation trails must not leak
+        between methods of one trial) holding the config's count ceilings
+        and the *smaller* of the config deadline and the time left on the
+        trial clock.
+        """
+        deadline = (
+            diagnosis_config.deadline_seconds
+            if diagnosis_config is not None
+            else None
+        )
+        if trial_deadline is not None:
+            remaining = max(0.0, trial_deadline - time.monotonic())
+            deadline = remaining if deadline is None else min(deadline, remaining)
+        max_multiplets = (
+            diagnosis_config.max_multiplets if diagnosis_config is not None else None
+        )
+        max_expansions = (
+            diagnosis_config.max_expansions if diagnosis_config is not None else None
+        )
+        if deadline is None and max_multiplets is None and max_expansions is None:
+            return None
+        return Budget(
+            deadline_seconds=deadline,
+            max_multiplets=max_multiplets,
+            max_expansions=max_expansions,
+        )
+
+    @staticmethod
     def _resolve(
-        method: str, diagnosis_config: DiagnosisConfig | None
+        method: str,
+        diagnosis_config: DiagnosisConfig | None,
+        budget: Budget | None = None,
     ) -> Callable:
-        if method == "xcover" and diagnosis_config is not None:
+        if method == "xcover" and (
+            diagnosis_config is not None or budget is not None
+        ):
             return lambda netlist, patterns, datalog: Diagnoser(
                 netlist, diagnosis_config
-            ).diagnose(patterns, datalog)
+            ).diagnose(patterns, datalog, budget=budget)
         try:
             return METHODS[method]
         except KeyError:

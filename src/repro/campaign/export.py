@@ -31,6 +31,7 @@ OUTCOME_FIELDS = [
     "uncovered_atoms",
     "seconds",
     "best_multiplet_size",
+    "completeness",
 ]
 
 AGGREGATE_FIELDS = [
@@ -44,6 +45,7 @@ AGGREGATE_FIELDS = [
     "success_rate",
     "uncovered_atoms",
     "seconds",
+    "truncated_rate",
 ]
 
 

@@ -21,6 +21,12 @@ The header pins the campaign configuration (everything except the trial
 count, so a journaled campaign may be *extended* with more trials); a
 resume against a journal written under a different configuration raises
 :class:`~repro.errors.JournalError` instead of silently mixing runs.
+
+Outcome payloads are field-generic over :class:`TrialOutcome`, so fields
+added later (e.g. the anytime ``completeness`` verdict) serialize without
+schema changes; reading is symmetric -- unknown fields in newer journals
+are dropped and missing fields in older journals take their dataclass
+defaults -- so journals stay readable across versions in both directions.
 """
 
 from __future__ import annotations

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.circuit.netlist import Netlist, Site
+from repro.core.budget import COMPLETENESS_EXACT
 from repro.core.report import DiagnosisReport
 from repro.faults.models import Defect
 
@@ -60,6 +61,9 @@ class TrialOutcome:
     uncovered_atoms: int
     seconds: float
     best_multiplet_size: int = 0
+    #: Anytime verdict of the underlying report ("exact" unless a budget
+    #: truncated the run -- then "truncated" or "deadline").
+    completeness: str = COMPLETENESS_EXACT
     extra: dict[str, float] = field(default_factory=dict)
 
 
@@ -113,6 +117,7 @@ def score_report(
         best_multiplet_size=(
             report.best_multiplet.size if report.best_multiplet else 0
         ),
+        completeness=report.completeness,
     )
 
 
@@ -130,6 +135,8 @@ class Aggregate:
     success_rate: float
     uncovered_atoms: float
     seconds: float
+    #: Fraction of trials whose report was not exact (budget-truncated).
+    truncated_rate: float = 0.0
 
     @classmethod
     def over(cls, group: str, outcomes: list[TrialOutcome]) -> "Aggregate":
@@ -151,6 +158,9 @@ class Aggregate:
             success_rate=mean(lambda o: 1.0 if o.success else 0.0),
             uncovered_atoms=mean(lambda o: o.uncovered_atoms),
             seconds=mean(lambda o: o.seconds),
+            truncated_rate=mean(
+                lambda o: 0.0 if o.completeness == COMPLETENESS_EXACT else 1.0
+            ),
         )
 
 

@@ -37,7 +37,13 @@ from pathlib import Path
 
 from repro.campaign.driver import Campaign, CampaignConfig, CampaignResult
 from repro.campaign.journal import Journal, TrialRecord, config_fingerprint
-from repro.errors import JournalError, ReproError, TrialError, classify_cause
+from repro.errors import (
+    TRANSIENT_CAUSES,
+    JournalError,
+    ReproError,
+    TrialError,
+    classify_cause,
+)
 
 
 @dataclass
@@ -62,10 +68,24 @@ class RunnerConfig:
     journal: str | Path | None = None
     #: Fold journaled trials back in instead of re-executing them.
     resume: bool = False
+    #: Fraction of ``timeout`` handed to the diagnosis engine as a
+    #: cooperative in-process deadline, so a heavy trial truncates itself
+    #: and reports a partial diagnosis *before* the kill timeout fires.
+    #: The margin left (default 20%) absorbs sampling, emulation and
+    #: scoring.  ``None`` disables the layering (historical behavior:
+    #: heavy trials die at the kill timeout with nothing to show).
+    deadline_margin: float | None = 0.8
 
     @property
     def isolated(self) -> bool:
         return self.jobs > 1 or self.timeout is not None
+
+    @property
+    def inprocess_deadline(self) -> float | None:
+        """Engine-level deadline derived from the kill timeout, if any."""
+        if self.timeout is None or self.deadline_margin is None:
+            return None
+        return self.timeout * self.deadline_margin
 
 
 def backoff_delay(base: float, attempt: int, seed: int) -> float:
@@ -79,7 +99,10 @@ def backoff_delay(base: float, attempt: int, seed: int) -> float:
 
 
 def _execute_trial(
-    campaign: Campaign, config: CampaignConfig, trial: int
+    campaign: Campaign,
+    config: CampaignConfig,
+    trial: int,
+    deadline: float | None = None,
 ) -> TrialRecord:
     """Run one trial to a terminal TrialRecord; never raises trial errors."""
     seed = config.trial_seed(trial)
@@ -94,6 +117,7 @@ def _execute_trial(
             diagnosis_config=config.diagnosis_config,
             max_resample=config.max_resample,
             oscillation_fallback=config.oscillation_fallback,
+            deadline_seconds=deadline,
         )
     except Exception as exc:
         return TrialRecord(
@@ -128,7 +152,9 @@ def _execute_trial(
 _WORKER_CAMPAIGN: Campaign | None = None
 
 
-def _worker_main(spec, config: CampaignConfig, trial: int, conn) -> None:
+def _worker_main(
+    spec, config: CampaignConfig, trial: int, conn, deadline: float | None = None
+) -> None:
     try:
         campaign = _WORKER_CAMPAIGN
         if campaign is None:
@@ -138,7 +164,7 @@ def _worker_main(spec, config: CampaignConfig, trial: int, conn) -> None:
                     "or netlist under the spawn start method"
                 )
             campaign = Campaign(spec[0], pattern_seed=spec[1])
-        record = _execute_trial(campaign, config, trial)
+        record = _execute_trial(campaign, config, trial, deadline)
         conn.send(record.to_dict())
     except BaseException as exc:
         # Last-resort report; if even this send fails the parent sees a
@@ -202,9 +228,15 @@ def _run_isolated(
     active: dict[int, _Active] = {}
 
     def fail(trial: int, attempts: int, cause: str, message: str) -> None:
-        """Handle a transient failure: retry with backoff or emit terminal."""
+        """Handle a failed attempt: retry transient causes, else terminal.
+
+        Only transient causes (crash, timeout) buy a backoff retry; a
+        ``"deadline"`` overrun -- the kill timeout firing despite an armed
+        in-process engine deadline -- is deterministic and burns no
+        retries.
+        """
         seed = config.trial_seed(trial)
-        if attempts <= rc.retries:
+        if cause in TRANSIENT_CAUSES and attempts <= rc.retries:
             delay = backoff_delay(rc.backoff, attempts, seed)
             waiting.append((time.monotonic() + delay, trial, attempts))
             return
@@ -245,7 +277,13 @@ def _run_isolated(
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(campaign.spawn_spec, config, trial, child_conn),
+                    args=(
+                        campaign.spawn_spec,
+                        config,
+                        trial,
+                        child_conn,
+                        rc.inprocess_deadline,
+                    ),
                     daemon=True,
                 )
                 proc.start()
@@ -314,13 +352,27 @@ def _run_isolated(
                     _terminate(slot.proc)
                     slot.conn.close()
                     del active[trial]
-                    fail(
-                        trial,
-                        slot.attempts,
-                        "timeout",
-                        f"trial {trial} exceeded the {rc.timeout:g}s "
-                        "per-trial timeout and was killed",
-                    )
+                    if rc.inprocess_deadline is not None:
+                        # The engine was handed a deadline below this kill
+                        # timeout and still overran: the weight is outside
+                        # the governed pipeline, so a retry would only
+                        # replay it.  Terminal, deterministic, no retry.
+                        fail(
+                            trial,
+                            slot.attempts,
+                            "deadline",
+                            f"trial {trial} overran the "
+                            f"{rc.inprocess_deadline:g}s in-process deadline "
+                            f"and was killed at the {rc.timeout:g}s timeout",
+                        )
+                    else:
+                        fail(
+                            trial,
+                            slot.attempts,
+                            "timeout",
+                            f"trial {trial} exceeded the {rc.timeout:g}s "
+                            "per-trial timeout and was killed",
+                        )
                 elif not slot.proc.is_alive() and not slot.conn.poll():
                     # Died between waits without ever sending a byte.
                     slot.conn.close()
@@ -356,7 +408,7 @@ def _run_serial(
         attempts = 0
         while True:
             attempts += 1
-            record = _execute_trial(campaign, config, trial)
+            record = _execute_trial(campaign, config, trial, rc.inprocess_deadline)
             record.attempts = attempts
             if (
                 record.status != "error"

@@ -25,7 +25,7 @@ from typing import Iterable
 
 from repro.circuit.gates import Gate, GateKind, KIND_ALIASES
 from repro.circuit.netlist import Netlist
-from repro.errors import ParseError
+from repro.errors import CircuitError, ParseError
 
 _ASSIGN_RE = re.compile(
     r"^(?P<out>[^\s=]+)\s*=\s*(?P<kind>[A-Za-z_][A-Za-z0-9_]*)\s*\((?P<ins>[^)]*)\)$"
@@ -77,12 +77,17 @@ def parse_bench(text: str, name: str = "bench") -> Netlist:
         except Exception as exc:
             raise ParseError(str(exc), line=lineno) from exc
 
-    return Netlist(
-        name,
-        inputs + pseudo_inputs,
-        outputs + pseudo_outputs,
-        gates,
-    )
+    try:
+        return Netlist(
+            name,
+            inputs + pseudo_inputs,
+            outputs + pseudo_outputs,
+            gates,
+        )
+    except CircuitError as exc:
+        # A feedback loop in a .bench file usually means a missing DFF (the
+        # full-scan cut point); point at the loop rather than at simulation.
+        raise CircuitError(f"{name}: {exc}", cycle=exc.cycle) from exc
 
 
 def parse_bench_file(path: str | Path) -> Netlist:

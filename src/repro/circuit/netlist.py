@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.circuit.gates import Gate, GateKind
-from repro.errors import NetlistError
+from repro.errors import CircuitError, NetlistError
 
 
 @dataclass(frozen=True)
@@ -161,9 +161,53 @@ class Netlist:
                 if indeg[dep] == 0:
                     heappush(ready, dep)
         if len(order) != len(self.gates):
-            cyclic = sorted(net for net, d in indeg.items() if d > 0)
-            raise NetlistError(f"combinational cycle through nets {cyclic[:8]}")
+            unresolved = {net for net, d in indeg.items() if d > 0}
+            cycle = self._find_cycle(unresolved)
+            raise CircuitError(
+                "combinational cycle through nets " + " -> ".join(cycle),
+                cycle=tuple(cycle),
+            )
         return tuple(order)
+
+    def _find_cycle(self, unresolved: set[str]) -> list[str]:
+        """One concrete feedback loop among the nets levelization left over.
+
+        ``unresolved`` contains the cycle's members plus everything
+        downstream of them; a depth-first walk restricted to that subgraph
+        finds a back edge and returns the loop as net names, closed (the
+        first net repeated at the end) so the message reads as a path.
+        """
+        visiting: dict[str, int] = {}  # net -> position on the current path
+        finished: set[str] = set()
+        for start in sorted(unresolved):
+            if start in finished:
+                continue
+            path: list[str] = []
+            stack: list[tuple[str, Iterator[str]]] = [
+                (start, iter(sorted(set(self.gates[start].inputs))))
+            ]
+            visiting[start] = 0
+            path.append(start)
+            while stack:
+                net, inputs = stack[-1]
+                advanced = False
+                for src in inputs:
+                    if src not in unresolved or src in finished:
+                        continue
+                    if src in visiting:
+                        return path[visiting[src]:] + [src]
+                    visiting[src] = len(path)
+                    path.append(src)
+                    stack.append((src, iter(sorted(set(self.gates[src].inputs)))))
+                    advanced = True
+                    break
+                if not advanced:
+                    stack.pop()
+                    path.pop()
+                    finished.add(net)
+                    del visiting[net]
+        # Unreachable when levelization genuinely stalled, kept as a guard.
+        return sorted(unresolved)[:8]  # pragma: no cover
 
     def _build_fanouts(self) -> dict[str, tuple[tuple[str, int], ...]]:
         fanouts: dict[str, list[tuple[str, int]]] = {net: [] for net in self.nets()}

@@ -24,7 +24,7 @@ from repro.campaign.tables import format_table
 from repro.circuit.bench import parse_bench_file
 from repro.circuit.library import circuit_names, load_circuit
 from repro.circuit.netlist import Netlist
-from repro.core.diagnose import Diagnoser
+from repro.core.diagnose import DiagnosisConfig, Diagnoser
 from repro.core.single_fault import diagnose_single_fault
 from repro.core.slat import diagnose_slat
 from repro.errors import DatalogError, ReproError
@@ -135,16 +135,38 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     except DatalogError as exc:
         raise DatalogError(f"{path}: {exc}") from exc
     if args.method == "xcover":
-        report = Diagnoser(netlist).diagnose(patterns, datalog)
+        config = _budget_config(args)
+        report = Diagnoser(netlist, config).diagnose(patterns, datalog)
     elif args.method == "slat":
         report = diagnose_slat(netlist, patterns, datalog)
     else:
         report = diagnose_single_fault(netlist, patterns, datalog)
     print(report.summary())
+    if not report.is_exact:
+        print(
+            f"diagnosis is {report.completeness}: partial but usable; "
+            "raise --deadline/--max-expansions for a sharper result",
+            file=sys.stderr,
+        )
     if args.json:
         Path(args.json).write_text(report.to_json())
         print(f"(full report written to {args.json})", file=sys.stderr)
     return 0
+
+
+def _budget_config(args: argparse.Namespace) -> DiagnosisConfig | None:
+    """A DiagnosisConfig carrying the CLI budget flags, or None if unset."""
+    if (
+        args.deadline is None
+        and args.max_multiplets is None
+        and args.max_expansions is None
+    ):
+        return None
+    return DiagnosisConfig(
+        deadline_seconds=args.deadline,
+        max_multiplets=args.max_multiplets,
+        max_expansions=args.max_expansions,
+    )
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -158,6 +180,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         methods=tuple(args.methods.split(",")),
         seed=args.seed,
         interacting=args.interacting,
+        diagnosis_config=_budget_config(args),
     )
     runner = RunnerConfig(
         jobs=args.jobs,
@@ -197,6 +220,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             title=f"campaign {args.circuit} k={args.defects}",
         )
     )
+    truncated = sum(1 for o in result.outcomes if o.completeness != "exact")
+    if truncated:
+        print(
+            f"{truncated} diagnosis run(s) hit the resource budget and "
+            "reported a truncated (anytime) result",
+            file=sys.stderr,
+        )
     if result.resumed_trials:
         print(
             f"resumed {result.resumed_trials} journaled trial(s) without "
@@ -218,6 +248,30 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if result.trial_errors else 0
+
+
+def _add_budget_args(p: argparse.ArgumentParser) -> None:
+    """Anytime-budget flags shared by ``diagnose`` and ``campaign``."""
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="in-engine wall-clock budget in seconds; on expiry the "
+        "diagnosis returns what it has (completeness != exact) instead "
+        "of running on",
+    )
+    p.add_argument(
+        "--max-multiplets",
+        type=int,
+        default=None,
+        help="stop enumerating multiplet covers beyond this many",
+    )
+    p.add_argument(
+        "--max-expansions",
+        type=int,
+        default=None,
+        help="ceiling on expansion nodes (joint simulations / cover checks)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -262,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--pattern-seed", type=int, default=7)
     p.add_argument("--json", help="also write the full report as JSON")
+    _add_budget_args(p)
     p.set_defaults(func=_cmd_diagnose)
 
     p = sub.add_parser("campaign", help="run a scored injection campaign")
@@ -301,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--csv", help="write per-trial outcomes as CSV")
     p.add_argument("--json", help="write the full campaign record as JSON")
+    _add_budget_args(p)
     p.set_defaults(func=_cmd_campaign)
     return parser
 

@@ -14,15 +14,21 @@ Modules:
 - :mod:`repro.core.single_fault` -- classic single-fault effect-cause
   baseline,
 - :mod:`repro.core.slat` -- SLAT/per-test multiple-fault baseline,
-- :mod:`repro.core.report` -- result data structures.
+- :mod:`repro.core.report` -- result data structures,
+- :mod:`repro.core.budget` -- anytime resource governance (deadlines,
+  expansion/multiplet ceilings, cooperative cancellation).
 """
 
+from repro.core.budget import Budget, CancellationToken, Truncation
 from repro.core.report import Candidate, DiagnosisReport, Hypothesis, Multiplet
 from repro.core.diagnose import Diagnoser, DiagnosisConfig
 from repro.core.single_fault import diagnose_single_fault
 from repro.core.slat import diagnose_slat
 
 __all__ = [
+    "Budget",
+    "CancellationToken",
+    "Truncation",
     "Candidate",
     "DiagnosisReport",
     "Hypothesis",

@@ -22,6 +22,7 @@ from typing import Mapping
 
 from repro.circuit.gates import eval2
 from repro.circuit.netlist import Netlist, Site
+from repro.core.budget import Budget
 from repro.sim.event import changed_outputs, resimulate_with_overrides
 from repro.sim.patterns import PatternSet
 from repro.tester.datalog import Datalog
@@ -31,6 +32,7 @@ def candidate_sites(
     netlist: Netlist,
     datalog: Datalog,
     include_branches: bool = True,
+    budget: Budget | None = None,
 ) -> list[Site]:
     """Sites structurally able to affect some observed failing output.
 
@@ -38,9 +40,20 @@ def candidate_sites(
     pattern's failing outputs; branch sites are included when the reading
     gate lies inside the envelope.  Deterministically ordered by
     topological position.
+
+    Under a ``budget`` the cone union is checked per failing record (after
+    the first, so the envelope is never empty for a failing device); on
+    exhaustion the envelope built so far is returned with a ``backtrace``
+    truncation recorded -- a sound but incomplete candidate space.
     """
     nets: set[str] = set()
-    for record in datalog.records:
+    for done, record in enumerate(datalog.records):
+        if (
+            budget is not None
+            and done
+            and budget.stop("backtrace", done, len(datalog.records))
+        ):
+            break
         nets |= netlist.fanin_cone(record.failing_outputs)
     ordered = [net for net in netlist.nets() if net in nets]
     sites = [Site(net) for net in ordered]

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from itertools import combinations
 
 from repro.circuit.netlist import Site
+from repro.core.budget import Budget
 from repro.core.pertest import PerTestAnalysis, pair_search
 from repro.core.xcover import Atom, XCoverAnalysis
 
@@ -46,14 +47,28 @@ def greedy_cover(
     top_k: int = 24,
     rescue_pairs: bool = True,
     rescue_pair_cap: int = 400,
+    budget: Budget | None = None,
 ) -> CoverSolution:
-    """Context-aware greedy joint cover of all observed fail atoms."""
+    """Context-aware greedy joint cover of all observed fail atoms.
+
+    Under a ``budget`` every joint X simulation charges one expansion and
+    the growth loop is checked per pick (after the first, so a failing
+    device always gets at least one explaining site when one exists); on
+    exhaustion the sites chosen so far are minimized and returned with a
+    ``cover`` truncation recorded.
+    """
     atoms = xc.atoms
     chosen: list[Site] = []
     covered: frozenset[Atom] = frozenset()
     evaluations = 0
 
     while covered != atoms and len(chosen) < max_size:
+        if (
+            budget is not None
+            and chosen
+            and budget.stop("cover", len(chosen), max_size)
+        ):
+            break
         uncovered = atoms - covered
         # Cheap ranking by context-free individual reach on uncovered atoms.
         ranked = sorted(
@@ -72,9 +87,13 @@ def greedy_cover(
             for site in ranked[:top_k]:
                 joint = xc.joint_covered_atoms([*chosen, site])
                 evaluations += 1
+                if budget is not None:
+                    budget.charge()
                 if len(joint) > len(best_cov):
                     best_site, best_cov = site, joint
                 if best_cov == atoms:
+                    break
+                if budget is not None and budget.exceeded():
                     break
         if best_site is not None and len(best_cov) > len(covered):
             chosen.append(best_site)
@@ -84,7 +103,7 @@ def greedy_cover(
         # Greedy stalled: masking deadlock or genuinely unexplainable residue.
         if rescue_pairs and len(chosen) + 2 <= max_size:
             pair, pair_cov, spent = _pair_rescue(
-                xc, chosen, covered, uncovered, rescue_pair_cap
+                xc, chosen, covered, uncovered, rescue_pair_cap, budget
             )
             evaluations += spent
             if pair is not None:
@@ -113,6 +132,7 @@ def _pair_rescue(
     covered: frozenset[Atom],
     uncovered: frozenset[Atom],
     cap: int,
+    budget: Budget | None = None,
 ) -> tuple[tuple[Site, Site] | None, frozenset[Atom], int]:
     """Search site pairs that jointly unlock masked uncovered atoms."""
     # Restrict to sites structurally upstream of some uncovered output.
@@ -127,6 +147,10 @@ def _pair_rescue(
     for a, b in combinations(pool, 2):
         if spent >= cap:
             break
+        if budget is not None:
+            if spent and budget.exceeded():
+                break
+            budget.charge()
         joint = xc.joint_covered_atoms([*chosen, a, b])
         spent += 1
         if len(joint) > len(best_cov):
@@ -156,6 +180,7 @@ def enumerate_min_covers(
     max_candidates: int = 18,
     max_size: int = 4,
     max_checks: int = 20000,
+    budget: Budget | None = None,
 ) -> list[tuple[Site, ...]]:
     """All minimum-cardinality covers over the most promising candidates.
 
@@ -163,8 +188,14 @@ def enumerate_min_covers(
     reach (plus every site needed by some atom only they can touch).  Sizes
     are explored in increasing order; the first size with a complete cover
     wins and *all* covers of that size are returned (the diagnosis
-    resolution statistic).  Returns an empty list when the budget is
+    resolution statistic).  Returns an empty list when the check budget is
     exhausted without a complete cover.
+
+    A :class:`Budget` bounds the enumeration on top of ``max_checks``:
+    every combination charges one expansion, deadline/expansion exhaustion
+    ends the sweep with the covers found so far, and the multiplet ceiling
+    caps how many tying covers are collected (both recorded as ``cover``
+    truncations).
     """
     atoms = xc.atoms
     if not atoms:
@@ -181,6 +212,18 @@ def enumerate_min_covers(
             checks += 1
             if checks > max_checks:
                 return solutions
+            if budget is not None:
+                if checks > 1 and budget.stop("cover", checks - 1, max_checks):
+                    return solutions
+                if budget.multiplets_exhausted(len(solutions)):
+                    budget.record(
+                        "cover",
+                        "multiplets",
+                        len(solutions),
+                        budget.max_multiplets or 0,
+                    )
+                    return solutions
+                budget.charge()
             union = frozenset().union(*(xc.atoms_of(s) for s in combo))
             if union != atoms and size == 1:
                 continue
@@ -217,6 +260,7 @@ def greedy_pertest_cover(
     analysis: PerTestAnalysis,
     max_size: int = 6,
     pair_cap: int = 300,
+    budget: Budget | None = None,
 ) -> PerTestCoverSolution:
     """Greedy multiplet construction under the exact per-test criterion.
 
@@ -226,13 +270,26 @@ def greedy_pertest_cover(
     pair search, preferring pairs that reuse already chosen sites.  The
     result is pruned to inclusion-minimality, which is sound because
     subset-explainability is monotone in the multiplet.
+
+    Under a ``budget`` both phases are checked per pick/pattern (after the
+    first singleton pick, preserving the progress guarantee); exhaustion
+    returns the minimized partial multiplet with a ``cover`` truncation
+    recorded, leaving the unexplained residue honestly reported.
     """
     failing = set(analysis.datalog.failing_indices)
     chosen: list[Site] = []
     explained: set[int] = set()
+    exhausted = False
 
     # Phase 1: singleton exact matches.
     while explained != failing and len(chosen) < max_size:
+        if (
+            budget is not None
+            and chosen
+            and budget.stop("cover", len(chosen), max_size)
+        ):
+            exhausted = True
+            break
         gains: dict[Site, int] = {}
         for idx in failing - explained:
             for site in analysis.exact_singletons.get(idx, ()):
@@ -242,16 +299,24 @@ def greedy_pertest_cover(
             break
         best = min(gains, key=lambda s: (-gains[s], str(s)))
         chosen.append(best)
+        if budget is not None:
+            budget.charge()
         explained = analysis.explained_patterns(chosen)
 
     # Phase 2: masking / joint-sensitization pairs for the residue.
     pair_candidates: list[Site] = []
-    for idx in sorted(failing - explained):
-        if len(chosen) >= max_size:
+    for nth, idx in enumerate(sorted(failing - explained)):
+        if exhausted or len(chosen) >= max_size:
+            break
+        if (
+            budget is not None
+            and (chosen or nth)
+            and budget.stop("cover", len(chosen), max_size)
+        ):
             break
         if idx in explained:
             continue
-        pairs = pair_search(analysis, idx, cap=pair_cap)
+        pairs = pair_search(analysis, idx, cap=pair_cap, budget=budget)
         if not pairs:
             continue
         for pair in pairs:
@@ -291,6 +356,7 @@ def enumerate_pertest_min_covers(
     max_candidates: int = 18,
     max_size: int = 3,
     max_checks: int = 4000,
+    budget: Budget | None = None,
 ) -> list[tuple[Site, ...]]:
     """All minimum-cardinality per-test covers over a bounded pool.
 
@@ -300,6 +366,12 @@ def enumerate_pertest_min_covers(
     diffs are cached inside the analysis, so repeated subsets are free).
     Only complete covers are returned; the first cardinality with any
     complete cover defines the minimum.
+
+    A :class:`Budget` bounds the enumeration on top of ``max_checks``:
+    every combination charges one expansion, deadline/expansion exhaustion
+    ends the sweep with the covers found so far, and the multiplet ceiling
+    caps how many tying covers are collected (recorded as ``cover``
+    truncations).
     """
     failing = set(analysis.datalog.failing_indices)
     if not failing:
@@ -332,6 +404,18 @@ def enumerate_pertest_min_covers(
             checks += 1
             if checks > max_checks:
                 return solutions
+            if budget is not None:
+                if checks > 1 and budget.stop("cover", checks - 1, max_checks):
+                    return solutions
+                if budget.multiplets_exhausted(len(solutions)):
+                    budget.record(
+                        "cover",
+                        "multiplets",
+                        len(solutions),
+                        budget.max_multiplets or 0,
+                    )
+                    return solutions
+                budget.charge()
             if analysis.explained_patterns(combo) == failing:
                 solutions.append(tuple(combo))
         if solutions:

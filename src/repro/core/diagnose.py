@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.circuit.netlist import Netlist, Site
 from repro.core.backtrace import candidate_sites
+from repro.core.budget import Budget
 from repro.core.cover import (
     enumerate_min_covers,
     enumerate_pertest_min_covers,
@@ -37,7 +38,7 @@ from repro.core.cover import (
     greedy_pertest_cover,
 )
 from repro.core.pertest import PerTestAnalysis, build_pertest
-from repro.core.refine import RefineConfig, allocate_hypotheses
+from repro.core.refine import RefineConfig, allocate_hypotheses, arbitrary_hypothesis
 from repro.core.report import Candidate, DiagnosisReport, Hypothesis, Multiplet
 from repro.core.scoring import multiplet_iou
 from repro.core.xcover import build_xcover
@@ -82,6 +83,29 @@ class DiagnosisConfig:
     greedy_top_k: int = 24  #: xcover engine only
     rescue_pair_cap: int = 400  #: xcover engine only
     refine: RefineConfig = field(default_factory=RefineConfig)
+    #: Anytime resource governance (see :mod:`repro.core.budget`): a
+    #: wall-clock deadline in seconds, a ceiling on enumerated multiplet
+    #: covers, and a ceiling on expansion nodes (joint simulations / cover
+    #: checks).  ``None`` everywhere (the default) runs ungoverned and
+    #: byte-identical to the historical pipeline; any limit set makes the
+    #: report carry a ``completeness`` verdict and a truncation trail.
+    deadline_seconds: float | None = None
+    max_multiplets: int | None = None
+    max_expansions: int | None = None
+
+    def make_budget(self) -> Budget | None:
+        """A fresh :class:`Budget` for one run, or None when ungoverned."""
+        if (
+            self.deadline_seconds is None
+            and self.max_multiplets is None
+            and self.max_expansions is None
+        ):
+            return None
+        return Budget(
+            deadline_seconds=self.deadline_seconds,
+            max_multiplets=self.max_multiplets,
+            max_expansions=self.max_expansions,
+        )
 
 
 class Diagnoser:
@@ -93,14 +117,29 @@ class Diagnoser:
         if self.config.engine not in ("pertest", "xcover"):
             raise DiagnosisError(f"unknown engine {self.config.engine!r}")
 
-    def diagnose(self, patterns: PatternSet, datalog: Datalog) -> DiagnosisReport:
-        """Run the full pipeline against one device's datalog."""
+    def diagnose(
+        self,
+        patterns: PatternSet,
+        datalog: Datalog,
+        budget: Budget | None = None,
+    ) -> DiagnosisReport:
+        """Run the full pipeline against one device's datalog.
+
+        ``budget`` overrides the budget the config would build (pass one
+        holding a :class:`~repro.core.budget.CancellationToken` to make the
+        run externally cancellable); with neither, the pipeline runs
+        ungoverned and the report is identical to the historical output.
+        On exhaustion the report carries whatever every stage produced so
+        far, ``completeness != "exact"``, and the truncation trail.
+        """
         cfg = self.config
         if datalog.n_patterns != patterns.n:
             raise DiagnosisError(
                 f"datalog covers {datalog.n_patterns} patterns, "
                 f"test set has {patterns.n}"
             )
+        if budget is None:
+            budget = cfg.make_budget()
         started = time.perf_counter()
         if datalog.is_passing_device:
             return DiagnosisReport(
@@ -110,16 +149,21 @@ class Diagnoser:
             )
 
         base_values = simulate(self.netlist, patterns)
-        sites = candidate_sites(self.netlist, datalog, cfg.include_branches)
+        if cfg.engine == "pertest":
+            sites = candidate_sites(
+                self.netlist, datalog, cfg.include_branches, budget=budget
+            )
+        else:
+            sites = candidate_sites(self.netlist, datalog, cfg.include_branches)
         t_sim = time.perf_counter()
 
         if cfg.engine == "pertest":
             evidence, multiplet_sets, uncovered, extras, stage_stats = (
-                self._run_pertest(patterns, datalog, sites, base_values)
+                self._run_pertest(patterns, datalog, sites, base_values, budget)
             )
         else:
             evidence, multiplet_sets, uncovered, stage_stats = self._run_xcover(
-                patterns, datalog, base_values
+                patterns, datalog, base_values, budget
             )
             extras = ()
         t_cover = time.perf_counter()
@@ -136,18 +180,49 @@ class Diagnoser:
 
         core_sites = {site for group in multiplet_sets for site in group}
         candidates = []
-        for site in all_sites:
+        refined_out = False
+        for done, site in enumerate(all_sites):
+            if (
+                not refined_out
+                and budget is not None
+                and done
+                and budget.stop("refine", done, len(all_sites))
+            ):
+                refined_out = True
+            if refined_out:
+                # Out of budget: keep the site located but model-free.  The
+                # arbitrary hypothesis is honest here -- no model was tried,
+                # so none can be claimed and none can be used to drop it.
+                candidates.append(
+                    Candidate(
+                        site=site,
+                        hypotheses=(arbitrary_hypothesis(site, evidence),),
+                        explained_atoms=len(evidence.atoms_of(site)),
+                    )
+                )
+                continue
             hypotheses = allocate_hypotheses(
-                self.netlist, patterns, datalog, site, base_values, evidence, cfg.refine
+                self.netlist,
+                patterns,
+                datalog,
+                site,
+                base_values,
+                evidence,
+                cfg.refine,
+                budget=budget,
             )
             if (
                 cfg.drop_unmodeled_extras
                 and site not in core_sites
                 and all(h.kind == "arbitrary" for h in hypotheses)
+                and not (budget is not None and budget.exceeded())
             ):
                 # A per-pattern extra that no concrete model survives for is
                 # a coincidental equivalent; passing-pattern evidence has
-                # already vindicated every mechanism it could have had.
+                # already vindicated every mechanism it could have had.  (A
+                # site whose refinement was cut short by the budget is kept:
+                # absence of a surviving model means nothing if the models
+                # were never fully tried.)
                 continue
             candidates.append(
                 Candidate(
@@ -170,12 +245,26 @@ class Diagnoser:
         hypothesis_by_site = {c.site: c.hypotheses for c in candidates}
         t_refine = time.perf_counter()
 
-        multiplets = [
-            self._assemble_multiplet(
-                evidence, group, hypothesis_by_site, patterns, base_values
+        multiplets = []
+        scored_out = False
+        for done, group in enumerate(reported_sets):
+            if (
+                not scored_out
+                and budget is not None
+                and done
+                and budget.stop("scoring", done, len(reported_sets))
+            ):
+                scored_out = True
+            multiplets.append(
+                self._assemble_multiplet(
+                    evidence,
+                    group,
+                    hypothesis_by_site,
+                    patterns,
+                    base_values,
+                    skip_iou=scored_out,
+                )
             )
-            for group in reported_sets
-        ]
         multiplets.sort(key=lambda m: m.rank_key)
 
         finished = time.perf_counter()
@@ -190,6 +279,12 @@ class Diagnoser:
             "n_min_covers": float(len(multiplet_sets)),
             **stage_stats,
         }
+        if budget is not None and budget.truncations:
+            # Only when governance actually bit: a governed run that
+            # completed exactly stays indistinguishable from an ungoverned
+            # one, so generous budgets never perturb campaign equivalence.
+            stats["n_expansions"] = float(budget.expansions)
+            stats["n_truncations"] = float(len(budget.truncations))
         return DiagnosisReport(
             method=METHOD_NAME,
             circuit=self.netlist.name,
@@ -197,15 +292,22 @@ class Diagnoser:
             multiplets=tuple(multiplets),
             uncovered_atoms=frozenset(uncovered),
             stats=stats,
+            completeness=budget.completeness if budget is not None else "exact",
+            truncations=tuple(budget.truncations) if budget is not None else (),
         )
 
     # -- engines -----------------------------------------------------------------
 
-    def _run_pertest(self, patterns, datalog, sites, base_values):
+    def _run_pertest(self, patterns, datalog, sites, base_values, budget=None):
         cfg = self.config
-        analysis = build_pertest(self.netlist, patterns, datalog, sites, base_values)
+        analysis = build_pertest(
+            self.netlist, patterns, datalog, sites, base_values, budget=budget
+        )
         solution = greedy_pertest_cover(
-            analysis, max_size=cfg.max_multiplet_size, pair_cap=cfg.pair_cap
+            analysis,
+            max_size=cfg.max_multiplet_size,
+            pair_cap=cfg.pair_cap,
+            budget=budget,
         )
         multiplet_sets: list[tuple[Site, ...]] = []
         if cfg.enumerate_exact:
@@ -221,6 +323,7 @@ class Diagnoser:
                 seed_sites=solution.sites + solution.pair_candidates,
                 max_candidates=cfg.exact_max_candidates,
                 max_size=depth,
+                budget=budget,
             )
         known = {tuple(sorted(map(str, m))) for m in multiplet_sets}
         if solution.sites and tuple(sorted(map(str, solution.sites))) not in known:
@@ -249,7 +352,7 @@ class Diagnoser:
         }
         return analysis, multiplet_sets, uncovered, tuple(extras), stats
 
-    def _run_xcover(self, patterns, datalog, base_values):
+    def _run_xcover(self, patterns, datalog, base_values, budget=None):
         cfg = self.config
         xc = build_xcover(
             self.netlist,
@@ -257,12 +360,14 @@ class Diagnoser:
             datalog,
             include_branches=cfg.include_branches,
             base_values=base_values,
+            budget=budget,
         )
         solution = greedy_cover(
             xc,
             max_size=cfg.max_multiplet_size,
             top_k=cfg.greedy_top_k,
             rescue_pair_cap=cfg.rescue_pair_cap,
+            budget=budget,
         )
         multiplet_sets: list[tuple[Site, ...]] = []
         if cfg.enumerate_exact:
@@ -270,6 +375,7 @@ class Diagnoser:
                 xc,
                 max_candidates=cfg.exact_max_candidates,
                 max_size=cfg.exact_max_size,
+                budget=budget,
             )
         known = {tuple(sorted(map(str, m))) for m in multiplet_sets}
         if solution.sites and tuple(sorted(map(str, solution.sites))) not in known:
@@ -286,6 +392,7 @@ class Diagnoser:
         hypothesis_by_site: dict[Site, tuple[Hypothesis, ...]],
         patterns: PatternSet,
         base_values: dict[str, int],
+        skip_iou: bool = False,
     ) -> Multiplet:
         if isinstance(evidence, PerTestAnalysis):
             explained = evidence.explained_patterns(sites)
@@ -295,8 +402,12 @@ class Diagnoser:
         else:
             covered = len(evidence.joint_covered_atoms(sites))
         iou = 0.0
-        defects = _concrete_defects(
-            [hypothesis_by_site.get(site, ()) for site in sites]
+        defects = (
+            None
+            if skip_iou
+            else _concrete_defects(
+                [hypothesis_by_site.get(site, ()) for site in sites]
+            )
         )
         if defects is not None:
             joint = multiplet_iou(

@@ -37,6 +37,7 @@ from itertools import combinations
 from typing import Iterable, Mapping, Sequence
 
 from repro.circuit.netlist import Netlist, Site
+from repro.core.budget import Budget
 from repro.core.xcover import Atom
 from repro.sim.event import changed_outputs, resimulate_with_overrides
 from repro.sim.logicsim import simulate
@@ -190,11 +191,17 @@ def build_pertest(
     datalog: Datalog,
     sites: Sequence[Site],
     base_values: Mapping[str, int] | None = None,
+    budget: Budget | None = None,
 ) -> PerTestAnalysis:
     """Compute single-flip effects and exact singleton matches for ``sites``.
 
     ``base_values`` (full-test-set fault-free values) is accepted for API
     symmetry but the analysis derives its own failing-subset simulation.
+
+    Under a ``budget`` the single-flip sweep is checked per site (each
+    costs one cone-restricted resimulation, charged as one expansion); on
+    exhaustion the analysis covers only the sites swept so far and a
+    ``pertest`` truncation is recorded.
     """
     del base_values  # the analysis works on the failing-pattern subset
     failing = datalog.failing_indices
@@ -210,7 +217,17 @@ def build_pertest(
     site_atoms: dict[Site, frozenset[Atom]] = {}
     exact: dict[int, list[Site]] = {idx: [] for idx in failing}
     mask = work.mask
-    for site in sites:
+    sites = list(sites)
+    for done, site in enumerate(sites):
+        if (
+            budget is not None
+            and done
+            and budget.stop("pertest", done, len(sites))
+        ):
+            sites = sites[:done]
+            break
+        if budget is not None:
+            budget.charge()
         flipped = (work_base[site.net] ^ mask) & mask
         changed = resimulate_with_overrides(netlist, work_base, {site: flipped}, mask)
         diff = changed_outputs(netlist, changed, work_base, mask)
@@ -249,6 +266,7 @@ def pair_search(
     pattern_index: int,
     pool: Sequence[Site] | None = None,
     cap: int = 300,
+    budget: Budget | None = None,
 ) -> list[tuple[Site, Site]]:
     """Site pairs whose joint assignment reproduces pattern ``t`` exactly.
 
@@ -257,6 +275,10 @@ def pair_search(
     The pool defaults to candidate sites inside the fan-in cone of the
     pattern's failing outputs, ranked by single-flip overlap with the
     observed failures so that promising pairs are tried first.
+
+    A ``budget`` bounds the pair sweep on top of ``cap``: each tried pair
+    charges one expansion, and exhaustion ends the search with the matches
+    found so far (the caller records the stage truncation).
     """
     observed = analysis.datalog.failing_outputs_of(pattern_index)
     if pool is None:
@@ -272,6 +294,10 @@ def pair_search(
     for a, b in combinations(ranked, 2):
         if tried >= cap:
             break
+        if budget is not None:
+            if tried and budget.exceeded():
+                break
+            budget.charge()
         tried += 1
         if analysis.subset_explains((a, b), pattern_index):
             matches.append((a, b))

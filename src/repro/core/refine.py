@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.circuit.netlist import Netlist, Site
+from repro.core.budget import Budget
 from repro.core.report import Hypothesis
 from repro.core.scoring import match_counts, predicted_atoms
 from repro.core.xcover import XCoverAnalysis
@@ -43,6 +44,18 @@ class RefineConfig:
     try_transitions: bool = True
 
 
+def arbitrary_hypothesis(site: Site, xc: XCoverAnalysis) -> Hypothesis:
+    """The model-free fallback: located, no behavioral commitment."""
+    own_atoms = xc.atoms_of(site)
+    return Hypothesis(
+        kind="arbitrary",
+        site=site,
+        hits=len(own_atoms),
+        misses=len(xc.atoms - own_atoms),
+        false_alarms=0,
+    )
+
+
 def allocate_hypotheses(
     netlist: Netlist,
     patterns: PatternSet,
@@ -51,16 +64,34 @@ def allocate_hypotheses(
     base_values: Mapping[str, int],
     xc: XCoverAnalysis,
     config: RefineConfig | None = None,
+    budget: Budget | None = None,
 ) -> tuple[Hypothesis, ...]:
-    """Ranked fault-model hypotheses for one candidate site."""
+    """Ranked fault-model hypotheses for one candidate site.
+
+    Under a ``budget`` every concrete-model simulation charges one
+    expansion and is preceded by a check (after the first, so a site is
+    never left without at least one concrete attempt); on exhaustion the
+    remaining model families are skipped -- the always-kept ``arbitrary``
+    fallback keeps the site reported.  The caller records the stage-level
+    ``refine`` truncation.
+    """
     config = config or RefineConfig()
     observed = xc.atoms
     failing = datalog.failing_indices
-    own_atoms = xc.atoms_of(site)
 
     hypotheses: list[Hypothesis] = []
+    attempts = 0
+
+    def exhausted() -> bool:
+        return budget is not None and attempts > 0 and budget.exceeded() is not None
 
     def score(kind: str, defect, aggressor: str | None = None) -> None:
+        nonlocal attempts
+        if exhausted():
+            return
+        attempts += 1
+        if budget is not None:
+            budget.charge()
         try:
             predicted = predicted_atoms(netlist, patterns, defect, base_values)
         except OscillationError:
@@ -104,16 +135,7 @@ def allocate_hypotheses(
             )
 
     hypotheses.sort(key=lambda h: h.score, reverse=True)
-
-    # The model-free fallback: located, no behavioral commitment.
-    arbitrary = Hypothesis(
-        kind="arbitrary",
-        site=site,
-        hits=len(own_atoms),
-        misses=len(observed - own_atoms),
-        false_alarms=0,
-    )
-    return tuple(hypotheses) + (arbitrary,)
+    return tuple(hypotheses) + (arbitrary_hypothesis(site, xc),)
 
 
 def _aggressor_pool(

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.circuit.netlist import Site
+from repro.core.budget import COMPLETENESS_EXACT, Truncation
 
 
 @dataclass(frozen=True)
@@ -125,6 +126,17 @@ class DiagnosisReport:
     multiplets: tuple[Multiplet, ...] = ()
     uncovered_atoms: frozenset[tuple[int, str]] = frozenset()
     stats: dict[str, float] = field(default_factory=dict)
+    #: Anytime verdict: ``"exact"`` (every stage ran to completion --
+    #: always the case without a budget), ``"truncated"`` (a count ceiling
+    #: cut some stage short) or ``"deadline"`` (the wall clock or a
+    #: cancellation did).  See :mod:`repro.core.budget`.
+    completeness: str = COMPLETENESS_EXACT
+    #: Per-stage records of what was cut short, in pipeline order.
+    truncations: tuple[Truncation, ...] = ()
+
+    @property
+    def is_exact(self) -> bool:
+        return self.completeness == COMPLETENESS_EXACT
 
     @property
     def candidate_sites(self) -> frozenset[Site]:
@@ -178,7 +190,7 @@ class DiagnosisReport:
     # -- serialization (for tool interop / archiving diagnosis sessions) ----
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "method": self.method,
             "circuit": self.circuit,
             "candidates": [
@@ -212,6 +224,12 @@ class DiagnosisReport:
             ),
             "stats": dict(self.stats),
         }
+        # Emitted only for non-exact runs so that ungoverned reports stay
+        # byte-identical to the historical serialization.
+        if not self.is_exact or self.truncations:
+            payload["completeness"] = self.completeness
+            payload["truncations"] = [t.to_dict() for t in self.truncations]
+        return payload
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
@@ -254,6 +272,10 @@ class DiagnosisReport:
                 (int(idx), out) for idx, out in data.get("uncovered_atoms", [])
             ),
             stats=dict(data.get("stats", {})),
+            completeness=data.get("completeness", COMPLETENESS_EXACT),
+            truncations=tuple(
+                Truncation.from_dict(t) for t in data.get("truncations", [])
+            ),
         )
 
     @classmethod
@@ -267,6 +289,10 @@ class DiagnosisReport:
             f"{len(self.multiplets)} multiplets, "
             f"{len(self.uncovered_atoms)} uncovered fail atoms",
         ]
+        if not self.is_exact:
+            lines[0] += f" [{self.completeness}]"
+            for trunc in self.truncations:
+                lines.append("  truncated: " + trunc.describe())
         for multiplet in self.multiplets[:5]:
             lines.append("  multiplet " + multiplet.describe())
         for candidate in self.candidates[:10]:

@@ -26,6 +26,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.circuit.gates import tv_all_x, tv_xmask
 from repro.circuit.netlist import Netlist, Site
 from repro.core.backtrace import candidate_sites
+from repro.core.budget import Budget
 from repro.errors import DiagnosisError
 from repro.sim.logicsim import simulate
 from repro.sim.patterns import PatternSet
@@ -103,8 +104,14 @@ def build_xcover(
     include_branches: bool = True,
     base_values: Mapping[str, int] | None = None,
     restrict_sites: Sequence[Site] | None = None,
+    budget: Budget | None = None,
 ) -> XCoverAnalysis:
-    """Run the per-site X analysis over the structural candidate envelope."""
+    """Run the per-site X analysis over the structural candidate envelope.
+
+    Under a ``budget`` the per-site X-reach sweep is checked per site
+    (each charged as one expansion); on exhaustion the analysis covers
+    only the sites swept so far and an ``xcover`` truncation is recorded.
+    """
     if datalog.n_patterns != patterns.n:
         raise DiagnosisError(
             f"datalog covers {datalog.n_patterns} patterns, test set has {patterns.n}"
@@ -113,14 +120,23 @@ def build_xcover(
         base_values = simulate(netlist, patterns)
     base_values = dict(base_values)
     if restrict_sites is None:
-        sites = candidate_sites(netlist, datalog, include_branches)
+        sites = candidate_sites(netlist, datalog, include_branches, budget=budget)
     else:
         sites = list(restrict_sites)
     atoms = frozenset(datalog.fail_atoms())
 
     reach: dict[Site, dict[str, int]] = {}
     site_atoms: dict[Site, frozenset[Atom]] = {}
-    for site in sites:
+    for done, site in enumerate(sites):
+        if (
+            budget is not None
+            and done
+            and budget.stop("xcover", done, len(sites))
+        ):
+            sites = sites[:done]
+            break
+        if budget is not None:
+            budget.charge()
         r = x_injection_reach(netlist, patterns, site, base_values)
         reach[site] = r
         covered = {

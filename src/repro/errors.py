@@ -16,6 +16,20 @@ class NetlistError(ReproError):
     """A netlist is structurally invalid (dangling net, cycle, bad arity...)."""
 
 
+class CircuitError(NetlistError):
+    """The circuit graph violates the combinational contract.
+
+    Raised at build time when a netlist contains a combinational loop --
+    the message names the nets along one offending cycle so the feedback
+    path can be found in the source description instead of surfacing later
+    as an oscillating simulation or a runaway levelization.
+    """
+
+    def __init__(self, message: str, cycle: tuple[str, ...] = ()):
+        self.cycle = tuple(cycle)
+        super().__init__(message)
+
+
 class ParseError(NetlistError):
     """A circuit description file could not be parsed.
 
@@ -66,7 +80,10 @@ class JournalError(ReproError):
 #: Failure causes that may succeed on a retry (environment-induced: a
 #: worker killed by the OS, a machine under load blowing a deadline).
 #: Everything else is deterministic for a given trial seed and retrying
-#: would only reproduce the same failure.
+#: would only reproduce the same failure.  Notably ``"deadline"`` -- a
+#: trial killed *despite* an armed in-process engine deadline -- is
+#: deterministic: the overrun means heavy work outside the governed
+#: pipeline, which a retry would only replay against the same wall.
 TRANSIENT_CAUSES = frozenset({"crash", "timeout"})
 
 
@@ -82,6 +99,10 @@ class TrialError(ReproError):
 
     - ``"timeout"``  -- the trial exceeded the per-trial wall-clock budget
       and its worker was killed,
+    - ``"deadline"`` -- the worker was killed at the wall-clock budget even
+      though an in-process engine deadline was armed below it; the engine
+      should have returned a partial report, so the overrun is
+      deterministic and the trial is not retried,
     - ``"crash"``    -- the worker process died without reporting a result
       (segfault-equivalent, OOM kill, unpicklable payload),
     - ``"oscillation"`` / ``"fault-model"`` / ``"diagnosis"`` -- a

@@ -7,7 +7,7 @@ import pytest
 from repro.circuit.bench import C17_BENCH, parse_bench, parse_bench_file, write_bench
 from repro.circuit.builder import NetlistBuilder
 from repro.circuit.generators import mux_tree
-from repro.errors import ParseError
+from repro.errors import CircuitError, ParseError
 from repro.sim.logicsim import simulate_outputs
 from repro.sim.patterns import PatternSet
 
@@ -40,6 +40,21 @@ class TestParse:
     def test_garbage_line_reports_lineno(self):
         with pytest.raises(ParseError, match="line 2"):
             parse_bench("INPUT(a)\nwhat is this\n")
+
+    def test_combinational_loop_rejected_at_parse(self):
+        text = (
+            "INPUT(a)\nOUTPUT(z)\n"
+            "x = AND(a, y)\n"
+            "y = OR(x, a)\n"
+            "z = BUF(y)\n"
+        )
+        with pytest.raises(CircuitError) as info:
+            parse_bench(text, name="loopy")
+        # The error carries the circuit name and the looping nets, so a
+        # broken benchmark file is locatable without a debugger.
+        assert "loopy" in str(info.value)
+        assert set(info.value.cycle) == {"x", "y"}
+        assert "cycle" in str(info.value)
 
     def test_dff_scan_replacement(self):
         text = (

@@ -5,7 +5,7 @@ import pytest
 from repro.circuit.builder import NetlistBuilder
 from repro.circuit.gates import Gate, GateKind
 from repro.circuit.netlist import Netlist, Site
-from repro.errors import NetlistError
+from repro.errors import CircuitError, NetlistError
 
 
 def make(name="m", inputs=("a", "b"), outputs=("z",), gates=()):
@@ -52,6 +52,33 @@ class TestConstruction:
                     Gate("z", GateKind.BUF, ("y",)),
                 ]
             )
+
+    def test_cycle_error_names_the_loop_nets(self):
+        with pytest.raises(CircuitError) as info:
+            make(
+                gates=[
+                    Gate("x", GateKind.AND, ("a", "y")),
+                    Gate("y", GateKind.OR, ("x", "b")),
+                    Gate("z", GateKind.BUF, ("y",)),
+                ]
+            )
+        exc = info.value
+        # The cycle is reported as a closed walk over exactly the looping
+        # nets -- downstream victims of the loop (here z) are not blamed.
+        assert exc.cycle[0] == exc.cycle[-1]
+        assert set(exc.cycle) == {"x", "y"}
+        assert "z" not in exc.cycle
+        for net in ("x", "y"):
+            assert net in str(exc)
+
+    def test_self_loop_cycle(self):
+        with pytest.raises(CircuitError) as info:
+            make(gates=[Gate("z", GateKind.AND, ("a", "z"))])
+        assert set(info.value.cycle) == {"z"}
+
+    def test_cycle_error_is_a_netlist_error(self):
+        # Callers catching the historical NetlistError keep working.
+        assert issubclass(CircuitError, NetlistError)
 
     def test_explicit_input_pseudo_gate_rejected(self):
         with pytest.raises(NetlistError, match="INPUT"):

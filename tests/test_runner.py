@@ -90,15 +90,18 @@ class TestTimeoutAndCrash:
     def test_hung_trial_is_killed_not_fatal(self, monkeypatch):
         real = runner_mod._execute_trial
 
-        def hang_on_trial_zero(campaign, config, trial):
+        def hang_on_trial_zero(campaign, config, trial, deadline=None):
             if trial == 0:
                 time.sleep(60)
-            return real(campaign, config, trial)
+            return real(campaign, config, trial, deadline)
 
         monkeypatch.setattr(runner_mod, "_execute_trial", hang_on_trial_zero)
         campaign = Campaign("rca4")
+        # deadline_margin=None: the historical layering-free policy, where
+        # the kill timeout is the only defense and overruns are transient.
         result = campaign.run(
-            CONFIG, RunnerConfig(jobs=2, timeout=0.5, retries=0)
+            CONFIG,
+            RunnerConfig(jobs=2, timeout=0.5, retries=0, deadline_margin=None),
         )
         assert result.failed_trials == 1
         error = result.trial_errors[0]
@@ -108,13 +111,38 @@ class TestTimeoutAndCrash:
         # Every other trial completed normally.
         assert len(result.outcomes) == CONFIG.n_trials - 1
 
+    def test_deadline_overrun_is_deterministic_no_retry(self, monkeypatch):
+        real = runner_mod._execute_trial
+
+        def hang_on_trial_zero(campaign, config, trial, deadline=None):
+            if trial == 0:
+                # Simulates weight *outside* the budget-governed pipeline:
+                # the in-process deadline is armed but cannot bite.
+                time.sleep(60)
+            return real(campaign, config, trial, deadline)
+
+        monkeypatch.setattr(runner_mod, "_execute_trial", hang_on_trial_zero)
+        campaign = Campaign("rca4")
+        result = campaign.run(
+            CONFIG, RunnerConfig(jobs=2, timeout=0.5, retries=3)
+        )
+        assert result.failed_trials == 1
+        error = result.trial_errors[0]
+        assert error.cause == "deadline"
+        assert error.trial == 0
+        assert not error.is_transient
+        # A deadline overrun replays deterministically: no retries burned
+        # despite retries=3.
+        assert error.attempts == 1
+        assert len(result.outcomes) == CONFIG.n_trials - 1
+
     def test_worker_crash_fails_only_its_trial(self, monkeypatch):
         real = runner_mod._execute_trial
 
-        def die_on_trial_one(campaign, config, trial):
+        def die_on_trial_one(campaign, config, trial, deadline=None):
             if trial == 1:
                 os._exit(3)
-            return real(campaign, config, trial)
+            return real(campaign, config, trial, deadline)
 
         monkeypatch.setattr(runner_mod, "_execute_trial", die_on_trial_one)
         campaign = Campaign("rca4")
@@ -130,11 +158,11 @@ class TestTimeoutAndCrash:
         real = runner_mod._execute_trial
         flag = tmp_path / "crashed-once"
 
-        def crash_first_attempt(campaign, config, trial):
+        def crash_first_attempt(campaign, config, trial, deadline=None):
             if trial == 2 and not flag.exists():
                 flag.write_text("x")
                 os._exit(9)
-            return real(campaign, config, trial)
+            return real(campaign, config, trial, deadline)
 
         monkeypatch.setattr(runner_mod, "_execute_trial", crash_first_attempt)
         campaign = Campaign("rca4")
