@@ -15,7 +15,7 @@ behaves exactly like the historical serial in-process loop.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro._rng import make_rng, spawn
@@ -126,6 +126,14 @@ class CampaignConfig:
     oscillation_fallback: bool = True
     #: Resampling budget per trial before it counts as skipped.
     max_resample: int = 10
+    #: Datalog noise spec (e.g. ``"flip:0.02"`` or ``"flip:0.02+dup:0.1"``,
+    #: see :func:`repro.tester.noise.parse_noise_spec`).  When set, every
+    #: trial's datalog is corrupted then re-ingested through the
+    #: quarantining sanitizer, diagnosis runs on the sanitized evidence,
+    #: and the validation oracle judges each report against the raw log.
+    #: ``None`` (the default) leaves the pipeline byte-identical to the
+    #: noise-free historical behavior.
+    noise: str | None = None
 
     def trial_seed(self, trial: int) -> int:
         """The deterministic seed of trial ``trial`` of this campaign."""
@@ -212,6 +220,7 @@ class Campaign:
         max_resample: int = 10,
         oscillation_fallback: bool = True,
         deadline_seconds: float | None = None,
+        noise: str | None = None,
     ) -> list[TrialOutcome] | None:
         """One trial: returns outcomes per method, or None if the sampled
         defect sets never produced observable failures."""
@@ -225,6 +234,7 @@ class Campaign:
             max_resample=max_resample,
             oscillation_fallback=oscillation_fallback,
             deadline_seconds=deadline_seconds,
+            noise=noise,
         ).outcomes
 
     def run_trial_ex(
@@ -238,6 +248,7 @@ class Campaign:
         max_resample: int = 10,
         oscillation_fallback: bool = True,
         deadline_seconds: float | None = None,
+        noise: str | None = None,
     ) -> TrialResult:
         """Like :meth:`run_trial` but keeps the resampling diary.
 
@@ -252,7 +263,19 @@ class Campaign:
         trial degrades to truncated-but-reported diagnoses instead of
         being killed from outside.  Baseline methods (slat, single,
         dictionary) are not governed -- they are cheap by construction.
+
+        ``noise`` (a spec string, see
+        :func:`repro.tester.noise.parse_noise_spec`) corrupts the trial's
+        datalog before ingestion; diagnosis then runs on the quarantined
+        sanitizer output, every method's report is judged by the
+        validation oracle against the raw log, and the outcome carries
+        the ingestion anomaly counters and the oracle verdict.
         """
+        noise_model = None
+        if noise is not None:
+            from repro.tester.noise import parse_noise_spec
+
+            noise_model = parse_noise_spec(noise)
         rng = make_rng(trial_seed)
         trial_deadline = (
             time.monotonic() + deadline_seconds
@@ -270,8 +293,17 @@ class Campaign:
                 defects = sample_defect_set(
                     self.netlist, k, spawn(rng, "defects"), mix, interacting
                 )
+                noise_kwargs = (
+                    {"noise": noise_model, "noise_seed": trial_seed}
+                    if noise_model is not None
+                    else {}
+                )
                 result = apply_test(
-                    self.netlist, self.patterns, defects, on_oscillation
+                    self.netlist,
+                    self.patterns,
+                    defects,
+                    on_oscillation,
+                    **noise_kwargs,
                 )
             except (OscillationError, FaultModelError) as exc:
                 count(type(exc).__name__)
@@ -287,6 +319,14 @@ class Campaign:
             budget = self._method_budget(diagnosis_config, trial_deadline)
             runner = self._resolve(method, diagnosis_config, budget)
             report = runner(self.netlist, self.patterns, result.datalog)
+            if noise_model is not None:
+                # Post-hoc oracle pass, uniform over every method: judge
+                # the report against the raw (pre-sanitized) evidence.
+                from repro.core.oracle import validate_report
+
+                report = validate_report(
+                    self.netlist, self.patterns, report, result.raw
+                )
             outcome = score_report(
                 self.netlist,
                 report,
@@ -306,6 +346,9 @@ class Campaign:
             if result.oscillation_fallback:
                 outcome.extra["oscillation_fallback"] = 1.0
                 outcome.extra["x_atoms"] = float(result.x_atoms)
+            if result.ingest is not None:
+                outcome.extra["quarantined"] = float(result.ingest.quarantined)
+                outcome.extra["ingest_anomalies"] = float(result.ingest.anomalies)
             outcomes.append(outcome)
         return TrialResult(outcomes=outcomes, skip_reasons=skip_reasons)
 
@@ -381,3 +424,27 @@ def run_campaign(
 ) -> CampaignResult:
     """Convenience one-shot campaign over a registered circuit."""
     return Campaign(config.circuit).run(config, runner)
+
+
+def run_noise_sweep(
+    config: CampaignConfig,
+    model: str = "flip",
+    rates: Sequence[float] = (0.0, 0.01, 0.02, 0.05, 0.1),
+    runner: "RunnerConfig | None" = None,
+) -> dict[float, CampaignResult]:
+    """The noise robustness axis: one campaign per corruption rate.
+
+    Every rate reuses the same circuit, test set, defect samples and
+    diagnosis configuration -- only the datalog corruption varies -- so
+    per-method resolution/recall/``confirmed_rate`` curves against the
+    noise rate isolate the cost of corrupted evidence.  Rate 0.0 runs
+    with the noise machinery disabled entirely except for the oracle
+    (which then judges reports against the clean datalog), making it the
+    byte-identical-resolution anchor of the curve.
+    """
+    campaign = Campaign(config.circuit)
+    results: dict[float, CampaignResult] = {}
+    for rate in rates:
+        spec = f"{model}:{rate:g}"
+        results[rate] = campaign.run(replace(config, noise=spec), runner)
+    return results

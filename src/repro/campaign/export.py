@@ -32,6 +32,8 @@ OUTCOME_FIELDS = [
     "seconds",
     "best_multiplet_size",
     "completeness",
+    "consistency",
+    "quarantined",
 ]
 
 AGGREGATE_FIELDS = [
@@ -46,13 +48,19 @@ AGGREGATE_FIELDS = [
     "uncovered_atoms",
     "seconds",
     "truncated_rate",
+    "confirmed_rate",
 ]
 
 
 def _outcome_row(outcome: TrialOutcome) -> dict:
-    row = {field: getattr(outcome, field) for field in OUTCOME_FIELDS}
+    row = {
+        field: getattr(outcome, field)
+        for field in OUTCOME_FIELDS
+        if field != "quarantined"
+    }
     row["families"] = "+".join(outcome.families)
     row["success"] = int(outcome.success)
+    row["quarantined"] = int(outcome.extra.get("quarantined", 0))
     return row
 
 
@@ -88,6 +96,7 @@ def result_to_json(result: CampaignResult, indent: int | None = 2) -> str:
             "seed": config.seed,
             "interacting": config.interacting,
             "mix": dict(config.mix.items()),
+            "noise": config.noise,
         },
         "skipped_trials": result.skipped_trials,
         "skip_reasons": dict(result.skip_reasons),

@@ -148,6 +148,10 @@ def config_fingerprint(config) -> str:
         tuple(config.mix.items()),
         repr(config.diagnosis_config),
     )
+    # Appended only when set, so journals written before the noise axis
+    # existed keep their fingerprint and stay resumable.
+    if getattr(config, "noise", None):
+        image = image + (config.noise,)
     return hashlib.sha256(repr(image).encode()).hexdigest()[:16]
 
 

@@ -64,6 +64,9 @@ class TrialOutcome:
     #: Anytime verdict of the underlying report ("exact" unless a budget
     #: truncated the run -- then "truncated" or "deadline").
     completeness: str = COMPLETENESS_EXACT
+    #: Oracle consistency verdict of the underlying report ("confirmed",
+    #: "partial", "refuted", "unvalidated"); empty when the oracle never ran.
+    consistency: str = ""
     extra: dict[str, float] = field(default_factory=dict)
 
 
@@ -118,6 +121,7 @@ def score_report(
             report.best_multiplet.size if report.best_multiplet else 0
         ),
         completeness=report.completeness,
+        consistency=report.consistency or "",
     )
 
 
@@ -137,6 +141,9 @@ class Aggregate:
     seconds: float
     #: Fraction of trials whose report was not exact (budget-truncated).
     truncated_rate: float = 0.0
+    #: Fraction of trials the oracle independently confirmed (0.0 when the
+    #: oracle never ran -- an unvalidated trial is not a confirmed one).
+    confirmed_rate: float = 0.0
 
     @classmethod
     def over(cls, group: str, outcomes: list[TrialOutcome]) -> "Aggregate":
@@ -160,6 +167,9 @@ class Aggregate:
             seconds=mean(lambda o: o.seconds),
             truncated_rate=mean(
                 lambda o: 0.0 if o.completeness == COMPLETENESS_EXACT else 1.0
+            ),
+            confirmed_rate=mean(
+                lambda o: 1.0 if o.consistency == "confirmed" else 0.0
             ),
         )
 

@@ -118,6 +118,7 @@ def _execute_trial(
             max_resample=config.max_resample,
             oscillation_fallback=config.oscillation_fallback,
             deadline_seconds=deadline,
+            noise=config.noise,
         )
     except Exception as exc:
         return TrialRecord(

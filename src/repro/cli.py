@@ -106,14 +106,25 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     netlist = _load(args.circuit)
     patterns = provision_patterns(netlist, args.pattern_seed)
     defects = sample_defect_set(netlist, args.defects, seed=args.seed, mix=DEFAULT_MIX)
-    result = apply_test(netlist, patterns, defects)
+    noise = None
+    if args.noise:
+        from repro.tester.noise import parse_noise_spec
+
+        noise = parse_noise_spec(args.noise)
+    result = apply_test(netlist, patterns, defects, noise=noise, noise_seed=args.seed)
     print(f"injected: {', '.join(map(str, defects))}", file=sys.stderr)
     print(
         f"device {'FAILS' if result.device_fails else 'passes'} "
         f"({len(result.datalog.failing_indices)}/{patterns.n} failing patterns)",
         file=sys.stderr,
     )
-    text = result.datalog.to_text()
+    if result.raw is not None:
+        # Emit the corrupted log as the tester would have: contradictions,
+        # duplicates and all (diagnose --noise-report re-ingests it).
+        print(result.ingest.describe(), file=sys.stderr)
+        text = result.raw.to_text()
+    else:
+        text = result.datalog.to_text()
     if args.output:
         Path(args.output).write_text(text)
     else:
@@ -129,18 +140,38 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         text = path.read_text()
     except OSError as exc:
         raise DatalogError(f"{path}: cannot read datalog: {exc}") from exc
+    raw = None
     try:
-        datalog = Datalog.from_text(text)
+        if args.noise_report:
+            # Tolerant path: anomalies are quarantined and reported
+            # instead of rejecting the log outright.
+            from repro.tester.noise import ingest_text
+
+            sanitized = ingest_text(text)
+            datalog = sanitized.datalog
+            raw = sanitized.raw
+            print(sanitized.report.describe(), file=sys.stderr)
+            for warning in sanitized.report.warnings:
+                print(f"  {warning}", file=sys.stderr)
+        else:
+            datalog = Datalog.from_text(text)
         datalog.validate_for(netlist, n_patterns=patterns.n)
     except DatalogError as exc:
         raise DatalogError(f"{path}: {exc}") from exc
+    oracle_raw = (raw if raw is not None else datalog) if args.validate else None
     if args.method == "xcover":
         config = _budget_config(args)
-        report = Diagnoser(netlist, config).diagnose(patterns, datalog)
+        report = Diagnoser(netlist, config).diagnose(
+            patterns, datalog, raw=oracle_raw
+        )
     elif args.method == "slat":
         report = diagnose_slat(netlist, patterns, datalog)
     else:
         report = diagnose_single_fault(netlist, patterns, datalog)
+    if oracle_raw is not None and report.consistency is None:
+        from repro.core.oracle import validate_report
+
+        report = validate_report(netlist, patterns, report, oracle_raw)
     print(report.summary())
     if not report.is_exact:
         print(
@@ -172,6 +203,11 @@ def _budget_config(args: argparse.Namespace) -> DiagnosisConfig | None:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign.runner import RunnerConfig
 
+    if args.noise:
+        # Fail fast on a bad spec instead of burning a trial per worker.
+        from repro.tester.noise import parse_noise_spec
+
+        parse_noise_spec(args.noise)
     campaign = Campaign(args.circuit)
     config = CampaignConfig(
         circuit=args.circuit,
@@ -181,6 +217,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         interacting=args.interacting,
         diagnosis_config=_budget_config(args),
+        noise=args.noise,
     )
     runner = RunnerConfig(
         jobs=args.jobs,
@@ -201,8 +238,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         from repro.campaign.export import result_to_json
 
         Path(args.json).write_text(result_to_json(result))
+    headers = [
+        "method", "trials", "recall", "precision", "resolution", "success", "time",
+    ]
     rows = [
-        (
+        [
             agg.group,
             agg.n_trials,
             f"{agg.recall_near:.2f}",
@@ -210,14 +250,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"{agg.resolution:.1f}",
             f"{agg.success_rate:.2f}",
             f"{agg.seconds * 1000:.0f}ms",
-        )
+        ]
         for agg in result.by_method().values()
     ]
+    if args.noise:
+        # The oracle runs on every noisy trial; surface its agreement.
+        headers.append("confirmed")
+        for row, agg in zip(rows, result.by_method().values()):
+            row.append(f"{agg.confirmed_rate:.2f}")
     print(
         format_table(
-            ["method", "trials", "recall", "precision", "resolution", "success", "time"],
-            rows,
-            title=f"campaign {args.circuit} k={args.defects}",
+            headers,
+            [tuple(row) for row in rows],
+            title=f"campaign {args.circuit} k={args.defects}"
+            + (f" noise={args.noise}" if args.noise else ""),
         )
     )
     truncated = sum(1 for o in result.outcomes if o.completeness != "exact")
@@ -305,6 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", "--defects", type=int, default=2)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--pattern-seed", type=int, default=7)
+    p.add_argument(
+        "--noise",
+        help="corrupt the emitted datalog with a seeded noise spec, e.g. "
+        "flip:0.02 or flip:0.02+dup:0.1 (models: flip, drop, trunc, "
+        "xmask, dup)",
+    )
     p.add_argument("-o", "--output")
     p.set_defaults(func=_cmd_inject)
 
@@ -316,6 +368,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--pattern-seed", type=int, default=7)
     p.add_argument("--json", help="also write the full report as JSON")
+    p.add_argument(
+        "--noise-report",
+        action="store_true",
+        help="ingest tolerantly: quarantine contradictory/malformed "
+        "records into the X tier and print the anomaly report instead "
+        "of rejecting the datalog",
+    )
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the post-diagnosis oracle: resimulate reported "
+        "candidates against the raw evidence and attach verdicts",
+    )
     _add_budget_args(p)
     p.set_defaults(func=_cmd_diagnose)
 
@@ -356,6 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--csv", help="write per-trial outcomes as CSV")
     p.add_argument("--json", help="write the full campaign record as JSON")
+    p.add_argument(
+        "--noise",
+        help="datalog noise spec applied to every trial (e.g. flip:0.02); "
+        "diagnosis runs on the quarantined sanitizer output and the "
+        "oracle judges every report against the raw log",
+    )
     _add_budget_args(p)
     p.set_defaults(func=_cmd_campaign)
     return parser

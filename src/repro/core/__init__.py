@@ -16,11 +16,20 @@ Modules:
 - :mod:`repro.core.slat` -- SLAT/per-test multiple-fault baseline,
 - :mod:`repro.core.report` -- result data structures,
 - :mod:`repro.core.budget` -- anytime resource governance (deadlines,
-  expansion/multiplet ceilings, cooperative cancellation).
+  expansion/multiplet ceilings, cooperative cancellation),
+- :mod:`repro.core.oracle` -- post-diagnosis validation against the raw
+  (pre-sanitized) tester evidence.
 """
 
 from repro.core.budget import Budget, CancellationToken, Truncation
-from repro.core.report import Candidate, DiagnosisReport, Hypothesis, Multiplet
+from repro.core.oracle import validate_report
+from repro.core.report import (
+    Candidate,
+    DiagnosisReport,
+    Hypothesis,
+    Multiplet,
+    Validation,
+)
 from repro.core.diagnose import Diagnoser, DiagnosisConfig
 from repro.core.single_fault import diagnose_single_fault
 from repro.core.slat import diagnose_slat
@@ -33,8 +42,10 @@ __all__ = [
     "DiagnosisReport",
     "Hypothesis",
     "Multiplet",
+    "Validation",
     "Diagnoser",
     "DiagnosisConfig",
     "diagnose_single_fault",
     "diagnose_slat",
+    "validate_report",
 ]

@@ -37,20 +37,13 @@ from repro.core.cover import (
     greedy_cover,
     greedy_pertest_cover,
 )
+from repro.core.oracle import concrete_defects, validate_report
 from repro.core.pertest import PerTestAnalysis, build_pertest
 from repro.core.refine import RefineConfig, allocate_hypotheses, arbitrary_hypothesis
 from repro.core.report import Candidate, DiagnosisReport, Hypothesis, Multiplet
 from repro.core.scoring import multiplet_iou
 from repro.core.xcover import build_xcover
 from repro.errors import DiagnosisError
-from repro.faults.models import (
-    BridgeDefect,
-    Defect,
-    OpenDefect,
-    StuckAtDefect,
-    TransitionDefect,
-    TransitionKind,
-)
 from repro.sim.logicsim import simulate
 from repro.sim.patterns import PatternSet
 from repro.tester.datalog import Datalog
@@ -92,6 +85,11 @@ class DiagnosisConfig:
     deadline_seconds: float | None = None
     max_multiplets: int | None = None
     max_expansions: int | None = None
+    #: Run the post-diagnosis validation oracle (:mod:`repro.core.oracle`)
+    #: even when no raw log is supplied -- the sanitized datalog then
+    #: stands in as the evidence.  Off by default: an unvalidated report
+    #: serializes byte-identically to the historical format.
+    validate: bool = False
 
     def make_budget(self) -> Budget | None:
         """A fresh :class:`Budget` for one run, or None when ungoverned."""
@@ -122,6 +120,7 @@ class Diagnoser:
         patterns: PatternSet,
         datalog: Datalog,
         budget: Budget | None = None,
+        raw=None,
     ) -> DiagnosisReport:
         """Run the full pipeline against one device's datalog.
 
@@ -131,6 +130,12 @@ class Diagnoser:
         ungoverned and the report is identical to the historical output.
         On exhaustion the report carries whatever every stage produced so
         far, ``completeness != "exact"``, and the truncation trail.
+
+        ``raw`` (a :class:`~repro.tester.noise.RawLog`) switches on the
+        post-diagnosis validation oracle against that pre-sanitized
+        evidence; ``DiagnosisConfig(validate=True)`` switches it on
+        against ``datalog`` itself.  With neither, the report is the
+        historical, oracle-free output.
         """
         cfg = self.config
         if datalog.n_patterns != patterns.n:
@@ -142,11 +147,16 @@ class Diagnoser:
             budget = cfg.make_budget()
         started = time.perf_counter()
         if datalog.is_passing_device:
-            return DiagnosisReport(
+            report = DiagnosisReport(
                 method=METHOD_NAME,
                 circuit=self.netlist.name,
                 stats={"seconds": 0.0, "n_failing_patterns": 0},
             )
+            if raw is not None or cfg.validate:
+                report = validate_report(
+                    self.netlist, patterns, report, raw if raw is not None else datalog
+                )
+            return report
 
         base_values = simulate(self.netlist, patterns)
         if cfg.engine == "pertest":
@@ -285,7 +295,7 @@ class Diagnoser:
             # one, so generous budgets never perturb campaign equivalence.
             stats["n_expansions"] = float(budget.expansions)
             stats["n_truncations"] = float(len(budget.truncations))
-        return DiagnosisReport(
+        report = DiagnosisReport(
             method=METHOD_NAME,
             circuit=self.netlist.name,
             candidates=tuple(candidates),
@@ -295,6 +305,15 @@ class Diagnoser:
             completeness=budget.completeness if budget is not None else "exact",
             truncations=tuple(budget.truncations) if budget is not None else (),
         )
+        if raw is not None or cfg.validate:
+            report = validate_report(
+                self.netlist,
+                patterns,
+                report,
+                raw if raw is not None else datalog,
+                base_values,
+            )
+        return report
 
     # -- engines -----------------------------------------------------------------
 
@@ -405,7 +424,7 @@ class Diagnoser:
         defects = (
             None
             if skip_iou
-            else _concrete_defects(
+            else concrete_defects(
                 [hypothesis_by_site.get(site, ()) for site in sites]
             )
         )
@@ -421,34 +440,6 @@ class Diagnoser:
             total_atoms=len(evidence.atoms),
             iou=iou,
         )
-
-
-def _concrete_defects(
-    hypothesis_lists: list[tuple[Hypothesis, ...]],
-) -> list[Defect] | None:
-    """Best concrete defect per site, or None if some site is model-free."""
-    defects: list[Defect] = []
-    for hypotheses in hypothesis_lists:
-        concrete = next((h for h in hypotheses if h.kind != "arbitrary"), None)
-        if concrete is None:
-            return None
-        defects.append(_hypothesis_to_defect(concrete))
-    return defects
-
-
-def _hypothesis_to_defect(h: Hypothesis) -> Defect:
-    if h.kind in ("sa0", "sa1"):
-        return StuckAtDefect(h.site, int(h.kind[-1]))
-    if h.kind in ("open0", "open1"):
-        return OpenDefect(h.site, int(h.kind[-1]))
-    if h.kind == "bridge":
-        assert h.aggressor is not None
-        return BridgeDefect(h.site.net, h.aggressor)
-    if h.kind == "str":
-        return TransitionDefect(h.site, TransitionKind.SLOW_TO_RISE)
-    if h.kind == "stf":
-        return TransitionDefect(h.site, TransitionKind.SLOW_TO_FALL)
-    raise DiagnosisError(f"cannot materialize hypothesis kind {h.kind!r}")
 
 
 def diagnose(

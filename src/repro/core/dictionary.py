@@ -104,7 +104,7 @@ def diagnose_dictionary(
     multiplets = []
     for iou, fault, signature in kept:
         hits, misses, fa = match_counts(
-            signature, observed, failing, datalog.n_observed
+            signature, observed, failing, datalog.n_observed, datalog.x_atoms
         )
         hypothesis = Hypothesis(
             kind=f"sa{fault.value}",

@@ -68,6 +68,9 @@ class PerTestAnalysis:
     _work_base: dict[str, int] = field(default_factory=dict)
     _pos_of: dict[int, int] = field(default_factory=dict)
     _observed_pos: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: per work position, outputs whose strobe is X (quarantined/masked):
+    #: predictions there are evidence-free and excluded from exact matching
+    _x_pos: dict[int, frozenset[str]] = field(default_factory=dict)
     #: (flips, pins) -> per-output work-space diff cache
     _joint_cache: dict[
         tuple[frozenset[Site], frozenset[Site]], dict[str, int]
@@ -137,17 +140,20 @@ class PerTestAnalysis:
     def subset_explains(self, subset: Sequence[Site], pattern_index: int) -> bool:
         """Does the multiplet ``subset`` explain pattern ``t`` exactly?
 
-        Tries every flip/pin assignment over the subset's sites.
+        Tries every flip/pin assignment over the subset's sites.  X-tier
+        strobes of the pattern carry no evidence, so predicted flips
+        there neither help nor disqualify a match.
         """
         pos = self._pos_of[pattern_index]
         observed = self._observed_pos[pos]
+        x_outs = self._x_pos.get(pos, frozenset())
         sites = list(dict.fromkeys(subset))
         for r in range(1, len(sites) + 1):
             for flips in combinations(sites, r):
                 diff = self.assignment_diff(flips, sites)
                 predicted = frozenset(
                     out for out, vec in diff.items() if (vec >> pos) & 1
-                )
+                ) - x_outs
                 if predicted and predicted == observed:
                     return True
         return False
@@ -175,7 +181,7 @@ class PerTestAnalysis:
                 for pos in list(remaining):
                     predicted = frozenset(
                         out for out, vec in diff.items() if (vec >> pos) & 1
-                    )
+                    ) - self._x_pos.get(pos, frozenset())
                     if predicted and predicted == self._observed_pos[pos]:
                         explained.add(failing[pos])
                         remaining.discard(pos)
@@ -211,6 +217,11 @@ def build_pertest(
     observed_pos = {
         pos: datalog.failing_outputs_of(idx) for pos, idx in enumerate(failing)
     }
+    x_pos = {
+        pos: datalog.x_outputs_of(idx)
+        for pos, idx in enumerate(failing)
+        if datalog.x_outputs_of(idx)
+    }
     atoms = frozenset(datalog.fail_atoms())
 
     flip_diff: dict[Site, dict[str, int]] = {}
@@ -236,7 +247,7 @@ def build_pertest(
         for pos, idx in enumerate(failing):
             predicted = frozenset(
                 out for out, vec in diff.items() if (vec >> pos) & 1
-            )
+            ) - x_pos.get(pos, frozenset())
             covered.update((idx, out) for out in predicted & observed_pos[pos])
             if predicted and predicted == observed_pos[pos]:
                 exact[idx].append(site)
@@ -255,6 +266,7 @@ def build_pertest(
         _work_base=work_base,
         _pos_of=pos_of,
         _observed_pos=observed_pos,
+        _x_pos=x_pos,
     )
     for site in sites:
         analysis._joint_cache[(frozenset((site,)), frozenset())] = flip_diff[site]

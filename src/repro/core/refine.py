@@ -97,7 +97,7 @@ def allocate_hypotheses(
         except OscillationError:
             return
         hits, misses, fa = match_counts(
-            predicted, observed, failing, datalog.n_observed
+            predicted, observed, failing, datalog.n_observed, datalog.x_atoms
         )
         if hits == 0:
             return

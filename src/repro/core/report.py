@@ -66,12 +66,54 @@ class Hypothesis:
 
 
 @dataclass(frozen=True)
+class Validation:
+    """Oracle verdict for one candidate: its best concrete model was
+    resimulated against the *raw* (pre-sanitized) datalog.
+
+    ``verdict`` is ``"confirmed"`` (reproduces observed failures, predicts
+    none on observed-passing strobes), ``"plausible"`` (reproduces some
+    failures but also predicts failures the raw log saw passing -- under
+    noise that is expected of even a correct candidate, so it is not
+    disqualifying), or ``"refuted"`` (reproduces no observed failure at
+    all; the diagnosis demotes such candidates).  A model-free candidate
+    cannot be resimulated and is ``"plausible"`` by construction.
+    """
+
+    verdict: str
+    kind: str = "arbitrary"  #: hypothesis kind resimulated ("arbitrary" = none)
+    hits: int = 0
+    misses: int = 0
+    false_alarms: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "kind": self.kind,
+            "hits": self.hits,
+            "misses": self.misses,
+            "false_alarms": self.false_alarms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Validation":
+        return cls(
+            verdict=str(data.get("verdict", "plausible")),
+            kind=str(data.get("kind", "arbitrary")),
+            hits=int(data.get("hits", 0)),
+            misses=int(data.get("misses", 0)),
+            false_alarms=int(data.get("false_alarms", 0)),
+        )
+
+
+@dataclass(frozen=True)
 class Candidate:
     """A suspected defect site with its ranked model hypotheses."""
 
     site: Site
     hypotheses: tuple[Hypothesis, ...]
     explained_atoms: int = 0
+    #: Oracle verdict, present only after post-diagnosis validation.
+    validation: Validation | None = None
 
     @property
     def best(self) -> Hypothesis | None:
@@ -133,6 +175,13 @@ class DiagnosisReport:
     completeness: str = COMPLETENESS_EXACT
     #: Per-stage records of what was cut short, in pipeline order.
     truncations: tuple[Truncation, ...] = ()
+    #: Oracle consistency verdict, present only after post-diagnosis
+    #: validation (:mod:`repro.core.oracle`): ``"confirmed"`` (the best
+    #: multiplet's joint resimulation reproduces every raw fail atom with
+    #: no failures predicted on observed-passing strobes), ``"partial"``,
+    #: ``"refuted"``, or ``"unvalidated"`` (no concrete model to
+    #: resimulate).  ``None`` means the oracle never ran.
+    consistency: str | None = None
 
     @property
     def is_exact(self) -> bool:
@@ -207,6 +256,13 @@ class DiagnosisReport:
                         }
                         for h in c.hypotheses
                     ],
+                    # Only validated candidates carry the key, so reports
+                    # from oracle-free runs stay byte-identical.
+                    **(
+                        {"validation": c.validation.to_dict()}
+                        if c.validation is not None
+                        else {}
+                    ),
                 }
                 for c in self.candidates
             ],
@@ -229,6 +285,8 @@ class DiagnosisReport:
         if not self.is_exact or self.truncations:
             payload["completeness"] = self.completeness
             payload["truncations"] = [t.to_dict() for t in self.truncations]
+        if self.consistency is not None:
+            payload["consistency"] = self.consistency
         return payload
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -250,6 +308,11 @@ class DiagnosisReport:
                         false_alarms=h.get("false_alarms", 0),
                     )
                     for h in c.get("hypotheses", [])
+                ),
+                validation=(
+                    Validation.from_dict(c["validation"])
+                    if "validation" in c
+                    else None
                 ),
             )
             for c in data.get("candidates", [])
@@ -276,6 +339,7 @@ class DiagnosisReport:
             truncations=tuple(
                 Truncation.from_dict(t) for t in data.get("truncations", [])
             ),
+            consistency=data.get("consistency"),
         )
 
     @classmethod
@@ -293,6 +357,8 @@ class DiagnosisReport:
             lines[0] += f" [{self.completeness}]"
             for trunc in self.truncations:
                 lines.append("  truncated: " + trunc.describe())
+        if self.consistency is not None:
+            lines.append(f"  oracle: {self.consistency}")
         for multiplet in self.multiplets[:5]:
             lines.append("  multiplet " + multiplet.describe())
         for candidate in self.candidates[:10]:

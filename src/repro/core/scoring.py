@@ -60,6 +60,7 @@ def match_counts(
     observed: frozenset[Atom],
     failing_indices: Iterable[int],
     n_observed: int | None = None,
+    x_atoms: frozenset[Atom] = frozenset(),
 ) -> tuple[int, int, int]:
     """(hits, misses, false_alarms) of a predicted response.
 
@@ -67,15 +68,20 @@ def match_counts(
     pass: patterns at index >= ``n_observed`` (an ATE-truncated fail log)
     carry no evidence either way and never vindicate.  Predicted atoms on
     failing patterns at unobserved outputs are tolerated (another defect
-    of the multiplet may mask them) and count neither way.
+    of the multiplet may mask them) and count neither way.  ``x_atoms``
+    (strobes the ingestion sanitizer quarantined or the compactor masked)
+    are evidence-free the same way: a prediction there neither hits nor
+    vindicates.
     """
     failing = set(failing_indices)
     hits = len(predicted & observed)
     misses = len(observed - predicted)
     false_alarms = sum(
         1
-        for idx, _out in predicted - observed
-        if idx not in failing and (n_observed is None or idx < n_observed)
+        for idx, out in predicted - observed
+        if idx not in failing
+        and (n_observed is None or idx < n_observed)
+        and (idx, out) not in x_atoms
     )
     return hits, misses, false_alarms
 

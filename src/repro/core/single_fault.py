@@ -52,7 +52,7 @@ def diagnose_single_fault(
             if not predicted & observed:
                 continue
             hits, misses, fa = match_counts(
-                predicted, observed, failing, datalog.n_observed
+                predicted, observed, failing, datalog.n_observed, datalog.x_atoms
             )
             iou = atoms_iou(predicted, observed)
             scored.append(

@@ -1,12 +1,54 @@
-"""Tester-side services: datalog capture and test application.
+"""Tester-side services: datalog capture, test application, noise.
 
 The :class:`~repro.tester.datalog.Datalog` is the interface artifact
 between manufacturing test and diagnosis -- exactly the information a
 full-response ATE datalog carries: for each applied pattern, which outputs
-mismatched the expected response.
+mismatched the expected response.  :mod:`repro.tester.noise` adds the
+fault-injection side of that interface: seeded corruption models and the
+quarantining ingestion sanitizer that turns an untrusted raw log into a
+tiered :class:`~repro.tester.datalog.Datalog`.
 """
 
 from repro.tester.datalog import Datalog, FailRecord
 from repro.tester.harness import apply_test, TestResult
+from repro.tester.noise import (
+    ComposedNoise,
+    DropNoise,
+    DuplicateNoise,
+    FlipNoise,
+    IngestReport,
+    NoiseModel,
+    RawLog,
+    RawRecord,
+    SanitizedLog,
+    TruncateNoise,
+    XMaskNoise,
+    apply_noise,
+    ingest_text,
+    parse_noise_spec,
+    parse_raw_text,
+    sanitize,
+)
 
-__all__ = ["Datalog", "FailRecord", "apply_test", "TestResult"]
+__all__ = [
+    "Datalog",
+    "FailRecord",
+    "apply_test",
+    "TestResult",
+    "ComposedNoise",
+    "DropNoise",
+    "DuplicateNoise",
+    "FlipNoise",
+    "IngestReport",
+    "NoiseModel",
+    "RawLog",
+    "RawRecord",
+    "SanitizedLog",
+    "TruncateNoise",
+    "XMaskNoise",
+    "apply_noise",
+    "ingest_text",
+    "parse_noise_spec",
+    "parse_raw_text",
+    "sanitize",
+]

@@ -11,6 +11,15 @@ in spirit to STIL/ATE fail logs::
     # datalog circuit=alu8 patterns=96
     fail 3: r0 r4
     fail 17: carry
+    xmask 21: r2
+
+Evidence comes in three confidence tiers.  ``fail`` records are hard-fail
+evidence; every strobe of an observed pattern not named by a ``fail`` or
+``xmask`` line is hard-pass evidence; ``xmask`` records mark strobes whose
+captured value is *unknown* (compactor X-masking, or contradictions
+quarantined by the ingestion sanitizer in :mod:`repro.tester.noise`) --
+they are neither corroborating nor exculpatory, exactly like the patterns
+beyond an ATE-truncated log's observed window.
 """
 
 from __future__ import annotations
@@ -44,11 +53,18 @@ class Datalog:
         n_patterns: int,
         records: Iterable[FailRecord],
         n_observed: int | None = None,
+        x_atoms: Iterable[tuple[int, str]] = (),
     ):
         """``n_observed`` marks how far the fail log extends: patterns at
         index >= n_observed were applied but their results never logged
         (ATE truncation), so they are neither failing nor passing
-        evidence.  Defaults to the full test set."""
+        evidence.  Defaults to the full test set.
+
+        ``x_atoms`` is the unobserved-X confidence tier: (pattern, output)
+        strobes whose captured value is unknown -- masked by a compactor,
+        or quarantined as contradictory by the ingestion sanitizer.  An X
+        strobe is neither failing nor passing evidence and must be
+        disjoint from the fail records."""
         self.circuit_name = circuit_name
         self.n_patterns = n_patterns
         self.n_observed = n_patterns if n_observed is None else n_observed
@@ -71,6 +87,19 @@ class Datalog:
         self._by_index: dict[int, frozenset[str]] = {
             rec.pattern_index: rec.failing_outputs for rec in self.records
         }
+        # X strobes beyond the observed window are redundant (the whole
+        # suffix is already unobserved) and are normalized away.
+        self.x_atoms: frozenset[tuple[int, str]] = frozenset(
+            (idx, out) for idx, out in x_atoms if idx < self.n_observed
+        )
+        for idx, out in self.x_atoms:
+            if idx < 0:
+                raise DatalogError(f"X-masked strobe index {idx} is negative")
+            if out in self._by_index.get(idx, frozenset()):
+                raise DatalogError(
+                    f"strobe ({idx}, {out!r}) is both failing and X-masked; "
+                    "contradictions must be quarantined before construction"
+                )
 
     # -- construction ----------------------------------------------------------
 
@@ -116,6 +145,16 @@ class Datalog:
     def failing_outputs_of(self, pattern_index: int) -> frozenset[str]:
         """Failing outputs of a pattern (empty set when it passed)."""
         return self._by_index.get(pattern_index, frozenset())
+
+    def x_outputs_of(self, pattern_index: int) -> frozenset[str]:
+        """Outputs whose capture is unknown (X tier) for a pattern."""
+        return frozenset(
+            out for idx, out in self.x_atoms if idx == pattern_index
+        )
+
+    @property
+    def n_x_atoms(self) -> int:
+        return len(self.x_atoms)
 
     def fail_atoms(self) -> set[tuple[int, str]]:
         """All observed (pattern, output) failure atoms."""
@@ -171,7 +210,13 @@ class Datalog:
                 break
             records.append(record)
             atoms += len(record.failing_outputs)
-        return Datalog(self.circuit_name, self.n_patterns, records, n_observed=cutoff)
+        return Datalog(
+            self.circuit_name,
+            self.n_patterns,
+            records,
+            n_observed=cutoff,
+            x_atoms={(idx, out) for idx, out in self.x_atoms if idx < cutoff},
+        )
 
     # -- serialization -----------------------------------------------------------
 
@@ -183,21 +228,35 @@ class Datalog:
         for rec in self.records:
             outs = " ".join(sorted(rec.failing_outputs))
             lines.append(f"fail {rec.pattern_index}: {outs}")
+        x_by_index: dict[int, list[str]] = {}
+        for idx, out in self.x_atoms:
+            x_by_index.setdefault(idx, []).append(out)
+        for idx in sorted(x_by_index):
+            lines.append(f"xmask {idx}: {' '.join(sorted(x_by_index[idx]))}")
         return "\n".join(lines) + "\n"
 
     @classmethod
     def from_text(cls, text: str) -> "Datalog":
-        """Parse the line-oriented serialization.
+        """Parse the line-oriented serialization (strict).
 
         Every malformed construct raises :class:`DatalogError` carrying
         the offending line number -- a truncated or corrupted fail log
         must never surface as an arbitrary ``ValueError``/``KeyError``
-        deep inside diagnosis.
+        deep inside diagnosis.  Strict also means *semantically* clean:
+        duplicate (pattern, output) strobe tokens, repeated records for
+        one pattern, and out-of-order pattern indices (testers log in
+        application order -- a non-monotonic log is corrupted or spliced)
+        are all rejected with file/line context.  Suspect real-world logs
+        go through :func:`repro.tester.noise.ingest_text`, which
+        quarantines these anomalies instead of raising.
         """
         circuit_name = "unknown"
         n_patterns: int | None = None
         n_observed: int | None = None
         records: list[FailRecord] = []
+        x_atoms: set[tuple[int, str]] = set()
+        seen_lines: dict[tuple[str, int], int] = {}
+        last_index: dict[str, int] = {}
         for lineno, raw in enumerate(text.splitlines(), start=1):
             line = raw.strip()
             if not line:
@@ -225,29 +284,77 @@ class Datalog:
                     if token.startswith("circuit="):
                         circuit_name = token.split("=", 1)[1]
                 continue
-            if not line.startswith("fail "):
-                raise DatalogError(f"line {lineno}: unrecognized {line!r}")
-            head, sep, tail = line[5:].partition(":")
-            if not sep:
+            kind, index, outs = cls._parse_record_line(line, lineno)
+            prev_line = seen_lines.get((kind, index))
+            if prev_line is not None:
                 raise DatalogError(
-                    f"line {lineno}: fail record is missing ':' separator"
+                    f"line {lineno}: duplicate {kind} record for pattern "
+                    f"{index} (first logged at line {prev_line}); "
+                    "contradictory re-strobes must go through the "
+                    "ingestion quarantine"
                 )
-            try:
-                index = int(head.strip())
-            except ValueError:
-                raise DatalogError(f"line {lineno}: bad pattern index") from None
-            if index < 0:
+            seen_lines[(kind, index)] = lineno
+            prev_index = last_index.get(kind)
+            if prev_index is not None and index < prev_index:
                 raise DatalogError(
-                    f"line {lineno}: pattern index must be >= 0, got {index}"
+                    f"line {lineno}: pattern index {index} out of order "
+                    f"(previous {kind} record was {prev_index}); testers "
+                    "log in application order, so this log is corrupted "
+                    "or spliced"
                 )
-            outs = frozenset(tail.split())
-            try:
-                records.append(FailRecord(index, outs))
-            except DatalogError as exc:
-                raise DatalogError(f"line {lineno}: {exc}") from None
+            last_index[kind] = index
+            if kind == "fail":
+                try:
+                    records.append(FailRecord(index, outs))
+                except DatalogError as exc:
+                    raise DatalogError(f"line {lineno}: {exc}") from None
+            else:
+                x_atoms.update((index, out) for out in outs)
         if n_patterns is None:
-            n_patterns = max((r.pattern_index for r in records), default=-1) + 1
-        return cls(circuit_name, n_patterns, records, n_observed=n_observed)
+            n_patterns = max(
+                max((r.pattern_index for r in records), default=-1),
+                max((idx for idx, _out in x_atoms), default=-1),
+            ) + 1
+        return cls(
+            circuit_name,
+            n_patterns,
+            records,
+            n_observed=n_observed,
+            x_atoms=x_atoms,
+        )
+
+    @staticmethod
+    def _parse_record_line(
+        line: str, lineno: int
+    ) -> tuple[str, int, frozenset[str]]:
+        """Parse one ``fail``/``xmask`` record line, strictly."""
+        if line.startswith("fail "):
+            kind, body = "fail", line[5:]
+        elif line.startswith("xmask "):
+            kind, body = "xmask", line[6:]
+        else:
+            raise DatalogError(f"line {lineno}: unrecognized {line!r}")
+        head, sep, tail = body.partition(":")
+        if not sep:
+            raise DatalogError(
+                f"line {lineno}: {kind} record is missing ':' separator"
+            )
+        try:
+            index = int(head.strip())
+        except ValueError:
+            raise DatalogError(f"line {lineno}: bad pattern index") from None
+        if index < 0:
+            raise DatalogError(
+                f"line {lineno}: pattern index must be >= 0, got {index}"
+            )
+        tokens = tail.split()
+        duplicated = sorted({out for out in tokens if tokens.count(out) > 1})
+        if duplicated:
+            raise DatalogError(
+                f"line {lineno}: duplicate strobe token(s) {duplicated} in "
+                f"{kind} record for pattern {index}"
+            )
+        return kind, index, frozenset(tokens)
 
     def validate_for(self, netlist, n_patterns: int | None = None) -> None:
         """Check this datalog is consistent with a circuit (and test set).
@@ -270,6 +377,12 @@ class Datalog:
                     f"pattern {rec.pattern_index}: failing output(s) "
                     f"{sorted(unknown)} not driven by circuit {netlist.name!r}"
                 )
+        for idx, out in sorted(self.x_atoms):
+            if out not in known:
+                raise DatalogError(
+                    f"pattern {idx}: X-masked output {out!r} not driven "
+                    f"by circuit {netlist.name!r}"
+                )
         if n_patterns is not None and self.n_patterns != n_patterns:
             raise DatalogError(
                 f"datalog covers {self.n_patterns} patterns but the test "
@@ -284,10 +397,13 @@ class Datalog:
             and self.n_patterns == other.n_patterns
             and self.n_observed == other.n_observed
             and self.records == other.records
+            and self.x_atoms == other.x_atoms
         )
 
     def __repr__(self) -> str:
+        x_note = f", {len(self.x_atoms)} X strobes" if self.x_atoms else ""
         return (
             f"Datalog({self.circuit_name!r}, {len(self.records)} failing / "
-            f"{self.n_patterns} patterns, {self.n_fail_atoms} fail atoms)"
+            f"{self.n_patterns} patterns, {self.n_fail_atoms} fail atoms"
+            f"{x_note})"
         )

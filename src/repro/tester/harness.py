@@ -9,7 +9,7 @@ emits the :class:`~repro.tester.datalog.Datalog` that diagnosis consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.circuit.netlist import Netlist
 from repro.faults.injection import FaultyCircuit
@@ -17,6 +17,9 @@ from repro.faults.models import Defect
 from repro.sim.logicsim import mismatched_outputs, simulate_outputs
 from repro.sim.patterns import PatternSet
 from repro.tester.datalog import Datalog
+
+if TYPE_CHECKING:
+    from repro.tester.noise import IngestReport, NoiseModel, RawLog
 
 
 @dataclass
@@ -32,6 +35,11 @@ class TestResult:
     oscillation_fallback: bool = False
     #: Number of (pattern, output) atoms masked to X by the fallback.
     x_atoms: int = 0
+    #: Present only under injected datalog noise: the corrupted raw log as
+    #: the "tester" emitted it (``datalog`` is then its sanitized form).
+    raw: "RawLog | None" = None
+    #: Ingestion anomaly counters from sanitizing ``raw`` (noise runs only).
+    ingest: "IngestReport | None" = None
 
     @property
     def device_fails(self) -> bool:
@@ -43,6 +51,8 @@ def apply_test(
     patterns: PatternSet,
     defects: Sequence[Defect],
     on_oscillation: str = "raise",
+    noise: "NoiseModel | None" = None,
+    noise_seed: int = 0,
 ) -> TestResult:
     """Apply ``patterns`` to a device carrying ``defects``; log failures.
 
@@ -55,6 +65,13 @@ def apply_test(
       bits resolve to ``X``, an X-valued capture is neither pass nor fail
       evidence, and the result records how much evidence was masked
       (``oscillation_fallback`` / ``x_atoms``).
+
+    ``noise`` (with ``noise_seed``) injects datalog corruption between
+    capture and ingestion, exactly where real tester noise lives: the
+    clean datalog is corrupted into a raw log, re-ingested through the
+    quarantining sanitizer (:mod:`repro.tester.noise`), and the result
+    carries the sanitized datalog plus the ``raw`` log and its ``ingest``
+    anomaly report.  With ``noise=None`` (the default) nothing changes.
     """
     if on_oscillation not in ("raise", "fallback"):
         raise ValueError(
@@ -83,6 +100,15 @@ def apply_test(
         faulty = dut.simulate_outputs(patterns)
         diff = mismatched_outputs(golden, faulty, patterns.mask)
     datalog = Datalog.from_output_diff(netlist.name, patterns.n, diff)
+    raw = None
+    ingest = None
+    if noise is not None:
+        from repro.tester.noise import apply_noise, sanitize
+
+        raw = apply_noise(datalog, netlist.outputs, noise, noise_seed)
+        sanitized = sanitize(raw)
+        datalog = sanitized.datalog
+        ingest = sanitized.report
     return TestResult(
         datalog=datalog,
         golden_outputs=golden,
@@ -90,4 +116,6 @@ def apply_test(
         defects=tuple(defects),
         oscillation_fallback=fallback,
         x_atoms=x_atoms,
+        raw=raw,
+        ingest=ingest,
     )

@@ -233,3 +233,99 @@ class TestValidateFor:
         log = Datalog("c17", 10, [FailRecord(0, frozenset({"22"}))])
         with pytest.raises(DatalogError, match="covers 10 patterns"):
             log.validate_for(c17_netlist, n_patterns=64)
+
+
+class TestXTier:
+    """Unobserved-X strobes: the third confidence tier."""
+
+    def test_fail_and_x_overlap_rejected(self):
+        with pytest.raises(DatalogError, match="quarantined before construction"):
+            Datalog(
+                "c17",
+                10,
+                [FailRecord(3, frozenset({"22"}))],
+                x_atoms={(3, "22")},
+            )
+
+    def test_negative_x_index_rejected(self):
+        with pytest.raises(DatalogError, match="negative"):
+            Datalog("c17", 10, [], x_atoms={(-1, "22")})
+
+    def test_x_beyond_window_normalized_away(self):
+        log = Datalog(
+            "c17", 10, [], n_observed=4, x_atoms={(2, "22"), (7, "23")}
+        )
+        assert log.x_atoms == {(2, "22")}
+
+    def test_x_accessors(self):
+        log = Datalog("c17", 10, [], x_atoms={(2, "22"), (2, "23"), (5, "22")})
+        assert log.x_outputs_of(2) == {"22", "23"}
+        assert log.x_outputs_of(3) == frozenset()
+        assert log.n_x_atoms == 3
+
+    def test_truncate_drops_x_past_cutoff(self):
+        log = Datalog(
+            "c17",
+            10,
+            [FailRecord(1, frozenset({"22"})), FailRecord(6, frozenset({"23"}))],
+            x_atoms={(2, "22"), (8, "23")},
+        )
+        cut = log.truncate(max_failing_patterns=1)
+        assert cut.n_observed == 6
+        assert cut.x_atoms == {(2, "22")}
+
+    def test_text_roundtrip_with_x(self):
+        log = Datalog(
+            "c17",
+            10,
+            [FailRecord(3, frozenset({"22"}))],
+            x_atoms={(5, "23"), (5, "22")},
+        )
+        text = log.to_text()
+        assert "xmask 5: 22 23" in text
+        assert Datalog.from_text(text) == log
+
+    def test_repr_mentions_x(self):
+        log = Datalog("c17", 10, [], x_atoms={(1, "22")})
+        assert "X strobes" in repr(log)
+
+    def test_validate_for_checks_x_outputs(self, c17_netlist):
+        log = Datalog("c17", 10, [], x_atoms={(1, "bogus")})
+        with pytest.raises(DatalogError, match="X-masked output"):
+            log.validate_for(c17_netlist)
+
+
+class TestStrictParseHardening:
+    """from_text rejects corrupted logs with file/line context."""
+
+    def test_duplicate_record_names_both_lines(self):
+        text = "fail 1: 22\nfail 1: 23\n"
+        with pytest.raises(
+            DatalogError,
+            match=r"line 2: duplicate fail record for pattern 1 "
+            r"\(first logged at line 1\)",
+        ):
+            Datalog.from_text(text)
+
+    def test_out_of_order_index_rejected(self):
+        text = "fail 5: 22\nfail 2: 23\n"
+        with pytest.raises(
+            DatalogError, match="line 2: pattern index 2 out of order"
+        ):
+            Datalog.from_text(text)
+
+    def test_xmask_order_tracked_separately(self):
+        # Interleaved kinds are fine as long as each kind is monotonic.
+        log = Datalog.from_text("fail 3: 22\nxmask 1: 23\nfail 7: 23\n")
+        assert log.failing_indices == (3, 7)
+        assert log.x_atoms == {(1, "23")}
+
+    def test_duplicate_strobe_token_rejected(self):
+        with pytest.raises(
+            DatalogError, match=r"line 1: duplicate strobe token\(s\) \['22'\]"
+        ):
+            Datalog.from_text("fail 0: 22 22\n")
+
+    def test_duplicate_xmask_record_rejected(self):
+        with pytest.raises(DatalogError, match="duplicate xmask record"):
+            Datalog.from_text("xmask 1: 22\nxmask 1: 23\n")

@@ -1,0 +1,304 @@
+"""Noise models, raw logs, and the quarantining ingestion sanitizer."""
+
+import pytest
+
+from repro.errors import DatalogError
+from repro.tester.datalog import Datalog, FailRecord
+from repro.tester.noise import (
+    ComposedNoise,
+    DropNoise,
+    DuplicateNoise,
+    FlipNoise,
+    IngestReport,
+    RawLog,
+    RawRecord,
+    TruncateNoise,
+    XMaskNoise,
+    apply_noise,
+    ingest_text,
+    parse_noise_spec,
+    parse_raw_text,
+    sanitize,
+)
+
+OUTPUTS = ("y", "z")
+
+
+def clean_log() -> Datalog:
+    return Datalog(
+        "c",
+        12,
+        [
+            FailRecord(2, frozenset({"y"})),
+            FailRecord(5, frozenset({"y", "z"})),
+            FailRecord(9, frozenset({"z"})),
+        ],
+    )
+
+
+class TestRawLog:
+    def test_from_datalog_roundtrips_atoms(self):
+        raw = RawLog.from_datalog(clean_log(), OUTPUTS)
+        assert raw.fail_atoms() == clean_log().fail_atoms()
+        assert raw.observed_window == 12
+
+    def test_to_text_keeps_duplicates(self):
+        raw = RawLog(
+            "c",
+            4,
+            records=[
+                RawRecord("fail", 1, ("y",)),
+                RawRecord("fail", 1, ("z",)),
+            ],
+        )
+        text = raw.to_text()
+        assert text.count("fail 1:") == 2
+
+    def test_carries_x_tier_as_xmask_records(self):
+        d = Datalog("c", 8, [FailRecord(1, frozenset({"y"}))], x_atoms={(3, "z")})
+        raw = RawLog.from_datalog(d, OUTPUTS)
+        kinds = {rec.kind for rec in raw.records}
+        assert kinds == {"fail", "xmask"}
+
+
+class TestSpecParsing:
+    def test_single_model(self):
+        model = parse_noise_spec("flip:0.05")
+        assert isinstance(model, FlipNoise)
+        assert model.rate == 0.05
+
+    def test_composition(self):
+        model = parse_noise_spec("flip:0.02+dup:0.1")
+        assert isinstance(model, ComposedNoise)
+        assert model.spec() == "flip:0.02+dup:0.1"
+
+    def test_every_model_name(self):
+        for spec, kind in [
+            ("flip:0.1", FlipNoise),
+            ("drop:0.1", DropNoise),
+            ("trunc:0.5", TruncateNoise),
+            ("xmask:0.1", XMaskNoise),
+            ("dup:0.1", DuplicateNoise),
+        ]:
+            assert isinstance(parse_noise_spec(spec), kind)
+
+    def test_unknown_model(self):
+        with pytest.raises(DatalogError, match="unknown noise model"):
+            parse_noise_spec("gamma:0.1")
+
+    def test_missing_rate(self):
+        with pytest.raises(DatalogError, match="expected MODEL:RATE"):
+            parse_noise_spec("flip")
+
+    def test_bad_rate(self):
+        with pytest.raises(DatalogError, match="bad noise rate"):
+            parse_noise_spec("flip:lots")
+
+    def test_rate_out_of_bounds(self):
+        with pytest.raises(DatalogError, match="outside"):
+            FlipNoise(1.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corruption(self):
+        model = parse_noise_spec("flip:0.1+dup:0.3+drop:0.2")
+        a = apply_noise(clean_log(), OUTPUTS, model, seed=42)
+        b = apply_noise(clean_log(), OUTPUTS, model, seed=42)
+        assert a.to_text() == b.to_text()
+
+    def test_different_seeds_differ(self):
+        model = parse_noise_spec("flip:0.2")
+        texts = {
+            apply_noise(clean_log(), OUTPUTS, model, seed=s).to_text()
+            for s in range(8)
+        }
+        assert len(texts) > 1
+
+    def test_stage_independence(self):
+        # Composition derives per-stage RNGs by position+spec, so adding a
+        # zero-rate stage in front must not change the flip stage's draws.
+        lone = parse_noise_spec("flip:0.2")
+        flipped_alone = apply_noise(clean_log(), OUTPUTS, lone, seed=3)
+        composed = ComposedNoise((FlipNoise(0.2), DropNoise(0.0)))
+        flipped_first = apply_noise(clean_log(), OUTPUTS, composed, seed=3)
+        # Same model spec at the same position -> same corruption.
+        assert flipped_first.fail_atoms() == apply_noise(
+            clean_log(), OUTPUTS, ComposedNoise((FlipNoise(0.2),)), seed=3
+        ).fail_atoms()
+        del flipped_alone  # lone (unwrapped) model draws from the root RNG
+
+
+class TestModels:
+    def test_flip_needs_universe(self):
+        raw = RawLog("c", 4, records=[RawRecord("fail", 0, ("y",))])
+        with pytest.raises(DatalogError, match="strobe universe"):
+            FlipNoise(0.5).corrupt(raw, __import__("random").Random(0))
+
+    def test_drop_rate_one_erases_all_failures(self):
+        raw = apply_noise(clean_log(), OUTPUTS, DropNoise(1.0), seed=1)
+        assert raw.fail_atoms() == set()
+
+    def test_truncate_is_deterministic(self):
+        raw = apply_noise(clean_log(), OUTPUTS, TruncateNoise(0.5), seed=1)
+        assert raw.n_observed == 6
+        assert all(rec.pattern_index < 6 for rec in raw.records)
+
+    def test_xmask_annotates_masked_failures(self):
+        raw = apply_noise(clean_log(), OUTPUTS, XMaskNoise(1.0), seed=1)
+        assert raw.fail_atoms() == set()
+        assert any(rec.kind == "xmask" for rec in raw.records)
+
+    def test_duplicate_adds_contradicting_record(self):
+        raw = apply_noise(clean_log(), OUTPUTS, DuplicateNoise(1.0), seed=1)
+        by_idx: dict[int, int] = {}
+        for rec in raw.records:
+            if rec.kind == "fail":
+                by_idx[rec.pattern_index] = by_idx.get(rec.pattern_index, 0) + 1
+        assert any(count > 1 for count in by_idx.values())
+
+
+class TestSanitizer:
+    def test_clean_log_is_inert(self):
+        raw = RawLog.from_datalog(clean_log(), OUTPUTS)
+        sanitized = sanitize(raw)
+        assert sanitized.clean
+        assert sanitized.datalog == clean_log()
+        assert sanitized.report.anomalies == 0
+
+    def test_contradiction_quarantined_to_x(self):
+        raw = RawLog(
+            "c",
+            4,
+            records=[
+                RawRecord("fail", 1, ("y", "z")),
+                RawRecord("fail", 1, ("y",)),  # disagrees about z
+            ],
+        )
+        sanitized = sanitize(raw)
+        assert sanitized.report.contradictory_records == 1
+        assert sanitized.report.quarantined_atoms == 1
+        assert sanitized.datalog.failing_outputs_of(1) == {"y"}
+        assert sanitized.datalog.x_outputs_of(1) == {"z"}
+
+    def test_identical_duplicates_deduplicated(self):
+        raw = RawLog(
+            "c",
+            4,
+            records=[
+                RawRecord("fail", 1, ("y",)),
+                RawRecord("fail", 1, ("y",)),
+            ],
+        )
+        sanitized = sanitize(raw)
+        assert sanitized.report.duplicate_records == 1
+        assert sanitized.report.quarantined_atoms == 0
+        assert sanitized.datalog.failing_outputs_of(1) == {"y"}
+
+    def test_mask_wins_over_fail(self):
+        raw = RawLog(
+            "c",
+            4,
+            records=[
+                RawRecord("fail", 2, ("y",)),
+                RawRecord("xmask", 2, ("y",)),
+            ],
+        )
+        sanitized = sanitize(raw)
+        assert sanitized.datalog.failing_outputs_of(2) == frozenset()
+        assert (2, "y") in sanitized.datalog.x_atoms
+        assert sanitized.report.quarantined_atoms == 1
+
+    def test_out_of_range_and_beyond_window_dropped(self):
+        raw = RawLog(
+            "c",
+            6,
+            n_observed=4,
+            records=[
+                RawRecord("fail", 9, ("y",)),  # outside the budget
+                RawRecord("fail", 5, ("y",)),  # beyond the window
+                RawRecord("fail", 1, ("y",)),
+            ],
+        )
+        sanitized = sanitize(raw)
+        assert sanitized.report.out_of_range_records == 1
+        assert sanitized.report.beyond_window_records == 1
+        assert sanitized.datalog.failing_indices == (1,)
+
+    def test_duplicate_strobe_tokens_counted(self):
+        raw = RawLog("c", 4, records=[RawRecord("fail", 0, ("y", "y"))])
+        sanitized = sanitize(raw)
+        assert sanitized.report.duplicate_strobe_tokens == 1
+        assert sanitized.datalog.failing_outputs_of(0) == {"y"}
+
+    def test_warning_flood_is_capped(self):
+        report = IngestReport()
+        for i in range(50):
+            report.warn(f"w{i}", cap=5)
+        assert len(report.warnings) == 6
+        assert report.warnings[-1].startswith("...")
+
+
+class TestTolerantParsing:
+    def test_malformed_lines_skipped_not_fatal(self):
+        report = IngestReport()
+        raw = parse_raw_text("fail 1: y\ngarbage\nfail 2\n", report)
+        assert report.malformed_lines == 2
+        assert len(raw.records) == 1
+
+    def test_duplicates_survive_into_raw(self):
+        raw = parse_raw_text("fail 1: y\nfail 1: z\n")
+        assert len(raw.records) == 2
+
+    def test_ingest_text_end_to_end(self):
+        sanitized = ingest_text(
+            "# datalog circuit=c patterns=6\n"
+            "fail 1: y z\n"
+            "fail 1: y\n"
+            "xmask 3: z\n"
+            "???\n"
+        )
+        assert sanitized.report.contradictory_records == 1
+        assert sanitized.report.malformed_lines == 1
+        assert sanitized.report.masked_atoms == 1
+        assert sanitized.datalog.failing_outputs_of(1) == {"y"}
+        assert sanitized.datalog.x_atoms == {(1, "z"), (3, "z")}
+
+    def test_broken_header_still_raises(self):
+        with pytest.raises(DatalogError, match="bad patterns= value"):
+            parse_raw_text("# datalog patterns=many\n")
+
+    def test_noisy_emit_reingest_roundtrip(self):
+        # inject --noise | diagnose --noise-report equivalence: corrupt,
+        # serialize, re-ingest, and land on the same sanitized datalog.
+        model = parse_noise_spec("flip:0.1+dup:0.5")
+        raw = apply_noise(clean_log(), OUTPUTS, model, seed=11)
+        direct = sanitize(raw).datalog
+        reparsed = ingest_text(raw.to_text()).datalog
+        assert reparsed == direct
+
+
+class TestHarnessIntegration:
+    def test_apply_test_noise_path(self):
+        from repro.circuit.generators import c17
+        from repro.circuit.netlist import Site
+        from repro.faults.models import StuckAtDefect
+        from repro.sim.patterns import PatternSet
+        from repro.tester.harness import apply_test
+
+        netlist = c17()
+        pats = PatternSet.random(netlist, 24, seed=5)
+        defect = StuckAtDefect(Site(netlist.outputs[0]), 0)
+        noisy = apply_test(
+            netlist,
+            pats,
+            [defect],
+            noise=parse_noise_spec("dup:1.0"),
+            noise_seed=3,
+        )
+        assert noisy.raw is not None
+        assert noisy.ingest is not None
+        clean = apply_test(netlist, pats, [defect])
+        assert clean.raw is None and clean.ingest is None
+        # Hard tier of the sanitized log never invents failures the raw
+        # log did not claim.
+        assert noisy.datalog.fail_atoms() <= noisy.raw.fail_atoms()
