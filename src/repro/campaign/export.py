@@ -15,6 +15,17 @@ from typing import Mapping
 from repro.campaign.driver import CampaignResult
 from repro.campaign.metrics import Aggregate, TrialOutcome
 
+#: Simulation-work profiling columns, sourced from ``outcome.extra`` (the
+#: driver copies every numeric ``report.stats`` entry there).  Rows from
+#: journals written before these counters existed default to 0.
+SIM_STAT_FIELDS = [
+    "sim_gate_evals",
+    "sim_full_passes",
+    "sim_cone_passes",
+    "sim_cache_hits",
+    "sim_cache_misses",
+]
+
 OUTCOME_FIELDS = [
     "circuit",
     "method",
@@ -34,6 +45,7 @@ OUTCOME_FIELDS = [
     "completeness",
     "consistency",
     "quarantined",
+    *SIM_STAT_FIELDS,
 ]
 
 AGGREGATE_FIELDS = [
@@ -53,14 +65,16 @@ AGGREGATE_FIELDS = [
 
 
 def _outcome_row(outcome: TrialOutcome) -> dict:
+    from_extra = {"quarantined", *SIM_STAT_FIELDS}
     row = {
         field: getattr(outcome, field)
         for field in OUTCOME_FIELDS
-        if field != "quarantined"
+        if field not in from_extra
     }
     row["families"] = "+".join(outcome.families)
     row["success"] = int(outcome.success)
-    row["quarantined"] = int(outcome.extra.get("quarantined", 0))
+    for field in from_extra:
+        row[field] = int(outcome.extra.get(field, 0))
     return row
 
 

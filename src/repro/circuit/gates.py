@@ -155,7 +155,9 @@ def eval2(kind: GateKind, ins: Sequence[int], mask: int) -> int:
     """Evaluate ``kind`` over two-valued bit vectors.
 
     ``mask`` bounds the complement for inverting gates; every returned
-    vector is confined to ``mask``.
+    vector is confined to ``mask``.  ``ins`` may be any iterable (the
+    simulator's no-override hot path passes a lazy ``map`` to avoid
+    building a list per gate).
     """
     if kind is GateKind.AND or kind is GateKind.NAND:
         v = mask
@@ -173,9 +175,11 @@ def eval2(kind: GateKind, ins: Sequence[int], mask: int) -> int:
             v ^= x
         return (v ^ mask) if kind is GateKind.XNOR else v & mask
     if kind is GateKind.BUF:
-        return ins[0] & mask
+        (a,) = ins
+        return a & mask
     if kind is GateKind.NOT:
-        return (ins[0] ^ mask) & mask
+        (a,) = ins
+        return (a ^ mask) & mask
     if kind is GateKind.MUX:
         a, b, sel = ins
         return ((a & ~sel) | (b & sel)) & mask

@@ -18,6 +18,7 @@ rest of the stack leans on:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -40,6 +41,16 @@ class Site:
 
     net: str
     branch: tuple[str, int] | None = None
+
+    def __hash__(self) -> int:
+        # Sites key every simulation memo (flip signatures, override
+        # signatures, joint-assignment caches) and get hashed far more
+        # often than they are created; cache the field-tuple hash.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.net, self.branch))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def _sort_key(self) -> tuple:
         return (self.net, self.branch is not None, self.branch or ("", -1))
@@ -118,6 +129,9 @@ class Netlist:
         self._fanouts = self._build_fanouts()
         self._level = {net: lvl for lvl, net in self._iter_levels()}
         self._cone_cache: dict[str, frozenset[str]] = {}
+        self._fanin_cache: dict[frozenset[str], frozenset[str]] = {}
+        self._fanout_cache: dict[frozenset[str], frozenset[str]] = {}
+        self._fingerprint: str | None = None
 
     # -- construction-time checks ------------------------------------------
 
@@ -271,10 +285,24 @@ class Netlist:
 
     # -- cones ----------------------------------------------------------------
 
-    def fanin_cone(self, roots: Iterable[str]) -> set[str]:
-        """All nets with a structural path *to* any root (roots included)."""
+    #: Per-netlist bound on the multi-root cone memos.  Cones are memoized
+    #: by root *set*, so pathological query mixes could otherwise accumulate
+    #: an unbounded number of distinct keys; on overflow the memo is simply
+    #: cleared (the per-root ``_cone_cache`` stays, so refills are cheap).
+    _CONE_MEMO_LIMIT = 4096
+
+    def fanin_cone(self, roots: Iterable[str]) -> frozenset[str]:
+        """All nets with a structural path *to* any root (roots included).
+
+        Cones are memoized per root set: ``candidate_sites`` and the cover
+        enumeration ask for the same output groups over and over.
+        """
+        key = frozenset(roots)
+        cached = self._fanin_cache.get(key)
+        if cached is not None:
+            return cached
         seen: set[str] = set()
-        stack = list(roots)
+        stack = list(key)
         while stack:
             net = stack.pop()
             if net in seen:
@@ -283,18 +311,32 @@ class Netlist:
             gate = self.gates.get(net)
             if gate is not None:
                 stack.extend(src for src in gate.inputs if src not in seen)
-        return seen
+        cone = frozenset(seen)
+        if len(self._fanin_cache) >= self._CONE_MEMO_LIMIT:
+            self._fanin_cache.clear()
+        self._fanin_cache[key] = cone
+        return cone
 
-    def fanout_cone(self, roots: Iterable[str]) -> set[str]:
+    def fanout_cone(self, roots: Iterable[str]) -> frozenset[str]:
         """All nets reachable *from* any root (roots included).
 
-        Per-root cones are memoized: the diagnosis engines query cones for
-        the same handful of nets thousands of times.
+        Memoized at two levels: per root (the diagnosis engines query cones
+        for the same handful of nets thousands of times) and per root *set*
+        (so repeated multi-root queries return the same frozenset object,
+        which downstream slot caches key on cheaply).
         """
+        key = frozenset(roots)
+        cached = self._fanout_cache.get(key)
+        if cached is not None:
+            return cached
         result: set[str] = set()
-        for root in roots:
+        for root in key:
             result |= self._single_fanout_cone(root)
-        return result
+        cone = frozenset(result)
+        if len(self._fanout_cache) >= self._CONE_MEMO_LIMIT:
+            self._fanout_cache.clear()
+        self._fanout_cache[key] = cone
+        return cone
 
     def _single_fanout_cone(self, root: str) -> frozenset[str]:
         cached = self._cone_cache.get(root)
@@ -396,6 +438,31 @@ class Netlist:
         )
 
     # -- misc ----------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Short content hash over inputs, outputs and gates.
+
+        Two netlists with identical structure share a fingerprint even when
+        built independently (e.g. in different campaign workers), which is
+        what keys the compiled-kernel and simulation-context caches.  The
+        hash is computed lazily once; the class is immutable after
+        construction, so in-place mutation (already unsupported -- it would
+        stale ``topo_order`` and the cone caches) is not accounted for.
+        """
+        fp = self._fingerprint
+        if fp is None:
+            hasher = hashlib.sha256()
+            hasher.update("\x1f".join(self.inputs).encode())
+            hasher.update(b"\x1e")
+            hasher.update("\x1f".join(self.outputs).encode())
+            for net in self._order:
+                gate = self.gates[net]
+                hasher.update(
+                    f"\x1e{net}\x1f{gate.kind.value}\x1f".encode()
+                )
+                hasher.update("\x1f".join(gate.inputs).encode())
+            fp = self._fingerprint = hasher.hexdigest()[:16]
+        return fp
 
     def stats(self) -> dict[str, int]:
         """Summary statistics used by Table 1 of the evaluation."""

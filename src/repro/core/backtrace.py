@@ -23,6 +23,7 @@ from typing import Mapping
 from repro.circuit.gates import eval2
 from repro.circuit.netlist import Netlist, Site
 from repro.core.budget import Budget
+from repro.sim.cache import active_context
 from repro.sim.event import changed_outputs, resimulate_with_overrides
 from repro.sim.patterns import PatternSet
 from repro.tester.datalog import Datalog
@@ -78,8 +79,12 @@ def flip_criticality(
     Bit *i* of ``result[out]`` is set iff inverting the site's value under
     pattern *i* inverts output ``out``.  This is critical path tracing with
     exact stem handling, evaluated for every pattern in one cone-restricted
-    resimulation.
+    resimulation -- or answered from the shared context's flip-signature
+    memo when ``base_values`` is that context's own base vector.
     """
+    ctx = active_context(netlist, patterns, base_values)
+    if ctx is not None:
+        return dict(ctx.flip_signature(site))
     mask = patterns.mask
     flipped = (base_values[site.net] ^ mask) & mask
     changed = resimulate_with_overrides(netlist, base_values, {site: flipped}, mask)

@@ -44,7 +44,8 @@ from repro.core.report import Candidate, DiagnosisReport, Hypothesis, Multiplet
 from repro.core.scoring import multiplet_iou
 from repro.core.xcover import build_xcover
 from repro.errors import DiagnosisError
-from repro.sim.logicsim import simulate
+from repro.sim.cache import sim_context
+from repro.sim.compile import COUNTERS
 from repro.sim.patterns import PatternSet
 from repro.tester.datalog import Datalog
 
@@ -158,7 +159,11 @@ class Diagnoser:
                 )
             return report
 
-        base_values = simulate(self.netlist, patterns)
+        counters_before = COUNTERS.snapshot()
+        # The shared simulation context: the fault-free base plus the
+        # flip/resim/X-reach memos every downstream stage draws from, reused
+        # across runs (campaign trials) on the same circuit and test set.
+        base_values = sim_context(self.netlist, patterns).base
         if cfg.engine == "pertest":
             sites = candidate_sites(
                 self.netlist, datalog, cfg.include_branches, budget=budget
@@ -289,6 +294,31 @@ class Diagnoser:
             "n_min_covers": float(len(multiplet_sets)),
             **stage_stats,
         }
+        # Simulation effort for this run.  Counters increment at the
+        # dispatcher level, before the backend split, so these are
+        # byte-identical between REPRO_SIM=interp and the compiled default;
+        # cache hit counts do depend on registry warmth (a second run on the
+        # same circuit and test set starts with the memos filled).
+        counters = COUNTERS.delta(counters_before)
+        stats["sim_gate_evals"] = float(counters["gate_evals"])
+        stats["sim_full_passes"] = float(
+            counters["full_passes"] + counters["full3_passes"]
+        )
+        stats["sim_cone_passes"] = float(
+            counters["cone_passes"] + counters["cone3_passes"]
+        )
+        stats["sim_cache_hits"] = float(
+            counters["flip_hits"]
+            + counters["resim_hits"]
+            + counters["xreach_hits"]
+            + counters["context_hits"]
+        )
+        stats["sim_cache_misses"] = float(
+            counters["flip_misses"]
+            + counters["resim_misses"]
+            + counters["xreach_misses"]
+            + counters["context_misses"]
+        )
         if budget is not None and budget.truncations:
             # Only when governance actually bit: a governed run that
             # completed exactly stays indistinguishable from an ungoverned

@@ -27,8 +27,8 @@ from repro._rng import make_rng
 from repro.circuit.netlist import Netlist, Site
 from repro.core.diagnose import DiagnosisConfig, Diagnoser
 from repro.core.report import DiagnosisReport
+from repro.sim.cache import active_context, sim_context
 from repro.sim.event import changed_outputs, resimulate_with_overrides
-from repro.sim.logicsim import simulate
 from repro.sim.patterns import PatternSet
 from repro.tester.datalog import Datalog
 
@@ -42,6 +42,9 @@ def _flip_signature(
     site: Site,
     base_values: Mapping[str, int],
 ) -> dict[str, int]:
+    ctx = active_context(netlist, patterns, base_values)
+    if ctx is not None:
+        return dict(ctx.flip_signature(site))
     mask = patterns.mask
     flipped = (base_values[site.net] ^ mask) & mask
     changed = resimulate_with_overrides(netlist, base_values, {site: flipped}, mask)
@@ -65,7 +68,7 @@ def distinguishing_pattern(
     rng = make_rng(seed)
     for _ in range(max_batches):
         patterns = PatternSet.random(netlist, batch, rng)
-        base = simulate(netlist, patterns)
+        base = sim_context(netlist, patterns).base
         sig_a = _flip_signature(netlist, patterns, site_a, base)
         sig_b = _flip_signature(netlist, patterns, site_b, base)
         difference = 0
@@ -111,7 +114,7 @@ def adaptive_diagnose(
     """
     rng = make_rng(seed)
     diagnoser = Diagnoser(netlist, config)
-    golden = simulate(netlist, patterns)
+    golden = sim_context(netlist, patterns).base
     observed = device(patterns)
     diff = {
         out: (golden[out] ^ observed[out]) & patterns.mask
@@ -145,7 +148,7 @@ def adaptive_diagnose(
         patterns = patterns.concat(extra)
         added += extra.n
 
-        golden = simulate(netlist, patterns)
+        golden = sim_context(netlist, patterns).base
         observed = device(patterns)
         diff = {
             out: (golden[out] ^ observed[out]) & patterns.mask

@@ -22,8 +22,8 @@ from typing import Mapping, Sequence
 
 from repro.circuit.netlist import Netlist, Site
 from repro.core.report import Candidate, DiagnosisReport
+from repro.sim.cache import active_context, sim_context
 from repro.sim.event import changed_outputs, resimulate_with_overrides
-from repro.sim.logicsim import simulate
 from repro.sim.patterns import PatternSet
 
 
@@ -34,6 +34,9 @@ def flip_signature(
     base_values: Mapping[str, int],
 ) -> tuple[tuple[str, int], ...]:
     """Canonical hashable single-flip signature of a site."""
+    ctx = active_context(netlist, patterns, base_values)
+    if ctx is not None:
+        return tuple(sorted(ctx.flip_signature(site).items()))
     mask = patterns.mask
     flipped = (base_values[site.net] ^ mask) & mask
     changed = resimulate_with_overrides(netlist, base_values, {site: flipped}, mask)
@@ -52,7 +55,7 @@ def signature_classes(
     Classes are ordered by first appearance; members keep input order.
     """
     if base_values is None:
-        base_values = simulate(netlist, patterns)
+        base_values = sim_context(netlist, patterns).base
     groups: dict[tuple, list[Site]] = {}
     order: list[tuple] = []
     for site in sites:
@@ -96,7 +99,7 @@ def group_candidates(
     its best member's position).
     """
     if base_values is None:
-        base_values = simulate(netlist, patterns)
+        base_values = sim_context(netlist, patterns).base
     by_signature: dict[tuple, list[Candidate]] = {}
     order: list[tuple] = []
     for candidate in report.candidates:

@@ -47,7 +47,7 @@ from repro.faults.models import (
     TransitionDefect,
     TransitionKind,
 )
-from repro.sim.logicsim import simulate
+from repro.sim.cache import sim_context
 from repro.sim.patterns import PatternSet
 from repro.tester.datalog import Datalog
 
@@ -165,7 +165,7 @@ def validate_report(
     """
     observed, failing, n_observed, x_atoms = _raw_evidence(raw)
     if base_values is None:
-        base_values = simulate(netlist, patterns)
+        base_values = sim_context(netlist, patterns).base
 
     validated: list[Candidate] = []
     for candidate in report.candidates:

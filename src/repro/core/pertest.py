@@ -39,10 +39,40 @@ from typing import Iterable, Mapping, Sequence
 from repro.circuit.netlist import Netlist, Site
 from repro.core.budget import Budget
 from repro.core.xcover import Atom
+from repro.sim.cache import SimContext, sim_context
 from repro.sim.event import changed_outputs, resimulate_with_overrides
-from repro.sim.logicsim import simulate
 from repro.sim.patterns import PatternSet
 from repro.tester.datalog import Datalog
+
+
+def _match_vector(
+    diff: Mapping[str, int],
+    obs_vec: Mapping[str, int],
+    x_vec: Mapping[str, int],
+    work_mask: int,
+) -> int:
+    """Work positions where ``diff`` reproduces the observed failure exactly.
+
+    Bit ``pos`` is set iff the assignment's predicted flips (X-tier strobes
+    excluded) equal the observed failing outputs of position ``pos`` and
+    are non-empty.  One pass of integer ops over the output alphabet
+    replaces a per-position set comparison -- the inner loop of cover
+    verification.
+    """
+    match = work_mask
+    pred_any = 0
+    for out, obs in obs_vec.items():
+        pred = diff.get(out, 0) & ~x_vec.get(out, 0)
+        match &= ~(pred ^ obs)
+        pred_any |= pred
+    for out, vec in diff.items():
+        if out not in obs_vec:
+            # Predicted flip on a never-failing output: disqualifies the
+            # position unless the strobe is X-tier (evidence-free).
+            pred = vec & ~x_vec.get(out, 0)
+            match &= ~pred
+            pred_any |= pred
+    return match & pred_any
 
 
 @dataclass
@@ -71,10 +101,18 @@ class PerTestAnalysis:
     #: per work position, outputs whose strobe is X (quarantined/masked):
     #: predictions there are evidence-free and excluded from exact matching
     _x_pos: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: transposed evidence: output -> work-position bit vectors of observed
+    #: failing (resp. X-tier) strobes, for bit-parallel exact matching
+    _obs_vec: dict[str, int] = field(default_factory=dict)
+    _x_vec: dict[str, int] = field(default_factory=dict)
     #: (flips, pins) -> per-output work-space diff cache
     _joint_cache: dict[
         tuple[frozenset[Site], frozenset[Site]], dict[str, int]
     ] = field(default_factory=dict)
+    #: shared simulation context over the failing-pattern subset; joint
+    #: resimulations route through its override-signature memo so repeated
+    #: requests (across covers, trials, stages) are simulated once
+    _ctx: SimContext | None = None
 
     # -- single-site queries ---------------------------------------------------
 
@@ -126,10 +164,13 @@ class PerTestAnalysis:
             }
             for site in pin_key:
                 overrides[site] = self._work_base[site.net]
-            changed = resimulate_with_overrides(
-                self.netlist, self._work_base, overrides, mask
-            )
-            result = changed_outputs(self.netlist, changed, self._work_base, mask)
+            if self._ctx is not None:
+                result = self._ctx.resim_diff(overrides)
+            else:
+                changed = resimulate_with_overrides(
+                    self.netlist, self._work_base, overrides, mask
+                )
+                result = changed_outputs(self.netlist, changed, self._work_base, mask)
         self._joint_cache[key] = result
         return result
 
@@ -144,17 +185,13 @@ class PerTestAnalysis:
         strobes of the pattern carry no evidence, so predicted flips
         there neither help nor disqualify a match.
         """
-        pos = self._pos_of[pattern_index]
-        observed = self._observed_pos[pos]
-        x_outs = self._x_pos.get(pos, frozenset())
+        bit = 1 << self._pos_of[pattern_index]
+        work_mask = self._work_patterns.mask
         sites = list(dict.fromkeys(subset))
         for r in range(1, len(sites) + 1):
             for flips in combinations(sites, r):
                 diff = self.assignment_diff(flips, sites)
-                predicted = frozenset(
-                    out for out, vec in diff.items() if (vec >> pos) & 1
-                ) - x_outs
-                if predicted and predicted == observed:
+                if _match_vector(diff, self._obs_vec, self._x_vec, work_mask) & bit:
                     return True
         return False
 
@@ -170,21 +207,26 @@ class PerTestAnalysis:
         """
         sites = list(dict.fromkeys(multiplet))
         limit = len(sites) if max_flips is None else min(max_flips, len(sites))
-        remaining = set(range(self._work_patterns.n))
+        work_mask = self._work_patterns.mask
+        remaining = work_mask
         explained: set[int] = set()
         failing = self.datalog.failing_indices
         for size in range(1, limit + 1):
             if not remaining:
                 break
             for flips in combinations(sites, size):
+                if not remaining:
+                    break
                 diff = self.assignment_diff(flips, sites)
-                for pos in list(remaining):
-                    predicted = frozenset(
-                        out for out, vec in diff.items() if (vec >> pos) & 1
-                    ) - self._x_pos.get(pos, frozenset())
-                    if predicted and predicted == self._observed_pos[pos]:
-                        explained.add(failing[pos])
-                        remaining.discard(pos)
+                hits = (
+                    _match_vector(diff, self._obs_vec, self._x_vec, work_mask)
+                    & remaining
+                )
+                remaining &= ~hits
+                while hits:
+                    low = hits & -hits
+                    explained.add(failing[low.bit_length() - 1])
+                    hits ^= low
         return explained
 
     def explains_all(self, multiplet: Sequence[Site]) -> bool:
@@ -212,7 +254,8 @@ def build_pertest(
     del base_values  # the analysis works on the failing-pattern subset
     failing = datalog.failing_indices
     work = patterns.subset(list(failing))
-    work_base = simulate(netlist, work)
+    ctx = sim_context(netlist, work)
+    work_base = ctx.base
     pos_of = {idx: pos for pos, idx in enumerate(failing)}
     observed_pos = {
         pos: datalog.failing_outputs_of(idx) for pos, idx in enumerate(failing)
@@ -223,11 +266,20 @@ def build_pertest(
         if datalog.x_outputs_of(idx)
     }
     atoms = frozenset(datalog.fail_atoms())
+    obs_vec: dict[str, int] = {}
+    for pos, outs in observed_pos.items():
+        for out in outs:
+            obs_vec[out] = obs_vec.get(out, 0) | (1 << pos)
+    x_vec: dict[str, int] = {}
+    for pos, outs in x_pos.items():
+        for out in outs:
+            x_vec[out] = x_vec.get(out, 0) | (1 << pos)
 
     flip_diff: dict[Site, dict[str, int]] = {}
     site_atoms: dict[Site, frozenset[Atom]] = {}
     exact: dict[int, list[Site]] = {idx: [] for idx in failing}
-    mask = work.mask
+    #: flip-response signature -> (first site seen, patterns it matched)
+    sig_seen: dict[tuple, tuple[Site, tuple[int, ...]]] = {}
     sites = list(sites)
     for done, site in enumerate(sites):
         if (
@@ -238,20 +290,40 @@ def build_pertest(
             sites = sites[:done]
             break
         if budget is not None:
+            # Charged per site regardless of memo warmth, so anytime
+            # truncation points stay deterministic across cache states.
             budget.charge()
-        flipped = (work_base[site.net] ^ mask) & mask
-        changed = resimulate_with_overrides(netlist, work_base, {site: flipped}, mask)
-        diff = changed_outputs(netlist, changed, work_base, mask)
+        diff = ctx.flip_signature(site)
         flip_diff[site] = diff
-        covered: set[Atom] = set()
-        for pos, idx in enumerate(failing):
-            predicted = frozenset(
-                out for out, vec in diff.items() if (vec >> pos) & 1
-            ) - x_pos.get(pos, frozenset())
-            covered.update((idx, out) for out in predicted & observed_pos[pos])
-            if predicted and predicted == observed_pos[pos]:
+        # Response-signature dedup: a site whose flip leaves the same
+        # output signature as an earlier one is behaviorally equivalent on
+        # this evidence -- reuse the derived atoms and exact matches
+        # instead of re-walking the failing patterns.
+        signature = tuple(sorted(diff.items()))
+        twin = sig_seen.get(signature)
+        if twin is not None:
+            twin_site, matched = twin
+            site_atoms[site] = site_atoms[twin_site]
+            for idx in matched:
                 exact[idx].append(site)
+            continue
+        covered: set[Atom] = set()
+        matched_here: list[int] = []
+        hits = _match_vector(diff, obs_vec, x_vec, work.mask)
+        while hits:
+            low = hits & -hits
+            idx = failing[low.bit_length() - 1]
+            exact[idx].append(site)
+            matched_here.append(idx)
+            hits ^= low
+        for out, vec in diff.items():
+            reproduced = vec & obs_vec.get(out, 0) & ~x_vec.get(out, 0)
+            while reproduced:
+                low = reproduced & -reproduced
+                covered.add((failing[low.bit_length() - 1], out))
+                reproduced ^= low
         site_atoms[site] = frozenset(covered)
+        sig_seen[signature] = (site, tuple(matched_here))
 
     analysis = PerTestAnalysis(
         netlist=netlist,
@@ -267,6 +339,9 @@ def build_pertest(
         _pos_of=pos_of,
         _observed_pos=observed_pos,
         _x_pos=x_pos,
+        _obs_vec=obs_vec,
+        _x_vec=x_vec,
+        _ctx=ctx,
     )
     for site in sites:
         analysis._joint_cache[(frozenset((site,)), frozenset())] = flip_diff[site]

@@ -19,7 +19,7 @@ from repro.core.report import Candidate, DiagnosisReport, Hypothesis, Multiplet
 from repro.core.scoring import atoms_iou, match_counts, predicted_atoms
 from repro.errors import DiagnosisError
 from repro.faults.models import StuckAtDefect
-from repro.sim.logicsim import simulate
+from repro.sim.cache import sim_context
 from repro.sim.patterns import PatternSet
 from repro.tester.datalog import Datalog
 
@@ -40,7 +40,7 @@ def diagnose_single_fault(
     if datalog.is_passing_device:
         return DiagnosisReport(method=METHOD_NAME, circuit=netlist.name)
 
-    base_values = simulate(netlist, patterns)
+    base_values = sim_context(netlist, patterns).base
     observed = frozenset(datalog.fail_atoms())
     failing = datalog.failing_indices
 

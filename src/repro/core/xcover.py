@@ -28,7 +28,7 @@ from repro.circuit.netlist import Netlist, Site
 from repro.core.backtrace import candidate_sites
 from repro.core.budget import Budget
 from repro.errors import DiagnosisError
-from repro.sim.logicsim import simulate
+from repro.sim.cache import active_context, sim_context
 from repro.sim.patterns import PatternSet
 from repro.sim.threeval import simulate3, x_injection_reach
 from repro.tester.datalog import Datalog
@@ -117,8 +117,11 @@ def build_xcover(
             f"datalog covers {datalog.n_patterns} patterns, test set has {patterns.n}"
         )
     if base_values is None:
-        base_values = simulate(netlist, patterns)
-    base_values = dict(base_values)
+        ctx = sim_context(netlist, patterns)
+        base_values = ctx.base
+    else:
+        # Memoized X reach is only valid against the context's own base.
+        ctx = active_context(netlist, patterns, base_values)
     if restrict_sites is None:
         sites = candidate_sites(netlist, datalog, include_branches, budget=budget)
     else:
@@ -136,8 +139,13 @@ def build_xcover(
             sites = sites[:done]
             break
         if budget is not None:
+            # Charged per site regardless of memo warmth, so anytime
+            # truncation points stay deterministic across cache states.
             budget.charge()
-        r = x_injection_reach(netlist, patterns, site, base_values)
+        if ctx is not None:
+            r = ctx.x_reach(site)
+        else:
+            r = x_injection_reach(netlist, patterns, site, base_values)
         reach[site] = r
         covered = {
             (idx, out) for idx, out in atoms if r.get(out, 0) >> idx & 1
@@ -148,7 +156,7 @@ def build_xcover(
         netlist=netlist,
         patterns=patterns,
         datalog=datalog,
-        base_values=base_values,
+        base_values=dict(base_values),
         sites=tuple(sites),
         reach=reach,
         atoms=atoms,

@@ -25,6 +25,7 @@ from repro.circuit.gates import eval2
 from repro.circuit.netlist import Netlist, Site
 from repro.errors import OscillationError
 from repro.faults.models import Defect, Hook, HookEnv
+from repro.sim.cache import sim_context
 from repro.sim.patterns import PatternSet
 
 
@@ -49,6 +50,14 @@ class FaultyCircuit:
                     self._stem_hooks.setdefault(site.net, []).append(hook)
                 else:
                     self._pin_hooks.setdefault(site.branch, []).append(hook)
+        # Only nets downstream of a hook can ever deviate from the fault-free
+        # values (a gate outside the hooks' joint fanout cone has no hook and
+        # only out-of-cone sources), so relaxation sweeps stay inside it.
+        roots = set(self._stem_hooks)
+        roots.update(gate_out for gate_out, _pin in self._pin_hooks)
+        cone = netlist.fanout_cone(roots) if roots else frozenset()
+        self._hooked_inputs = [n for n in netlist.inputs if n in self._stem_hooks]
+        self._sweep_order = [n for n in netlist.topo_order if n in cone]
 
     # -- ground truth -------------------------------------------------------
 
@@ -84,21 +93,19 @@ class FaultyCircuit:
         values: dict[str, int] = {}
         env = HookEnv(values, mask)
 
-        # Pass 0 seeds with hook-free values so aggressor reads are defined.
-        for net in netlist.inputs:
-            values[net] = patterns.bits[net]
-        for net in netlist.topo_order:
-            gate = netlist.gates[net]
-            values[net] = eval2(gate.kind, [values[s] for s in gate.inputs], mask)
+        # Pass 0 seeds with hook-free values so aggressor reads are defined;
+        # the shared context makes this one cached compiled pass per
+        # (netlist, patterns) rather than one interpreted pass per device.
+        values.update(sim_context(netlist, patterns).base)
 
         for _ in range(self.max_iterations):
             changed = False
-            for net in netlist.inputs:
+            for net in self._hooked_inputs:
                 new = self._apply_stem(net, patterns.bits[net], env)
                 if new != values[net]:
                     values[net] = new
                     changed = True
-            for net in netlist.topo_order:
+            for net in self._sweep_order:
                 gate = netlist.gates[net]
                 ins = [
                     self._read_pin(net, pin, values[src], env)
@@ -212,7 +219,7 @@ class FaultyCircuit:
         mask = patterns.mask
         env = HookEnv(values, mask)
         moved: dict[str, int] = {}
-        for net in self.netlist.topo_order:
+        for net in self._sweep_order:
             gate = self.netlist.gates[net]
             ins = [
                 self._read_pin(net, pin, values[src], env)

@@ -5,6 +5,12 @@
 - :mod:`repro.sim.threeval` -- three-valued (0/1/X) simulation with site
   overrides (the X-injection engine of the diagnosis method),
 - :mod:`repro.sim.event` -- cone-restricted incremental resimulation,
+- :mod:`repro.sim.compile` -- per-netlist compiled slot-indexed kernels
+  behind the three entry points above (``REPRO_SIM=interp`` selects the
+  interpreted oracle path),
+- :mod:`repro.sim.cache` -- the cross-stage ``SimContext`` memo (base
+  values, flip signatures, resim diffs, X reach) keyed by content
+  fingerprints,
 - :mod:`repro.sim.faultsim` -- single-fault simulation services for ATPG,
   the SLAT baseline and candidate refinement.
 """
@@ -13,6 +19,8 @@ from repro.sim.patterns import PatternSet
 from repro.sim.logicsim import simulate, simulate_outputs
 from repro.sim.threeval import simulate3, x_injection_reach
 from repro.sim.event import resimulate_with_overrides
+from repro.sim.compile import COUNTERS, SimCounters, backend
+from repro.sim.cache import SimContext, active_context, reset_sim_caches, sim_context
 
 __all__ = [
     "PatternSet",
@@ -21,4 +29,11 @@ __all__ = [
     "simulate3",
     "x_injection_reach",
     "resimulate_with_overrides",
+    "COUNTERS",
+    "SimCounters",
+    "backend",
+    "SimContext",
+    "active_context",
+    "reset_sim_caches",
+    "sim_context",
 ]

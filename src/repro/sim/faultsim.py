@@ -30,8 +30,8 @@ from repro.faults.models import (
     TransitionDefect,
     TransitionKind,
 )
-from repro.sim.event import changed_outputs, resimulate_with_overrides
-from repro.sim.logicsim import simulate
+from repro.sim.cache import active_context, sim_context
+from repro.sim.event import resim_output_diff
 from repro.sim.patterns import PatternSet
 
 
@@ -89,12 +89,14 @@ def defect_output_diff(
     Only outputs with at least one differing pattern appear.
     """
     if base_values is None:
-        base_values = simulate(netlist, patterns)
+        base_values = sim_context(netlist, patterns).base
     mask = patterns.mask
     overrides = single_defect_overrides(netlist, patterns, defect, base_values)
     if overrides is not None:
-        changed = resimulate_with_overrides(netlist, base_values, overrides, mask)
-        return changed_outputs(netlist, changed, base_values, mask)
+        ctx = active_context(netlist, patterns, base_values)
+        if ctx is not None:
+            return dict(ctx.resim_diff(overrides))
+        return resim_output_diff(netlist, base_values, overrides, mask)
     faulty = FaultyCircuit(netlist, [defect]).simulate_outputs(patterns)
     diff: dict[str, int] = {}
     for net in netlist.outputs:
@@ -148,7 +150,7 @@ def fault_coverage(
     ``unsimulable`` rather than silently dropped.
     """
     if base_values is None:
-        base_values = simulate(netlist, patterns)
+        base_values = sim_context(netlist, patterns).base
     result = FaultCoverageResult()
     for fault in faults:
         try:

@@ -3,6 +3,11 @@
 One topological pass over the netlist evaluates every pattern of a
 :class:`~repro.sim.patterns.PatternSet` simultaneously (bit *i* of each
 net's value integer is the value under pattern *i*).
+
+Two backends share this entry point: the compiled slot-indexed kernels
+(:mod:`repro.sim.compile`, the default) and the interpreted walk kept as
+the differential-testing oracle (``REPRO_SIM=interp``).  Both produce
+identical value dicts in identical iteration order.
 """
 
 from __future__ import annotations
@@ -12,6 +17,11 @@ from typing import Mapping
 from repro.circuit.gates import eval2
 from repro.circuit.netlist import Netlist, Site
 from repro.errors import SimulationError
+from repro.sim.compile import (
+    COUNTERS,
+    active_kernels,
+    make_slot_values,
+)
 from repro.sim.patterns import PatternSet
 
 
@@ -21,6 +31,25 @@ def _check_inputs(netlist: Netlist, patterns: PatternSet) -> None:
             f"pattern inputs {patterns.inputs} do not match circuit inputs "
             f"{netlist.inputs}"
         )
+
+
+def _split_overrides(
+    netlist: Netlist,
+    overrides: Mapping[Site, int] | None,
+    mask: int,
+) -> tuple[dict[str, int], dict[tuple[str, int], int]]:
+    """Validate and split overrides into stem and pin maps."""
+    stem_over: dict[str, int] = {}
+    pin_over: dict[tuple[str, int], int] = {}
+    for site, value in (overrides or {}).items():
+        netlist.validate_site(site)
+        if value < 0 or value > mask:
+            raise SimulationError(f"override for {site} exceeds pattern width")
+        if site.is_stem:
+            stem_over[site.net] = value
+        else:
+            pin_over[site.branch] = value
+    return stem_over, pin_over
 
 
 def simulate(
@@ -38,22 +67,76 @@ def simulate(
     """
     _check_inputs(netlist, patterns)
     mask = patterns.mask
-    stem_over: dict[str, int] = {}
-    pin_over: dict[tuple[str, int], int] = {}
-    for site, value in (overrides or {}).items():
-        netlist.validate_site(site)
-        if value < 0 or value > mask:
-            raise SimulationError(f"override for {site} exceeds pattern width")
-        if site.is_stem:
-            stem_over[site.net] = value
-        else:
-            pin_over[site.branch] = value
+    stem_over, pin_over = _split_overrides(netlist, overrides, mask)
+    COUNTERS.full_passes += 1
+    COUNTERS.gate_evals += netlist.n_gates
 
+    kernels = active_kernels(netlist)
+    if kernels is None:
+        return _simulate_interp(netlist, patterns, stem_over, pin_over, mask)
+
+    program = kernels.program
+    bits = patterns.bits
+    slots = [0] * program.n_slots
+    if stem_over:
+        for slot, net in enumerate(netlist.inputs):
+            slots[slot] = stem_over.get(net, bits[net])
+    else:
+        for slot, net in enumerate(netlist.inputs):
+            slots[slot] = bits[net]
+    gates = netlist.gates
+    slot_of = program.slot_of
+    st = {
+        slot_of[net]: value
+        for net, value in stem_over.items()
+        if net in gates
+    }
+    if pin_over:
+        stride = program.stride
+        pp = {
+            slot_of[gate] * stride + pin: value
+            for (gate, pin), value in pin_over.items()
+        }
+        kernels.fn("full2_sp")(slots, mask, st, pp)
+    elif st:
+        kernels.fn("full2_s")(slots, mask, st)
+    else:
+        kernels.fn("full2")(slots, mask)
+    return make_slot_values(program, slots, mask)
+
+
+def _simulate_interp(
+    netlist: Netlist,
+    patterns: PatternSet,
+    stem_over: dict[str, int],
+    pin_over: dict[tuple[str, int], int],
+    mask: int,
+) -> dict[str, int]:
+    """Interpreted reference walk (differential oracle for the kernels)."""
     values: dict[str, int] = {}
+    bits = patterns.bits
     for net in netlist.inputs:
-        values[net] = stem_over.get(net, patterns.bits[net])
+        values[net] = stem_over.get(net, bits[net])
+    gates = netlist.gates
+    if not stem_over and not pin_over:
+        # Hot path: no overrides means no per-gate dict probes and no
+        # intermediate input list (eval2 folds the map lazily).
+        getval = values.__getitem__
+        for net in netlist.topo_order:
+            gate = gates[net]
+            values[net] = eval2(gate.kind, map(getval, gate.inputs), mask)
+        return values
+    if not pin_over:
+        getval = values.__getitem__
+        for net in netlist.topo_order:
+            if net in stem_over:
+                values[net] = stem_over[net]
+                continue
+            gate = gates[net]
+            values[net] = eval2(gate.kind, map(getval, gate.inputs), mask)
+        return values
     for net in netlist.topo_order:
-        gate = netlist.gates[net]
+        gate = gates[net]
         ins = [
             pin_over.get((net, pin), values[src])
             for pin, src in enumerate(gate.inputs)
@@ -81,10 +164,19 @@ def response_signature(outputs: Mapping[str, int], output_order: tuple[str, ...]
 def mismatched_outputs(
     golden: Mapping[str, int], observed: Mapping[str, int], mask: int
 ) -> dict[str, int]:
-    """Per-output bit vectors of pattern positions where responses differ."""
+    """Per-output bit vectors of pattern positions where responses differ.
+
+    Raises :class:`SimulationError` when ``observed`` lacks an output that
+    ``golden`` has (a truncated or mislabeled tester response).
+    """
     diff: dict[str, int] = {}
     for net, gold in golden.items():
-        delta = (gold ^ observed[net]) & mask
+        seen = observed.get(net)
+        if seen is None:
+            raise SimulationError(
+                f"observed response is missing output {net!r}"
+            )
+        delta = (gold ^ seen) & mask
         if delta:
             diff[net] = delta
     return diff

@@ -7,6 +7,13 @@ bridge, delayed, intermittent, byzantine...).  An output that stays binary
 under the X injection provably cannot be corrupted by any defect at that
 site for that pattern -- the pruning theorem the candidate envelope rests
 on.
+
+The compiled backend stores the ``(ones, zeros)`` planes in two flat slot
+arrays.  Override vectors are confined to the pattern mask before being
+handed to the kernels (the interpreted walk instead re-masks at every
+downstream gate -- the resulting values are identical because every gate
+evaluation masks its output); the returned dict still carries the caller's
+original override objects, exactly like the interpreted path.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from typing import Mapping
 from repro.circuit.gates import TV, eval3, tv_all_x, tv_const, tv_xmask
 from repro.circuit.netlist import Netlist, Site
 from repro.errors import SimulationError
+from repro.sim.compile import COUNTERS, active_kernels, lifted_base
 from repro.sim.logicsim import simulate
 from repro.sim.patterns import PatternSet
 
@@ -42,7 +50,67 @@ def simulate3(
             stem_over[site.net] = value
         else:
             pin_over[site.branch] = value
+    COUNTERS.full3_passes += 1
+    COUNTERS.gate_evals += netlist.n_gates
 
+    kernels = active_kernels(netlist)
+    if kernels is None:
+        return _simulate3_interp(netlist, patterns, stem_over, pin_over, mask)
+
+    program = kernels.program
+    bits = patterns.bits
+    ones = [0] * program.n_slots
+    zeros = [0] * program.n_slots
+    for slot, net in enumerate(netlist.inputs):
+        tv = stem_over.get(net)
+        if tv is None:
+            b = bits[net] & mask
+            ones[slot] = b
+            zeros[slot] = b ^ mask
+        else:
+            ones[slot] = tv[0] & mask
+            zeros[slot] = tv[1] & mask
+    gates = netlist.gates
+    slot_of = program.slot_of
+    so: dict[int, int] = {}
+    sz: dict[int, int] = {}
+    for net, tv in stem_over.items():
+        if net in gates:
+            slot = slot_of[net]
+            so[slot] = tv[0] & mask
+            sz[slot] = tv[1] & mask
+    if pin_over:
+        stride = program.stride
+        po: dict[int, int] = {}
+        pz: dict[int, int] = {}
+        for (gate, pin), tv in pin_over.items():
+            key = slot_of[gate] * stride + pin
+            po[key] = tv[0] & mask
+            pz[key] = tv[1] & mask
+        kernels.fn("full3_sp")(ones, zeros, mask, so, sz, po, pz)
+    elif so:
+        kernels.fn("full3_s")(ones, zeros, mask, so, sz)
+    else:
+        kernels.fn("full3")(ones, zeros, mask)
+
+    values: dict[str, TV] = {}
+    for slot, net in enumerate(program.net_order):
+        values[net] = (ones[slot], zeros[slot])
+    # Overridden nets return the caller's original (possibly unmasked)
+    # vectors, as the interpreted walk does.
+    for net, tv in stem_over.items():
+        values[net] = tv
+    return values
+
+
+def _simulate3_interp(
+    netlist: Netlist,
+    patterns: PatternSet,
+    stem_over: dict[str, TV],
+    pin_over: dict[tuple[str, int], TV],
+    mask: int,
+) -> dict[str, TV]:
+    """Interpreted reference walk (differential oracle for the kernels)."""
     values: dict[str, TV] = {}
     for net in netlist.inputs:
         values[net] = stem_over.get(net, tv_const(patterns.bits[net], mask))
@@ -80,7 +148,6 @@ def x_injection_reach(
     if base_values is None:
         base_values = simulate(netlist, patterns)
     mask = patterns.mask
-    all_x = tv_all_x(mask)
 
     if site.is_stem:
         cone = netlist.fanout_cone([site.net])
@@ -91,7 +158,60 @@ def x_injection_reach(
         cone = netlist.fanout_cone([gate_name])
         entry_net = gate_name
         pin_target = (gate_name, pin)
+    COUNTERS.cone3_passes += 1
+    COUNTERS.gate_evals += len(cone)
 
+    kernels = active_kernels(netlist)
+    if kernels is None:
+        return _x_reach_interp(
+            netlist, base_values, cone, entry_net, pin_target, mask
+        )
+
+    program = kernels.program
+    base_on, base_zr = lifted_base(program, base_values, mask)
+    ones = base_on.copy()
+    zeros = base_zr.copy()
+    cone_set, _ = kernels.cone_slots(cone)
+    slot_of = program.slot_of
+    so: dict[int, int] = {}
+    sz: dict[int, int] = {}
+    if pin_target is None:
+        slot = slot_of[entry_net]
+        if slot < program.n_inputs:
+            ones[slot] = mask
+            zeros[slot] = mask
+        else:
+            so[slot] = mask
+            sz[slot] = mask
+        kernels.fn("cone3_s")(ones, zeros, mask, cone_set, so, sz)
+    else:
+        key = slot_of[entry_net] * program.stride + pin_target[1]
+        kernels.fn("cone3_sp")(
+            ones, zeros, mask, cone_set, so, sz, {key: mask}, {key: mask}
+        )
+
+    reach: dict[str, int] = {}
+    for out_net in netlist.outputs:
+        slot = slot_of[out_net]
+        xm = ones[slot] & zeros[slot]
+        if xm:
+            reach[out_net] = xm
+    # A primary output that *is* the injected stem is trivially corrupted.
+    if pin_target is None and entry_net in netlist.outputs:
+        reach[entry_net] = mask
+    return reach
+
+
+def _x_reach_interp(
+    netlist: Netlist,
+    base_values: Mapping[str, int],
+    cone: frozenset[str],
+    entry_net: str,
+    pin_target: tuple[str, int] | None,
+    mask: int,
+) -> dict[str, int]:
+    """Interpreted reference walk (differential oracle for the kernels)."""
+    all_x = tv_all_x(mask)
     values3: dict[str, TV] = {}
 
     def read(net: str) -> TV:

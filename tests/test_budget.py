@@ -299,10 +299,17 @@ class TestAnytimeDiagnosis:
 
 
 def _det(report):
-    """Deterministic projection of a report (timings excluded)."""
+    """Deterministic projection of a report.
+
+    Profiling measurements are excluded: timings (wall clock) and the
+    ``sim_*`` counters (physical simulation work, which depends on how
+    warm the process-wide simulation caches already are).
+    """
     payload = report.to_dict()
     payload["stats"] = {
-        k: v for k, v in payload["stats"].items() if not k.startswith("seconds")
+        k: v
+        for k, v in payload["stats"].items()
+        if not k.startswith(("seconds", "sim_"))
     }
     return payload
 
