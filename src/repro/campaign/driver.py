@@ -29,6 +29,15 @@ from repro.core.diagnose import DiagnosisConfig, Diagnoser
 from repro.core.single_fault import diagnose_single_fault
 from repro.core.slat import diagnose_slat
 from repro.errors import FaultModelError, OscillationError, ReproError, TrialError
+from repro.obs.metrics import record_ingest, record_skip_reasons
+from repro.obs.trace import (
+    STAGES,
+    Tracer,
+    install_tracer,
+    span_count,
+    stage_seconds,
+    uninstall_tracer,
+)
 from repro.sim.patterns import PatternSet
 from repro.tester.harness import apply_test
 
@@ -134,6 +143,13 @@ class CampaignConfig:
     #: ``None`` (the default) leaves the pipeline byte-identical to the
     #: noise-free historical behavior.
     noise: str | None = None
+    #: Record a per-trial span tree (see :mod:`repro.obs.trace`): each
+    #: trial's record carries its spans, outcomes gain ``trace_*`` summary
+    #: extras, and the assembled result collects every tree for Chrome-trace
+    #: export.  Deliberately excluded from the journal fingerprint -- a
+    #: traced resume replays an untraced journal and vice versa, because
+    #: tracing never changes a trial's result.
+    trace: bool = False
 
     def trial_seed(self, trial: int) -> int:
         """The deterministic seed of trial ``trial`` of this campaign."""
@@ -170,6 +186,10 @@ class CampaignResult:
     trial_errors: list[TrialError] = field(default_factory=list)
     #: Trials replayed from a journal instead of executed (``--resume``).
     resumed_trials: int = 0
+    #: Per-trial span trees when ``config.trace`` was set: one
+    #: ``{"trial", "seed", "spans"}`` entry per traced record, ready for
+    #: :func:`repro.obs.trace.to_chrome_trace`.
+    traces: list[dict] = field(default_factory=list)
 
     @property
     def failed_trials(self) -> int:
@@ -249,6 +269,7 @@ class Campaign:
         oscillation_fallback: bool = True,
         deadline_seconds: float | None = None,
         noise: str | None = None,
+        tracer: Tracer | None = None,
     ) -> TrialResult:
         """Like :meth:`run_trial` but keeps the resampling diary.
 
@@ -270,7 +291,60 @@ class Campaign:
         sanitizer output, every method's report is judged by the
         validation oracle against the raw log, and the outcome carries
         the ingestion anomaly counters and the oracle verdict.
+
+        ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records a
+        ``method:<name>`` span per diagnosis method with the pipeline's
+        stage spans nested inside, and adds ``trace_spans`` /
+        ``trace_<stage>_s`` summary extras to each outcome.  Untraced
+        trials carry none of these keys, so journals and CSVs stay
+        byte-identical when tracing is off.
         """
+        if tracer is not None:
+            install_tracer(tracer)
+            try:
+                return self._run_trial_traced(
+                    trial_seed,
+                    k,
+                    mix,
+                    methods,
+                    interacting,
+                    diagnosis_config,
+                    max_resample,
+                    oscillation_fallback,
+                    deadline_seconds,
+                    noise,
+                    tracer,
+                )
+            finally:
+                uninstall_tracer(tracer)
+        return self._run_trial_traced(
+            trial_seed,
+            k,
+            mix,
+            methods,
+            interacting,
+            diagnosis_config,
+            max_resample,
+            oscillation_fallback,
+            deadline_seconds,
+            noise,
+            None,
+        )
+
+    def _run_trial_traced(
+        self,
+        trial_seed: int,
+        k: int,
+        mix: DefectMix,
+        methods: Sequence[str],
+        interacting: bool,
+        diagnosis_config: DiagnosisConfig | None,
+        max_resample: int,
+        oscillation_fallback: bool,
+        deadline_seconds: float | None,
+        noise: str | None,
+        tracer: Tracer | None,
+    ) -> TrialResult:
         noise_model = None
         if noise is not None:
             from repro.tester.noise import parse_noise_spec
@@ -312,21 +386,35 @@ class Campaign:
                 break
             count("no_failures")
         else:
+            record_skip_reasons(skip_reasons)
             return TrialResult(outcomes=None, skip_reasons=skip_reasons)
 
+        if result.ingest is not None:
+            record_ingest(result.ingest)
         outcomes: list[TrialOutcome] = []
         for method in methods:
             budget = self._method_budget(diagnosis_config, trial_deadline)
-            runner = self._resolve(method, diagnosis_config, budget)
-            report = runner(self.netlist, self.patterns, result.datalog)
-            if noise_model is not None:
-                # Post-hoc oracle pass, uniform over every method: judge
-                # the report against the raw (pre-sanitized) evidence.
-                from repro.core.oracle import validate_report
+            runner = self._resolve(method, diagnosis_config, budget, tracer)
+            method_span = None
+            if tracer is not None:
+                with tracer.span(f"method:{method}", method=method) as method_span:
+                    report = runner(self.netlist, self.patterns, result.datalog)
+                    if noise_model is not None:
+                        from repro.core.oracle import validate_report
 
-                report = validate_report(
-                    self.netlist, self.patterns, report, result.raw
-                )
+                        report = validate_report(
+                            self.netlist, self.patterns, report, result.raw
+                        )
+            else:
+                report = runner(self.netlist, self.patterns, result.datalog)
+                if noise_model is not None:
+                    # Post-hoc oracle pass, uniform over every method: judge
+                    # the report against the raw (pre-sanitized) evidence.
+                    from repro.core.oracle import validate_report
+
+                    report = validate_report(
+                        self.netlist, self.patterns, report, result.raw
+                    )
             outcome = score_report(
                 self.netlist,
                 report,
@@ -349,7 +437,17 @@ class Campaign:
             if result.ingest is not None:
                 outcome.extra["quarantined"] = float(result.ingest.quarantined)
                 outcome.extra["ingest_anomalies"] = float(result.ingest.anomalies)
+            if method_span is not None:
+                # Flat per-method summary of the subtree: total seconds per
+                # pipeline stage plus the span count.  Only present on
+                # traced runs, so untraced journals/CSVs are unchanged.
+                subtree = [method_span.to_dict()]
+                totals = stage_seconds(subtree)
+                outcome.extra["trace_spans"] = float(span_count(subtree))
+                for stage in STAGES:
+                    outcome.extra[f"trace_{stage}_s"] = totals.get(stage, 0.0)
             outcomes.append(outcome)
+        record_skip_reasons(skip_reasons)
         return TrialResult(outcomes=outcomes, skip_reasons=skip_reasons)
 
     def run(
@@ -404,13 +502,16 @@ class Campaign:
         method: str,
         diagnosis_config: DiagnosisConfig | None,
         budget: Budget | None = None,
+        tracer: Tracer | None = None,
     ) -> Callable:
         if method == "xcover" and (
-            diagnosis_config is not None or budget is not None
+            diagnosis_config is not None
+            or budget is not None
+            or tracer is not None
         ):
             return lambda netlist, patterns, datalog: Diagnoser(
                 netlist, diagnosis_config
-            ).diagnose(patterns, datalog, budget=budget)
+            ).diagnose(patterns, datalog, budget=budget, tracer=tracer)
         try:
             return METHODS[method]
         except KeyError:

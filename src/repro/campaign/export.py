@@ -14,6 +14,7 @@ from typing import Mapping
 
 from repro.campaign.driver import CampaignResult
 from repro.campaign.metrics import Aggregate, TrialOutcome
+from repro.obs.trace import STAGES
 
 #: Simulation-work profiling columns, sourced from ``outcome.extra`` (the
 #: driver copies every numeric ``report.stats`` entry there).  Rows from
@@ -25,6 +26,13 @@ SIM_STAT_FIELDS = [
     "sim_cache_hits",
     "sim_cache_misses",
 ]
+
+#: Per-stage tracing columns (``--trace`` campaigns only): span count plus
+#: seconds per pipeline stage, sourced from the ``trace_*`` extras the
+#: driver computes from each method's span subtree.  Emitted only when at
+#: least one outcome carries them, so untraced CSVs keep the historical
+#: header byte-for-byte.
+TRACE_STAT_FIELDS = ["trace_spans"] + [f"trace_{stage}_s" for stage in STAGES]
 
 OUTCOME_FIELDS = [
     "circuit",
@@ -64,7 +72,7 @@ AGGREGATE_FIELDS = [
 ]
 
 
-def _outcome_row(outcome: TrialOutcome) -> dict:
+def _outcome_row(outcome: TrialOutcome, trace: bool = False) -> dict:
     from_extra = {"quarantined", *SIM_STAT_FIELDS}
     row = {
         field: getattr(outcome, field)
@@ -75,16 +83,29 @@ def _outcome_row(outcome: TrialOutcome) -> dict:
     row["success"] = int(outcome.success)
     for field in from_extra:
         row[field] = int(outcome.extra.get(field, 0))
+    if trace:
+        # Seconds stay float (unlike the integral sim counters); rows from
+        # untraced trials in a mixed result default to 0.0.
+        for field in TRACE_STAT_FIELDS:
+            row[field] = float(outcome.extra.get(field, 0.0))
     return row
 
 
-def outcomes_to_csv(result: CampaignResult) -> str:
-    """One CSV row per (trial, method) outcome."""
+def outcomes_to_csv(result: CampaignResult, trace: bool | None = None) -> str:
+    """One CSV row per (trial, method) outcome.
+
+    ``trace`` appends the :data:`TRACE_STAT_FIELDS` columns; the default
+    (``None``) auto-detects from the outcomes, so untraced results keep
+    the historical header.
+    """
+    if trace is None:
+        trace = any("trace_spans" in o.extra for o in result.outcomes)
+    fieldnames = OUTCOME_FIELDS + TRACE_STAT_FIELDS if trace else OUTCOME_FIELDS
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=OUTCOME_FIELDS)
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
     writer.writeheader()
     for outcome in result.outcomes:
-        writer.writerow(_outcome_row(outcome))
+        writer.writerow(_outcome_row(outcome, trace=trace))
     return buffer.getvalue()
 
 

@@ -83,6 +83,10 @@ class TrialRecord:
     outcomes: list[TrialOutcome] = field(default_factory=list)
     skip_reasons: dict[str, int] = field(default_factory=dict)
     error: TrialError | None = None
+    #: Span-tree forest (plain dicts, see :mod:`repro.obs.trace`) when the
+    #: trial ran traced; None otherwise.  Serialized only when present, so
+    #: untraced journal lines are byte-identical to the historical format.
+    trace: list | None = None
 
     @property
     def key(self) -> tuple[str, int, int]:
@@ -104,6 +108,8 @@ class TrialRecord:
             payload["outcomes"] = [outcome_to_dict(o) for o in self.outcomes]
         if self.error is not None:
             payload["error"] = self.error.to_dict()
+        if self.trace is not None:
+            payload["trace"] = self.trace
         return payload
 
     @classmethod
@@ -130,6 +136,9 @@ class TrialRecord:
             raise JournalError(f"unknown trial status {record.status!r}")
         if "error" in payload:
             record.error = TrialError.from_dict(payload["error"])
+        trace = payload.get("trace")
+        if isinstance(trace, list):
+            record.trace = trace
         return record
 
 

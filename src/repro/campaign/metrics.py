@@ -147,11 +147,18 @@ class Aggregate:
 
     @classmethod
     def over(cls, group: str, outcomes: list[TrialOutcome]) -> "Aggregate":
+        """Mean every statistic over ``outcomes``.
+
+        Every rate flows through one ``n == 0``-guarded mean, so an empty
+        group -- a campaign whose every trial was skipped or quarantined
+        -- aggregates to all-zero rates instead of dividing by zero or
+        leaking ``nan`` into exported CSVs.
+        """
         n = len(outcomes)
-        if n == 0:
-            return cls(group, 0, 0, 0, 0, 0, 0, 0, 0, 0)
 
         def mean(getter) -> float:
+            if n == 0:
+                return 0.0
             return sum(getter(o) for o in outcomes) / n
 
         return cls(

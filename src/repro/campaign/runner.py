@@ -27,7 +27,6 @@ so ``jobs=4`` converges to the same outcome list as ``jobs=1``.
 
 from __future__ import annotations
 
-import hashlib
 import multiprocessing as mp
 import time
 from collections import deque
@@ -35,6 +34,7 @@ from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from pathlib import Path
 
+from repro._rng import make_rng, spawn
 from repro.campaign.driver import Campaign, CampaignConfig, CampaignResult
 from repro.campaign.journal import Journal, TrialRecord, config_fingerprint
 from repro.errors import (
@@ -44,6 +44,9 @@ from repro.errors import (
     TrialError,
     classify_cause,
 )
+from repro.obs.metrics import record_retry, record_trial
+from repro.obs.trace import Tracer
+from repro.sim.cache import reset_sim_caches
 
 
 @dataclass
@@ -89,9 +92,16 @@ class RunnerConfig:
 
 
 def backoff_delay(base: float, attempt: int, seed: int) -> float:
-    """Exponential backoff with deterministic (seed, attempt) jitter."""
-    digest = hashlib.sha256(f"backoff:{seed}:{attempt}".encode()).digest()
-    jitter = 0.5 + int.from_bytes(digest[:8], "big") / 2**64
+    """Exponential backoff with deterministic (seed, attempt) jitter.
+
+    The jitter threads through the library's seeded RNG tree
+    (:func:`repro._rng.make_rng` / :func:`~repro._rng.spawn`) -- never the
+    global ``random`` module -- so two campaigns run with identical seeds
+    schedule retries identically and journal replay ordering is
+    reproducible.
+    """
+    rng = spawn(make_rng(seed), f"backoff:{attempt}")
+    jitter = 0.5 + rng.random()
     return base * (2 ** (attempt - 1)) * jitter
 
 
@@ -106,20 +116,37 @@ def _execute_trial(
 ) -> TrialRecord:
     """Run one trial to a terminal TrialRecord; never raises trial errors."""
     seed = config.trial_seed(trial)
+    tracer = Tracer() if getattr(config, "trace", False) else None
     started = time.perf_counter()
     try:
-        result = campaign.run_trial_ex(
-            trial_seed=seed,
-            k=config.k,
-            mix=config.mix,
-            methods=config.methods,
-            interacting=config.interacting,
-            diagnosis_config=config.diagnosis_config,
-            max_resample=config.max_resample,
-            oscillation_fallback=config.oscillation_fallback,
-            deadline_seconds=deadline,
-            noise=config.noise,
-        )
+        if tracer is not None:
+            with tracer.span("trial", trial=trial, seed=seed):
+                result = campaign.run_trial_ex(
+                    trial_seed=seed,
+                    k=config.k,
+                    mix=config.mix,
+                    methods=config.methods,
+                    interacting=config.interacting,
+                    diagnosis_config=config.diagnosis_config,
+                    max_resample=config.max_resample,
+                    oscillation_fallback=config.oscillation_fallback,
+                    deadline_seconds=deadline,
+                    noise=config.noise,
+                    tracer=tracer,
+                )
+        else:
+            result = campaign.run_trial_ex(
+                trial_seed=seed,
+                k=config.k,
+                mix=config.mix,
+                methods=config.methods,
+                interacting=config.interacting,
+                diagnosis_config=config.diagnosis_config,
+                max_resample=config.max_resample,
+                oscillation_fallback=config.oscillation_fallback,
+                deadline_seconds=deadline,
+                noise=config.noise,
+            )
     except Exception as exc:
         return TrialRecord(
             circuit=config.circuit,
@@ -134,6 +161,7 @@ def _execute_trial(
                 seed=seed,
                 cause=classify_cause(exc),
             ),
+            trace=tracer.to_dicts() if tracer is not None else None,
         )
     return TrialRecord(
         circuit=config.circuit,
@@ -143,6 +171,7 @@ def _execute_trial(
         elapsed=time.perf_counter() - started,
         outcomes=result.outcomes or [],
         skip_reasons=result.skip_reasons,
+        trace=tracer.to_dicts() if tracer is not None else None,
     )
 
 
@@ -238,6 +267,7 @@ def _run_isolated(
         """
         seed = config.trial_seed(trial)
         if cause in TRANSIENT_CAUSES and attempts <= rc.retries:
+            record_retry(cause)
             delay = backoff_delay(rc.backoff, attempts, seed)
             waiting.append((time.monotonic() + delay, trial, attempts))
             return
@@ -419,10 +449,18 @@ def _run_serial(
             ):
                 emit(record)
                 break
+            record_retry(record.error.cause)
             time.sleep(backoff_delay(rc.backoff, attempts, record.seed))
 
 
 # -- the entry point ----------------------------------------------------------
+
+#: Content key of the last campaign executed in this process.  A
+#: multi-circuit sweep (the benchmark tables, ``run_noise_sweep`` over
+#: different circuits) changes key between batches; resetting the sim
+#: caches there bounds memory across the sweep while keeping the memos
+#: warm for same-circuit reruns (noise rates, resume, repeated configs).
+_LAST_CAMPAIGN_KEY: tuple[str, str] | None = None
 
 
 def execute_campaign(
@@ -437,8 +475,15 @@ def execute_campaign(
     ``resume=True`` journaled trials are folded in without re-execution
     and the assembled aggregates are identical to an uninterrupted run.
     """
+    global _LAST_CAMPAIGN_KEY
     rc = runner or RunnerConfig()
     started = time.perf_counter()
+    batch_key = (campaign.netlist.fingerprint(), campaign.patterns.fingerprint())
+    if _LAST_CAMPAIGN_KEY is not None and _LAST_CAMPAIGN_KEY != batch_key:
+        # New (circuit, test set) batch: drop the previous batch's contexts
+        # and kernels so a sweep that never repeats a key stays bounded.
+        reset_sim_caches()
+    _LAST_CAMPAIGN_KEY = batch_key
     records: dict[int, TrialRecord] = {}
     resumed = 0
 
@@ -462,6 +507,10 @@ def execute_campaign(
             pending.append(trial)
 
     def emit(record: TrialRecord) -> None:
+        record_trial(
+            record.status,
+            record.error.cause if record.error is not None else None,
+        )
         records[record.trial] = record
         if journal is not None:
             journal.append(record)
@@ -496,5 +545,9 @@ def execute_campaign(
             result.skipped_trials += 1
         elif record.error is not None:
             result.trial_errors.append(record.error)
+        if record.trace:
+            result.traces.append(
+                {"trial": record.trial, "seed": record.seed, "spans": record.trace}
+            )
     result.wall_seconds = time.perf_counter() - started
     return result

@@ -13,6 +13,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -159,19 +160,39 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     except DatalogError as exc:
         raise DatalogError(f"{path}: {exc}") from exc
     oracle_raw = (raw if raw is not None else datalog) if args.validate else None
-    if args.method == "xcover":
-        config = _budget_config(args)
-        report = Diagnoser(netlist, config).diagnose(
-            patterns, datalog, raw=oracle_raw
-        )
-    elif args.method == "slat":
-        report = diagnose_slat(netlist, patterns, datalog)
-    else:
-        report = diagnose_single_fault(netlist, patterns, datalog)
-    if oracle_raw is not None and report.consistency is None:
-        from repro.core.oracle import validate_report
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import Tracer, install_tracer
 
-        report = validate_report(netlist, patterns, report, oracle_raw)
+        tracer = Tracer()
+        # Installed for the whole command so baseline methods and the
+        # oracle pass emit into the same tree as the xcover pipeline.
+        install_tracer(tracer)
+    try:
+        if args.method == "xcover":
+            config = _budget_config(args)
+            report = Diagnoser(netlist, config).diagnose(
+                patterns, datalog, raw=oracle_raw, tracer=tracer
+            )
+        elif args.method == "slat":
+            from repro.obs.trace import trace_span
+
+            with trace_span(f"method:{args.method}", method=args.method):
+                report = diagnose_slat(netlist, patterns, datalog)
+        else:
+            from repro.obs.trace import trace_span
+
+            with trace_span(f"method:{args.method}", method=args.method):
+                report = diagnose_single_fault(netlist, patterns, datalog)
+        if oracle_raw is not None and report.consistency is None:
+            from repro.core.oracle import validate_report
+
+            report = validate_report(netlist, patterns, report, oracle_raw)
+    finally:
+        if tracer is not None:
+            from repro.obs.trace import uninstall_tracer
+
+            uninstall_tracer(tracer)
     print(report.summary())
     if not report.is_exact:
         print(
@@ -182,7 +203,30 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     if args.json:
         Path(args.json).write_text(report.to_json())
         print(f"(full report written to {args.json})", file=sys.stderr)
+    if tracer is not None:
+        from repro.obs.trace import to_chrome_trace
+
+        Path(args.trace_out).write_text(
+            json.dumps(to_chrome_trace([(0, tracer.to_dicts())]))
+        )
+        print(f"(chrome trace written to {args.trace_out})", file=sys.stderr)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
     return 0
+
+
+def _write_metrics(path: str) -> None:
+    """Export the process metrics registry: Prometheus text, or JSON when
+    the path ends in ``.json``."""
+    from repro.obs.metrics import REGISTRY
+
+    text = (
+        REGISTRY.to_json()
+        if str(path).endswith(".json")
+        else REGISTRY.to_prometheus_text()
+    )
+    Path(path).write_text(text)
+    print(f"(metrics written to {path})", file=sys.stderr)
 
 
 def _budget_config(args: argparse.Namespace) -> DiagnosisConfig | None:
@@ -218,6 +262,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         interacting=args.interacting,
         diagnosis_config=_budget_config(args),
         noise=args.noise,
+        trace=args.trace,
     )
     runner = RunnerConfig(
         jobs=args.jobs,
@@ -238,6 +283,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         from repro.campaign.export import result_to_json
 
         Path(args.json).write_text(result_to_json(result))
+    if args.trace:
+        from repro.obs.trace import to_chrome_trace
+
+        payload = to_chrome_trace(
+            (entry["trial"], entry["spans"]) for entry in result.traces
+        )
+        Path(args.trace_out).write_text(json.dumps(payload))
+        print(
+            f"(chrome trace of {len(result.traces)} trial(s) written to "
+            f"{args.trace_out})",
+            file=sys.stderr,
+        )
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
     headers = [
         "method", "trials", "recall", "precision", "resolution", "success", "time",
     ]
@@ -294,6 +353,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if result.trial_errors else 0
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    """Observability flags shared by ``diagnose`` and ``campaign``."""
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-stage spans and write a Chrome-trace JSON "
+        "(open in chrome://tracing or Perfetto as a flamegraph); never "
+        "changes the diagnosis itself",
+    )
+    p.add_argument(
+        "--trace-out",
+        default="trace.json",
+        help="Chrome-trace output path for --trace (default: trace.json)",
+    )
+    p.add_argument(
+        "--metrics-out",
+        help="export the process metrics registry on exit: Prometheus "
+        "text format, or JSON when the path ends in .json",
+    )
 
 
 def _add_budget_args(p: argparse.ArgumentParser) -> None:
@@ -382,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
         "candidates against the raw evidence and attach verdicts",
     )
     _add_budget_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_diagnose)
 
     p = sub.add_parser("campaign", help="run a scored injection campaign")
@@ -428,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
         "oracle judges every report against the raw log",
     )
     _add_budget_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_campaign)
     return parser
 

@@ -25,7 +25,6 @@ against.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.circuit.netlist import Netlist, Site
@@ -44,6 +43,8 @@ from repro.core.report import Candidate, DiagnosisReport, Hypothesis, Multiplet
 from repro.core.scoring import multiplet_iou
 from repro.core.xcover import build_xcover
 from repro.errors import DiagnosisError
+from repro.obs.metrics import record_diagnosis, record_sim_delta, record_truncations
+from repro.obs.trace import NULL_TRACER, Tracer, install_tracer, uninstall_tracer
 from repro.sim.cache import sim_context
 from repro.sim.compile import COUNTERS
 from repro.sim.patterns import PatternSet
@@ -122,6 +123,7 @@ class Diagnoser:
         datalog: Datalog,
         budget: Budget | None = None,
         raw=None,
+        tracer: Tracer | None = None,
     ) -> DiagnosisReport:
         """Run the full pipeline against one device's datalog.
 
@@ -137,6 +139,14 @@ class Diagnoser:
         evidence; ``DiagnosisConfig(validate=True)`` switches it on
         against ``datalog`` itself.  With neither, the report is the
         historical, oracle-free output.
+
+        ``tracer`` (a :class:`~repro.obs.trace.Tracer`) switches on stage
+        tracing: the run's span tree lands in ``report.stats["trace"]``
+        and the tracer is installed as the process's active tracer for the
+        duration, so deep events (kernel compiles, context cache activity)
+        nest under the pipeline stages.  Tracing never changes the
+        diagnosis: outside ``stats``, a traced report is byte-identical to
+        an untraced one.
         """
         cfg = self.config
         if datalog.n_patterns != patterns.n:
@@ -146,7 +156,33 @@ class Diagnoser:
             )
         if budget is None:
             budget = cfg.make_budget()
-        started = time.perf_counter()
+        tracing = tracer is not None
+        # Stage timing always runs through a tracer clock (injectable for
+        # tests); an untraced run uses a private throwaway tracer that is
+        # never installed and never serialized.
+        t = tracer if tracer is not None else Tracer()
+        if tracing:
+            install_tracer(t)
+        try:
+            report = self._diagnose(patterns, datalog, budget, raw, t)
+        finally:
+            if tracing:
+                uninstall_tracer(t)
+        if tracing:
+            # Excluded from determinism exactly like ``seconds*``/``sim_*``:
+            # the tree is timing data, present only when tracing was asked.
+            report.stats["trace"] = t.to_dicts()
+        return report
+
+    def _diagnose(
+        self,
+        patterns: PatternSet,
+        datalog: Datalog,
+        budget: Budget | None,
+        raw,
+        t: Tracer,
+    ) -> DiagnosisReport:
+        cfg = self.config
         if datalog.is_passing_device:
             report = DiagnosisReport(
                 method=METHOD_NAME,
@@ -155,280 +191,322 @@ class Diagnoser:
             )
             if raw is not None or cfg.validate:
                 report = validate_report(
-                    self.netlist, patterns, report, raw if raw is not None else datalog
+                    self.netlist,
+                    patterns,
+                    report,
+                    raw if raw is not None else datalog,
                 )
+            record_diagnosis(METHOD_NAME, 0.0, report.completeness)
             return report
 
         counters_before = COUNTERS.snapshot()
-        # The shared simulation context: the fault-free base plus the
-        # flip/resim/X-reach memos every downstream stage draws from, reused
-        # across runs (campaign trials) on the same circuit and test set.
-        base_values = sim_context(self.netlist, patterns).base
-        if cfg.engine == "pertest":
-            sites = candidate_sites(
-                self.netlist, datalog, cfg.include_branches, budget=budget
-            )
-        else:
-            sites = candidate_sites(self.netlist, datalog, cfg.include_branches)
-        t_sim = time.perf_counter()
+        with t.span("diagnose", circuit=self.netlist.name, engine=cfg.engine) as root:
+            # The shared simulation context: the fault-free base plus the
+            # flip/resim/X-reach memos every downstream stage draws from,
+            # reused across runs (campaign trials) on the same circuit and
+            # test set.
+            with t.span("context"):
+                base_values = sim_context(self.netlist, patterns).base
+            with t.span("backtrace") as sp_backtrace:
+                if cfg.engine == "pertest":
+                    sites = candidate_sites(
+                        self.netlist, datalog, cfg.include_branches, budget=budget
+                    )
+                else:
+                    sites = candidate_sites(
+                        self.netlist, datalog, cfg.include_branches
+                    )
+            started = root.start
+            t_sim = sp_backtrace.end
 
-        if cfg.engine == "pertest":
-            evidence, multiplet_sets, uncovered, extras, stage_stats = (
-                self._run_pertest(patterns, datalog, sites, base_values, budget)
-            )
-        else:
-            evidence, multiplet_sets, uncovered, stage_stats = self._run_xcover(
-                patterns, datalog, base_values, budget
-            )
-            extras = ()
-        t_cover = time.perf_counter()
-
-        # Candidates = union over every surviving minimum cover (that union is
-        # the diagnosis resolution) plus the per-pattern exact explainers; the
-        # reported multiplet list is capped.
-        all_sites: list[Site] = []
-        for group in list(multiplet_sets) + [extras]:
-            for site in group:
-                if site not in all_sites:
-                    all_sites.append(site)
-        reported_sets = multiplet_sets[: cfg.max_reported_multiplets]
-
-        core_sites = {site for group in multiplet_sets for site in group}
-        candidates = []
-        refined_out = False
-        for done, site in enumerate(all_sites):
-            if (
-                not refined_out
-                and budget is not None
-                and done
-                and budget.stop("refine", done, len(all_sites))
-            ):
-                refined_out = True
-            if refined_out:
-                # Out of budget: keep the site located but model-free.  The
-                # arbitrary hypothesis is honest here -- no model was tried,
-                # so none can be claimed and none can be used to drop it.
-                candidates.append(
-                    Candidate(
-                        site=site,
-                        hypotheses=(arbitrary_hypothesis(site, evidence),),
-                        explained_atoms=len(evidence.atoms_of(site)),
+            if cfg.engine == "pertest":
+                evidence, multiplet_sets, uncovered, extras, stage_stats = (
+                    self._run_pertest(
+                        patterns, datalog, sites, base_values, budget, t
                     )
                 )
-                continue
-            hypotheses = allocate_hypotheses(
-                self.netlist,
-                patterns,
-                datalog,
-                site,
-                base_values,
-                evidence,
-                cfg.refine,
-                budget=budget,
-            )
-            if (
-                cfg.drop_unmodeled_extras
-                and site not in core_sites
-                and all(h.kind == "arbitrary" for h in hypotheses)
-                and not (budget is not None and budget.exceeded())
-            ):
-                # A per-pattern extra that no concrete model survives for is
-                # a coincidental equivalent; passing-pattern evidence has
-                # already vindicated every mechanism it could have had.  (A
-                # site whose refinement was cut short by the budget is kept:
-                # absence of a surviving model means nothing if the models
-                # were never fully tried.)
-                continue
-            candidates.append(
-                Candidate(
-                    site=site,
-                    hypotheses=hypotheses,
-                    explained_atoms=len(evidence.atoms_of(site)),
+            else:
+                evidence, multiplet_sets, uncovered, stage_stats = self._run_xcover(
+                    patterns, datalog, base_values, budget, t
                 )
-            )
-        # Rank: sites a concrete fault model survives for come first (a site
-        # only explainable as "arbitrary" is usually a coincidental
-        # equivalent), then by explained evidence and match quality.
-        candidates.sort(
-            key=lambda c: (
-                c.best_kind == "arbitrary",
-                -c.explained_atoms,
-                tuple(-x for x in (c.best.score if c.best else (0.0, 0.0, 0))),
-                str(c.site),
-            )
-        )
-        hypothesis_by_site = {c.site: c.hypotheses for c in candidates}
-        t_refine = time.perf_counter()
+                extras = ()
+            t_cover = t.now()
 
-        multiplets = []
-        scored_out = False
-        for done, group in enumerate(reported_sets):
-            if (
-                not scored_out
-                and budget is not None
-                and done
-                and budget.stop("scoring", done, len(reported_sets))
-            ):
-                scored_out = True
-            multiplets.append(
-                self._assemble_multiplet(
-                    evidence,
-                    group,
-                    hypothesis_by_site,
+            # Candidates = union over every surviving minimum cover (that
+            # union is the diagnosis resolution) plus the per-pattern exact
+            # explainers; the reported multiplet list is capped.
+            with t.span("refine"):
+                all_sites: list[Site] = []
+                for group in list(multiplet_sets) + [extras]:
+                    for site in group:
+                        if site not in all_sites:
+                            all_sites.append(site)
+                reported_sets = multiplet_sets[: cfg.max_reported_multiplets]
+
+                core_sites = {site for group in multiplet_sets for site in group}
+                candidates = []
+                refined_out = False
+                for done, site in enumerate(all_sites):
+                    if (
+                        not refined_out
+                        and budget is not None
+                        and done
+                        and budget.stop("refine", done, len(all_sites))
+                    ):
+                        refined_out = True
+                    if refined_out:
+                        # Out of budget: keep the site located but model-free.
+                        # The arbitrary hypothesis is honest here -- no model
+                        # was tried, so none can be claimed and none can be
+                        # used to drop it.
+                        candidates.append(
+                            Candidate(
+                                site=site,
+                                hypotheses=(arbitrary_hypothesis(site, evidence),),
+                                explained_atoms=len(evidence.atoms_of(site)),
+                            )
+                        )
+                        continue
+                    hypotheses = allocate_hypotheses(
+                        self.netlist,
+                        patterns,
+                        datalog,
+                        site,
+                        base_values,
+                        evidence,
+                        cfg.refine,
+                        budget=budget,
+                    )
+                    if (
+                        cfg.drop_unmodeled_extras
+                        and site not in core_sites
+                        and all(h.kind == "arbitrary" for h in hypotheses)
+                        and not (budget is not None and budget.exceeded())
+                    ):
+                        # A per-pattern extra that no concrete model survives
+                        # for is a coincidental equivalent; passing-pattern
+                        # evidence has already vindicated every mechanism it
+                        # could have had.  (A site whose refinement was cut
+                        # short by the budget is kept: absence of a surviving
+                        # model means nothing if the models were never fully
+                        # tried.)
+                        continue
+                    candidates.append(
+                        Candidate(
+                            site=site,
+                            hypotheses=hypotheses,
+                            explained_atoms=len(evidence.atoms_of(site)),
+                        )
+                    )
+                # Rank: sites a concrete fault model survives for come first
+                # (a site only explainable as "arbitrary" is usually a
+                # coincidental equivalent), then by explained evidence and
+                # match quality.
+                candidates.sort(
+                    key=lambda c: (
+                        c.best_kind == "arbitrary",
+                        -c.explained_atoms,
+                        tuple(
+                            -x for x in (c.best.score if c.best else (0.0, 0.0, 0))
+                        ),
+                        str(c.site),
+                    )
+                )
+                hypothesis_by_site = {c.site: c.hypotheses for c in candidates}
+            t_refine = t.now()
+
+            with t.span("scoring"):
+                multiplets = []
+                scored_out = False
+                for done, group in enumerate(reported_sets):
+                    if (
+                        not scored_out
+                        and budget is not None
+                        and done
+                        and budget.stop("scoring", done, len(reported_sets))
+                    ):
+                        scored_out = True
+                    multiplets.append(
+                        self._assemble_multiplet(
+                            evidence,
+                            group,
+                            hypothesis_by_site,
+                            patterns,
+                            base_values,
+                            skip_iou=scored_out,
+                        )
+                    )
+                multiplets.sort(key=lambda m: m.rank_key)
+            finished = t.now()
+
+            stats = {
+                "seconds": finished - started,
+                "seconds_analysis": t_sim - started,
+                "seconds_cover": t_cover - t_sim,
+                "seconds_refine": t_refine - t_cover,
+                "n_failing_patterns": float(len(datalog.failing_indices)),
+                "n_fail_atoms": float(datalog.n_fail_atoms),
+                "n_candidate_space": float(len(sites)),
+                "n_min_covers": float(len(multiplet_sets)),
+                **stage_stats,
+            }
+            # Simulation effort for this run.  Counters increment at the
+            # dispatcher level, before the backend split, so these are
+            # byte-identical between REPRO_SIM=interp and the compiled
+            # default; cache hit counts do depend on registry warmth (a
+            # second run on the same circuit and test set starts with the
+            # memos filled).
+            counters = COUNTERS.delta(counters_before)
+            stats["sim_gate_evals"] = float(counters["gate_evals"])
+            stats["sim_full_passes"] = float(
+                counters["full_passes"] + counters["full3_passes"]
+            )
+            stats["sim_cone_passes"] = float(
+                counters["cone_passes"] + counters["cone3_passes"]
+            )
+            stats["sim_cache_hits"] = float(
+                counters["flip_hits"]
+                + counters["resim_hits"]
+                + counters["xreach_hits"]
+                + counters["context_hits"]
+            )
+            stats["sim_cache_misses"] = float(
+                counters["flip_misses"]
+                + counters["resim_misses"]
+                + counters["xreach_misses"]
+                + counters["context_misses"]
+            )
+            if budget is not None and budget.truncations:
+                # Only when governance actually bit: a governed run that
+                # completed exactly stays indistinguishable from an
+                # ungoverned one, so generous budgets never perturb campaign
+                # equivalence.
+                stats["n_expansions"] = float(budget.expansions)
+                stats["n_truncations"] = float(len(budget.truncations))
+            report = DiagnosisReport(
+                method=METHOD_NAME,
+                circuit=self.netlist.name,
+                candidates=tuple(candidates),
+                multiplets=tuple(multiplets),
+                uncovered_atoms=frozenset(uncovered),
+                stats=stats,
+                completeness=budget.completeness if budget is not None else "exact",
+                truncations=tuple(budget.truncations) if budget is not None else (),
+            )
+            if raw is not None or cfg.validate:
+                # The oracle emits its own "oracle" span through the active
+                # tracer, nesting under this root on traced runs.
+                report = validate_report(
+                    self.netlist,
                     patterns,
+                    report,
+                    raw if raw is not None else datalog,
                     base_values,
-                    skip_iou=scored_out,
                 )
-            )
-        multiplets.sort(key=lambda m: m.rank_key)
-
-        finished = time.perf_counter()
-        stats = {
-            "seconds": finished - started,
-            "seconds_analysis": t_sim - started,
-            "seconds_cover": t_cover - t_sim,
-            "seconds_refine": t_refine - t_cover,
-            "n_failing_patterns": float(len(datalog.failing_indices)),
-            "n_fail_atoms": float(datalog.n_fail_atoms),
-            "n_candidate_space": float(len(sites)),
-            "n_min_covers": float(len(multiplet_sets)),
-            **stage_stats,
-        }
-        # Simulation effort for this run.  Counters increment at the
-        # dispatcher level, before the backend split, so these are
-        # byte-identical between REPRO_SIM=interp and the compiled default;
-        # cache hit counts do depend on registry warmth (a second run on the
-        # same circuit and test set starts with the memos filled).
-        counters = COUNTERS.delta(counters_before)
-        stats["sim_gate_evals"] = float(counters["gate_evals"])
-        stats["sim_full_passes"] = float(
-            counters["full_passes"] + counters["full3_passes"]
-        )
-        stats["sim_cone_passes"] = float(
-            counters["cone_passes"] + counters["cone3_passes"]
-        )
-        stats["sim_cache_hits"] = float(
-            counters["flip_hits"]
-            + counters["resim_hits"]
-            + counters["xreach_hits"]
-            + counters["context_hits"]
-        )
-        stats["sim_cache_misses"] = float(
-            counters["flip_misses"]
-            + counters["resim_misses"]
-            + counters["xreach_misses"]
-            + counters["context_misses"]
-        )
-        if budget is not None and budget.truncations:
-            # Only when governance actually bit: a governed run that
-            # completed exactly stays indistinguishable from an ungoverned
-            # one, so generous budgets never perturb campaign equivalence.
-            stats["n_expansions"] = float(budget.expansions)
-            stats["n_truncations"] = float(len(budget.truncations))
-        report = DiagnosisReport(
-            method=METHOD_NAME,
-            circuit=self.netlist.name,
-            candidates=tuple(candidates),
-            multiplets=tuple(multiplets),
-            uncovered_atoms=frozenset(uncovered),
-            stats=stats,
-            completeness=budget.completeness if budget is not None else "exact",
-            truncations=tuple(budget.truncations) if budget is not None else (),
-        )
-        if raw is not None or cfg.validate:
-            report = validate_report(
-                self.netlist,
-                patterns,
-                report,
-                raw if raw is not None else datalog,
-                base_values,
-            )
+        record_sim_delta(counters)
+        if budget is not None:
+            record_truncations(budget.truncations)
+        record_diagnosis(METHOD_NAME, stats["seconds"], report.completeness)
         return report
 
     # -- engines -----------------------------------------------------------------
 
-    def _run_pertest(self, patterns, datalog, sites, base_values, budget=None):
+    def _run_pertest(
+        self, patterns, datalog, sites, base_values, budget=None, tracer=NULL_TRACER
+    ):
         cfg = self.config
-        analysis = build_pertest(
-            self.netlist, patterns, datalog, sites, base_values, budget=budget
-        )
-        solution = greedy_pertest_cover(
-            analysis,
-            max_size=cfg.max_multiplet_size,
-            pair_cap=cfg.pair_cap,
-            budget=budget,
-        )
-        multiplet_sets: list[tuple[Site, ...]] = []
-        if cfg.enumerate_exact:
-            # Enumerate at least up to the size the greedy needed, so that
-            # every tying alternative of a pair-rescued explanation is
-            # reported (bounded overall by max_checks inside).
-            depth = min(
-                max(cfg.exact_max_size, len(solution.sites)),
-                cfg.max_multiplet_size,
+        with tracer.span("pertest"):
+            analysis = build_pertest(
+                self.netlist, patterns, datalog, sites, base_values, budget=budget
             )
-            multiplet_sets = enumerate_pertest_min_covers(
+        with tracer.span("cover"):
+            solution = greedy_pertest_cover(
                 analysis,
-                seed_sites=solution.sites + solution.pair_candidates,
-                max_candidates=cfg.exact_max_candidates,
-                max_size=depth,
+                max_size=cfg.max_multiplet_size,
+                pair_cap=cfg.pair_cap,
                 budget=budget,
             )
-        known = {tuple(sorted(map(str, m))) for m in multiplet_sets}
-        if solution.sites and tuple(sorted(map(str, solution.sites))) not in known:
-            multiplet_sets.append(solution.sites)
-        uncovered = {
-            (idx, out)
-            for idx in solution.unexplained
-            for out in datalog.failing_outputs_of(idx)
-        }
-        # Per-pattern reporting: every failing pattern contributes its best
-        # exact singleton explainers to the candidate list, so a defect whose
-        # patterns happen to be aliased out of the minimum covers is still
-        # located (at some resolution cost).
-        extras: list[Site] = []
-        if cfg.per_pattern_candidates > 0:
-            for idx in datalog.failing_indices:
-                explainers = sorted(
-                    analysis.exact_singletons.get(idx, ()),
-                    key=lambda s: (-len(analysis.atoms_of(s)), str(s)),
+            multiplet_sets: list[tuple[Site, ...]] = []
+            if cfg.enumerate_exact:
+                # Enumerate at least up to the size the greedy needed, so
+                # that every tying alternative of a pair-rescued explanation
+                # is reported (bounded overall by max_checks inside).
+                depth = min(
+                    max(cfg.exact_max_size, len(solution.sites)),
+                    cfg.max_multiplet_size,
                 )
-                extras.extend(explainers[: cfg.per_pattern_candidates])
-            extras.extend(solution.pair_candidates)
+                multiplet_sets = enumerate_pertest_min_covers(
+                    analysis,
+                    seed_sites=solution.sites + solution.pair_candidates,
+                    max_candidates=cfg.exact_max_candidates,
+                    max_size=depth,
+                    budget=budget,
+                )
+            known = {tuple(sorted(map(str, m))) for m in multiplet_sets}
+            if (
+                solution.sites
+                and tuple(sorted(map(str, solution.sites))) not in known
+            ):
+                multiplet_sets.append(solution.sites)
+            uncovered = {
+                (idx, out)
+                for idx in solution.unexplained
+                for out in datalog.failing_outputs_of(idx)
+            }
+            # Per-pattern reporting: every failing pattern contributes its
+            # best exact singleton explainers to the candidate list, so a
+            # defect whose patterns happen to be aliased out of the minimum
+            # covers is still located (at some resolution cost).
+            extras: list[Site] = []
+            if cfg.per_pattern_candidates > 0:
+                for idx in datalog.failing_indices:
+                    explainers = sorted(
+                        analysis.exact_singletons.get(idx, ()),
+                        key=lambda s: (-len(analysis.atoms_of(s)), str(s)),
+                    )
+                    extras.extend(explainers[: cfg.per_pattern_candidates])
+                extras.extend(solution.pair_candidates)
         stats = {
             "n_unexplained_patterns": float(len(solution.unexplained)),
             "n_exactly_explained_patterns": float(len(solution.explained)),
         }
         return analysis, multiplet_sets, uncovered, tuple(extras), stats
 
-    def _run_xcover(self, patterns, datalog, base_values, budget=None):
+    def _run_xcover(
+        self, patterns, datalog, base_values, budget=None, tracer=NULL_TRACER
+    ):
         cfg = self.config
-        xc = build_xcover(
-            self.netlist,
-            patterns,
-            datalog,
-            include_branches=cfg.include_branches,
-            base_values=base_values,
-            budget=budget,
-        )
-        solution = greedy_cover(
-            xc,
-            max_size=cfg.max_multiplet_size,
-            top_k=cfg.greedy_top_k,
-            rescue_pair_cap=cfg.rescue_pair_cap,
-            budget=budget,
-        )
-        multiplet_sets: list[tuple[Site, ...]] = []
-        if cfg.enumerate_exact:
-            multiplet_sets = enumerate_min_covers(
-                xc,
-                max_candidates=cfg.exact_max_candidates,
-                max_size=cfg.exact_max_size,
+        with tracer.span("xcover"):
+            xc = build_xcover(
+                self.netlist,
+                patterns,
+                datalog,
+                include_branches=cfg.include_branches,
+                base_values=base_values,
                 budget=budget,
             )
-        known = {tuple(sorted(map(str, m))) for m in multiplet_sets}
-        if solution.sites and tuple(sorted(map(str, solution.sites))) not in known:
-            multiplet_sets.append(solution.sites)
+        with tracer.span("cover"):
+            solution = greedy_cover(
+                xc,
+                max_size=cfg.max_multiplet_size,
+                top_k=cfg.greedy_top_k,
+                rescue_pair_cap=cfg.rescue_pair_cap,
+                budget=budget,
+            )
+            multiplet_sets: list[tuple[Site, ...]] = []
+            if cfg.enumerate_exact:
+                multiplet_sets = enumerate_min_covers(
+                    xc,
+                    max_candidates=cfg.exact_max_candidates,
+                    max_size=cfg.exact_max_size,
+                    budget=budget,
+                )
+            known = {tuple(sorted(map(str, m))) for m in multiplet_sets}
+            if (
+                solution.sites
+                and tuple(sorted(map(str, solution.sites))) not in known
+            ):
+                multiplet_sets.append(solution.sites)
         stats = {"n_joint_evaluations": float(solution.joint_evaluations)}
         return xc, multiplet_sets, set(solution.uncovered), stats
 

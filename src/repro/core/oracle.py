@@ -47,6 +47,7 @@ from repro.faults.models import (
     TransitionDefect,
     TransitionKind,
 )
+from repro.obs.trace import trace_span
 from repro.sim.cache import sim_context
 from repro.sim.patterns import PatternSet
 from repro.tester.datalog import Datalog
@@ -163,6 +164,17 @@ def validate_report(
       ``"refuted"`` (nothing reproduced), ``"unvalidated"`` (no concrete
       multiplet to resimulate).
     """
+    with trace_span("oracle"):
+        return _validate_report(netlist, patterns, report, raw, base_values)
+
+
+def _validate_report(
+    netlist: Netlist,
+    patterns: PatternSet,
+    report: DiagnosisReport,
+    raw,
+    base_values: Mapping[str, int] | None = None,
+) -> DiagnosisReport:
     observed, failing, n_observed, x_atoms = _raw_evidence(raw)
     if base_values is None:
         base_values = sim_context(netlist, patterns).base

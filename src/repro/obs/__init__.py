@@ -1,0 +1,60 @@
+"""Pipeline observability: tracing spans and a process-local metrics
+registry.
+
+- :mod:`repro.obs.trace` -- nestable spans over every diagnosis stage,
+  Chrome-trace (flamegraph) export, the process-local *active tracer*
+  deep instrumentation points emit into,
+- :mod:`repro.obs.metrics` -- counters/gauges/histograms fed by the sim
+  counters, budget truncations, ingest anomalies and the campaign runner
+  taxonomy, exportable as Prometheus text or JSON.
+
+Both modules are stdlib-only by design so any layer can import them
+without cycles; both are inert until a tracer is installed or an export
+is requested, keeping untraced runs byte-identical to historical output.
+"""
+
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    STAGES,
+    NullTracer,
+    Span,
+    Tracer,
+    active_tracer,
+    chrome_trace_events,
+    install_tracer,
+    span_count,
+    stage_seconds,
+    to_chrome_trace,
+    trace_event,
+    trace_span,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "STAGES",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "chrome_trace_events",
+    "install_tracer",
+    "span_count",
+    "stage_seconds",
+    "to_chrome_trace",
+    "trace_event",
+    "trace_span",
+    "uninstall_tracer",
+]

@@ -1,0 +1,366 @@
+"""Process-local metrics registry with Prometheus and JSON export.
+
+Counters, gauges and histograms keyed by ``(name, labels)``, fed by the
+pipeline's existing instrumentation sources -- :class:`SimCounters`
+deltas, budget truncation trails, tester ingest anomaly counters, and the
+campaign runner's retry/timeout/skip taxonomy -- and exported on demand as
+Prometheus text exposition format or JSON.
+
+Recording is always on: it is a handful of dict lookups and float adds
+per diagnosis, never touches the diagnosis itself, and keeps the registry
+warm so a ``--metrics-out`` flag (or a future scrape endpoint) can export
+at any moment.  The registry is **per process**: under the multi-process
+campaign runner each worker accumulates its own view and the parent's
+export covers scheduling-side metrics (trials, retries, timeouts) plus
+everything executed in-process.
+
+Metric names follow Prometheus conventions: ``repro_`` prefix,
+``_total`` suffix on counters, ``_seconds`` on time histograms.  Label
+sets are kept low-cardinality by construction (stage, cause, status --
+never circuit-sized or site-sized domains).
+
+Like :mod:`repro.obs.trace`, this module imports only the standard
+library so every layer can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Iterable, Mapping
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds): spans diagnosis runs from sub-ms
+#: toy circuits to minutes-long governed searches.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    300.0,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
+    return "{" + body + "}"
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        # ``counts`` is per-bin; :meth:`cumulative` prefix-sums at export.
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, ``+Inf`` last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+
+class _Family:
+    """All children of one metric name (one per label set)."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str, buckets=None):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.children: dict[tuple[tuple[str, str], ...], object] = {}
+
+
+class MetricsRegistry:
+    """Registry of metric families; the module-level :data:`REGISTRY` is
+    the process default, but independent registries can be constructed
+    for tests."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def _family(self, name: str, kind: str, help_text: str, buckets=None) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_text, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"requested {kind}"
+            )
+        return family
+
+    @staticmethod
+    def _label_key(labels: Mapping[str, object]) -> tuple[tuple[str, str], ...]:
+        for key in labels:
+            if not _LABEL_RE.match(key):
+                raise ValueError(f"invalid label name {key!r}")
+        return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        family = self._family(name, "counter", help)
+        key = self._label_key(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = family.children[key] = Counter()
+        return child  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        family = self._family(name, "gauge", help)
+        key = self._label_key(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = family.children[key] = Gauge()
+        return child  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] | None = None, **labels
+    ) -> Histogram:
+        family = self._family(
+            name, "histogram", help, tuple(buckets) if buckets else DEFAULT_BUCKETS
+        )
+        key = self._label_key(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = family.children[key] = Histogram(family.buckets)
+        return child  # type: ignore[return-value]
+
+    def reset(self) -> None:
+        """Drop every family (testing hook)."""
+        self._families.clear()
+
+    # -- export ------------------------------------------------------------
+
+    @staticmethod
+    def _format_value(value: float) -> str:
+        if value == math.inf:
+            return "+Inf"
+        if float(value).is_integer():
+            return str(int(value))
+        return repr(float(value))
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.children):
+                child = family.children[key]
+                if isinstance(child, Histogram):
+                    for bound, cumulative in child.cumulative():
+                        bucket_labels = key + (("le", self._format_value(bound)),)
+                        lines.append(
+                            f"{name}_bucket{_format_labels(bucket_labels)} "
+                            f"{cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_format_labels(key)} "
+                        f"{self._format_value(child.sum)}"
+                    )
+                    lines.append(f"{name}_count{_format_labels(key)} {child.count}")
+                else:
+                    lines.append(
+                        f"{name}{_format_labels(key)} "
+                        f"{self._format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON image of every family (for dashboards and tests)."""
+        payload: dict = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            series = []
+            for key in sorted(family.children):
+                child = family.children[key]
+                entry: dict = {"labels": dict(key)}
+                if isinstance(child, Histogram):
+                    entry["sum"] = child.sum
+                    entry["count"] = child.count
+                    entry["buckets"] = [
+                        {"le": ("+Inf" if bound == math.inf else bound), "count": n}
+                        for bound, n in child.cumulative()
+                    ]
+                else:
+                    entry["value"] = child.value
+                series.append(entry)
+            payload[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "series": series,
+            }
+        return json.dumps(payload, indent=indent)
+
+
+#: The process-default registry every pipeline layer records into.
+REGISTRY = MetricsRegistry()
+
+
+# ---------------------------------------------------------------------------
+# Domain recorders (called by the pipeline layers)
+# ---------------------------------------------------------------------------
+
+
+def record_sim_delta(delta: Mapping[str, int]) -> None:
+    """Fold one diagnosis run's :class:`SimCounters` delta into counters."""
+    for key, value in delta.items():
+        if value:
+            REGISTRY.counter(
+                f"repro_sim_{key}_total", "simulation work by SimCounters class"
+            ).inc(float(value))
+
+
+def record_diagnosis(method: str, seconds: float, completeness: str) -> None:
+    """One finished diagnosis run: latency histogram + completeness tally."""
+    REGISTRY.histogram(
+        "repro_diagnosis_seconds", "end-to-end diagnosis latency", method=method
+    ).observe(seconds)
+    REGISTRY.counter(
+        "repro_diagnosis_runs_total",
+        "diagnosis runs by anytime verdict",
+        method=method,
+        completeness=completeness,
+    ).inc()
+
+
+def record_truncations(truncations: Iterable) -> None:
+    """Budget truncation trail -> per-(stage, cause) counters."""
+    for truncation in truncations:
+        REGISTRY.counter(
+            "repro_diagnosis_truncations_total",
+            "stages cut short by the anytime budget",
+            stage=truncation.stage,
+            cause=truncation.cause,
+        ).inc()
+
+
+def record_ingest(report) -> None:
+    """Tester ingest anomaly counters (an :class:`IngestReport`)."""
+    anomalies = getattr(report, "anomalies", 0)
+    quarantined = getattr(report, "quarantined", 0)
+    if anomalies:
+        REGISTRY.counter(
+            "repro_ingest_anomalies_total", "datalog ingest anomalies detected"
+        ).inc(float(anomalies))
+    if quarantined:
+        REGISTRY.counter(
+            "repro_ingest_quarantined_total",
+            "strobes quarantined to the X tier during ingest",
+        ).inc(float(quarantined))
+
+
+def record_trial(status: str, cause: str | None = None) -> None:
+    """A terminal campaign trial record (ok / skipped / error)."""
+    REGISTRY.counter(
+        "repro_trials_total", "terminal campaign trials by status", status=status
+    ).inc()
+    if cause:
+        REGISTRY.counter(
+            "repro_trial_failures_total",
+            "terminally failed trials by cause",
+            cause=cause,
+        ).inc()
+
+
+def record_retry(cause: str) -> None:
+    """A transient trial failure scheduled for a backoff retry."""
+    REGISTRY.counter(
+        "repro_trial_retries_total", "trial retries by transient cause", cause=cause
+    ).inc()
+
+
+def record_skip_reasons(reasons: Mapping[str, int]) -> None:
+    """One trial's resample diary folded into per-cause counters."""
+    for reason, count in reasons.items():
+        if count:
+            REGISTRY.counter(
+                "repro_trial_resamples_total",
+                "defect-set resamples by cause",
+                cause=reason,
+            ).inc(float(count))
+
+
+def record_kernel_compile(variant: str) -> None:
+    """One sim-kernel variant codegen/compile."""
+    REGISTRY.counter(
+        "repro_sim_kernel_compiles_total",
+        "compiled simulation kernel variants built",
+        variant=variant,
+    ).inc()

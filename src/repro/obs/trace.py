@@ -1,0 +1,311 @@
+"""Nestable, low-overhead tracing for the diagnosis pipeline.
+
+A :class:`Tracer` records a tree of :class:`Span` s -- one per pipeline
+stage (``backtrace``, ``pertest``, ``xcover``, ``cover``, ``refine``,
+``scoring``, ``oracle``) plus point events for sim-kernel compiles and
+cache activity -- against a monotonic clock that is injectable for
+deterministic tests.  The design constraints, in order:
+
+1. **Zero cost when off.**  Code that may run untraced emits through the
+   module-level *active* tracer, which defaults to a shared
+   :class:`NullTracer` whose ``span``/``event`` are constant no-ops, so an
+   untraced diagnosis does no allocation and no clock reads beyond the
+   stage marks it always took.
+2. **Determinism.**  Tracing never influences the diagnosis itself; span
+   data lands in ``DiagnosisReport.stats["trace"]``, which is excluded
+   from determinism comparisons exactly like the ``seconds*`` / ``sim_*``
+   entries.  A traced and an untraced run produce reports that are
+   byte-identical outside ``stats``.
+3. **Portability.**  Span trees serialize to plain dicts (JSONL journal,
+   worker pipes) and export as Chrome-trace events
+   (``chrome://tracing`` / Perfetto), so a whole campaign opens as a
+   flamegraph.
+
+Only the standard library is used; nothing in :mod:`repro` is imported,
+so every layer (sim, core, campaign, tester, CLI) can depend on this
+module without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Mapping
+
+#: Stage names the pipeline emits, in pipeline order.  The campaign CSV
+#: (``TRACE_STAT_FIELDS``) and the architecture docs key off this list.
+STAGES = (
+    "context",
+    "backtrace",
+    "pertest",
+    "xcover",
+    "cover",
+    "refine",
+    "scoring",
+    "oracle",
+)
+
+
+class Span:
+    """One timed region: a name, clock marks, metadata and children."""
+
+    __slots__ = ("name", "start", "end", "children", "meta")
+
+    def __init__(self, name: str, start: float, meta: dict | None = None):
+        self.name = name
+        self.start = start
+        self.end = start
+        self.children: list[Span] = []
+        self.meta = meta
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+    def __repr__(self) -> str:  # debugging aid only
+        return f"Span({self.name!r}, {self.duration:.6f}s, {len(self.children)} children)"
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`; yields the Span."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *_exc) -> None:
+        self._tracer._close(self._span)
+
+
+class _NullContext:
+    """Shared no-op context manager (one instance per process)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTracer:
+    """Tracer that records nothing; the default active tracer.
+
+    ``span`` and ``event`` return immediately without touching the clock,
+    so instrumented code paths cost one attribute lookup and one call when
+    tracing is off.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, **meta) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def event(self, name: str, **meta) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects a forest of nested spans against an injectable clock."""
+
+    __slots__ = ("roots", "_stack", "_clock", "n_spans")
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._clock = clock
+        self.n_spans = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def now(self) -> float:
+        """The tracer's clock (stage marks share it with the spans)."""
+        return self._clock()
+
+    def span(self, name: str, **meta) -> _SpanContext:
+        """Open a nested span; use as ``with tracer.span("cover") as sp:``."""
+        span = Span(name, self._clock(), meta or None)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        self.n_spans += 1
+        return _SpanContext(self, span)
+
+    def event(self, name: str, **meta) -> None:
+        """A zero-duration point event attached at the current nesting."""
+        now = self._clock()
+        span = Span(name, now, meta or None)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self.n_spans += 1
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock()
+        # Tolerate exception-driven unwinding: pop through to this span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            top.end = span.end
+
+    # -- export ------------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        """The recorded span forest as JSON-safe dicts."""
+        return [root.to_dict() for root in self.roots]
+
+
+# ---------------------------------------------------------------------------
+# The active tracer (process-local)
+# ---------------------------------------------------------------------------
+
+#: Stack so nested installs (a traced campaign trial running a traced
+#: diagnosis) restore correctly; the bottom entry is the permanent no-op.
+_ACTIVE: list = [NULL_TRACER]
+
+
+def active_tracer():
+    """The tracer deep instrumentation points (sim kernels) emit into."""
+    return _ACTIVE[-1]
+
+
+def install_tracer(tracer) -> None:
+    """Make ``tracer`` the active tracer until :func:`uninstall_tracer`."""
+    _ACTIVE.append(tracer)
+
+
+def uninstall_tracer(tracer) -> None:
+    """Pop ``tracer`` (and anything installed above it) off the stack."""
+    while len(_ACTIVE) > 1:
+        if _ACTIVE.pop() is tracer:
+            break
+
+
+def trace_event(name: str, **meta) -> None:
+    """Emit a point event into the active tracer (no-op when untraced)."""
+    _ACTIVE[-1].event(name, **meta)
+
+
+def trace_span(name: str, **meta):
+    """Open a span on the active tracer (no-op context when untraced)."""
+    return _ACTIVE[-1].span(name, **meta)
+
+
+# ---------------------------------------------------------------------------
+# Summaries and exporters
+# ---------------------------------------------------------------------------
+
+
+def stage_seconds(spans: Iterable[Mapping]) -> dict[str, float]:
+    """Total seconds per span name over a span-dict forest (recursive).
+
+    Point events contribute zero time but still appear as keys, so a
+    summary row records *that* a kernel compile happened inside a stage.
+    """
+    totals: dict[str, float] = {}
+
+    def walk(span: Mapping) -> None:
+        name = str(span.get("name", ""))
+        totals[name] = totals.get(name, 0.0) + float(span.get("duration", 0.0))
+        for child in span.get("children", ()):
+            walk(child)
+
+    for span in spans:
+        walk(span)
+    return totals
+
+
+def span_count(spans: Iterable[Mapping]) -> int:
+    """Number of spans (including events) in a span-dict forest."""
+    total = 0
+
+    def walk(span: Mapping) -> None:
+        nonlocal total
+        total += 1
+        for child in span.get("children", ()):
+            walk(child)
+
+    for span in spans:
+        walk(span)
+    return total
+
+
+def chrome_trace_events(
+    spans: Iterable[Mapping], pid: int = 0, tid: int = 0
+) -> list[dict]:
+    """Flatten a span-dict forest into Chrome-trace ``X``/``i`` events.
+
+    Timestamps are microseconds on the tracer's own clock; within one
+    process every span shares that clock, so relative placement -- the
+    flamegraph -- is exact.
+    """
+    events: list[dict] = []
+
+    def walk(span: Mapping) -> None:
+        duration = float(span.get("duration", 0.0))
+        event = {
+            "name": str(span.get("name", "")),
+            "ph": "X" if duration > 0.0 else "i",
+            "ts": float(span.get("start", 0.0)) * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        if duration > 0.0:
+            event["dur"] = duration * 1e6
+        else:
+            event["s"] = "t"  # instant event, thread-scoped
+        meta = span.get("meta")
+        if meta:
+            event["args"] = dict(meta)
+        events.append(event)
+        for child in span.get("children", ()):
+            walk(child)
+
+    for span in spans:
+        walk(span)
+    return events
+
+
+def to_chrome_trace(traces: Iterable[tuple[int, Iterable[Mapping]]]) -> dict:
+    """Assemble ``(tid, span forest)`` pairs into one Chrome-trace object.
+
+    Feed one pair per campaign trial (``tid`` = trial number) and the
+    whole campaign opens as one flamegraph, a lane per trial.  The result
+    is the JSON object format ``chrome://tracing`` / Perfetto load
+    directly.
+    """
+    events: list[dict] = []
+    for tid, spans in traces:
+        events.extend(chrome_trace_events(spans, pid=0, tid=tid))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -34,6 +34,7 @@ from typing import Mapping
 
 from repro.circuit.netlist import Netlist, Site
 from repro.errors import SimulationError
+from repro.obs.trace import trace_event
 from repro.sim.compile import COUNTERS, active_kernels, base_slots, reset_kernel_cache
 from repro.sim.event import resim_output_diff
 from repro.sim.logicsim import simulate
@@ -207,6 +208,22 @@ class SimContext:
 _CONTEXTS: OrderedDict[tuple[str, str], SimContext] = OrderedDict()
 
 
+def _evict_overflow() -> None:
+    """Enforce :data:`MAX_CONTEXTS` by dropping least-recently-used entries.
+
+    Called on every insert (not only on lookup), so a campaign that never
+    repeats a ``(netlist, patterns)`` key -- a multi-circuit sweep -- holds
+    at most ``MAX_CONTEXTS`` contexts no matter how many trials it runs.
+    """
+    while len(_CONTEXTS) > MAX_CONTEXTS:
+        _CONTEXTS.popitem(last=False)
+
+
+def context_cache_size() -> int:
+    """Number of registered contexts (bounded-growth regression hook)."""
+    return len(_CONTEXTS)
+
+
 def sim_context(netlist: Netlist, patterns: PatternSet) -> SimContext:
     """The shared context for ``(netlist, patterns)``, creating it on miss.
 
@@ -219,13 +236,14 @@ def sim_context(netlist: Netlist, patterns: PatternSet) -> SimContext:
     ctx = _CONTEXTS.get(key)
     if ctx is not None:
         COUNTERS.context_hits += 1
+        trace_event("sim.context_cache", hit=True)
         _CONTEXTS.move_to_end(key)
         return ctx
     COUNTERS.context_misses += 1
+    trace_event("sim.context_cache", hit=False, circuit=netlist.name)
     ctx = SimContext(netlist, patterns)
     _CONTEXTS[key] = ctx
-    while len(_CONTEXTS) > MAX_CONTEXTS:
-        _CONTEXTS.popitem(last=False)
+    _evict_overflow()
     return ctx
 
 

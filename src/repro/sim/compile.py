@@ -37,6 +37,8 @@ from typing import Mapping
 from repro.circuit.gates import GateKind
 from repro.circuit.netlist import Netlist
 from repro.errors import SimulationError
+from repro.obs.metrics import record_kernel_compile
+from repro.obs.trace import trace_event
 
 #: Netlists above this gate count fall back to the interpreted simulators
 #: (codegen time and bytecode size grow linearly with the gate count).
@@ -348,6 +350,8 @@ class KernelSet:
             exec(code, namespace)
             func = self._fns[variant] = namespace[variant]
             COUNTERS.kernel_compiles += 1
+            trace_event("sim.kernel_compile", variant=variant)
+            record_kernel_compile(variant)
         return func
 
     def cone_slots(self, cone: frozenset) -> tuple[frozenset, tuple[int, ...]]:
@@ -377,12 +381,20 @@ class KernelSet:
 
 _KERNELS: dict[str, KernelSet] = {}
 
+#: Bumped by :func:`reset_kernel_cache` so the per-instance fast path below
+#: cannot outlive a reset: a stale ``netlist._kernel_set`` from before the
+#: reset fails the generation check and rebuilds.  Without this, resetting
+#: cleared ``_KERNELS`` but any live Netlist kept serving its old compiled
+#: kernels, so ``sim_kernel_compiles`` depended on object identity instead
+#: of cache state.
+_KERNEL_GENERATION = 0
+
 
 def kernels_for(netlist: Netlist) -> KernelSet:
     """The (cached) kernel set for ``netlist``, keyed by content hash."""
-    kernels = getattr(netlist, "_kernel_set", None)
-    if kernels is not None:
-        return kernels
+    cached = getattr(netlist, "_kernel_set", None)
+    if cached is not None and cached[0] == _KERNEL_GENERATION:
+        return cached[1]
     fp = netlist.fingerprint()
     kernels = _KERNELS.get(fp)
     if kernels is None:
@@ -390,7 +402,7 @@ def kernels_for(netlist: Netlist) -> KernelSet:
             _KERNELS.clear()
         kernels = _KERNELS[fp] = KernelSet(SlotProgram(netlist))
     # Instance fast path; Netlist is immutable after construction.
-    netlist._kernel_set = kernels
+    netlist._kernel_set = (_KERNEL_GENERATION, kernels)
     return kernels
 
 
@@ -409,6 +421,8 @@ def active_kernels(netlist: Netlist) -> KernelSet | None:
 
 def reset_kernel_cache() -> None:
     """Drop every cached kernel set (testing / benchmarking hook)."""
+    global _KERNEL_GENERATION
+    _KERNEL_GENERATION += 1
     _KERNELS.clear()
 
 

@@ -124,3 +124,47 @@ class TestAggregate:
         groups = aggregate_by(outs, key=lambda o: o.method)
         assert set(groups) == {"a", "b"}
         assert groups["a"].n_trials == 2
+
+
+class TestEmptyAggregates:
+    """An all-skipped campaign must aggregate to zero rates, never NaN."""
+
+    def test_empty_group_every_rate_zero(self):
+        import math
+
+        agg = Aggregate.over("m", [])
+        for field, value in vars(agg).items():
+            if field == "group":
+                continue
+            assert not math.isnan(value), f"{field} is NaN"
+            assert value == 0, f"{field} != 0 for empty group"
+
+    def test_all_skipped_campaign_exports_cleanly(self, monkeypatch):
+        import json
+
+        from repro.campaign.driver import Campaign, CampaignConfig, TrialResult
+        from repro.campaign.export import (
+            aggregates_to_csv,
+            outcomes_to_csv,
+            result_to_json,
+        )
+
+        def always_skip(self, *args, **kwargs):
+            return TrialResult(outcomes=None, skip_reasons={"no_failures": 1})
+
+        monkeypatch.setattr(Campaign, "run_trial_ex", always_skip)
+        campaign = Campaign("c17")
+        result = campaign.run(
+            CampaignConfig(circuit="c17", n_trials=3, k=1, seed=4)
+        )
+        assert result.skipped_trials == 3
+        assert result.outcomes == []
+        assert result.by_method() == {}
+        agg = result.aggregate("xcover")
+        assert agg.n_trials == 0 and agg.success_rate == 0.0
+        # Export paths stay well-formed: headers only, no nan cells.
+        assert "nan" not in outcomes_to_csv(result).lower()
+        assert "nan" not in aggregates_to_csv(result.by_method()).lower()
+        payload = json.loads(result_to_json(result))
+        assert payload["skipped_trials"] == 3
+        assert payload["aggregates"] == {}

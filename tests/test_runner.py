@@ -281,3 +281,67 @@ class TestJournalUnderIsolation:
         )
         assert resumed.resumed_trials == CONFIG.n_trials
         assert det_key(resumed) == det_key(campaign.run(CONFIG))
+
+
+class TestBackoffRandomIsolation:
+    def test_global_random_state_untouched(self):
+        import random
+
+        random.seed(123)
+        before = random.getstate()
+        backoff_delay(0.1, 2, seed=7)
+        assert random.getstate() == before
+
+    def test_independent_of_global_seed(self):
+        import random
+
+        random.seed(1)
+        a = backoff_delay(0.1, 1, seed=42)
+        random.seed(2)
+        b = backoff_delay(0.1, 1, seed=42)
+        assert a == b
+
+
+class TestBatchCacheReset:
+    def test_caches_reset_between_different_circuit_batches(self):
+        from repro.sim.cache import context_cache_size, reset_sim_caches
+
+        reset_sim_caches()
+        small = CampaignConfig(circuit="", n_trials=2, k=1, methods=("xcover",), seed=2)
+        sizes = []
+        for name in ("c17", "rca4", "parity8"):
+            campaign = Campaign(name)
+            config = CampaignConfig(**{**vars(small), "circuit": name})
+            campaign.run(config)
+            sizes.append(context_cache_size())
+        from repro.sim.cache import MAX_CONTEXTS
+
+        # Each batch change drops the previous circuit's contexts: the
+        # count reflects only the current batch, never the accumulation
+        # (without the reset the sizes would be strictly increasing sums).
+        assert all(size <= sizes[0] for size in sizes)
+        assert max(sizes) <= MAX_CONTEXTS
+
+    def test_same_circuit_batches_keep_warm_caches(self):
+        from repro.sim.cache import context_cache_size, reset_sim_caches
+
+        reset_sim_caches()
+        campaign = Campaign("c17")
+        config = CampaignConfig(
+            circuit="c17", n_trials=2, k=1, methods=("xcover",), seed=2
+        )
+        first = det_key(campaign.run(config))
+        warm = context_cache_size()
+        second = det_key(campaign.run(config))
+        # Re-running the same (circuit, patterns) batch neither resets nor
+        # grows the context cache, and the outcomes stay deterministic
+        # modulo the warmth-dependent sim counters.
+        assert context_cache_size() == warm
+
+        def drop_sim(key):
+            return [
+                row[:-1] + ({k: v for k, v in row[-1].items() if not k.startswith("sim_")},)
+                for row in (first, second)[key]
+            ]
+
+        assert drop_sim(0) == drop_sim(1)
