@@ -33,14 +33,140 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import IO
+
+try:  # POSIX only; Windows falls back to lock-free appends.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 from repro.campaign.metrics import TrialOutcome
 from repro.errors import JournalError, TrialError
 
 SCHEMA_VERSION = 1
+
+
+# -- JSONL primitives (shared by the trial journal and the job store) ---------
+
+
+def load_jsonl(path: str | Path) -> list[tuple[int, dict]]:
+    """Parse a JSONL file into ``(lineno, payload)`` pairs.
+
+    A torn *final* line (the writer was killed mid-append) is silently
+    dropped; a malformed line anywhere else means corruption rather than
+    interruption and raises :class:`~repro.errors.JournalError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: list[tuple[int, dict]] = []
+    lines = path.read_text().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                break  # torn tail from an interrupted append
+            raise JournalError(
+                f"{path}:{lineno}: corrupt journal line: {exc}"
+            ) from exc
+        if isinstance(payload, dict):
+            records.append((lineno, payload))
+    return records
+
+
+class JsonlAppender:
+    """Append-only JSONL writer with per-record durability and a writer lock.
+
+    Every :meth:`append` flushes and (by default) ``os.fsync``\\ s, so a
+    record that was acknowledged survives ``kill -9`` of the process and
+    most machine-level crashes; campaigns chasing throughput over
+    durability can opt out with ``fsync=False`` (the historical behavior:
+    flush only).
+
+    On :meth:`open` an advisory ``fcntl`` lock is taken on the file, so a
+    second writer on the same path -- another daemon instance, a campaign
+    resumed twice -- fails fast with a :class:`JournalError` instead of
+    silently interleaving lines.  The lock is per open-file-description:
+    two handles in one process conflict just like two processes do.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True, lock: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self.lock = lock
+        self._fh: IO[str] | None = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._fh is not None
+
+    def open(self, *, truncate: bool = False) -> None:
+        """Open for appending (locking first), dropping any torn tail."""
+        if self._fh is not None:
+            raise JournalError(f"{self.path}: appender is already open")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fh = self.path.open("w" if truncate else "a", encoding="utf-8")
+        if self.lock and fcntl is not None:
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError as exc:
+                fh.close()
+                raise JournalError(
+                    f"{self.path}: journal is locked by another writer "
+                    f"({exc}); refusing to interleave records"
+                ) from exc
+        if not truncate:
+            self._truncate_torn_tail()
+        self._fh = fh
+
+    def append(self, payload: dict) -> None:
+        if self._fh is None:
+            raise JournalError(f"{self.path}: appender is not open")
+        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()  # releases the advisory lock
+            self._fh = None
+
+    def is_empty(self) -> bool:
+        try:
+            return self.path.stat().st_size == 0
+        except OSError:
+            return True
+
+    def _truncate_torn_tail(self) -> None:
+        """Repair an interrupted final append so new appends start clean.
+
+        A final line that parses is a record whose newline never landed:
+        keep it and supply the newline (``load`` already counts it, so
+        truncating would silently lose an acknowledged record).  Anything
+        else is a torn fragment and is cut.
+        """
+        if not self.path.exists():
+            return
+        raw = self.path.read_bytes()
+        cut = raw.rfind(b"\n") + 1
+        if cut >= len(raw):
+            return
+        try:
+            json.loads(raw[cut:].decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            with self.path.open("r+b") as fh:
+                fh.truncate(cut)
+        else:
+            with self.path.open("ab") as fh:
+                fh.write(b"\n")
 
 
 # -- outcome serialization ----------------------------------------------------
@@ -168,11 +294,17 @@ def config_fingerprint(config) -> str:
 
 
 class Journal:
-    """Append-only JSONL writer/reader over one campaign's trials."""
+    """Append-only JSONL writer/reader over one campaign's trials.
 
-    def __init__(self, path: str | Path):
+    ``fsync`` chooses per-record durability (see :class:`JsonlAppender`);
+    the campaign hot path opts out via
+    :attr:`~repro.campaign.runner.RunnerConfig.journal_fsync` while the
+    diagnosis daemon's job store keeps the durable default.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True):
         self.path = Path(path)
-        self._fh: IO[str] | None = None
+        self._writer = JsonlAppender(path, fsync=fsync)
 
     # -- reading --------------------------------------------------------------
 
@@ -189,19 +321,7 @@ class Journal:
             return {}
         records: dict[tuple, TrialRecord] = {}
         header_seen = False
-        lines = self.path.read_text().splitlines()
-        for lineno, line in enumerate(lines, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                if lineno == len(lines):
-                    break  # torn tail from an interrupted append
-                raise JournalError(
-                    f"{self.path}:{lineno}: corrupt journal line: {exc}"
-                ) from exc
+        for _lineno, payload in load_jsonl(self.path):
             kind = payload.get("kind")
             if kind == "header":
                 header_seen = True
@@ -239,51 +359,23 @@ class Journal:
         completed: dict[tuple, TrialRecord] = {}
         if resume:
             completed = self.load(fingerprint)
-            self._drop_torn_tail()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        mode = "a" if resume and self.path.exists() else "w"
-        self._fh = self.path.open(mode, encoding="utf-8")
-        if mode == "w" or (mode == "a" and not completed and self._is_empty()):
-            self._write_line(
+        self._writer.open(truncate=not (resume and self.path.exists()))
+        if not completed and self._writer.is_empty():
+            self._writer.append(
                 {"kind": "header", "v": SCHEMA_VERSION, "fingerprint": fingerprint}
             )
         return completed
 
     def append(self, record: TrialRecord) -> None:
-        if self._fh is None:
+        if not self._writer.is_open:
             raise JournalError("journal is not open for writing")
-        self._write_line(record.to_dict())
+        self._writer.append(record.to_dict())
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        self._writer.close()
 
     def __enter__(self) -> "Journal":
         return self
 
     def __exit__(self, *_exc) -> None:
         self.close()
-
-    # -- internals ------------------------------------------------------------
-
-    def _drop_torn_tail(self) -> None:
-        """Truncate a partially written final line so appends start clean."""
-        if not self.path.exists():
-            return
-        raw = self.path.read_bytes()
-        cut = raw.rfind(b"\n") + 1
-        if cut < len(raw):
-            with self.path.open("r+b") as fh:
-                fh.truncate(cut)
-
-    def _is_empty(self) -> bool:
-        try:
-            return self.path.stat().st_size == 0
-        except OSError:
-            return True
-
-    def _write_line(self, payload: dict) -> None:
-        assert self._fh is not None
-        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
-        self._fh.flush()

@@ -71,6 +71,11 @@ class RunnerConfig:
     journal: str | Path | None = None
     #: Fold journaled trials back in instead of re-executing them.
     resume: bool = False
+    #: ``os.fsync`` every journal record.  Off by default on the campaign
+    #: hot path (flush-only, the historical behavior: a torn tail is
+    #: tolerated and one lost trial merely re-executes on resume); the
+    #: diagnosis daemon's job store runs with durability on.
+    journal_fsync: bool = False
     #: Fraction of ``timeout`` handed to the diagnosis engine as a
     #: cooperative in-process deadline, so a heavy trial truncates itself
     #: and reports a partial diagnosis *before* the kill timeout fires.
@@ -489,7 +494,7 @@ def execute_campaign(
 
     journal: Journal | None = None
     if rc.journal is not None:
-        journal = Journal(rc.journal)
+        journal = Journal(rc.journal, fsync=rc.journal_fsync)
         completed = journal.start(config_fingerprint(config), rc.resume)
     elif rc.resume:
         raise JournalError("resume requested but no journal path configured")

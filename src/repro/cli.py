@@ -7,7 +7,13 @@ Subcommands:
 - ``atpg <circuit>``      generate and report a compacted test set,
 - ``inject <circuit>``    sample defects, apply the test, write a datalog,
 - ``diagnose <circuit>``  run the diagnosis against a datalog file,
-- ``campaign <circuit>``  run a scored injection campaign.
+- ``campaign <circuit>``  run a scored injection campaign,
+- ``serve``               run the fault-tolerant diagnosis daemon.
+
+``repro serve`` exit codes are distinct and documented so supervisors can
+react per failure class: 0 clean drain, 1 drain deadline overran (deferred
+jobs recover on restart), 2 configuration error, 3 bind failure, 4 job
+store locked by another daemon.
 """
 
 from __future__ import annotations
@@ -355,6 +361,48 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if result.trial_errors else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import BindError, JournalError, ServeError
+    from repro.serve.app import (
+        EXIT_BIND,
+        EXIT_CONFIG,
+        EXIT_LOCKED,
+        ServeConfig,
+        serve,
+    )
+
+    config = ServeConfig(
+        store=args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.jobs,
+        queue_depth=args.queue_depth,
+        high_water=args.high_water,
+        drain_seconds=args.drain_seconds,
+        retries=args.retries,
+        fsync=not args.no_fsync,
+    )
+    try:
+        if config.workers < 1:
+            raise ServeError("--jobs must be >= 1")
+        if config.queue_depth < 1:
+            raise ServeError("--queue-depth must be >= 1")
+        if not 0.0 < config.high_water <= 1.0:
+            raise ServeError("--high-water must be in (0, 1]")
+        if config.drain_seconds < 0 or config.retries < 0:
+            raise ServeError("--drain-seconds and --retries must be >= 0")
+        return serve(config)
+    except BindError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BIND
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_LOCKED
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+
+
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
     """Observability flags shared by ``diagnose`` and ``campaign``."""
     p.add_argument(
@@ -511,6 +559,64 @@ def build_parser() -> argparse.ArgumentParser:
     _add_budget_args(p)
     _add_obs_args(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant diagnosis daemon (durable job store, "
+        "crash recovery, backpressure, graceful drain)",
+    )
+    p.add_argument(
+        "--store",
+        default="jobs.jsonl",
+        help="durable job journal path; restart with the same path to "
+        "recover in-flight jobs (default: jobs.jsonl)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="listen port; 0 picks a free port (printed on startup)",
+    )
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=2,
+        help="worker threads (shard-affine by circuit fingerprint)",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="admission bound: queued jobs past this are rejected with 429",
+    )
+    p.add_argument(
+        "--high-water",
+        type=float,
+        default=0.75,
+        help="queue fraction past which readiness drops and new jobs run "
+        "under degraded QoS budgets",
+    )
+    p.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=10.0,
+        help="SIGTERM drain deadline for in-flight jobs",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries for transient job failures",
+    )
+    p.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip per-record fsync on the job store (faster, loses the "
+        "acknowledged-implies-durable guarantee)",
+    )
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -210,3 +210,113 @@ class Budget:
             f"expansions={self.expansions}, "
             f"truncations={len(self.truncations)})"
         )
+
+
+# ---------------------------------------------------------------------------
+# QoS classes (the serving layer's admission vocabulary)
+# ---------------------------------------------------------------------------
+
+#: Expansion ceiling a degraded request falls back to when its class sets
+#: no ceiling of its own -- even "unbounded" batch work must terminate
+#: while the daemon is shedding load.
+DEGRADED_FALLBACK_EXPANSIONS = 250_000
+
+
+@dataclass(frozen=True)
+class QosClass:
+    """One request class's resource envelope, in budget terms.
+
+    The diagnosis daemon maps every submitted job onto a class; the class
+    decides the :class:`Budget` the job runs under.  Under overload
+    (``degraded=True``) every count ceiling is scaled by
+    ``degraded_scale`` and ``degraded_deadline`` replaces the deadline, so
+    a saturated daemon degrades to truncated-but-useful verdicts instead
+    of queueing unbounded work.
+
+    Count ceilings (expansions, multiplets) truncate deterministically --
+    the same job re-executed after a crash reproduces the same report
+    byte-for-byte -- while wall-clock deadlines do not; classes meant for
+    durable, replayable work should govern by counts only.
+    """
+
+    name: str
+    deadline_seconds: float | None = None
+    max_expansions: int | None = None
+    max_multiplets: int | None = None
+    degraded_scale: float = 0.25
+    degraded_deadline: float | None = None
+
+    def budget(
+        self,
+        *,
+        degraded: bool = False,
+        token: CancellationToken | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> Budget | None:
+        """A fresh budget for one request, or ``None`` when ungoverned.
+
+        A ``token`` forces a budget even for an otherwise-ungoverned class
+        so the request stays cancellable.
+        """
+        deadline = self.deadline_seconds
+        expansions = self.max_expansions
+        multiplets = self.max_multiplets
+        if degraded:
+            deadline = (
+                self.degraded_deadline
+                if self.degraded_deadline is not None
+                else deadline
+            )
+            expansions = (
+                max(1, int(expansions * self.degraded_scale))
+                if expansions is not None
+                else DEGRADED_FALLBACK_EXPANSIONS
+            )
+            if multiplets is not None:
+                multiplets = max(1, int(multiplets * self.degraded_scale))
+        if (
+            deadline is None
+            and expansions is None
+            and multiplets is None
+            and token is None
+        ):
+            return None
+        return Budget(
+            deadline_seconds=deadline,
+            max_multiplets=multiplets,
+            max_expansions=expansions,
+            token=token,
+            clock=clock,
+        )
+
+
+#: The daemon's built-in request classes.  ``interactive`` trades
+#: byte-stability for latency (wall-clock deadline); ``standard`` governs
+#: by deterministic count ceilings only, so its reports replay
+#: byte-identically after crash recovery; ``batch`` runs ungoverned until
+#: the daemon degrades it.
+QOS_CLASSES: dict[str, QosClass] = {
+    "interactive": QosClass(
+        "interactive",
+        deadline_seconds=5.0,
+        max_expansions=200_000,
+        max_multiplets=64,
+        degraded_deadline=1.0,
+    ),
+    "standard": QosClass(
+        "standard", max_expansions=2_000_000, max_multiplets=512
+    ),
+    "batch": QosClass("batch"),
+}
+
+
+def qos_class(name: str) -> QosClass:
+    """Look up a QoS class by name; unknown names are a caller error."""
+    try:
+        return QOS_CLASSES[name]
+    except KeyError:
+        from repro.errors import ServeError
+
+        raise ServeError(
+            f"unknown QoS class {name!r}; known: {', '.join(sorted(QOS_CLASSES))}"
+        ) from None

@@ -77,6 +77,24 @@ class JournalError(ReproError):
     """A campaign trial journal cannot be read or does not match the run."""
 
 
+class ServeError(ReproError):
+    """The diagnosis daemon was configured or driven inconsistently.
+
+    Raised for malformed job submissions, unknown QoS classes, and other
+    service-level misuse; the HTTP layer maps instances to ``400`` responses
+    and the ``repro serve`` CLI maps the family to documented exit codes.
+    """
+
+
+class BindError(ServeError):
+    """The daemon could not bind its listen address (port taken, bad host).
+
+    Kept distinct from the generic :class:`ServeError` so ``repro serve``
+    can exit with a dedicated code: a supervisor restarting the daemon
+    treats "address in use" differently from "bad configuration".
+    """
+
+
 #: Failure causes that may succeed on a retry (environment-induced: a
 #: worker killed by the OS, a machine under load blowing a deadline).
 #: Everything else is deterministic for a given trial seed and retrying
@@ -155,6 +173,8 @@ class TrialError(ReproError):
 
 def classify_cause(exc: BaseException) -> str:
     """Map an in-trial exception to a :class:`TrialError` cause tag."""
+    if isinstance(exc, TrialError):
+        return exc.cause  # a re-raised trial failure keeps its taxonomy
     if isinstance(exc, OscillationError):
         return "oscillation"
     if isinstance(exc, FaultModelError):

@@ -28,10 +28,19 @@ from __future__ import annotations
 import json
 import math
 import re
+import threading
 from typing import Iterable, Mapping
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: One process-wide lock guards every metric mutation and export.  The
+#: daemon's worker threads record into the same registry the ``/metrics``
+#: exporter reads from; Python's read-modify-write float adds are not
+#: atomic, so without the lock concurrent ``inc`` calls can drop counts
+#: and an export can observe a histogram mid-update.  Contention is
+#: negligible: recording is a handful of dict lookups per diagnosis.
+_LOCK = threading.RLock()
 
 #: Default histogram buckets (seconds): spans diagnosis runs from sub-ms
 #: toy circuits to minutes-long governed searches.
@@ -75,7 +84,8 @@ class Counter:
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
 
 class Gauge:
@@ -87,13 +97,16 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with _LOCK:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with _LOCK:
+            self.value -= amount
 
 
 class Histogram:
@@ -108,23 +121,25 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        # ``counts`` is per-bin; :meth:`cumulative` prefix-sums at export.
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                break
+        with _LOCK:
+            self.sum += value
+            self.count += 1
+            # ``counts`` is per-bin; :meth:`cumulative` prefix-sums at export.
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    break
 
     def cumulative(self) -> list[tuple[float, int]]:
         """(upper bound, cumulative count) pairs, ``+Inf`` last."""
-        out: list[tuple[float, int]] = []
-        running = 0
-        for bound, n in zip(self.buckets, self.counts):
-            running += n
-            out.append((bound, running))
-        out.append((math.inf, self.count))
-        return out
+        with _LOCK:
+            out: list[tuple[float, int]] = []
+            running = 0
+            for bound, n in zip(self.buckets, self.counts):
+                running += n
+                out.append((bound, running))
+            out.append((math.inf, self.count))
+            return out
 
 
 class _Family:
@@ -153,16 +168,17 @@ class MetricsRegistry:
     def _family(self, name: str, kind: str, help_text: str, buckets=None) -> _Family:
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name {name!r}")
-        family = self._families.get(name)
-        if family is None:
-            family = _Family(name, kind, help_text, buckets)
-            self._families[name] = family
-        elif family.kind != kind:
-            raise ValueError(
-                f"metric {name!r} already registered as {family.kind}, "
-                f"requested {kind}"
-            )
-        return family
+        with _LOCK:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"requested {kind}"
+                )
+            return family
 
     @staticmethod
     def _label_key(labels: Mapping[str, object]) -> tuple[tuple[str, str], ...]:
@@ -174,17 +190,19 @@ class MetricsRegistry:
     def counter(self, name: str, help: str = "", **labels) -> Counter:
         family = self._family(name, "counter", help)
         key = self._label_key(labels)
-        child = family.children.get(key)
-        if child is None:
-            child = family.children[key] = Counter()
+        with _LOCK:
+            child = family.children.get(key)
+            if child is None:
+                child = family.children[key] = Counter()
         return child  # type: ignore[return-value]
 
     def gauge(self, name: str, help: str = "", **labels) -> Gauge:
         family = self._family(name, "gauge", help)
         key = self._label_key(labels)
-        child = family.children.get(key)
-        if child is None:
-            child = family.children[key] = Gauge()
+        with _LOCK:
+            child = family.children.get(key)
+            if child is None:
+                child = family.children[key] = Gauge()
         return child  # type: ignore[return-value]
 
     def histogram(
@@ -194,14 +212,16 @@ class MetricsRegistry:
             name, "histogram", help, tuple(buckets) if buckets else DEFAULT_BUCKETS
         )
         key = self._label_key(labels)
-        child = family.children.get(key)
-        if child is None:
-            child = family.children[key] = Histogram(family.buckets)
+        with _LOCK:
+            child = family.children.get(key)
+            if child is None:
+                child = family.children[key] = Histogram(family.buckets)
         return child  # type: ignore[return-value]
 
     def reset(self) -> None:
         """Drop every family (testing hook)."""
-        self._families.clear()
+        with _LOCK:
+            self._families.clear()
 
     # -- export ------------------------------------------------------------
 
@@ -214,7 +234,16 @@ class MetricsRegistry:
         return repr(float(value))
 
     def to_prometheus_text(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+        """Prometheus text exposition format (version 0.0.4).
+
+        Exported under the registry lock, so a concurrent scrape sees a
+        consistent point-in-time snapshot even while worker threads
+        record.
+        """
+        with _LOCK:
+            return self._to_prometheus_text_locked()
+
+    def _to_prometheus_text_locked(self) -> str:
         lines: list[str] = []
         for name in sorted(self._families):
             family = self._families[name]
@@ -244,6 +273,10 @@ class MetricsRegistry:
 
     def to_json(self, indent: int | None = 2) -> str:
         """JSON image of every family (for dashboards and tests)."""
+        with _LOCK:
+            return self._to_json_locked(indent)
+
+    def _to_json_locked(self, indent: int | None) -> str:
         payload: dict = {}
         for name in sorted(self._families):
             family = self._families[name]
@@ -364,3 +397,63 @@ def record_kernel_compile(variant: str) -> None:
         "compiled simulation kernel variants built",
         variant=variant,
     ).inc()
+
+
+# -- diagnosis-daemon recorders (see :mod:`repro.serve`) --------------------
+
+
+def record_job_transition(state: str) -> None:
+    """One job entering ``state`` (submitted/running/done/failed/cancelled)."""
+    REGISTRY.counter(
+        "repro_serve_jobs_total", "daemon job state transitions", state=state
+    ).inc()
+
+
+def set_queue_depth(queued: int, running: int) -> None:
+    """Point-in-time daemon load (refreshed on every transition and scrape)."""
+    REGISTRY.gauge(
+        "repro_serve_queue_depth", "jobs by position", kind="queued"
+    ).set(queued)
+    REGISTRY.gauge(
+        "repro_serve_queue_depth", "jobs by position", kind="running"
+    ).set(running)
+
+
+def record_admission_rejected(reason: str) -> None:
+    """A submission turned away (saturated / draining / duplicate...)."""
+    REGISTRY.counter(
+        "repro_serve_rejected_total",
+        "job submissions rejected by admission control",
+        reason=reason,
+    ).inc()
+
+
+def record_degraded_admission() -> None:
+    """A job admitted above high water and mapped to a degraded budget."""
+    REGISTRY.counter(
+        "repro_serve_degraded_jobs_total",
+        "jobs admitted under degraded QoS budgets (backpressure)",
+    ).inc()
+
+
+def record_recovery(n_jobs: int) -> None:
+    """Jobs re-enqueued from the durable store after a restart."""
+    if n_jobs:
+        REGISTRY.counter(
+            "repro_serve_recovered_jobs_total",
+            "jobs replayed from the job store on daemon restart",
+        ).inc(float(n_jobs))
+
+
+def record_drain(outcome: str) -> None:
+    """One daemon drain: ``clean`` (within deadline) or ``forced``."""
+    REGISTRY.counter(
+        "repro_serve_drains_total", "daemon drains by outcome", outcome=outcome
+    ).inc()
+
+
+def record_job_seconds(qos: str, seconds: float) -> None:
+    """End-to-end service latency of one finished job, by QoS class."""
+    REGISTRY.histogram(
+        "repro_serve_job_seconds", "job execution latency", qos=qos
+    ).observe(seconds)

@@ -1,0 +1,27 @@
+"""Diagnosis-as-a-service: the fault-tolerant ``repro serve`` daemon.
+
+A stdlib-only long-lived service over the existing diagnosis machinery:
+
+- :mod:`repro.serve.protocol` -- job specs, fingerprints, canonical
+  (byte-stable) report serialization, and the HTTP wire formats;
+- :mod:`repro.serve.store` -- the durable job store, an append-only
+  fsync'd JSONL journal replayed on restart for crash recovery;
+- :mod:`repro.serve.executor` -- the shard-affine worker executor with
+  the campaign runner's retry/backoff taxonomy and cooperative
+  cancellation;
+- :mod:`repro.serve.app` -- admission control, backpressure, lifecycle
+  (drain/health/readiness) and the HTTP front-end.
+"""
+
+from repro.serve.app import DiagnosisDaemon, ServeConfig, serve
+from repro.serve.protocol import JobSpec, canonical_report_json
+from repro.serve.store import JobStore
+
+__all__ = [
+    "DiagnosisDaemon",
+    "JobSpec",
+    "JobStore",
+    "ServeConfig",
+    "canonical_report_json",
+    "serve",
+]

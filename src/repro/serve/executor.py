@@ -1,0 +1,287 @@
+"""Shard-aware worker executor for the diagnosis daemon.
+
+Jobs are routed to a fixed worker thread by a stable hash of their
+``(circuit, pattern_seed)`` shard key, so repeated jobs against one
+device family hit the same worker -- and therefore the same warmed
+``SimContext``/kernel caches -- instead of bouncing between cold workers.
+
+The failure discipline is the campaign runner's, reused rather than
+reinvented: an in-job exception is classified through the
+:func:`~repro.errors.classify_cause` taxonomy, transient causes
+(``crash``/``timeout``) buy seeded-backoff retries
+(:func:`~repro.campaign.runner.backoff_delay`), deterministic causes fail
+the job immediately, and every attempt is isolated -- one job's failure
+never takes a worker down.
+
+Lifecycle: :meth:`ShardExecutor.drain` stops workers from *starting*
+queued jobs (they stay durable in the store and recover on restart) while
+in-flight jobs run to completion under the drain deadline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.campaign.driver import provision_patterns
+from repro.campaign.runner import backoff_delay
+from repro.circuit.library import load_circuit
+from repro.core.budget import Budget, CancellationToken, qos_class
+from repro.core.diagnose import DiagnosisConfig, Diagnoser
+from repro.core.single_fault import diagnose_single_fault
+from repro.core.slat import diagnose_slat
+from repro.errors import TRANSIENT_CAUSES, TrialError, classify_cause
+from repro.serve.protocol import JobSpec
+
+_STOP = object()
+
+
+# -- job execution (the daemon's unit of work) -------------------------------
+
+
+def execute_job(spec: JobSpec, token: CancellationToken | None = None,
+                degraded: bool = False):
+    """Run one diagnosis job to a :class:`~repro.core.report.DiagnosisReport`.
+
+    Mirrors the CLI ``diagnose`` path: tolerant ingest when
+    ``noise_report`` is set, strict parse otherwise, method dispatch, and
+    the optional post-diagnosis oracle.  The budget comes from the job's
+    QoS class (degraded under load) unless the spec carries explicit
+    overrides; ``token`` keeps the run cancellable either way.
+    """
+    netlist = load_circuit(spec.circuit)
+    patterns = provision_patterns(netlist, spec.pattern_seed)
+    raw = None
+    if spec.noise_report:
+        from repro.tester.noise import ingest_text
+
+        sanitized = ingest_text(spec.datalog)
+        datalog = sanitized.datalog
+        raw = sanitized.raw
+    else:
+        from repro.tester.datalog import Datalog
+
+        datalog = Datalog.from_text(spec.datalog)
+    datalog.validate_for(netlist, n_patterns=patterns.n)
+    oracle_raw = (raw if raw is not None else datalog) if spec.validate else None
+
+    if spec.method == "xcover":
+        if (
+            spec.deadline_seconds is not None
+            or spec.max_multiplets is not None
+            or spec.max_expansions is not None
+        ):
+            budget = Budget(
+                deadline_seconds=spec.deadline_seconds,
+                max_multiplets=spec.max_multiplets,
+                max_expansions=spec.max_expansions,
+                token=token,
+            )
+        else:
+            budget = qos_class(spec.qos).budget(degraded=degraded, token=token)
+        report = Diagnoser(netlist, DiagnosisConfig()).diagnose(
+            patterns, datalog, budget=budget, raw=oracle_raw
+        )
+    elif spec.method == "slat":
+        report = diagnose_slat(netlist, patterns, datalog)
+    else:
+        report = diagnose_single_fault(netlist, patterns, datalog)
+    if oracle_raw is not None and report.consistency is None:
+        from repro.core.oracle import validate_report
+
+        report = validate_report(netlist, patterns, report, oracle_raw)
+    return report
+
+
+# -- the executor ------------------------------------------------------------
+
+
+@dataclass
+class _Item:
+    job_id: str
+    spec: JobSpec
+    token: CancellationToken
+    degraded: bool
+    attempts_base: int = 0
+
+
+class ExecutorCallbacks:
+    """What the executor tells the daemon (all called from worker threads)."""
+
+    def on_running(self, job_id: str, attempt: int) -> None: ...
+
+    def on_done(self, job_id: str, report) -> None: ...
+
+    def on_failed(self, job_id: str, error: TrialError) -> None: ...
+
+    def on_cancelled(self, job_id: str) -> None: ...
+
+    def on_deferred(self, job_id: str) -> None:
+        """A queued job left unexecuted by a drain (recovers on restart)."""
+
+
+def shard_index(key: str, workers: int) -> int:
+    """Stable shard routing (process-independent, unlike ``hash``)."""
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:4], "big") % max(1, workers)
+
+
+class ShardExecutor:
+    """Fixed pool of shard-affine worker threads over per-worker queues."""
+
+    def __init__(
+        self,
+        callbacks: ExecutorCallbacks,
+        *,
+        workers: int = 2,
+        retries: int = 1,
+        backoff: float = 0.05,
+        run=execute_job,
+        sleep=time.sleep,
+    ):
+        self._cb = callbacks
+        self._workers = max(1, workers)
+        self._retries = retries
+        self._backoff = backoff
+        self._run = run
+        self._sleep = sleep
+        self._queues: list[queue.Queue] = [
+            queue.Queue() for _ in range(self._workers)
+        ]
+        self._threads: list[threading.Thread] = []
+        self._draining = threading.Event()
+        self._inflight: dict[int, str] = {}
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        for idx in range(self._workers):
+            thread = threading.Thread(
+                target=self._worker,
+                args=(idx, self._queues[idx]),
+                name=f"repro-serve-worker-{idx}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def alive(self) -> bool:
+        """Is the pool still able to make progress?"""
+        return bool(self._threads) and all(t.is_alive() for t in self._threads)
+
+    def drain(self, deadline_seconds: float, clock=time.monotonic) -> bool:
+        """Stop starting queued jobs; wait for in-flight ones.
+
+        Returns True when every worker exited within the deadline.  Queued
+        jobs are reported through ``on_deferred`` and stay pending in the
+        durable store.
+        """
+        self._draining.set()
+        for q in self._queues:
+            q.put(_STOP)
+        horizon = clock() + deadline_seconds
+        for thread in self._threads:
+            thread.join(max(0.0, horizon - clock()))
+        return all(not t.is_alive() for t in self._threads)
+
+    def cancel_inflight(self) -> list[str]:
+        """Job ids currently executing (the drain-overrun victims)."""
+        with self._lock:
+            return list(self._inflight.values())
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        job_id: str,
+        spec: JobSpec,
+        token: CancellationToken,
+        *,
+        degraded: bool = False,
+    ) -> None:
+        idx = shard_index(spec.shard_key, self._workers)
+        self._queues[idx].put(_Item(job_id, spec, token, degraded))
+
+    def queued_jobs(self) -> int:
+        """Approximate number of accepted-but-unstarted jobs."""
+        return sum(q.qsize() for q in self._queues)
+
+    # -- worker loop ---------------------------------------------------------
+
+    def _worker(self, idx: int, q: queue.Queue) -> None:
+        while True:
+            item = q.get()
+            if item is _STOP:
+                break
+            if self._draining.is_set():
+                self._cb.on_deferred(item.job_id)
+                continue
+            self._execute(idx, item)
+        # Drain leftovers so the daemon can account for every deferred job.
+        while True:
+            try:
+                item = q.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                self._cb.on_deferred(item.job_id)
+
+    def _execute(self, idx: int, item: _Item) -> None:
+        if item.token.cancelled:
+            self._cb.on_cancelled(item.job_id)
+            return
+        with self._lock:
+            self._inflight[idx] = item.job_id
+        try:
+            attempt = item.attempts_base
+            while True:
+                attempt += 1
+                self._cb.on_running(item.job_id, attempt)
+                try:
+                    report = self._run(item.spec, item.token, item.degraded)
+                except Exception as exc:
+                    cause = classify_cause(exc)
+                    transient = cause in TRANSIENT_CAUSES
+                    if transient and attempt <= item.attempts_base + self._retries:
+                        seed = int(item.spec.fingerprint()[:8], 16)
+                        self._sleep(
+                            backoff_delay(self._backoff, attempt, seed)
+                        )
+                        continue
+                    self._cb.on_failed(
+                        item.job_id,
+                        TrialError(
+                            f"job {item.job_id} failed: {exc}",
+                            circuit=item.spec.circuit,
+                            cause=cause,
+                            attempts=attempt,
+                        ),
+                    )
+                    return
+                if item.token.cancelled:
+                    # The run returned a partial report because the token
+                    # tripped mid-flight; whoever cancelled decides whether
+                    # that means "cancelled" or "defer to restart".
+                    self._cb.on_cancelled(item.job_id)
+                    return
+                self._cb.on_done(item.job_id, report)
+                return
+        except Exception as exc:  # callback bug: isolate, don't kill the worker
+            try:
+                self._cb.on_failed(
+                    item.job_id,
+                    TrialError(
+                        f"job {item.job_id} executor error: {exc}",
+                        circuit=item.spec.circuit,
+                        cause="exception",
+                    ),
+                )
+            except Exception:
+                pass
+        finally:
+            with self._lock:
+                self._inflight.pop(idx, None)

@@ -1,0 +1,304 @@
+"""Durable job store: the daemon's crash-safe source of truth.
+
+Layered on the campaign journal's append-only JSONL discipline
+(:mod:`repro.campaign.journal`): every job submission and every state
+transition is one fsync'd JSON line, so the store's in-memory image can
+be reconstructed exactly by replaying the file.  ``kill -9`` at any
+instant loses at most the record being written (the torn tail is dropped
+on reopen), and a job whose terminal record never made it to disk is
+simply still ``submitted``/``running`` on replay -- :meth:`JobStore.open`
+resets such jobs to ``submitted`` and hands them back for re-execution.
+
+Record schema (one object per line)::
+
+    {"kind": "header", "v": 1, "store": "jobs"}
+    {"kind": "job",    "v": 1, "id": "j...", "fingerprint": "...",
+     "degraded": false, "spec": {...}}
+    {"kind": "state",  "v": 1, "id": "j...", "state": "running",
+     "attempts": 1}                       # + "report" on done,
+                                          #   "error" on failed,
+                                          #   "recovered" on replay resets
+
+The advisory ``fcntl`` lock taken on open makes a second daemon on the
+same store path fail fast with :class:`~repro.errors.JournalError`
+instead of interleaving journals.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.campaign.journal import JsonlAppender, load_jsonl
+from repro.errors import JournalError, ServeError
+from repro.serve.protocol import (
+    JOB_STATES,
+    STATE_CANCELLED,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_RUNNING,
+    STATE_SUBMITTED,
+    TERMINAL_STATES,
+    JobSpec,
+    job_id_for,
+)
+
+SCHEMA_VERSION = 1
+
+
+class StoredJob:
+    """One job's current image (spec + mutable lifecycle state)."""
+
+    __slots__ = (
+        "job_id",
+        "spec",
+        "state",
+        "attempts",
+        "degraded",
+        "recovered",
+        "report",
+        "error",
+    )
+
+    def __init__(self, job_id: str, spec: JobSpec, *, degraded: bool = False):
+        self.job_id = job_id
+        self.spec = spec
+        self.state = STATE_SUBMITTED
+        self.attempts = 0
+        self.degraded = degraded
+        #: True when this job was re-enqueued by crash recovery.
+        self.recovered = False
+        #: Canonical report dict (see :mod:`repro.serve.protocol`) once done.
+        self.report: dict | None = None
+        #: :class:`~repro.errors.TrialError`-shaped dict once failed.
+        self.error: dict | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def status_dict(self, *, include_report: bool = True) -> dict:
+        """The job as served by ``GET /jobs/<id>``."""
+        payload: dict = {
+            "id": self.job_id,
+            "state": self.state,
+            "circuit": self.spec.circuit,
+            "method": self.spec.method,
+            "qos": self.spec.qos,
+            "attempts": self.attempts,
+        }
+        if self.degraded:
+            payload["degraded"] = True
+        if self.recovered:
+            payload["recovered"] = True
+        if include_report and self.report is not None:
+            payload["report"] = self.report
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class JobStore:
+    """Append-only journal + in-memory index over the daemon's jobs.
+
+    Thread-safe: worker threads record transitions while HTTP threads
+    submit and read.  Every mutation appends its journal record *before*
+    updating the in-memory image, so an acknowledged transition is always
+    recoverable.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True):
+        self.path = Path(path)
+        self._writer = JsonlAppender(path, fsync=fsync)
+        self._jobs: dict[str, StoredJob] = {}
+        self._by_fingerprint: dict[str, str] = {}
+        self._lock = threading.RLock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(self) -> list[StoredJob]:
+        """Lock, replay, and return the jobs needing (re-)execution.
+
+        Jobs journaled as ``submitted`` or ``running`` did not reach a
+        terminal state before the previous process died; they are reset
+        to ``submitted`` (with a journaled ``recovered`` marker) and
+        returned for re-enqueueing, oldest first.
+        """
+        with self._lock:
+            self._writer.open()  # takes the advisory lock, drops torn tail
+            try:
+                self._replay()
+            except Exception:
+                self._writer.close()
+                raise
+            if not self._jobs and self._writer.is_empty():
+                self._writer.append(
+                    {"kind": "header", "v": SCHEMA_VERSION, "store": "jobs"}
+                )
+            recovered: list[StoredJob] = []
+            for job in self._jobs.values():
+                if job.terminal:
+                    continue
+                job.state = STATE_SUBMITTED
+                job.recovered = True
+                self._writer.append(
+                    {
+                        "kind": "state",
+                        "v": SCHEMA_VERSION,
+                        "id": job.job_id,
+                        "state": STATE_SUBMITTED,
+                        "recovered": True,
+                    }
+                )
+                recovered.append(job)
+            return recovered
+
+    def close(self) -> None:
+        with self._lock:
+            self._writer.close()
+
+    def probe_writable(self) -> bool:
+        """Can the journal still take appends?  (The readiness check.)
+
+        Probes the path itself rather than trusting the open handle: a
+        deleted or remounted-read-only store directory must flip
+        readiness even though the old descriptor keeps accepting writes.
+        """
+        try:
+            if not self.path.parent.exists():
+                return False
+            with self.path.open("a", encoding="utf-8"):
+                pass
+            return self._writer.is_open
+        except OSError:
+            return False
+
+    def _replay(self) -> None:
+        for lineno, payload in load_jsonl(self.path):
+            kind = payload.get("kind")
+            if kind == "job":
+                try:
+                    spec = JobSpec.from_dict(payload.get("spec"))
+                    job_id = str(payload["id"])
+                except (KeyError, ServeError) as exc:
+                    raise JournalError(
+                        f"{self.path}:{lineno}: malformed job record: {exc}"
+                    ) from exc
+                job = StoredJob(
+                    job_id, spec, degraded=bool(payload.get("degraded", False))
+                )
+                self._jobs[job_id] = job
+                self._by_fingerprint[spec.fingerprint()] = job_id
+            elif kind == "state":
+                job = self._jobs.get(str(payload.get("id", "")))
+                if job is None:
+                    continue  # state for a job whose record was torn away
+                state = str(payload.get("state", ""))
+                if state not in JOB_STATES:
+                    raise JournalError(
+                        f"{self.path}:{lineno}: unknown job state {state!r}"
+                    )
+                job.state = state
+                job.attempts = int(payload.get("attempts", job.attempts))
+                job.recovered = bool(payload.get("recovered", False))
+                if state == STATE_DONE:
+                    report = payload.get("report")
+                    job.report = report if isinstance(report, dict) else None
+                if state == STATE_FAILED:
+                    error = payload.get("error")
+                    job.error = error if isinstance(error, dict) else None
+            # Unknown kinds (and the header) are skipped, not fatal.
+
+    # -- submissions ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec, *, degraded: bool = False) -> tuple[StoredJob, bool]:
+        """Admit a job; returns ``(job, created)``.
+
+        Idempotent by fingerprint: an identical spec maps onto the
+        existing job (whatever its state) and nothing is journaled.
+        """
+        with self._lock:
+            existing = self._by_fingerprint.get(spec.fingerprint())
+            if existing is not None:
+                return self._jobs[existing], False
+            job = StoredJob(job_id_for(spec), spec, degraded=degraded)
+            self._writer.append(
+                {
+                    "kind": "job",
+                    "v": SCHEMA_VERSION,
+                    "id": job.job_id,
+                    "fingerprint": spec.fingerprint(),
+                    "degraded": degraded,
+                    "spec": spec.to_dict(),
+                }
+            )
+            self._jobs[job.job_id] = job
+            self._by_fingerprint[spec.fingerprint()] = job.job_id
+            return job, True
+
+    # -- transitions ---------------------------------------------------------
+
+    def _transition(self, job_id: str, state: str, **extra) -> StoredJob:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ServeError(f"unknown job {job_id!r}")
+            if job.terminal:
+                return job  # terminal states are sticky; duplicate marks no-op
+            record = {
+                "kind": "state",
+                "v": SCHEMA_VERSION,
+                "id": job_id,
+                "state": state,
+            }
+            record.update(extra)
+            self._writer.append(record)
+            job.state = state
+            if "attempts" in extra:
+                job.attempts = int(extra["attempts"])
+            return job
+
+    def mark_running(self, job_id: str, attempt: int) -> StoredJob:
+        return self._transition(job_id, STATE_RUNNING, attempts=attempt)
+
+    def mark_done(self, job_id: str, report: dict) -> StoredJob:
+        job = self._transition(job_id, STATE_DONE, report=report)
+        if job.state == STATE_DONE:
+            job.report = report
+        return job
+
+    def mark_failed(self, job_id: str, error: dict) -> StoredJob:
+        job = self._transition(job_id, STATE_FAILED, error=error)
+        if job.state == STATE_FAILED:
+            job.error = error
+        return job
+
+    def mark_cancelled(self, job_id: str) -> StoredJob:
+        return self._transition(job_id, STATE_CANCELLED)
+
+    def note_drain(self, clean: bool) -> None:
+        """Checkpoint marker: the daemon drained (skipped on replay)."""
+        with self._lock:
+            if self._writer.is_open:
+                self._writer.append(
+                    {"kind": "drain", "v": SCHEMA_VERSION, "clean": bool(clean)}
+                )
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, job_id: str) -> StoredJob | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[StoredJob]:
+        """All jobs, submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (for ``GET /jobs`` summaries and readiness)."""
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts

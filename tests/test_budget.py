@@ -415,3 +415,60 @@ def test_stress_high_multiplicity_under_tight_deadline():
     assert report.truncations
     assert report.candidates
     assert report.multiplets
+
+
+# -- QoS classes (daemon admission -> budget envelopes) ------------------------
+
+
+class TestQosClasses:
+    def _qos(self, name):
+        from repro.core.budget import qos_class
+
+        return qos_class(name)
+
+    def test_unknown_class_is_a_serve_error(self):
+        from repro.core.budget import qos_class
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError, match="platinum"):
+            qos_class("platinum")
+
+    def test_standard_is_count_governed_only(self):
+        # Deterministic ceilings, no wall clock: crash-recovery re-execution
+        # must reproduce reports byte-for-byte.
+        budget = self._qos("standard").budget()
+        assert budget.deadline_seconds is None
+        assert budget.max_expansions == 2_000_000
+        assert budget.max_multiplets == 512
+
+    def test_interactive_trades_stability_for_latency(self):
+        budget = self._qos("interactive").budget()
+        assert budget.deadline_seconds == 5.0
+        degraded = self._qos("interactive").budget(degraded=True)
+        assert degraded.deadline_seconds == 1.0
+        assert degraded.max_expansions == 200_000 // 4
+        assert degraded.max_multiplets == 64 // 4
+
+    def test_batch_is_ungoverned_until_degraded(self):
+        from repro.core.budget import DEGRADED_FALLBACK_EXPANSIONS
+
+        assert self._qos("batch").budget() is None
+        degraded = self._qos("batch").budget(degraded=True)
+        assert degraded is not None
+        assert degraded.max_expansions == DEGRADED_FALLBACK_EXPANSIONS
+        assert degraded.deadline_seconds is None
+
+    def test_token_forces_a_budget_for_cancellability(self):
+        token = CancellationToken()
+        budget = self._qos("batch").budget(token=token)
+        assert budget is not None
+        token.cancel()
+        assert budget.exceeded() == CAUSE_CANCELLED
+
+    def test_degraded_ceilings_never_reach_zero(self):
+        from repro.core.budget import QosClass
+
+        tiny = QosClass("tiny", max_expansions=2, max_multiplets=1)
+        degraded = tiny.budget(degraded=True)
+        assert degraded.max_expansions >= 1
+        assert degraded.max_multiplets >= 1

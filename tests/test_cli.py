@@ -231,3 +231,66 @@ class TestErrorReporting:
         code, _out, err = run(capsys, "diagnose", "rca4", str(tmp_path / "no.log"))
         assert code == 2
         assert "cannot read datalog" in err
+
+
+class TestServe:
+    """Exit-code contract: supervisors distinguish config (2), bind (3),
+    and locked-store (4) failures without parsing stderr."""
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.store == "jobs.jsonl"
+        assert args.port == 8765
+        assert args.jobs == 2
+        assert args.queue_depth == 16
+        assert args.high_water == 0.75
+        assert args.drain_seconds == 10.0
+        assert not args.no_fsync
+
+    def test_bad_config_exits_2(self, capsys, tmp_path):
+        store = str(tmp_path / "jobs.jsonl")
+        for argv in (
+            ["serve", "--store", store, "--jobs", "0"],
+            ["serve", "--store", store, "--queue-depth", "0"],
+            ["serve", "--store", store, "--high-water", "1.5"],
+            ["serve", "--store", store, "--drain-seconds", "-1"],
+        ):
+            code, _out, err = run(capsys, *argv)
+            assert code == 2, argv
+            assert "error:" in err
+
+    def test_bind_conflict_exits_3(self, capsys, tmp_path):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(1)
+        port = sock.getsockname()[1]
+        try:
+            code, _out, err = run(
+                capsys,
+                "serve",
+                "--store",
+                str(tmp_path / "jobs.jsonl"),
+                "--port",
+                str(port),
+            )
+        finally:
+            sock.close()
+        assert code == 3
+        assert "cannot bind" in err
+
+    def test_locked_store_exits_4(self, capsys, tmp_path):
+        from repro.campaign.journal import JsonlAppender
+
+        store = tmp_path / "jobs.jsonl"
+        holder = JsonlAppender(store)
+        holder.open()
+        try:
+            code, _out, err = run(
+                capsys, "serve", "--store", str(store), "--port", "0"
+            )
+        finally:
+            holder.close()
+        assert code == 4
+        assert "locked" in err

@@ -185,3 +185,73 @@ class TestJournalFile:
     def test_append_requires_open(self, tmp_path):
         with pytest.raises(JournalError, match="not open"):
             Journal(tmp_path / "j.jsonl").append(self.record(0))
+
+
+class TestDurability:
+    """Satellite hardening: per-record fsync, writer locks, torn tails."""
+
+    def record(self, trial=0, status="skipped"):
+        return TrialRecord(
+            circuit="rca4", trial=trial, seed=trial + 10, status=status
+        )
+
+    def test_fsync_and_flush_modes_both_land_records(self, tmp_path):
+        for fsync in (True, False):
+            path = tmp_path / f"j_{fsync}.jsonl"
+            journal = Journal(path, fsync=fsync)
+            journal.start("abc", resume=False)
+            journal.append(self.record(0))
+            # Visible on disk before close in both modes (flush at least).
+            assert len(Journal(path).load("abc")) == 1
+            journal.close()
+
+    def test_second_writer_is_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = Journal(path)
+        first.start("abc", resume=False)
+        second = Journal(path)
+        with pytest.raises(JournalError, match="locked"):
+            second.start("abc", resume=True)
+        first.close()
+        # The lock dies with the handle: a successor may resume.
+        assert second.start("abc", resume=True) == {}
+        second.close()
+
+    def test_truncation_at_every_byte_of_the_final_line(self, tmp_path):
+        """Kill -9 can land mid-append at any byte; every cut must heal.
+
+        The final journal line is truncated at every possible offset.  A
+        cut that leaves parseable JSON (only the newline was lost) keeps
+        the record; any other cut drops exactly the torn fragment.  In
+        both cases a resume-append converges back to the full journal.
+        """
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path, fsync=False)
+        journal.start("abc", resume=False)
+        journal.append(self.record(0))
+        journal.append(self.record(1))
+        journal.close()
+        base = path.read_bytes()
+        last_start = base.rstrip(b"\n").rfind(b"\n") + 1
+        assert 0 < last_start < len(base)
+
+        for cut in range(last_start, len(base)):
+            path.write_bytes(base[:cut])
+            fragment = base[last_start:cut]
+            try:
+                json.loads(fragment.decode())
+                expected = 2  # complete record, missing only its newline
+            except ValueError:
+                expected = 1  # torn fragment: dropped, prior record intact
+            loaded = Journal(path).load("abc")
+            assert len(loaded) == expected, f"load after cut at byte {cut}"
+
+            resumed = Journal(path, fsync=False)
+            completed = resumed.start("abc", resume=True)
+            assert len(completed) == expected, f"resume after cut {cut}"
+            if expected == 1:
+                resumed.append(self.record(1))
+            resumed.close()
+            final = Journal(path).load("abc")
+            assert len(final) == 2, f"converged journal after cut {cut}"
+            assert {k[2] for k in final} == {0, 1}

@@ -446,3 +446,85 @@ class TestContextCacheBound:
         # The between-batch reset dropped the earlier circuits' contexts:
         # only the final batch's handful remain.
         assert context_cache_size() <= 4
+
+
+# -- thread safety ------------------------------------------------------------
+
+
+class TestMetricsThreadSafety:
+    """The registry is shared by daemon worker + HTTP threads; racing
+    increments must sum exactly and export must never observe a family
+    mid-mutation."""
+
+    def test_concurrent_counter_increments_sum_exactly(self):
+        import threading
+
+        reg = MetricsRegistry()
+        threads_n, per_thread = 8, 2000
+
+        def hammer(idx: int) -> None:
+            for _ in range(per_thread):
+                reg.counter("repro_race_total").inc()
+                reg.counter("repro_race_labeled_total", worker=str(idx % 2)).inc()
+                reg.gauge("repro_race_depth").inc()
+                reg.gauge("repro_race_depth").dec()
+                reg.histogram("repro_race_seconds", buckets=(0.1, 1.0)).observe(
+                    0.5
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total = threads_n * per_thread
+        text = reg.to_prometheus_text()
+        assert f"repro_race_total {total}" in text
+        assert f'repro_race_labeled_total{{worker="0"}} {total // 2}' in text
+        assert "repro_race_depth 0" in text
+        payload = json.loads(reg.to_json())
+        buckets = payload["repro_race_seconds"]["series"][0]["buckets"]
+        assert buckets[-1]["count"] == total
+
+    def test_export_races_with_mutation(self):
+        import threading
+
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def mutate() -> None:
+            i = 0
+            while not stop.is_set():
+                i += 1
+                try:
+                    # New families force dict growth during iteration --
+                    # the classic unguarded-export crash.
+                    reg.counter(f"repro_churn_{i % 50}_total").inc()
+                    reg.histogram("repro_churn_seconds").observe(i * 0.01)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        def export() -> None:
+            while not stop.is_set():
+                try:
+                    reg.to_prometheus_text()
+                    reg.to_json()
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        workers = [threading.Thread(target=mutate) for _ in range(3)] + [
+            threading.Thread(target=export) for _ in range(2)
+        ]
+        for t in workers:
+            t.start()
+        import time as _time
+
+        _time.sleep(0.3)
+        stop.set()
+        for t in workers:
+            t.join()
+        assert errors == []

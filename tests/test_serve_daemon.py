@@ -1,0 +1,330 @@
+"""Daemon behavior through the transport-free ``handle()`` surface.
+
+The HTTP layer is a byte shuffler; everything interesting -- admission,
+backpressure, degradation, cancellation, drain, recovery, health -- is
+exercised here with an injectable fake ``run`` callable so no sockets and
+no real diagnoses are involved.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.report import DiagnosisReport
+from repro.errors import TrialError
+from repro.obs.metrics import REGISTRY
+from repro.serve.app import DiagnosisDaemon, ServeConfig
+from repro.serve.store import JobStore
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    REGISTRY.reset()
+    yield
+    REGISTRY.reset()
+
+
+def spec_body(tag: str = "a", **extra) -> bytes:
+    payload = {"circuit": "c17", "datalog": f"pattern 0 FAIL out0\n# {tag}\n"}
+    payload.update(extra)
+    return json.dumps(payload).encode()
+
+
+def body(resp) -> dict:
+    return json.loads(resp.body.decode())
+
+
+def wait_for(predicate, timeout: float = 5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.005)
+    raise AssertionError("condition not reached within timeout")
+
+
+class FakeRun:
+    """Controllable stand-in for ``execute_job``.
+
+    Blocks while ``gate`` is cleared (checking the cancellation token so
+    drains and cancels can release it), and raises scripted exceptions
+    from ``failures`` before finally returning a report.
+    """
+
+    def __init__(self, *, blocked: bool = False):
+        self.gate = threading.Event()
+        if not blocked:
+            self.gate.set()
+        self.failures: list[Exception] = []
+        self.calls: list[tuple[str, bool]] = []
+        self._lock = threading.Lock()
+
+    def __call__(self, spec, token=None, degraded=False):
+        with self._lock:
+            self.calls.append((spec.datalog, degraded))
+            failure = self.failures.pop(0) if self.failures else None
+        while not self.gate.is_set():
+            if token is not None and token.cancelled:
+                break
+            time.sleep(0.005)
+        if failure is not None:
+            raise failure
+        return DiagnosisReport(
+            method=spec.method,
+            circuit=spec.circuit,
+            stats={"seconds": 0.01, "n_fake": 1.0},
+        )
+
+
+@pytest.fixture
+def harness(tmp_path):
+    daemons = []
+
+    def make(run, **overrides) -> DiagnosisDaemon:
+        overrides.setdefault("store", tmp_path / "jobs.jsonl")
+        overrides.setdefault("fsync", False)
+        overrides.setdefault("backoff", 0.001)
+        daemon = DiagnosisDaemon(ServeConfig(**overrides), run=run)
+        daemons.append((daemon, run))
+        daemon.start()
+        return daemon
+
+    yield make
+    for daemon, run in daemons:
+        run.gate.set()
+        try:
+            daemon.drain()
+        except Exception:
+            pass
+
+
+class TestLifecycle:
+    def test_submit_to_done(self, harness):
+        daemon = harness(FakeRun())
+        resp = daemon.handle("POST", "/jobs", spec_body())
+        assert resp.status == 202
+        job_id = body(resp)["id"]
+        wait_for(lambda: daemon.store.get(job_id).terminal)
+        status = body(daemon.handle("GET", f"/jobs/{job_id}"))
+        assert status["state"] == "done"
+        # Reports are canonical: volatile stats never reach the client.
+        assert "seconds" not in status["report"]["stats"]
+        assert status["report"]["stats"]["n_fake"] == 1.0
+        listing = body(daemon.handle("GET", "/jobs"))
+        assert listing["counts"]["done"] == 1
+        assert listing["jobs"][0]["id"] == job_id
+
+    def test_resubmit_is_idempotent(self, harness):
+        daemon = harness(FakeRun())
+        first = daemon.handle("POST", "/jobs", spec_body())
+        job_id = body(first)["id"]
+        wait_for(lambda: daemon.store.get(job_id).terminal)
+        again = daemon.handle("POST", "/jobs", spec_body())
+        assert again.status == 200
+        assert body(again)["id"] == job_id
+        assert len(daemon.store.jobs()) == 1
+
+    def test_bad_requests(self, harness):
+        daemon = harness(FakeRun())
+        assert daemon.handle("POST", "/jobs", b"{not json").status == 400
+        assert daemon.handle("POST", "/jobs", b'{"circuit": "c17"}').status == 400
+        assert daemon.handle("GET", "/jobs/jmissing").status == 404
+        assert daemon.handle("GET", "/nowhere").status == 404
+        assert daemon.handle("GET", "/healthz").status == 200
+
+    def test_deterministic_failure_is_terminal(self, harness):
+        run = FakeRun()
+        run.failures = [ValueError("bad netlist")]
+        daemon = harness(run, retries=3)
+        job_id = body(daemon.handle("POST", "/jobs", spec_body()))["id"]
+        job = wait_for(
+            lambda: daemon.store.get(job_id)
+            if daemon.store.get(job_id).terminal
+            else None
+        )
+        assert job.state == "failed"
+        assert job.error["cause"] == "exception"
+        assert job.attempts == 1  # deterministic causes never retry
+
+    def test_transient_failure_is_retried(self, harness):
+        run = FakeRun()
+        run.failures = [TrialError("worker died", cause="crash")]
+        daemon = harness(run, retries=1)
+        job_id = body(daemon.handle("POST", "/jobs", spec_body()))["id"]
+        job = wait_for(
+            lambda: daemon.store.get(job_id)
+            if daemon.store.get(job_id).terminal
+            else None
+        )
+        assert job.state == "done"
+        assert job.attempts == 2
+
+
+class TestBackpressure:
+    def make_loaded(self, harness):
+        """One blocked running job + queued jobs up to the degraded band."""
+        run = FakeRun(blocked=True)
+        daemon = harness(run, workers=1, queue_depth=4, high_water=0.5)
+        first = body(daemon.handle("POST", "/jobs", spec_body("run")))["id"]
+        wait_for(lambda: daemon.store.get(first).state == "running")
+        return daemon, run, first
+
+    def test_degraded_band_then_429(self, harness):
+        daemon, run, _ = self.make_loaded(harness)
+        # Below high water (2 of 4 queued) admissions stay full-fidelity.
+        for i in (1, 2):
+            job = body(daemon.handle("POST", "/jobs", spec_body(f"q{i}")))
+            assert "degraded" not in job
+        # At/above high water new jobs are admitted under degraded budgets.
+        degraded = [
+            body(daemon.handle("POST", "/jobs", spec_body(f"q{i}")))
+            for i in (3, 4)
+        ]
+        assert all(job.get("degraded") for job in degraded)
+        rejected = daemon.handle("POST", "/jobs", spec_body("q5"))
+        assert rejected.status == 429
+        assert int(rejected.headers["Retry-After"]) >= 1
+        assert body(rejected)["queue_depth"] == 4
+        # The rejected spec was never admitted, so nothing was journaled.
+        assert len(daemon.store.jobs()) == 5
+        run.gate.set()
+        wait_for(lambda: all(j.terminal for j in daemon.store.jobs()))
+        # Degraded execution reached the run callable.
+        assert sum(1 for _, deg in run.calls if deg) == 2
+
+    def test_readiness_follows_the_queue(self, harness):
+        daemon, run, _ = self.make_loaded(harness)
+        assert daemon.handle("GET", "/readyz").status == 200
+        for i in (1, 2):
+            daemon.handle("POST", "/jobs", spec_body(f"q{i}"))
+        unready = daemon.handle("GET", "/readyz")
+        assert unready.status == 503
+        assert any("high water" in r for r in body(unready)["reasons"])
+        run.gate.set()
+        wait_for(lambda: all(j.terminal for j in daemon.store.jobs()))
+        assert daemon.handle("GET", "/readyz").status == 200
+
+    def test_unready_when_store_unwritable(self, harness, tmp_path):
+        nested = tmp_path / "gone"
+        nested.mkdir()
+        daemon = harness(FakeRun(), store=nested / "jobs.jsonl")
+        assert daemon.handle("GET", "/readyz").status == 200
+        (nested / "jobs.jsonl").unlink()
+        nested.rmdir()
+        unready = daemon.handle("GET", "/readyz")
+        assert unready.status == 503
+        assert any("not writable" in r for r in body(unready)["reasons"])
+
+
+class TestCancel:
+    def test_cancel_queued_is_immediate(self, harness):
+        run = FakeRun(blocked=True)
+        daemon = harness(run, workers=1)
+        first = body(daemon.handle("POST", "/jobs", spec_body("run")))["id"]
+        wait_for(lambda: daemon.store.get(first).state == "running")
+        queued = body(daemon.handle("POST", "/jobs", spec_body("queued")))["id"]
+        resp = daemon.handle("DELETE", f"/jobs/{queued}")
+        assert resp.status == 202
+        assert daemon.store.get(queued).state == "cancelled"
+        run.gate.set()
+        wait_for(lambda: daemon.store.get(first).terminal)
+        assert daemon.store.get(first).state == "done"
+
+    def test_cancel_running_is_cooperative(self, harness):
+        run = FakeRun(blocked=True)
+        daemon = harness(run, workers=1)
+        job_id = body(daemon.handle("POST", "/jobs", spec_body()))["id"]
+        wait_for(lambda: daemon.store.get(job_id).state == "running")
+        resp = daemon.handle("DELETE", f"/jobs/{job_id}")
+        assert resp.status == 202 and body(resp)["state"] == "cancelling"
+        # The token trips, FakeRun returns, the worker reports cancelled.
+        job = wait_for(
+            lambda: daemon.store.get(job_id)
+            if daemon.store.get(job_id).terminal
+            else None
+        )
+        assert job.state == "cancelled"
+
+    def test_cancel_conflicts(self, harness):
+        daemon = harness(FakeRun())
+        job_id = body(daemon.handle("POST", "/jobs", spec_body()))["id"]
+        wait_for(lambda: daemon.store.get(job_id).terminal)
+        assert daemon.handle("DELETE", f"/jobs/{job_id}").status == 409
+        assert daemon.handle("DELETE", "/jobs/jmissing").status == 404
+
+
+class TestDrainAndRecovery:
+    def test_clean_drain_when_idle(self, harness):
+        daemon = harness(FakeRun())
+        job_id = body(daemon.handle("POST", "/jobs", spec_body()))["id"]
+        wait_for(lambda: daemon.store.get(job_id).terminal)
+        assert daemon.drain() is True
+        assert 'repro_serve_drains_total{outcome="clean"} 1' in (
+            REGISTRY.to_prometheus_text()
+        )
+        assert daemon.handle("POST", "/jobs", spec_body("late")).status == 503
+
+    def test_forced_drain_defers_interrupted_work(self, harness, tmp_path):
+        run = FakeRun(blocked=True)
+        daemon = harness(run, workers=1, drain_seconds=0.2)
+        running = body(daemon.handle("POST", "/jobs", spec_body("run")))["id"]
+        wait_for(lambda: daemon.store.get(running).state == "running")
+        queued = [
+            body(daemon.handle("POST", "/jobs", spec_body(f"q{i}")))["id"]
+            for i in (1, 2)
+        ]
+        assert daemon.drain() is False  # deadline overran: forced
+        assert 'repro_serve_drains_total{outcome="forced"} 1' in (
+            REGISTRY.to_prometheus_text()
+        )
+        # Neither the interrupted job nor the queued ones went terminal --
+        # a fresh store replay hands all three back for re-execution.
+        reopened = JobStore(tmp_path / "jobs.jsonl", fsync=False)
+        recovered = {job.job_id for job in reopened.open()}
+        reopened.close()
+        assert recovered == {running, *queued}
+
+    def test_recovery_reenqueues_and_completes(self, harness, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        run = FakeRun(blocked=True)
+        daemon = harness(run, workers=1, drain_seconds=0.1, store=path)
+        job_id = body(daemon.handle("POST", "/jobs", spec_body()))["id"]
+        wait_for(lambda: daemon.store.get(job_id).state == "running")
+        daemon.drain()
+
+        REGISTRY.reset()
+        revived = harness(FakeRun(), store=path)
+        job = wait_for(
+            lambda: revived.store.get(job_id)
+            if revived.store.get(job_id).terminal
+            else None
+        )
+        assert job.state == "done" and job.recovered
+        status = body(revived.handle("GET", f"/jobs/{job_id}"))
+        assert status["recovered"] is True
+        assert "repro_serve_recovered_jobs_total 1" in (
+            REGISTRY.to_prometheus_text()
+        )
+
+
+class TestMetricsEndpoint:
+    def test_exposition_covers_the_job_lifecycle(self, harness):
+        daemon = harness(FakeRun())
+        job_id = body(daemon.handle("POST", "/jobs", spec_body()))["id"]
+        wait_for(lambda: daemon.store.get(job_id).terminal)
+        resp = daemon.handle("GET", "/metrics")
+        assert resp.status == 200
+        assert resp.content_type.startswith("text/plain")
+        text = resp.body.decode()
+        assert 'repro_serve_jobs_total{state="submitted"} 1' in text
+        assert 'repro_serve_jobs_total{state="done"} 1' in text
+        assert 'repro_serve_queue_depth{kind="queued"} 0' in text
+        assert 'repro_serve_queue_depth{kind="running"} 0' in text
+        assert "repro_serve_job_seconds" in text
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line

@@ -1,0 +1,128 @@
+"""Job protocol: spec validation, fingerprints, canonical reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.report import DiagnosisReport
+from repro.errors import ServeError
+from repro.serve.protocol import (
+    JobSpec,
+    canonical_report_dict,
+    canonical_report_json,
+    job_id_for,
+)
+
+LOG = "pattern 0 FAIL out0\npattern 1 PASS\n"
+
+
+def make_spec(**overrides) -> JobSpec:
+    base = dict(circuit="c17", datalog=LOG)
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestJobSpec:
+    def test_defaults(self):
+        spec = make_spec()
+        assert spec.method == "xcover"
+        assert spec.qos == "standard"
+        assert spec.pattern_seed == 7
+
+    def test_rejects_empty_circuit(self):
+        with pytest.raises(ServeError):
+            JobSpec(circuit="", datalog=LOG)
+
+    def test_rejects_empty_datalog(self):
+        with pytest.raises(ServeError):
+            JobSpec(circuit="c17", datalog="")
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ServeError):
+            make_spec(method="magic")
+
+    def test_rejects_unknown_qos(self):
+        with pytest.raises(ServeError):
+            make_spec(qos="platinum")
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ServeError):
+            JobSpec.from_dict([1, 2, 3])
+        with pytest.raises(ServeError):
+            JobSpec.from_dict(None)
+
+    def test_from_dict_rejects_bad_types(self):
+        with pytest.raises(ServeError):
+            JobSpec.from_dict(
+                {"circuit": "c17", "datalog": LOG, "pattern_seed": "many"}
+            )
+
+    def test_roundtrip(self):
+        spec = make_spec(
+            method="slat",
+            qos="interactive",
+            noise_report=True,
+            validate=True,
+            max_expansions=100,
+        )
+        back = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert back == spec
+
+    def test_shard_key_covers_circuit_and_seed(self):
+        assert make_spec().shard_key != make_spec(pattern_seed=8).shard_key
+        assert (
+            make_spec().shard_key
+            == make_spec(qos="interactive").shard_key
+        )
+
+
+class TestFingerprint:
+    def test_identical_specs_share_identity(self):
+        assert make_spec().fingerprint() == make_spec().fingerprint()
+        assert job_id_for(make_spec()) == job_id_for(make_spec())
+
+    def test_any_field_changes_identity(self):
+        base = make_spec().fingerprint()
+        assert make_spec(datalog=LOG + "pattern 2 PASS\n").fingerprint() != base
+        assert make_spec(method="slat").fingerprint() != base
+        assert make_spec(qos="batch").fingerprint() != base
+        assert make_spec(max_expansions=5).fingerprint() != base
+
+    def test_job_id_shape(self):
+        job_id = job_id_for(make_spec())
+        assert job_id.startswith("j") and len(job_id) == 17
+
+
+class TestCanonicalReport:
+    def make_report(self, stats) -> DiagnosisReport:
+        return DiagnosisReport(
+            method="xcover", circuit="c17", stats=dict(stats)
+        )
+
+    def test_strips_volatile_stats(self):
+        report = self.make_report(
+            {
+                "seconds": 1.23,
+                "seconds_cover": 0.5,
+                "sim_gate_evals": 99.0,
+                "sim_cache_hits": 3.0,
+                "trace": [{"name": "diagnose"}],
+                "n_failing_patterns": 4.0,
+                "n_min_covers": 2.0,
+            }
+        )
+        stats = canonical_report_dict(report)["stats"]
+        assert stats == {"n_failing_patterns": 4.0, "n_min_covers": 2.0}
+
+    def test_json_is_byte_stable_across_timing(self):
+        fast = self.make_report({"seconds": 0.001, "n_fail_atoms": 7.0})
+        slow = self.make_report({"seconds": 9.999, "n_fail_atoms": 7.0})
+        assert canonical_report_json(fast) == canonical_report_json(slow)
+
+    def test_json_is_sorted_and_compact(self):
+        text = canonical_report_json(self.make_report({}))
+        assert ": " not in text and "\n" not in text
+        payload = json.loads(text)
+        assert list(payload) == sorted(payload)

@@ -1,0 +1,198 @@
+"""Durable job store: journaling, replay, recovery, locking."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import JournalError, ServeError
+from repro.serve.protocol import JobSpec
+from repro.serve.store import JobStore
+
+LOG = "pattern 0 FAIL out0\n"
+
+
+def make_spec(tag: str = "a", **overrides) -> JobSpec:
+    base = dict(circuit="c17", datalog=LOG + f"# {tag}\n")
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = JobStore(tmp_path / "jobs.jsonl", fsync=False)
+    store.open()
+    yield store
+    store.close()
+
+
+class TestSubmit:
+    def test_submit_journal_and_index(self, store):
+        job, created = store.submit(make_spec())
+        assert created and job.state == "submitted"
+        assert store.get(job.job_id) is job
+        assert store.counts()["submitted"] == 1
+
+    def test_idempotent_by_fingerprint(self, store):
+        first, created = store.submit(make_spec())
+        again, created2 = store.submit(make_spec())
+        assert created and not created2
+        assert again is first
+        # Nothing extra journaled for the duplicate.
+        lines = store.path.read_text().splitlines()
+        assert sum(1 for l in lines if '"kind":"job"' in l) == 1
+
+    def test_distinct_specs_distinct_jobs(self, store):
+        a, _ = store.submit(make_spec("a"))
+        b, _ = store.submit(make_spec("b"))
+        assert a.job_id != b.job_id
+        assert len(store.jobs()) == 2
+
+
+class TestTransitions:
+    def test_lifecycle_to_done(self, store):
+        job, _ = store.submit(make_spec())
+        store.mark_running(job.job_id, attempt=1)
+        assert job.state == "running" and job.attempts == 1
+        store.mark_done(job.job_id, {"multiplets": []})
+        assert job.state == "done" and job.report == {"multiplets": []}
+
+    def test_terminal_states_are_sticky(self, store):
+        job, _ = store.submit(make_spec())
+        store.mark_cancelled(job.job_id)
+        store.mark_done(job.job_id, {"x": 1})
+        assert job.state == "cancelled" and job.report is None
+
+    def test_failed_carries_error(self, store):
+        job, _ = store.submit(make_spec())
+        store.mark_failed(job.job_id, {"cause": "exception", "message": "boom"})
+        assert job.state == "failed"
+        assert job.error["cause"] == "exception"
+
+    def test_unknown_job_raises(self, store):
+        with pytest.raises(ServeError):
+            store.mark_running("jnope", attempt=1)
+
+
+class TestReplay:
+    def test_replay_reconstructs_terminal_states(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path, fsync=False)
+        store.open()
+        done, _ = store.submit(make_spec("done"))
+        failed, _ = store.submit(make_spec("failed"))
+        store.mark_running(done.job_id, 1)
+        store.mark_done(done.job_id, {"candidates": [1]})
+        store.mark_running(failed.job_id, 2)
+        store.mark_failed(failed.job_id, {"cause": "diagnosis"})
+        store.close()
+
+        reopened = JobStore(path, fsync=False)
+        recovered = reopened.open()
+        assert recovered == []
+        assert reopened.get(done.job_id).state == "done"
+        assert reopened.get(done.job_id).report == {"candidates": [1]}
+        assert reopened.get(failed.job_id).state == "failed"
+        # Idempotency map survives the replay too.
+        _, created = reopened.submit(make_spec("done"))
+        assert not created
+        reopened.close()
+
+    def test_nonterminal_jobs_recover_as_submitted(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path, fsync=False)
+        store.open()
+        queued, _ = store.submit(make_spec("queued"))
+        running, _ = store.submit(make_spec("running"))
+        store.mark_running(running.job_id, 1)
+        store.close()
+
+        reopened = JobStore(path, fsync=False)
+        recovered = reopened.open()
+        assert {j.job_id for j in recovered} == {queued.job_id, running.job_id}
+        assert all(j.state == "submitted" and j.recovered for j in recovered)
+        reopened.close()
+
+        # A third open sees the journaled recovery markers and recovers again.
+        third = JobStore(path, fsync=False)
+        assert {j.job_id for j in third.open()} == {
+            queued.job_id,
+            running.job_id,
+        }
+        third.close()
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path, fsync=False)
+        store.open()
+        job, _ = store.submit(make_spec())
+        store.mark_running(job.job_id, 1)
+        store.close()
+        # Simulate a kill mid-append of the terminal record.
+        with path.open("a") as fh:
+            fh.write('{"kind":"state","id":"%s","state":"do' % job.job_id)
+
+        reopened = JobStore(path, fsync=False)
+        recovered = reopened.open()
+        assert [j.job_id for j in recovered] == [job.job_id]
+        # The torn line was truncated away, so the journal stays parseable.
+        for line in path.read_text().splitlines():
+            json.loads(line)
+        reopened.close()
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path, fsync=False)
+        store.open()
+        store.submit(make_spec())
+        store.close()
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{definitely not json")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError):
+            JobStore(path, fsync=False).open()
+
+    def test_state_for_unknown_job_is_skipped(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text(
+            '{"kind":"state","v":1,"id":"jghost","state":"done"}\n'
+        )
+        store = JobStore(path, fsync=False)
+        assert store.open() == []
+        assert store.jobs() == []
+        store.close()
+
+
+class TestLocking:
+    def test_second_writer_fails_fast(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        first = JobStore(path, fsync=False)
+        first.open()
+        second = JobStore(path, fsync=False)
+        with pytest.raises(JournalError, match="locked"):
+            second.open()
+        first.close()
+        # Lock released on close: now the second writer may take over.
+        second.open()
+        second.close()
+
+
+class TestProbeWritable:
+    def test_writable_when_open(self, store):
+        assert store.probe_writable()
+
+    def test_unwritable_when_directory_vanishes(self, tmp_path):
+        nested = tmp_path / "sub"
+        nested.mkdir()
+        store = JobStore(nested / "jobs.jsonl", fsync=False)
+        store.open()
+        assert store.probe_writable()
+        (nested / "jobs.jsonl").unlink()
+        nested.rmdir()
+        assert not store.probe_writable()
+        store.close()
+
+    def test_unwritable_when_closed(self, store):
+        store.close()
+        assert not store.probe_writable()
