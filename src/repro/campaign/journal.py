@@ -43,6 +43,7 @@ try:  # POSIX only; Windows falls back to lock-free appends.
 except ImportError:  # pragma: no cover - non-POSIX platform
     fcntl = None  # type: ignore[assignment]
 
+from repro import chaos
 from repro.campaign.metrics import TrialOutcome
 from repro.errors import JournalError, TrialError
 
@@ -95,12 +96,24 @@ class JsonlAppender:
     resumed twice -- fails fast with a :class:`JournalError` instead of
     silently interleaving lines.  The lock is per open-file-description:
     two handles in one process conflict just like two processes do.
+
+    ``chaos_site`` names this appender's fault-injection sites
+    (``<site>.write`` / ``<site>.fsync`` / ``<site>.lock``, see
+    :mod:`repro.chaos`); disarmed, the checkpoints are no-ops.
     """
 
-    def __init__(self, path: str | Path, *, fsync: bool = True, lock: bool = True):
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: bool = True,
+        lock: bool = True,
+        chaos_site: str = "journal",
+    ):
         self.path = Path(path)
         self.fsync = fsync
         self.lock = lock
+        self.chaos_site = chaos_site
         self._fh: IO[str] | None = None
 
     @property
@@ -114,6 +127,11 @@ class JsonlAppender:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fh = self.path.open("w" if truncate else "a", encoding="utf-8")
         if self.lock and fcntl is not None:
+            try:
+                chaos.checkpoint(f"{self.chaos_site}.lock")
+            except OSError:
+                fh.close()
+                raise
             try:
                 fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
             except OSError as exc:
@@ -129,9 +147,12 @@ class JsonlAppender:
     def append(self, payload: dict) -> None:
         if self._fh is None:
             raise JournalError(f"{self.path}: appender is not open")
-        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        chaos.checkpoint(f"{self.chaos_site}.write", nbytes=len(line))
+        self._fh.write(line)
         self._fh.flush()
         if self.fsync:
+            chaos.checkpoint(f"{self.chaos_site}.fsync")
             os.fsync(self._fh.fileno())
 
     def close(self) -> None:

@@ -44,7 +44,7 @@ from repro.errors import (
     TrialError,
     classify_cause,
 )
-from repro.obs.metrics import record_retry, record_trial
+from repro.obs.metrics import record_channel_error, record_retry, record_trial
 from repro.obs.trace import Tracer
 from repro.sim.cache import reset_sim_caches
 
@@ -354,10 +354,16 @@ def _run_isolated(
                 trial = next(t for t, a in active.items() if a.conn is conn)
                 slot = active.pop(trial)
                 payload = None
+                channel_error: BaseException | None = None
                 try:
                     payload = conn.recv()
-                except (EOFError, OSError):
-                    payload = None
+                except (EOFError, OSError) as exc:
+                    # A broken result channel is still a crash for retry
+                    # purposes (the worker's fate is unknown), but never a
+                    # *silent* one: classify it, count it, and carry the
+                    # cause into the failure message.
+                    channel_error = exc
+                    record_channel_error(classify_cause(exc))
                 conn.close()
                 slot.proc.join(5.0)
                 if isinstance(payload, dict) and payload.get("kind") == "trial":
@@ -373,12 +379,18 @@ def _run_isolated(
                         f"{payload.get('message', 'unknown')}",
                     )
                 else:
+                    detail = (
+                        f"result channel {type(channel_error).__name__}: "
+                        f"{channel_error}"
+                        if channel_error is not None
+                        else "no payload"
+                    )
                     fail(
                         trial,
                         slot.attempts,
                         "crash",
                         f"trial {trial} worker died without reporting "
-                        f"(exit code {slot.proc.exitcode})",
+                        f"(exit code {slot.proc.exitcode}; {detail})",
                     )
 
             now = time.monotonic()

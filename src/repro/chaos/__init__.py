@@ -1,0 +1,46 @@
+"""Deterministic chaos: seeded I/O fault injection at named sites.
+
+The diagnosis pipeline makes no assumptions about failing-pattern
+characteristics; this package holds the *service* layers to the same
+standard about their own failures.  A seeded :class:`FaultPlan`
+(``fsync_eio:0.05+enospc_after:4096+slow_io:20ms``) is armed process-wide
+and consulted at thin :func:`checkpoint` call sites threaded through the
+durability-critical paths -- journal appends, store compaction, worker
+execution -- so "disk dies mid-fsync" and "worker wedges mid-job" become
+reproducible test inputs instead of production surprises.
+
+Disarmed (the default), every checkpoint is a single global load; the
+hot simulation paths carry no sites at all.
+"""
+
+from repro.chaos.hooks import (
+    ENV_VAR,
+    active_plan,
+    arm,
+    arm_from_env,
+    armed,
+    checkpoint,
+    disarm,
+)
+from repro.chaos.plan import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    WorkerDeath,
+    parse_chaos_spec,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "WorkerDeath",
+    "active_plan",
+    "arm",
+    "arm_from_env",
+    "armed",
+    "checkpoint",
+    "disarm",
+    "parse_chaos_spec",
+]

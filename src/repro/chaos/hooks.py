@@ -1,0 +1,79 @@
+"""The checkpoint hook: where production code meets the fault plan.
+
+Durability-critical paths call :func:`checkpoint` with a dotted site
+name (``journal.fsync``, ``store.compact.rename``, ``executor.job``)
+just before the real operation.  Disarmed -- the production default --
+the call is one global load and a ``None`` comparison; armed, the active
+:class:`~repro.chaos.plan.FaultPlan` decides whether this crossing
+sleeps, raises, or passes.
+
+Arming is process-global and explicit: :func:`arm` / :func:`disarm`, the
+:func:`armed` context manager (tests), or :func:`arm_from_env` which
+reads the ``REPRO_CHAOS`` environment variable (the CI chaos-smoke path;
+``repro serve`` calls it on startup and banners the armed spec so a
+chaotic run is never mistaken for a healthy one).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+
+from repro.chaos.plan import FaultPlan, parse_chaos_spec
+
+#: Environment variable consulted by :func:`arm_from_env`.
+ENV_VAR = "REPRO_CHAOS"
+
+_ARM_LOCK = threading.Lock()
+_PLAN: FaultPlan | None = None
+
+
+def checkpoint(site: str, nbytes: int = 0) -> None:
+    """Offer the active fault plan one shot at this site; no-op disarmed."""
+    plan = _PLAN
+    if plan is None:
+        return
+    plan.apply(site, nbytes)
+
+
+def active_plan() -> FaultPlan | None:
+    return _PLAN
+
+
+def arm(plan: FaultPlan | str) -> FaultPlan:
+    """Install a plan (or parse a spec string) as the process fault plan."""
+    global _PLAN
+    if isinstance(plan, str):
+        plan = parse_chaos_spec(plan)
+    with _ARM_LOCK:
+        _PLAN = plan
+    return plan
+
+
+def disarm() -> None:
+    global _PLAN
+    with _ARM_LOCK:
+        _PLAN = None
+
+
+@contextlib.contextmanager
+def armed(plan: FaultPlan | str):
+    """Context manager: arm for the body, restore the previous plan after."""
+    global _PLAN
+    with _ARM_LOCK:
+        previous = _PLAN
+    installed = arm(plan)
+    try:
+        yield installed
+    finally:
+        with _ARM_LOCK:
+            _PLAN = previous
+
+
+def arm_from_env(environ=os.environ) -> FaultPlan | None:
+    """Arm from ``REPRO_CHAOS`` when set; returns the plan (or None)."""
+    spec = environ.get(ENV_VAR, "").strip()
+    if not spec:
+        return None
+    return arm(spec)

@@ -1,0 +1,296 @@
+"""Seeded fault plans: *what* to inject, *where*, and *how often*.
+
+A :class:`FaultPlan` is parsed from a compact spec string::
+
+    fsync_eio:0.05+enospc_after:4096+slow_io:20ms
+    write_eio@store.compact.*:1+seed:7
+    wedge:0.5:2s+die:0.1
+
+Each ``+``-separated entry is ``kind[@site-glob]:arg[:arg2]``.  The site
+glob (``fnmatch`` syntax) restricts an entry to matching checkpoint
+sites; omitted, each kind carries a sensible default (``fsync_eio``
+matches ``*.fsync``, ``die`` matches ``executor.job``, ...).
+
+Decisions are **deterministic**: whether call *n* to site *s* injects is
+a pure function of ``(seed, rule, site, n)`` via a sha256 draw, so a
+sweep re-run with the same plan injects at exactly the same points
+regardless of wall clock -- and, because the counters are per ``(rule,
+site)``, regardless of how concurrent threads interleave *other* sites.
+
+Fault kinds:
+
+``fsync_eio:P`` / ``write_eio:P`` / ``rename_eio:P``
+    With probability ``P``, raise :class:`InjectedFault` (an ``OSError``
+    with ``errno.EIO``) at sites whose operation suffix is ``fsync`` /
+    ``write`` / ``rename``.
+``enospc_after:N``
+    After ``N`` bytes have flowed through byte-carrying checkpoints,
+    every ``write``/``fsync`` site raises ``errno.ENOSPC`` -- the
+    disk-full cliff.
+``slow_io:D``
+    Sleep ``D`` (``20ms``, ``0.5s``, or plain seconds) at every matching
+    site; models a degraded device or an overloaded box.
+``wedge:P:D``
+    With probability ``P``, block ``D`` at ``executor.job`` sites -- a
+    worker stuck in non-Python code, the watchdog's prey.
+``die:P``
+    With probability ``P``, raise :class:`WorkerDeath` (a
+    ``BaseException``) at ``executor.job`` sites, killing the worker
+    thread outright the way a segfault kills a process.
+``seed:N``
+    Pseudo-entry: pins the plan's decision seed (default: a digest of
+    the spec text itself).
+"""
+
+from __future__ import annotations
+
+import errno
+import fnmatch
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ChaosError
+
+
+class InjectedFault(OSError):
+    """A chaos-injected I/O failure.
+
+    Subclasses ``OSError`` (with a real ``errno``) so production code
+    paths treat it exactly like the disk error it models; tests can still
+    discriminate injected faults from organic ones by type.
+    """
+
+    def __init__(self, err: int, site: str, kind: str):
+        super().__init__(err, f"chaos[{kind}] injected at {site}")
+        self.site = site
+        self.kind = kind
+
+
+class WorkerDeath(BaseException):
+    """Kills a worker thread from the inside.
+
+    Deliberately *not* an ``Exception``: the executor's per-job isolation
+    (``except Exception``) must not absorb it, because the scenario being
+    modeled -- a thread dying without unwinding politely -- is exactly
+    what the watchdog exists to detect.
+    """
+
+    def __init__(self, site: str):
+        super().__init__(f"chaos[die] injected at {site}")
+        self.site = site
+
+
+#: Duration suffixes accepted by ``slow_io`` / ``wedge`` arguments.
+_DURATIONS = (("ms", 1e-3), ("us", 1e-6), ("s", 1.0))
+
+#: kind -> (default site glob, argument parser names)
+_KINDS = {
+    "fsync_eio": "*.fsync",
+    "write_eio": "*.write",
+    "rename_eio": "*.rename",
+    "enospc_after": None,  # special: write+fsync ops
+    "slow_io": "*",
+    "wedge": "executor.job",
+    "die": "executor.job",
+}
+
+
+def _parse_duration(text: str, entry: str) -> float:
+    for suffix, scale in _DURATIONS:
+        if text.endswith(suffix):
+            text = text[: -len(suffix)]
+            break
+    else:
+        scale = 1.0
+    try:
+        value = float(text)
+    except ValueError:
+        raise ChaosError(f"bad duration in chaos entry {entry!r}") from None
+    if value < 0:
+        raise ChaosError(f"negative duration in chaos entry {entry!r}")
+    return value * scale
+
+
+def _parse_probability(text: str, entry: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise ChaosError(f"bad probability in chaos entry {entry!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise ChaosError(
+            f"probability out of [0, 1] in chaos entry {entry!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed spec entry."""
+
+    kind: str
+    site: str | None  #: explicit ``@glob``; None means the kind default
+    probability: float = 1.0
+    duration: float = 0.0
+    threshold: int = 0  #: bytes, for ``enospc_after``
+
+    def matches(self, site: str) -> bool:
+        if self.site is not None:
+            return fnmatch.fnmatchcase(site, self.site)
+        default = _KINDS[self.kind]
+        if default is None:  # enospc_after: any byte-moving operation
+            return site.rsplit(".", 1)[-1] in ("write", "fsync")
+        return fnmatch.fnmatchcase(site, default)
+
+
+def parse_chaos_spec(spec: str) -> "FaultPlan":
+    """Parse ``kind[@site]:arg[:arg2]`` entries joined by ``+``."""
+    rules: list[FaultRule] = []
+    seed: int | None = None
+    for entry in spec.split("+"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        head, *args = entry.split(":")
+        kind, _, site = head.partition("@")
+        site = site or None
+        if kind == "seed":
+            if len(args) != 1:
+                raise ChaosError(f"seed takes one integer: {entry!r}")
+            try:
+                seed = int(args[0])
+            except ValueError:
+                raise ChaosError(f"bad seed in chaos entry {entry!r}") from None
+            continue
+        if kind not in _KINDS:
+            raise ChaosError(
+                f"unknown chaos fault kind {kind!r} (known: "
+                f"{', '.join(sorted(_KINDS))})"
+            )
+        if kind in ("fsync_eio", "write_eio", "rename_eio", "die"):
+            if len(args) != 1:
+                raise ChaosError(f"{kind} takes one probability: {entry!r}")
+            rules.append(
+                FaultRule(kind, site, probability=_parse_probability(args[0], entry))
+            )
+        elif kind == "enospc_after":
+            if len(args) != 1:
+                raise ChaosError(f"enospc_after takes one byte count: {entry!r}")
+            try:
+                threshold = int(args[0])
+            except ValueError:
+                raise ChaosError(f"bad byte count in {entry!r}") from None
+            if threshold < 0:
+                raise ChaosError(f"negative byte count in {entry!r}")
+            rules.append(FaultRule(kind, site, threshold=threshold))
+        elif kind == "slow_io":
+            if len(args) != 1:
+                raise ChaosError(f"slow_io takes one duration: {entry!r}")
+            rules.append(
+                FaultRule(kind, site, duration=_parse_duration(args[0], entry))
+            )
+        elif kind == "wedge":
+            if len(args) != 2:
+                raise ChaosError(
+                    f"wedge takes probability:duration: {entry!r}"
+                )
+            rules.append(
+                FaultRule(
+                    kind,
+                    site,
+                    probability=_parse_probability(args[0], entry),
+                    duration=_parse_duration(args[1], entry),
+                )
+            )
+    if not rules:
+        raise ChaosError(f"chaos spec {spec!r} has no fault entries")
+    if seed is None:
+        seed = int.from_bytes(
+            hashlib.sha256(spec.encode()).digest()[:4], "big"
+        )
+    return FaultPlan(spec=spec, rules=tuple(rules), seed=seed)
+
+
+def _draw(seed: int, rule_index: int, site: str, n: int) -> float:
+    """Deterministic uniform in [0, 1) for decision ``n`` of a rule at a site."""
+    digest = hashlib.sha256(f"{seed}:{rule_index}:{site}:{n}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass
+class FaultPlan:
+    """A parsed, seeded, armed-able set of fault rules.
+
+    Thread-safe: decision counters and the ENOSPC byte tally sit behind
+    one lock; the sha256 draws themselves are pure.
+    """
+
+    spec: str
+    rules: tuple[FaultRule, ...]
+    seed: int
+    #: injectable for tests; production sleeps for real
+    sleep: object = time.sleep
+    _counters: dict = field(default_factory=dict, repr=False)
+    _bytes: int = field(default=0, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    #: (site, kind) tallies of injections actually fired (introspection).
+    injected: dict = field(default_factory=dict, repr=False)
+
+    def _decide(self, rule_index: int, rule: FaultRule, site: str) -> bool:
+        if rule.probability >= 1.0:
+            return True
+        with self._lock:
+            key = (rule_index, site)
+            n = self._counters.get(key, 0)
+            self._counters[key] = n + 1
+        return _draw(self.seed, rule_index, site, n) < rule.probability
+
+    def _note(self, site: str, kind: str) -> None:
+        with self._lock:
+            key = (site, kind)
+            self.injected[key] = self.injected.get(key, 0) + 1
+        from repro.obs.metrics import record_chaos_injection
+
+        record_chaos_injection(site, kind)
+
+    def apply(self, site: str, nbytes: int = 0) -> None:
+        """Run every matching rule against one checkpoint crossing.
+
+        Delays fire first (a slow device still eventually fails), then
+        raising faults; the first raising fault wins.
+        """
+        if nbytes:
+            with self._lock:
+                self._bytes += nbytes
+        for index, rule in enumerate(self.rules):
+            if not rule.matches(site):
+                continue
+            if rule.kind == "slow_io":
+                self._note(site, rule.kind)
+                self.sleep(rule.duration)
+            elif rule.kind == "wedge":
+                if self._decide(index, rule, site):
+                    self._note(site, rule.kind)
+                    self.sleep(rule.duration)
+        for index, rule in enumerate(self.rules):
+            if not rule.matches(site):
+                continue
+            if rule.kind in ("fsync_eio", "write_eio", "rename_eio"):
+                if self._decide(index, rule, site):
+                    self._note(site, rule.kind)
+                    raise InjectedFault(errno.EIO, site, rule.kind)
+            elif rule.kind == "enospc_after":
+                with self._lock:
+                    full = self._bytes > rule.threshold
+                if full:
+                    self._note(site, rule.kind)
+                    raise InjectedFault(errno.ENOSPC, site, rule.kind)
+            elif rule.kind == "die":
+                if self._decide(index, rule, site):
+                    self._note(site, rule.kind)
+                    raise WorkerDeath(site)
+
+    def total_injected(self) -> int:
+        with self._lock:
+            return sum(self.injected.values())

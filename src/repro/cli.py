@@ -381,6 +381,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_seconds=args.drain_seconds,
         retries=args.retries,
         fsync=not args.no_fsync,
+        compact_bytes=args.compact_bytes if args.compact_bytes > 0 else None,
+        compact_age_seconds=args.compact_age if args.compact_age > 0 else None,
+        stuck_seconds=args.stuck_seconds if args.stuck_seconds > 0 else None,
+        retry_wall_seconds=args.retry_wall if args.retry_wall > 0 else None,
+        chaos=args.chaos,
     )
     try:
         if config.workers < 1:
@@ -401,6 +406,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_CONFIG
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    from repro.serve.store import JobStore
+
+    if not Path(args.store).exists():
+        # Opening would create an empty store -- a typo'd path must not
+        # silently succeed as a 0-record "compaction".
+        raise ReproError(f"job store not found: {args.store}")
+    store = JobStore(args.store)
+    store.open(recover=False)  # JournalError when a daemon holds the lock
+    try:
+        stats = store.compact()
+    finally:
+        store.close()
+    print(
+        f"compacted {args.store}: {stats['before_bytes']} -> "
+        f"{stats['after_bytes']} bytes "
+        f"({stats['records']} records kept, "
+        f"{stats['dropped_records']} superseded records dropped)"
+    )
+    return 0
 
 
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
@@ -616,7 +643,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip per-record fsync on the job store (faster, loses the "
         "acknowledged-implies-durable guarantee)",
     )
+    p.add_argument(
+        "--compact-bytes",
+        type=int,
+        default=4 << 20,
+        help="compact the job store when its journal exceeds this many "
+        "bytes (0 disables; default: 4 MiB)",
+    )
+    p.add_argument(
+        "--compact-age",
+        type=float,
+        default=0.0,
+        help="also compact every this many seconds (0 disables)",
+    )
+    p.add_argument(
+        "--stuck-seconds",
+        type=float,
+        default=300.0,
+        help="watchdog: abandon and requeue a job wedged on one worker "
+        "longer than this (0 disables wedge detection)",
+    )
+    p.add_argument(
+        "--retry-wall",
+        type=float,
+        default=600.0,
+        help="total wall-clock a job may spend in retries/requeues before "
+        "it fails terminally (0: unbounded)",
+    )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="arm the deterministic fault-injection plan, e.g. "
+        "'fsync_eio:0.05+slow_io:20ms' (testing only; falls back to the "
+        "REPRO_CHAOS environment variable)",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "store",
+        help="offline job-store maintenance",
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    p = store_sub.add_parser(
+        "compact",
+        help="rewrite the job journal as a minimal snapshot (crash-safe: "
+        "new journal is fsync'd then atomically renamed over the old)",
+    )
+    p.add_argument(
+        "--store",
+        default="jobs.jsonl",
+        help="job journal path (default: jobs.jsonl); refuses to run "
+        "while a daemon holds the store lock",
+    )
+    p.set_defaults(func=_cmd_store_compact)
     return parser
 
 

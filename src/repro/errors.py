@@ -77,6 +77,15 @@ class JournalError(ReproError):
     """A campaign trial journal cannot be read or does not match the run."""
 
 
+class ChaosError(ReproError):
+    """A chaos fault-plan spec string is malformed.
+
+    Distinct from :class:`~repro.chaos.plan.InjectedFault` (an
+    ``OSError`` subclass), which is a fault the plan *injects*; this one
+    means the plan itself could not be built.
+    """
+
+
 class ServeError(ReproError):
     """The diagnosis daemon was configured or driven inconsistently.
 
@@ -125,6 +134,10 @@ class TrialError(ReproError):
       (segfault-equivalent, OOM kill, unpicklable payload),
     - ``"oscillation"`` / ``"fault-model"`` / ``"diagnosis"`` -- a
       deterministic in-trial error of the corresponding exception family,
+    - ``"io"``       -- an I/O failure (journal append, result channel,
+      chaos-injected disk error); deterministic for a given trial, but
+      surfaced with its own tag so operators can tell a sick disk from a
+      sick diagnosis,
     - ``"exception"`` -- any other in-trial exception.
     """
 
@@ -181,4 +194,6 @@ def classify_cause(exc: BaseException) -> str:
         return "fault-model"
     if isinstance(exc, DiagnosisError):
         return "diagnosis"
+    if isinstance(exc, (OSError, EOFError)):
+        return "io"
     return "exception"

@@ -457,3 +457,60 @@ def record_job_seconds(qos: str, seconds: float) -> None:
     REGISTRY.histogram(
         "repro_serve_job_seconds", "job execution latency", qos=qos
     ).observe(seconds)
+
+
+# -- chaos / durability recorders (see :mod:`repro.chaos`) -------------------
+
+
+def record_chaos_injection(site: str, kind: str) -> None:
+    """One fault fired by the armed chaos plan at a checkpoint site."""
+    REGISTRY.counter(
+        "repro_chaos_injected_total",
+        "faults injected by the armed chaos plan",
+        site=site,
+        kind=kind,
+    ).inc()
+
+
+def record_store_compaction(outcome: str) -> None:
+    """One job-store compaction attempt (``ok`` / ``failed``)."""
+    REGISTRY.counter(
+        "repro_store_compactions_total",
+        "job-store journal compactions by outcome",
+        outcome=outcome,
+    ).inc()
+
+
+def record_store_error(op: str) -> None:
+    """A job-store I/O failure (append, probe, compact) that was surfaced."""
+    REGISTRY.counter(
+        "repro_store_errors_total",
+        "job-store I/O failures by operation",
+        op=op,
+    ).inc()
+
+
+def record_watchdog_requeue(cause: str) -> None:
+    """The executor watchdog requeued a job off a dead/wedged worker."""
+    REGISTRY.counter(
+        "repro_watchdog_requeues_total",
+        "jobs requeued by the executor watchdog",
+        cause=cause,
+    ).inc()
+
+
+def record_watchdog_respawn() -> None:
+    """The executor watchdog replaced a dead or wedged worker thread."""
+    REGISTRY.counter(
+        "repro_watchdog_respawns_total",
+        "worker threads replaced by the executor watchdog",
+    ).inc()
+
+
+def record_channel_error(cause: str) -> None:
+    """A worker result channel broke mid-read in the campaign runner."""
+    REGISTRY.counter(
+        "repro_runner_channel_errors_total",
+        "worker result-channel read failures by classified cause",
+        cause=cause,
+    ).inc()

@@ -28,7 +28,7 @@ Endpoints::
     GET    /jobs        list jobs + per-state counts
     GET    /jobs/<id>   status, report when done
     DELETE /jobs/<id>   cooperative cancel
-    GET    /healthz     liveness (daemon loop up)
+    GET    /healthz     liveness (503 on an unrecovered store write error)
     GET    /readyz      readiness (store writable, pool alive, queue ok)
     GET    /metrics     live Prometheus text exposition
 """
@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
+from repro import chaos
 from repro.errors import BindError, JournalError, ServeError, TrialError
 from repro.obs.metrics import (
     REGISTRY,
@@ -89,6 +90,23 @@ class ServeConfig:
     backoff: float = 0.05
     #: fsync every job-store record (the durable default; tests may relax).
     fsync: bool = True
+    #: Compact the job store when its journal exceeds this many bytes
+    #: (checked on terminal transitions; None disables the size trigger).
+    compact_bytes: int | None = 4 << 20
+    #: Compact when this many seconds passed since the last compaction
+    #: (None disables the age trigger).
+    compact_age_seconds: float | None = None
+    #: Watchdog: a job running longer than this on one worker is declared
+    #: wedged, abandoned, and requeued (None disables wedge detection).
+    stuck_seconds: float | None = 300.0
+    #: Watchdog sweep period in seconds (0 disables the watchdog thread).
+    watchdog_interval: float = 1.0
+    #: Total wall-clock a job may spend being retried/requeued before it
+    #: is terminally failed (None: unbounded).
+    retry_wall_seconds: float | None = 600.0
+    #: Chaos fault-plan spec (e.g. ``fsync_eio:0.05+slow_io:20ms``);
+    #: None falls back to the ``REPRO_CHAOS`` environment variable.
+    chaos: str | None = None
 
 
 @dataclass
@@ -119,13 +137,21 @@ class DiagnosisDaemon(ExecutorCallbacks):
     def __init__(self, config: ServeConfig, *, run=execute_job, clock=time.monotonic):
         self.config = config
         self._clock = clock
-        self.store = JobStore(config.store, fsync=config.fsync)
+        self.store = JobStore(
+            config.store,
+            fsync=config.fsync,
+            compact_bytes=config.compact_bytes,
+            compact_age_seconds=config.compact_age_seconds,
+        )
         self.executor = ShardExecutor(
             self,
             workers=config.workers,
             retries=config.retries,
             backoff=config.backoff,
             run=run,
+            stuck_seconds=config.stuck_seconds,
+            watchdog_interval=config.watchdog_interval,
+            retry_wall_seconds=config.retry_wall_seconds,
         )
         self._lock = threading.RLock()
         self._queued: set[str] = set()
@@ -221,7 +247,13 @@ class DiagnosisDaemon(ExecutorCallbacks):
                 **{"Retry-After": str(retry_after)},
             )
         degraded = queued >= self._high_water_count()
-        job, created = self.store.submit(spec, degraded=degraded)
+        try:
+            job, created = self.store.submit(spec, degraded=degraded)
+        except JournalError:
+            # The durable append failed: the job was never accepted, and
+            # /healthz flips until the store writes again.
+            record_admission_rejected("store_error")
+            raise
         if not created:
             # Idempotent resubmission: point at the existing job.
             return Response.json(200, job.status_dict())
@@ -282,12 +314,24 @@ class DiagnosisDaemon(ExecutorCallbacks):
         self._finish(job_id)
         self.store.mark_done(job_id, canonical_report_dict(report))
         record_job_transition("done")
+        self.store.maybe_compact()
         self._update_gauges()
 
     def on_failed(self, job_id: str, error: TrialError) -> None:
         self._finish(job_id)
         self.store.mark_failed(job_id, error.to_dict())
         record_job_transition("failed")
+        self.store.maybe_compact()
+        self._update_gauges()
+
+    def on_requeued(self, job_id: str, cause: str) -> None:
+        # The watchdog pulled the job off a dead/wedged worker; it is
+        # queued again (same shard, same token), so move the in-memory
+        # accounting back without touching the journal -- the next
+        # ``on_running`` writes the new attempt.
+        with self._lock:
+            self._running.pop(job_id, None)
+            self._queued.add(job_id)
         self._update_gauges()
 
     def on_cancelled(self, job_id: str) -> None:
@@ -318,6 +362,9 @@ class DiagnosisDaemon(ExecutorCallbacks):
             queued = len(self._queued)
         if not self.store.probe_writable():
             reasons.append("job store is not writable")
+        store_error = self.store.last_error
+        if store_error:
+            reasons.append(f"unrecovered store write error: {store_error}")
         if self._started and not self.executor.alive():
             reasons.append("worker pool is dead")
         if queued >= self._high_water_count():
@@ -337,6 +384,16 @@ class DiagnosisDaemon(ExecutorCallbacks):
         path = path.split("?", 1)[0].rstrip("/") or "/"
         try:
             if method == "GET" and path == "/healthz":
+                # An unrecovered store write error makes the *process*
+                # unhealthy, not merely unready: a daemon that cannot
+                # persist transitions is silently lying about durability,
+                # and a supervisor should restart it onto a healthy disk.
+                store_error = self.store.last_error
+                if store_error:
+                    return Response.json(
+                        503,
+                        {"status": "unhealthy", "last_store_error": store_error},
+                    )
                 return Response.json(200, {"status": "ok"})
             if method == "GET" and path == "/readyz":
                 ready, reasons = self.readiness()
@@ -452,20 +509,16 @@ def serve(
     the CLI maps them to exit codes.  ``on_ready`` (tests) is called with
     the bound server once recovery finished and the listener is up.
     """
-    daemon = DiagnosisDaemon(config, run=run)
-    recovered = daemon.start()  # JournalError here when the store is locked
-    try:
-        server = bind_server(config, daemon)
-    except BindError:
-        daemon.abort()
-        raise
-    host, port = server.server_address[:2]
-    print(
-        f"repro serve: listening on http://{host}:{port} "
-        f"(store {config.store}, {config.workers} workers, "
-        f"queue depth {config.queue_depth}, recovered {recovered} job(s))",
-        flush=True,
+    plan = (
+        chaos.arm(config.chaos) if config.chaos else chaos.arm_from_env()
     )
+    if plan is not None:
+        print(
+            f"repro serve: CHAOS ARMED ({plan.spec}, seed {plan.seed}) -- "
+            "faults below are injected, not real",
+            file=sys.stderr,
+            flush=True,
+        )
 
     stop = threading.Event()
     sigints = {"n": 0}
@@ -480,9 +533,36 @@ def serve(
             os._exit(130)
         stop.set()
 
+    # Signals go in *before* recovery: a replay over a large journal can
+    # take a while, and a SIGTERM landing mid-recovery must drain and
+    # exit instead of dying on the default handler with the store open.
     if install_signals:
         signal.signal(signal.SIGTERM, _on_term)
         signal.signal(signal.SIGINT, _on_int)
+
+    daemon = DiagnosisDaemon(config, run=run)
+    recovered = daemon.start()  # JournalError here when the store is locked
+    if stop.is_set():
+        print(
+            "repro serve: stop requested during recovery; draining without "
+            "serving",
+            file=sys.stderr,
+            flush=True,
+        )
+        clean = daemon.drain()
+        return EXIT_OK if clean else EXIT_FORCED
+    try:
+        server = bind_server(config, daemon)
+    except BindError:
+        daemon.abort()
+        raise
+    host, port = server.server_address[:2]
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"(store {config.store}, {config.workers} workers, "
+        f"queue depth {config.queue_depth}, recovered {recovered} job(s))",
+        flush=True,
+    )
 
     listener = threading.Thread(
         target=server.serve_forever, name="repro-serve-listener", daemon=True

@@ -1,6 +1,6 @@
 """Shard-aware worker executor for the diagnosis daemon.
 
-Jobs are routed to a fixed worker thread by a stable hash of their
+Jobs are routed to a fixed worker slot by a stable hash of their
 ``(circuit, pattern_seed)`` shard key, so repeated jobs against one
 device family hit the same worker -- and therefore the same warmed
 ``SimContext``/kernel caches -- instead of bouncing between cold workers.
@@ -13,6 +13,21 @@ reinvented: an in-job exception is classified through the
 the job immediately, and every attempt is isolated -- one job's failure
 never takes a worker down.
 
+**The watchdog** makes the pool self-healing against the failures the
+per-attempt isolation cannot catch: a worker thread that *dies* (a
+``BaseException`` out of a job -- the chaos layer's
+:class:`~repro.chaos.plan.WorkerDeath` models a segfault-equivalent) or
+*wedges* (stuck past ``stuck_seconds`` in non-cooperative code).  Each
+slot carries a heartbeat and a generation counter; the watchdog thread
+requeues the victim's in-flight job under the transient taxonomy
+(``crash`` for a death, ``timeout`` for a wedge), retires the old thread
+by bumping the generation, and spawns a replacement on the same shard
+queue.  A wedged thread that eventually wakes finds its item *abandoned*
+and its generation stale, so it reports nothing and exits instead of
+double-finishing the job.  ``retry_wall_seconds`` bounds the total
+wall-clock a job may spend being retried and requeued before it is
+terminally failed.
+
 Lifecycle: :meth:`ShardExecutor.drain` stops workers from *starting*
 queued jobs (they stay durable in the store and recover on restart) while
 in-flight jobs run to completion under the drain deadline.
@@ -24,8 +39,9 @@ import hashlib
 import queue
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro import chaos
 from repro.campaign.driver import provision_patterns
 from repro.campaign.runner import backoff_delay
 from repro.circuit.library import load_circuit
@@ -34,6 +50,7 @@ from repro.core.diagnose import DiagnosisConfig, Diagnoser
 from repro.core.single_fault import diagnose_single_fault
 from repro.core.slat import diagnose_slat
 from repro.errors import TRANSIENT_CAUSES, TrialError, classify_cause
+from repro.obs.metrics import record_watchdog_requeue, record_watchdog_respawn
 from repro.serve.protocol import JobSpec
 
 _STOP = object()
@@ -106,6 +123,32 @@ class _Item:
     token: CancellationToken
     degraded: bool
     attempts_base: int = 0
+    #: Last attempt number reported through ``on_running``.
+    attempt: int = 0
+    #: Executor-clock time of the job's very first attempt, carried
+    #: across watchdog requeues so the retry wall clock is total.
+    first_started: float | None = None
+    #: Set by the watchdog when the job was handed to a requeued copy;
+    #: the original holder must report nothing further.
+    abandoned: bool = False
+
+
+class _WorkerSlot:
+    """One shard: a queue, the thread currently owning it, health state."""
+
+    __slots__ = ("index", "queue", "thread", "generation", "item",
+                 "started", "heartbeat")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.queue: queue.Queue = queue.Queue()
+        self.thread: threading.Thread | None = None
+        #: Bumped on every respawn; a thread whose spawn generation is
+        #: stale retires itself instead of competing for the queue.
+        self.generation = 0
+        self.item: _Item | None = None
+        self.started: float | None = None
+        self.heartbeat: float | None = None
 
 
 class ExecutorCallbacks:
@@ -121,6 +164,9 @@ class ExecutorCallbacks:
 
     def on_deferred(self, job_id: str) -> None:
         """A queued job left unexecuted by a drain (recovers on restart)."""
+
+    def on_requeued(self, job_id: str, cause: str) -> None:
+        """The watchdog moved a job off a dead/wedged worker."""
 
 
 def shard_index(key: str, workers: int) -> int:
@@ -141,6 +187,10 @@ class ShardExecutor:
         backoff: float = 0.05,
         run=execute_job,
         sleep=time.sleep,
+        clock=time.monotonic,
+        stuck_seconds: float | None = None,
+        watchdog_interval: float = 1.0,
+        retry_wall_seconds: float | None = None,
     ):
         self._cb = callbacks
         self._workers = max(1, workers)
@@ -148,50 +198,87 @@ class ShardExecutor:
         self._backoff = backoff
         self._run = run
         self._sleep = sleep
-        self._queues: list[queue.Queue] = [
-            queue.Queue() for _ in range(self._workers)
-        ]
-        self._threads: list[threading.Thread] = []
+        self._clock = clock
+        self._stuck_seconds = stuck_seconds
+        self._watchdog_interval = watchdog_interval
+        self._retry_wall_seconds = retry_wall_seconds
+        self._slots = [_WorkerSlot(i) for i in range(self._workers)]
         self._draining = threading.Event()
-        self._inflight: dict[int, str] = {}
+        self._watchdog_stop = threading.Event()
+        self._watchdog_thread: threading.Thread | None = None
         self._lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        for idx in range(self._workers):
-            thread = threading.Thread(
-                target=self._worker,
-                args=(idx, self._queues[idx]),
-                name=f"repro-serve-worker-{idx}",
+        for slot in self._slots:
+            self._spawn(slot)
+        if self._watchdog_interval:
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog_loop,
+                name="repro-serve-watchdog",
                 daemon=True,
             )
-            thread.start()
-            self._threads.append(thread)
+            self._watchdog_thread.start()
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        with self._lock:
+            slot.generation += 1
+            generation = slot.generation
+            thread = threading.Thread(
+                target=self._worker,
+                args=(slot, generation),
+                name=f"repro-serve-worker-{slot.index}g{generation}",
+                daemon=True,
+            )
+            slot.thread = thread
+            slot.heartbeat = self._clock()
+        thread.start()
 
     def alive(self) -> bool:
-        """Is the pool still able to make progress?"""
-        return bool(self._threads) and all(t.is_alive() for t in self._threads)
+        """Is the pool still able to make progress?
+
+        With the watchdog running this self-heals: a dead worker is
+        replaced within one watchdog interval, so a False here means the
+        watchdog itself is gone too.
+        """
+        with self._lock:
+            threads = [slot.thread for slot in self._slots]
+        return bool(threads) and all(
+            t is not None and t.is_alive() for t in threads
+        )
+
+    def heartbeats(self) -> dict[int, float | None]:
+        """Per-slot last-heartbeat times (introspection and tests)."""
+        with self._lock:
+            return {slot.index: slot.heartbeat for slot in self._slots}
 
     def drain(self, deadline_seconds: float, clock=time.monotonic) -> bool:
         """Stop starting queued jobs; wait for in-flight ones.
 
         Returns True when every worker exited within the deadline.  Queued
         jobs are reported through ``on_deferred`` and stay pending in the
-        durable store.
+        durable store.  The watchdog is stopped first so it cannot
+        requeue or respawn against the shutdown.
         """
+        self._watchdog_stop.set()
+        if self._watchdog_thread is not None:
+            self._watchdog_thread.join(1.0)
         self._draining.set()
-        for q in self._queues:
-            q.put(_STOP)
+        for slot in self._slots:
+            slot.queue.put(_STOP)
         horizon = clock() + deadline_seconds
-        for thread in self._threads:
+        threads = [slot.thread for slot in self._slots if slot.thread]
+        for thread in threads:
             thread.join(max(0.0, horizon - clock()))
-        return all(not t.is_alive() for t in self._threads)
+        return all(not t.is_alive() for t in threads)
 
     def cancel_inflight(self) -> list[str]:
         """Job ids currently executing (the drain-overrun victims)."""
         with self._lock:
-            return list(self._inflight.values())
+            return [
+                slot.item.job_id for slot in self._slots if slot.item is not None
+            ]
 
     # -- submission ----------------------------------------------------------
 
@@ -204,23 +291,115 @@ class ShardExecutor:
         degraded: bool = False,
     ) -> None:
         idx = shard_index(spec.shard_key, self._workers)
-        self._queues[idx].put(_Item(job_id, spec, token, degraded))
+        self._slots[idx].queue.put(_Item(job_id, spec, token, degraded))
 
     def queued_jobs(self) -> int:
         """Approximate number of accepted-but-unstarted jobs."""
-        return sum(q.qsize() for q in self._queues)
+        return sum(slot.queue.qsize() for slot in self._slots)
+
+    # -- the watchdog --------------------------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        while not self._watchdog_stop.wait(self._watchdog_interval):
+            try:
+                self.watchdog_pass()
+            except Exception:
+                pass  # the watchdog must outlive any callback bug
+
+    def watchdog_pass(self) -> None:
+        """One detection sweep (public so tests can drive it directly)."""
+        if self._draining.is_set():
+            return
+        now = self._clock()
+        for slot in self._slots:
+            self._reap(slot, now)
+
+    def _reap(self, slot: _WorkerSlot, now: float) -> None:
+        with self._lock:
+            thread = slot.thread
+            item = slot.item
+            started = slot.started
+            dead = thread is None or not thread.is_alive()
+            wedged = (
+                not dead
+                and item is not None
+                and started is not None
+                and self._stuck_seconds is not None
+                and now - started >= self._stuck_seconds
+            )
+            if not dead and not wedged:
+                return
+            victim: _Item | None = None
+            if item is not None and not item.abandoned:
+                item.abandoned = True
+                victim = item
+            slot.item = None
+            slot.started = None
+        if victim is not None:
+            cause = "crash" if dead else "timeout"
+            self._requeue(slot, victim, cause)
+        self._spawn(slot)  # retires the old thread via the generation bump
+        record_watchdog_respawn()
+
+    def _wall_exhausted(self, item: _Item) -> bool:
+        return (
+            self._retry_wall_seconds is not None
+            and item.first_started is not None
+            and self._clock() - item.first_started >= self._retry_wall_seconds
+        )
+
+    def _requeue(self, slot: _WorkerSlot, item: _Item, cause: str) -> None:
+        """Give a victim job back to its shard queue -- or fail it if the
+        total-retry wall clock is spent."""
+        if self._wall_exhausted(item):
+            try:
+                self._cb.on_failed(
+                    item.job_id,
+                    TrialError(
+                        f"job {item.job_id} abandoned by the watchdog "
+                        f"({cause} worker) with the "
+                        f"{self._retry_wall_seconds:g}s total-retry wall "
+                        "clock exhausted",
+                        circuit=item.spec.circuit,
+                        cause=cause,
+                        attempts=max(1, item.attempt),
+                    ),
+                )
+            except Exception:
+                pass
+            return
+        record_watchdog_requeue(cause)
+        try:
+            self._cb.on_requeued(item.job_id, cause)
+        except Exception:
+            pass
+        slot.queue.put(
+            _Item(
+                item.job_id,
+                item.spec,
+                item.token,
+                item.degraded,
+                attempts_base=max(item.attempt, item.attempts_base),
+                first_started=item.first_started,
+            )
+        )
 
     # -- worker loop ---------------------------------------------------------
 
-    def _worker(self, idx: int, q: queue.Queue) -> None:
+    def _worker(self, slot: _WorkerSlot, generation: int) -> None:
+        q = slot.queue
         while True:
+            if slot.generation != generation:
+                return  # retired by the watchdog; a replacement owns the queue
             item = q.get()
             if item is _STOP:
                 break
+            slot.heartbeat = self._clock()
             if self._draining.is_set():
                 self._cb.on_deferred(item.job_id)
                 continue
-            self._execute(idx, item)
+            self._execute(slot, item)
+            slot.heartbeat = self._clock()
         # Drain leftovers so the daemon can account for every deferred job.
         while True:
             try:
@@ -230,46 +409,15 @@ class ShardExecutor:
             if item is not _STOP:
                 self._cb.on_deferred(item.job_id)
 
-    def _execute(self, idx: int, item: _Item) -> None:
+    def _execute(self, slot: _WorkerSlot, item: _Item) -> None:
         if item.token.cancelled:
             self._cb.on_cancelled(item.job_id)
             return
         with self._lock:
-            self._inflight[idx] = item.job_id
+            slot.item = item
+            slot.started = self._clock()
         try:
-            attempt = item.attempts_base
-            while True:
-                attempt += 1
-                self._cb.on_running(item.job_id, attempt)
-                try:
-                    report = self._run(item.spec, item.token, item.degraded)
-                except Exception as exc:
-                    cause = classify_cause(exc)
-                    transient = cause in TRANSIENT_CAUSES
-                    if transient and attempt <= item.attempts_base + self._retries:
-                        seed = int(item.spec.fingerprint()[:8], 16)
-                        self._sleep(
-                            backoff_delay(self._backoff, attempt, seed)
-                        )
-                        continue
-                    self._cb.on_failed(
-                        item.job_id,
-                        TrialError(
-                            f"job {item.job_id} failed: {exc}",
-                            circuit=item.spec.circuit,
-                            cause=cause,
-                            attempts=attempt,
-                        ),
-                    )
-                    return
-                if item.token.cancelled:
-                    # The run returned a partial report because the token
-                    # tripped mid-flight; whoever cancelled decides whether
-                    # that means "cancelled" or "defer to restart".
-                    self._cb.on_cancelled(item.job_id)
-                    return
-                self._cb.on_done(item.job_id, report)
-                return
+            self._execute_attempts(item)
         except Exception as exc:  # callback bug: isolate, don't kill the worker
             try:
                 self._cb.on_failed(
@@ -282,6 +430,59 @@ class ShardExecutor:
                 )
             except Exception:
                 pass
-        finally:
-            with self._lock:
-                self._inflight.pop(idx, None)
+        # Deliberately NOT a ``finally``: a ``BaseException`` (an injected
+        # WorkerDeath, interpreter teardown) must leave ``slot.item`` in
+        # place so the watchdog can see what the dying thread was holding.
+        with self._lock:
+            slot.item = None
+            slot.started = None
+
+    def _execute_attempts(self, item: _Item) -> None:
+        attempt = item.attempts_base
+        while True:
+            attempt += 1
+            item.attempt = attempt
+            if item.first_started is None:
+                item.first_started = self._clock()
+            self._cb.on_running(item.job_id, attempt)
+            chaos.checkpoint("executor.job")
+            try:
+                report = self._run(item.spec, item.token, item.degraded)
+            except Exception as exc:
+                cause = classify_cause(exc)
+                transient = cause in TRANSIENT_CAUSES
+                if (
+                    transient
+                    and attempt <= item.attempts_base + self._retries
+                    and not self._wall_exhausted(item)
+                ):
+                    seed = int(item.spec.fingerprint()[:8], 16)
+                    self._sleep(
+                        backoff_delay(self._backoff, attempt, seed)
+                    )
+                    continue
+                if item.abandoned:
+                    return  # a requeued copy owns the job's terminal state
+                self._cb.on_failed(
+                    item.job_id,
+                    TrialError(
+                        f"job {item.job_id} failed: {exc}",
+                        circuit=item.spec.circuit,
+                        cause=cause,
+                        attempts=attempt,
+                    ),
+                )
+                return
+            if item.abandoned:
+                # The watchdog declared this worker wedged and requeued
+                # the job; whatever this late result is, it is not ours
+                # to report.
+                return
+            if item.token.cancelled:
+                # The run returned a partial report because the token
+                # tripped mid-flight; whoever cancelled decides whether
+                # that means "cancelled" or "defer to restart".
+                self._cb.on_cancelled(item.job_id)
+                return
+            self._cb.on_done(item.job_id, report)
+            return

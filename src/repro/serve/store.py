@@ -26,11 +26,16 @@ instead of interleaving journals.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
+import time
 from pathlib import Path
 
+from repro import chaos
 from repro.campaign.journal import JsonlAppender, load_jsonl
-from repro.errors import JournalError, ServeError
+from repro.errors import JournalError, ServeError, classify_cause
+from repro.obs.metrics import record_store_compaction, record_store_error
 from repro.serve.protocol import (
     JOB_STATES,
     STATE_CANCELLED,
@@ -107,24 +112,87 @@ class JobStore:
     recoverable.
     """
 
-    def __init__(self, path: str | Path, *, fsync: bool = True):
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: bool = True,
+        compact_bytes: int | None = None,
+        compact_age_seconds: float | None = None,
+        clock=time.monotonic,
+    ):
         self.path = Path(path)
-        self._writer = JsonlAppender(path, fsync=fsync)
+        self._writer = JsonlAppender(path, fsync=fsync, chaos_site="store")
         self._jobs: dict[str, StoredJob] = {}
         self._by_fingerprint: dict[str, str] = {}
         self._lock = threading.RLock()
+        self._clock = clock
+        #: Compaction triggers: journal size floor and/or store age.  Both
+        #: ``None`` (the default) disables automatic compaction entirely.
+        self.compact_bytes = compact_bytes
+        self.compact_age_seconds = compact_age_seconds
+        #: Human-readable description of the last store I/O failure that
+        #: has not been followed by a successful append; ``/healthz``
+        #: surfaces it and goes unhealthy while it is set.
+        self.last_error: str | None = None
+        self._total_records = 0  # journal lines (live + superseded)
+        self._last_compact = clock()
+
+    def _tmp_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".compact")
+
+    def _append(self, record: dict) -> None:
+        """Journal one record, tracking write health.
+
+        An ``OSError`` out of the appender (disk full, dying device,
+        injected chaos) is classified, counted, remembered in
+        :attr:`last_error`, and re-raised as :class:`JournalError`; a
+        successful append clears the error -- the store has recovered.
+        """
+        try:
+            self._writer.append(record)
+        except JournalError:
+            record_store_error("append")
+            raise
+        except OSError as exc:
+            self.last_error = (
+                f"journal append failed [{classify_cause(exc)}]: {exc}"
+            )
+            record_store_error("append")
+            raise JournalError(
+                f"{self.path}: journal append failed: {exc}"
+            ) from exc
+        else:
+            self.last_error = None
+            self._total_records += 1
 
     # -- lifecycle -----------------------------------------------------------
 
-    def open(self) -> list[StoredJob]:
+    def open(self, *, recover: bool = True) -> list[StoredJob]:
         """Lock, replay, and return the jobs needing (re-)execution.
 
         Jobs journaled as ``submitted`` or ``running`` did not reach a
         terminal state before the previous process died; they are reset
         to ``submitted`` (with a journaled ``recovered`` marker) and
-        returned for re-enqueueing, oldest first.
+        returned for re-enqueueing, oldest first.  ``recover=False``
+        (offline tooling, e.g. ``repro store compact``) replays without
+        resetting, so inspection does not mutate the journal.
+
+        A stray ``<path>.compact`` temporary means the previous process
+        died mid-compaction *before* the atomic rename committed; the
+        main journal is still the authority and the temporary is
+        discarded.
         """
         with self._lock:
+            stale = self._tmp_path()
+            if stale.exists():
+                try:
+                    stale.unlink()
+                except OSError as exc:
+                    raise JournalError(
+                        f"{stale}: cannot discard interrupted compaction "
+                        f"temporary: {exc}"
+                    ) from exc
             self._writer.open()  # takes the advisory lock, drops torn tail
             try:
                 self._replay()
@@ -132,16 +200,18 @@ class JobStore:
                 self._writer.close()
                 raise
             if not self._jobs and self._writer.is_empty():
-                self._writer.append(
+                self._append(
                     {"kind": "header", "v": SCHEMA_VERSION, "store": "jobs"}
                 )
             recovered: list[StoredJob] = []
+            if not recover:
+                return recovered
             for job in self._jobs.values():
                 if job.terminal:
                     continue
                 job.state = STATE_SUBMITTED
                 job.recovered = True
-                self._writer.append(
+                self._append(
                     {
                         "kind": "state",
                         "v": SCHEMA_VERSION,
@@ -170,11 +240,20 @@ class JobStore:
             with self.path.open("a", encoding="utf-8"):
                 pass
             return self._writer.is_open
-        except OSError:
+        except OSError as exc:
+            # Classified and remembered, never silently swallowed: the
+            # unreadiness cause shows up in /healthz and the metrics.
+            self.last_error = (
+                f"readiness probe failed [{classify_cause(exc)}]: {exc}"
+            )
+            record_store_error("probe")
             return False
 
     def _replay(self) -> None:
-        for lineno, payload in load_jsonl(self.path):
+        records = load_jsonl(self.path)
+        self._total_records = len(records)
+        for lineno, payload in records:
+            chaos.checkpoint("store.replay")
             kind = payload.get("kind")
             if kind == "job":
                 try:
@@ -222,7 +301,7 @@ class JobStore:
             if existing is not None:
                 return self._jobs[existing], False
             job = StoredJob(job_id_for(spec), spec, degraded=degraded)
-            self._writer.append(
+            self._append(
                 {
                     "kind": "job",
                     "v": SCHEMA_VERSION,
@@ -252,7 +331,7 @@ class JobStore:
                 "state": state,
             }
             record.update(extra)
-            self._writer.append(record)
+            self._append(record)
             job.state = state
             if "attempts" in extra:
                 job.attempts = int(extra["attempts"])
@@ -280,9 +359,190 @@ class JobStore:
         """Checkpoint marker: the daemon drained (skipped on replay)."""
         with self._lock:
             if self._writer.is_open:
-                self._writer.append(
-                    {"kind": "drain", "v": SCHEMA_VERSION, "clean": bool(clean)}
-                )
+                try:
+                    self._append(
+                        {
+                            "kind": "drain",
+                            "v": SCHEMA_VERSION,
+                            "clean": bool(clean),
+                        }
+                    )
+                except JournalError:
+                    pass  # best-effort marker; the drain already happened
+
+    # -- compaction ----------------------------------------------------------
+
+    def _snapshot_records(self) -> list[dict]:
+        """The minimal journal that replays to the current in-memory image."""
+        records: list[dict] = [
+            {"kind": "header", "v": SCHEMA_VERSION, "store": "jobs"}
+        ]
+        for job in self._jobs.values():  # submission order
+            records.append(
+                {
+                    "kind": "job",
+                    "v": SCHEMA_VERSION,
+                    "id": job.job_id,
+                    "fingerprint": job.spec.fingerprint(),
+                    "degraded": job.degraded,
+                    "spec": job.spec.to_dict(),
+                }
+            )
+            if (
+                job.state == STATE_SUBMITTED
+                and job.attempts == 0
+                and not job.recovered
+            ):
+                continue  # replay default; no state record needed
+            state: dict = {
+                "kind": "state",
+                "v": SCHEMA_VERSION,
+                "id": job.job_id,
+                "state": job.state,
+                "attempts": job.attempts,
+            }
+            if job.recovered:
+                state["recovered"] = True
+            if job.state == STATE_DONE and job.report is not None:
+                state["report"] = job.report
+            if job.state == STATE_FAILED and job.error is not None:
+                state["error"] = job.error
+            records.append(state)
+        return records
+
+    def should_compact(self) -> bool:
+        """Has a size or age trigger fired (and is there garbage to drop)?"""
+        with self._lock:
+            if not self._writer.is_open:
+                return False
+            if self.compact_bytes is None and self.compact_age_seconds is None:
+                return False
+            live = len(self._snapshot_records())
+            if self._total_records <= live:
+                return False  # nothing superseded; compaction is a no-op
+            if self.compact_bytes is not None:
+                try:
+                    if self.path.stat().st_size >= self.compact_bytes:
+                        return True
+                except OSError:
+                    return False
+            if self.compact_age_seconds is not None:
+                if (
+                    self._clock() - self._last_compact
+                    >= self.compact_age_seconds
+                ):
+                    return True
+            return False
+
+    def maybe_compact(self) -> bool:
+        """Compact when a trigger fired; failures are counted, not fatal.
+
+        A failed compaction leaves the original journal authoritative
+        (that is the whole point of the write-new/fsync/rename protocol),
+        so the daemon logs-by-metric and keeps serving.
+        """
+        if not self.should_compact():
+            return False
+        try:
+            self.compact()
+        except JournalError:
+            return False
+        return True
+
+    def compact(self) -> dict:
+        """Rewrite the journal as a minimal snapshot, crash-safely.
+
+        Protocol: write the snapshot to ``<path>.compact``, flush,
+        ``fsync``, then atomically ``os.replace`` it over the journal and
+        fsync the directory.  The rename is the commit point -- a crash
+        at *any* byte offset before it leaves the original journal
+        intact (the stray temporary is discarded on the next
+        :meth:`open`); a crash after it leaves the compacted journal,
+        which replays to the identical image.  Returns size statistics.
+        """
+        with self._lock:
+            if not self._writer.is_open:
+                raise JournalError(f"{self.path}: store is not open")
+            tmp = self._tmp_path()
+            try:
+                before = self.path.stat().st_size
+            except OSError:
+                before = 0
+            records = self._snapshot_records()
+            data = "".join(
+                json.dumps(record, separators=(",", ":")) + "\n"
+                for record in records
+            )
+            try:
+                with tmp.open("w", encoding="utf-8") as fh:
+                    chaos.checkpoint("store.compact.write", nbytes=len(data))
+                    fh.write(data)
+                    fh.flush()
+                    chaos.checkpoint("store.compact.fsync")
+                    os.fsync(fh.fileno())
+            except OSError as exc:
+                self._abort_compact(tmp, "write", exc)
+            # Commit point: swap the new journal in under the appender.
+            # The store lock is held, so no append can interleave.
+            self._writer.close()
+            try:
+                chaos.checkpoint("store.compact.rename")
+                os.replace(tmp, self.path)
+            except OSError as exc:
+                try:
+                    self._writer.open()  # reopen the untouched original
+                except JournalError:
+                    pass  # the original error is the one worth reporting
+                self._abort_compact(tmp, "rename", exc)
+            self._fsync_dir()
+            try:
+                self._writer.open()
+            except JournalError:
+                record_store_compaction("failed")
+                record_store_error("compact")
+                raise
+            dropped = self._total_records - len(records)
+            self._total_records = len(records)
+            self._last_compact = self._clock()
+            try:
+                after = self.path.stat().st_size
+            except OSError:
+                after = 0
+            record_store_compaction("ok")
+            return {
+                "before_bytes": before,
+                "after_bytes": after,
+                "records": len(records),
+                "dropped_records": max(0, dropped),
+            }
+
+    def _abort_compact(self, tmp: Path, stage: str, exc: OSError) -> None:
+        """Clean up a failed compaction; the original journal stays live."""
+        try:
+            tmp.unlink()
+        except OSError:
+            pass  # open() discards strays; nothing more to do here
+        self.last_error = (
+            f"compaction {stage} failed [{classify_cause(exc)}]: {exc}"
+        )
+        record_store_compaction("failed")
+        record_store_error("compact")
+        raise JournalError(
+            f"{self.path}: compaction {stage} failed: {exc}"
+        ) from exc
+
+    def _fsync_dir(self) -> None:
+        """Best-effort directory fsync so the rename itself is durable."""
+        try:
+            fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     # -- queries -------------------------------------------------------------
 

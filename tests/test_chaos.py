@@ -1,0 +1,258 @@
+"""The chaos layer itself: spec parsing, determinism, arming, metrics.
+
+The fault-injection subsystem is only trustworthy if its *own* behavior
+is boringly deterministic -- the same spec and seed must inject at the
+same crossings every run, and a disarmed checkpoint must be a no-op.
+"""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro import chaos
+from repro.chaos import (
+    FaultPlan,
+    InjectedFault,
+    WorkerDeath,
+    parse_chaos_spec,
+)
+from repro.errors import ChaosError, classify_cause
+from repro.obs.metrics import REGISTRY
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos():
+    chaos.disarm()
+    REGISTRY.reset()
+    yield
+    chaos.disarm()
+    REGISTRY.reset()
+
+
+# -- spec parsing -------------------------------------------------------------
+
+
+class TestParse:
+    def test_single_entry(self):
+        plan = parse_chaos_spec("fsync_eio:0.25")
+        assert len(plan.rules) == 1
+        rule = plan.rules[0]
+        assert rule.kind == "fsync_eio"
+        assert rule.probability == 0.25
+        assert rule.site is None  # kind default (*.fsync)
+
+    def test_multi_entry_with_site_and_seed(self):
+        plan = parse_chaos_spec(
+            "write_eio@store.compact.*:1+enospc_after:4096+seed:7"
+        )
+        assert plan.seed == 7
+        kinds = [r.kind for r in plan.rules]
+        assert kinds == ["write_eio", "enospc_after"]
+        assert plan.rules[0].site == "store.compact.*"
+        assert plan.rules[1].threshold == 4096
+
+    def test_durations(self):
+        assert parse_chaos_spec("slow_io:20ms").rules[0].duration == pytest.approx(0.02)
+        assert parse_chaos_spec("slow_io:0.5s").rules[0].duration == pytest.approx(0.5)
+        assert parse_chaos_spec("slow_io:2").rules[0].duration == pytest.approx(2.0)
+        wedge = parse_chaos_spec("wedge:0.5:3s").rules[0]
+        assert wedge.probability == 0.5
+        assert wedge.duration == pytest.approx(3.0)
+
+    def test_default_seed_is_a_digest_of_the_spec(self):
+        a = parse_chaos_spec("die:0.5")
+        b = parse_chaos_spec("die:0.5")
+        c = parse_chaos_spec("die:0.25")
+        assert a.seed == b.seed
+        assert a.seed != c.seed
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "bogus:0.5",
+            "fsync_eio",
+            "fsync_eio:1.5",
+            "fsync_eio:-0.1",
+            "fsync_eio:maybe",
+            "enospc_after:-1",
+            "enospc_after:some",
+            "slow_io:fast",
+            "slow_io:-2s",
+            "wedge:0.5",
+            "seed:7",  # a seed with no fault entries is not a plan
+            "seed:x+die:1",
+            "fsync_eio:0.5:0.5",
+        ],
+    )
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ChaosError):
+            parse_chaos_spec(bad)
+
+    def test_chaos_error_is_distinct_from_injected_fault(self):
+        assert not issubclass(ChaosError, OSError)
+        assert issubclass(InjectedFault, OSError)
+        assert issubclass(WorkerDeath, BaseException)
+        assert not issubclass(WorkerDeath, Exception)
+
+
+# -- site matching ------------------------------------------------------------
+
+
+class TestSiteDefaults:
+    def test_fsync_eio_matches_fsync_ops_only(self):
+        rule = parse_chaos_spec("fsync_eio:1").rules[0]
+        assert rule.matches("journal.fsync")
+        assert rule.matches("store.compact.fsync")
+        assert not rule.matches("journal.write")
+
+    def test_enospc_matches_any_byte_moving_op(self):
+        rule = parse_chaos_spec("enospc_after:0").rules[0]
+        assert rule.matches("store.write")
+        assert rule.matches("journal.fsync")
+        assert not rule.matches("store.compact.rename")
+
+    def test_explicit_glob_overrides_the_default(self):
+        rule = parse_chaos_spec("fsync_eio@store.compact.*:1").rules[0]
+        assert rule.matches("store.compact.fsync")
+        assert not rule.matches("store.fsync")
+
+    def test_die_and_wedge_default_to_executor_job(self):
+        assert parse_chaos_spec("die:1").rules[0].matches("executor.job")
+        assert not parse_chaos_spec("die:1").rules[0].matches("store.write")
+
+
+# -- deterministic decisions --------------------------------------------------
+
+
+class TestDeterminism:
+    def _injection_trace(self, plan: FaultPlan, calls: int = 200) -> list[int]:
+        hits = []
+        for n in range(calls):
+            try:
+                plan.apply("journal.fsync")
+            except InjectedFault:
+                hits.append(n)
+        return hits
+
+    def test_same_seed_same_trace(self):
+        a = self._injection_trace(parse_chaos_spec("fsync_eio:0.2+seed:42"))
+        b = self._injection_trace(parse_chaos_spec("fsync_eio:0.2+seed:42"))
+        assert a == b
+        assert a  # 200 draws at p=0.2: statistically certain to fire
+
+    def test_different_seed_different_trace(self):
+        a = self._injection_trace(parse_chaos_spec("fsync_eio:0.2+seed:1"))
+        b = self._injection_trace(parse_chaos_spec("fsync_eio:0.2+seed:2"))
+        assert a != b
+
+    def test_other_sites_do_not_perturb_decisions(self):
+        # Counters are per (rule, site): interleaving traffic on another
+        # site must not shift this site's decision sequence.
+        quiet = parse_chaos_spec("fsync_eio:0.2+seed:42")
+        noisy = parse_chaos_spec("fsync_eio:0.2+seed:42")
+        hits_quiet, hits_noisy = [], []
+        for n in range(200):
+            try:
+                quiet.apply("journal.fsync")
+            except InjectedFault:
+                hits_quiet.append(n)
+            try:
+                noisy.apply("other.fsync")
+            except InjectedFault:
+                pass
+            try:
+                noisy.apply("journal.fsync")
+            except InjectedFault:
+                hits_noisy.append(n)
+        assert hits_quiet == hits_noisy
+
+    def test_probability_one_always_fires(self):
+        plan = parse_chaos_spec("write_eio:1")
+        for _ in range(5):
+            with pytest.raises(InjectedFault) as info:
+                plan.apply("store.write", nbytes=10)
+            assert info.value.errno == errno.EIO
+
+    def test_enospc_cliff_is_cumulative(self):
+        plan = parse_chaos_spec("enospc_after:100")
+        plan.apply("store.write", nbytes=60)  # 60 <= 100: fine
+        plan.apply("store.write", nbytes=40)  # 100 <= 100: fine
+        with pytest.raises(InjectedFault) as info:
+            plan.apply("store.write", nbytes=1)  # 101 > 100: cliff
+        assert info.value.errno == errno.ENOSPC
+        # The disk stays full: even a zero-byte op fails now.
+        with pytest.raises(InjectedFault):
+            plan.apply("store.fsync")
+
+    def test_slow_io_uses_the_injected_sleep(self):
+        plan = parse_chaos_spec("slow_io@journal.*:20ms")
+        naps = []
+        plan.sleep = naps.append
+        plan.apply("journal.write", nbytes=5)
+        plan.apply("store.write", nbytes=5)  # not matched
+        assert naps == [pytest.approx(0.02)]
+
+    def test_die_raises_worker_death(self):
+        plan = parse_chaos_spec("die:1")
+        with pytest.raises(WorkerDeath):
+            plan.apply("executor.job")
+
+    def test_injected_fault_classifies_as_io(self):
+        assert classify_cause(InjectedFault(errno.EIO, "s", "fsync_eio")) == "io"
+        # The whole OSError/EOFError family lands in the "io" bucket --
+        # deterministic (no retries) but distinguishable from a sick
+        # diagnosis in journals and metrics.
+        assert classify_cause(OSError(5, "real disk error")) == "io"
+        assert classify_cause(EOFError()) == "io"
+        from repro.errors import TRANSIENT_CAUSES
+
+        assert "io" not in TRANSIENT_CAUSES
+
+
+# -- arming and the checkpoint hook -------------------------------------------
+
+
+class TestHooks:
+    def test_disarmed_checkpoint_is_a_no_op(self):
+        assert chaos.active_plan() is None
+        chaos.checkpoint("journal.fsync")  # must not raise
+
+    def test_arm_from_string_and_disarm(self):
+        plan = chaos.arm("write_eio:1")
+        assert chaos.active_plan() is plan
+        with pytest.raises(InjectedFault):
+            chaos.checkpoint("journal.write", nbytes=3)
+        chaos.disarm()
+        chaos.checkpoint("journal.write", nbytes=3)
+
+    def test_armed_context_restores_previous_plan(self):
+        outer = chaos.arm("slow_io:0")
+        with chaos.armed("write_eio:1") as inner:
+            assert chaos.active_plan() is inner
+            with pytest.raises(InjectedFault):
+                chaos.checkpoint("x.write")
+        assert chaos.active_plan() is outer
+
+    def test_arm_from_env(self):
+        assert chaos.arm_from_env({}) is None
+        assert chaos.arm_from_env({"REPRO_CHAOS": "  "}) is None
+        plan = chaos.arm_from_env({"REPRO_CHAOS": "die:0.5+seed:3"})
+        assert plan is not None
+        assert plan.seed == 3
+        assert chaos.active_plan() is plan
+
+    def test_injections_are_tallied_and_metered(self):
+        plan = chaos.arm("write_eio:1+seed:1")
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                chaos.checkpoint("store.write", nbytes=4)
+        assert plan.injected[("store.write", "write_eio")] == 3
+        assert plan.total_injected() == 3
+        text = REGISTRY.to_prometheus_text()
+        assert (
+            'repro_chaos_injected_total{kind="write_eio",site="store.write"} 3'
+            in text
+        )

@@ -255,3 +255,61 @@ class TestDurability:
             final = Journal(path).load("abc")
             assert len(final) == 2, f"converged journal after cut {cut}"
             assert {k[2] for k in final} == {0, 1}
+
+    def test_torn_tail_inside_a_compacted_store_rename_window(self, tmp_path):
+        """A kill -9 can tear the first append *after* a compaction rename
+        -- and the next crash can additionally strand a ``.compact``
+        temporary.  Both artifacts together must heal at every cut: the
+        compacted prefix is authoritative, the torn fragment is dropped
+        (or kept when only its newline was lost), and the stray temporary
+        is discarded.
+        """
+        from repro.serve.protocol import JobSpec
+        from repro.serve.store import JobStore
+
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path, fsync=False)
+        store.open()
+        done, _ = store.submit(
+            JobSpec(circuit="c17", datalog="pattern 0 FAIL out0\n# a\n")
+        )
+        store.mark_running(done.job_id, 1)
+        store.mark_done(done.job_id, {"multiplets": [["n22"]]})
+        pending, _ = store.submit(
+            JobSpec(circuit="c17", datalog="pattern 0 FAIL out0\n# b\n")
+        )
+        stats = store.compact()
+        # The post-rename append that gets torn by the next kill -9.
+        store.mark_running(pending.job_id, 1)
+        store.close()
+        full = path.read_bytes()
+        tail_start = stats["after_bytes"]
+        assert tail_start < len(full)
+
+        tmp = tmp_path / "jobs.jsonl.compact"
+        for cut in range(tail_start, len(full) + 1):
+            path.write_bytes(full[:cut])
+            # Strand a plausible partial temporary alongside the tear.
+            tmp.write_bytes(full[: max(1, cut // 2)])
+            fragment = full[tail_start:cut]
+            try:
+                json.loads(fragment.decode())
+                expect_running = True  # only the newline was torn away
+            except ValueError:
+                expect_running = False
+
+            reopened = JobStore(path, fsync=False)
+            reopened.open(recover=False)
+            try:
+                healed_done = reopened.get(done.job_id)
+                assert healed_done.state == "done", f"cut {cut}"
+                assert healed_done.report == {"multiplets": [["n22"]]}
+                healed_pending = reopened.get(pending.job_id)
+                expected = "running" if expect_running else "submitted"
+                assert healed_pending.state == expected, f"cut {cut}"
+            finally:
+                reopened.close()
+            assert not tmp.exists(), f"stray temporary survived cut {cut}"
+            # The healed journal parses end to end.
+            for line in path.read_text().splitlines():
+                json.loads(line)

@@ -154,6 +154,29 @@ class TestTimeoutAndCrash:
         assert error.attempts == 2  # first attempt + one retry
         assert len(result.outcomes) == CONFIG.n_trials - 1
 
+    def test_channel_break_is_classified_and_metered(self, monkeypatch):
+        """A broken result channel is never swallowed silently: the cause
+        is classified, counted, and carried into the failure message."""
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.reset()
+        real = runner_mod._execute_trial
+
+        def die_on_trial_one(campaign, config, trial, deadline=None):
+            if trial == 1:
+                os._exit(3)
+            return real(campaign, config, trial, deadline)
+
+        monkeypatch.setattr(runner_mod, "_execute_trial", die_on_trial_one)
+        result = Campaign("rca4").run(CONFIG, RunnerConfig(jobs=2, retries=0))
+        assert result.failed_trials == 1
+        error = result.trial_errors[0]
+        assert error.cause == "crash"
+        assert "result channel EOFError" in str(error)
+        text = REGISTRY.to_prometheus_text()
+        assert 'repro_runner_channel_errors_total{cause="io"} 1' in text
+        REGISTRY.reset()
+
     def test_transient_crash_recovers_on_retry(self, monkeypatch, tmp_path):
         real = runner_mod._execute_trial
         flag = tmp_path / "crashed-once"

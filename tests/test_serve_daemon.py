@@ -221,6 +221,49 @@ class TestBackpressure:
         assert any("not writable" in r for r in body(unready)["reasons"])
 
 
+class TestHealthz:
+    def test_store_write_error_flips_healthz_until_a_write_succeeds(
+        self, harness
+    ):
+        from repro import chaos
+
+        daemon = harness(FakeRun())
+        assert daemon.handle("GET", "/healthz").status == 200
+        with chaos.armed("write_eio@store.write:1"):
+            rejected = daemon.handle("POST", "/jobs", spec_body("doomed"))
+        assert rejected.status == 500
+        assert "job store failure" in body(rejected)["error"]
+
+        # The failed durable append is an *unrecovered* write error: the
+        # process is unhealthy (not merely unready) and says why.
+        unhealthy = daemon.handle("GET", "/healthz")
+        assert unhealthy.status == 503
+        payload = body(unhealthy)
+        assert payload["status"] == "unhealthy"
+        assert "[io]" in payload["last_store_error"]
+        unready = daemon.handle("GET", "/readyz")
+        assert unready.status == 503
+        assert any(
+            "store write error" in r for r in body(unready)["reasons"]
+        )
+        assert (
+            'repro_serve_rejected_total{reason="store_error"} 1'
+            in REGISTRY.to_prometheus_text()
+        )
+
+        # Chaos disarmed: the next successful append clears the error.
+        accepted = daemon.handle("POST", "/jobs", spec_body("healthy"))
+        assert accepted.status == 202
+        assert daemon.handle("GET", "/healthz").status == 200
+
+    def test_healthz_stays_up_without_store_traffic(self, harness):
+        daemon = harness(FakeRun())
+        job_id = body(daemon.handle("POST", "/jobs", spec_body()))["id"]
+        wait_for(lambda: daemon.store.get(job_id).terminal)
+        assert daemon.handle("GET", "/healthz").status == 200
+        assert body(daemon.handle("GET", "/healthz"))["status"] == "ok"
+
+
 class TestCancel:
     def test_cancel_queued_is_immediate(self, harness):
         run = FakeRun(blocked=True)

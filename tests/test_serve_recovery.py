@@ -222,6 +222,82 @@ class TestKillMidJob:
         assert revived.sigterm_and_wait() == 0
 
 
+class TestSignalOrderings:
+    """The untested signal interleavings: force-quit and mid-recovery stop."""
+
+    def test_double_sigint_force_quits_130(self, spawn, datalog_c17, tmp_path):
+        # A wedged worker (chaos, 30s) holds the drain window open so the
+        # second SIGINT demonstrably lands *during* the drain.
+        daemon = spawn(
+            "--chaos",
+            "wedge@executor.job:1:30s",
+            "--drain-seconds",
+            "30",
+            store=tmp_path / "int.jsonl",
+        ).wait_ready()
+        job_id = daemon.submit(datalog_c17)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            status, raw = daemon.request("GET", f"/jobs/{job_id}")
+            if json.loads(raw)["state"] == "running":
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("job never started running")
+
+        daemon.proc.send_signal(signal.SIGINT)
+        time.sleep(0.5)  # the drain is now waiting on the wedged worker
+        daemon.proc.send_signal(signal.SIGINT)
+        assert daemon.proc.wait(timeout=15) == 130
+        out = daemon.proc.stdout.read()
+        assert "force quit" in out
+
+    def test_sigterm_during_recovery_drains_cleanly(
+        self, spawn, datalog_c17, tmp_path
+    ):
+        from repro.serve.protocol import JobSpec
+        from repro.serve.store import JobStore
+
+        # A store with 8 pending jobs: recovery has real work to replay.
+        store_path = tmp_path / "slow.jsonl"
+        store = JobStore(store_path, fsync=False)
+        store.open()
+        for i in range(8):
+            store.submit(
+                JobSpec(circuit="c17", datalog=datalog_c17 + f"# {i}\n")
+            )
+        store.close()
+
+        # 200ms per replayed record stretches recovery well past the
+        # SIGTERM sent below; the daemon must drain and exit 0 without
+        # ever binding its socket.
+        daemon = spawn(
+            "--chaos",
+            "slow_io@store.replay:200ms",
+            store=store_path,
+        )
+        time.sleep(0.8)
+        assert daemon.proc.poll() is None, "daemon died before the signal"
+        rc = daemon.sigterm_and_wait(timeout=30)
+        assert rc == 0
+        out = daemon.proc.stdout.read()
+        assert "stop requested during recovery" in out
+        assert "listening on" not in out
+
+        # Nothing was lost: a normal restart recovers the still-pending
+        # jobs (workers may have finished a few in the instants between
+        # replay and the drain) and every job reaches done.
+        revived = spawn(store=store_path).wait_ready()
+        assert 1 <= revived.recovered <= 8
+        status, raw = revived.request("GET", "/jobs")
+        jobs = json.loads(raw)["jobs"]
+        assert len(jobs) == 8
+        for job in jobs:
+            final = revived.wait_job(job["id"], timeout=60)
+            assert final["state"] == "done"
+        assert revived.sigterm_and_wait() == 0
+
+
 class TestExitCodes:
     def test_bind_conflict_exits_3(self, spawn, tmp_path):
         holder = spawn(store=tmp_path / "a.jsonl").wait_ready()

@@ -1,0 +1,377 @@
+"""Crash-safe job-store compaction and the chaos fault-plan sweep.
+
+The compaction protocol's contract is absolute: the atomic rename is the
+only commit point, so a crash at *any* byte offset of an interrupted
+compaction must leave the original journal authoritative, and a crash
+after the rename must replay to the identical job image.  These tests
+enforce the contract literally -- every prefix of the temporary file is
+tried -- and then sweep seeded fault plans over live store traffic to
+check the PR 6 durability invariants survive injected I/O failure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import chaos
+from repro.errors import JournalError
+from repro.obs.metrics import REGISTRY
+from repro.serve.protocol import JobSpec
+from repro.serve.store import JobStore
+
+LOG = "pattern 0 FAIL out0\n"
+
+
+def make_spec(tag: str = "a", **overrides) -> JobSpec:
+    base = dict(circuit="c17", datalog=LOG + f"# {tag}\n")
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos():
+    chaos.disarm()
+    REGISTRY.reset()
+    yield
+    chaos.disarm()
+    REGISTRY.reset()
+
+
+def build_journal(path) -> None:
+    """A journal with one job in every state plus superseded records."""
+    store = JobStore(path, fsync=False)
+    store.open()
+    done, _ = store.submit(make_spec("done"))
+    store.mark_running(done.job_id, 1)
+    store.mark_done(done.job_id, {"multiplets": [["n22"]], "score": 3})
+    failed, _ = store.submit(make_spec("failed"))
+    store.mark_running(failed.job_id, 1)
+    store.mark_failed(failed.job_id, {"cause": "diagnosis", "message": "boom"})
+    store.submit(make_spec("pending"))
+    running, _ = store.submit(make_spec("running"))
+    store.mark_running(running.job_id, 2)
+    cancelled, _ = store.submit(make_spec("cancelled"))
+    store.mark_cancelled(cancelled.job_id)
+    store.close()
+
+
+def image_of(path) -> dict:
+    """The replayed job image, without mutating the journal."""
+    store = JobStore(path, fsync=False)
+    store.open(recover=False)
+    try:
+        return {
+            job.job_id: (
+                job.state,
+                job.attempts,
+                job.recovered,
+                job.report,
+                job.error,
+            )
+            for job in store.jobs()
+        }
+    finally:
+        store.close()
+
+
+class TestCompact:
+    def test_compact_preserves_the_image_and_drops_garbage(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        build_journal(path)
+        baseline = image_of(path)
+        before_lines = len(path.read_text().splitlines())
+
+        store = JobStore(path, fsync=False)
+        store.open(recover=False)
+        stats = store.compact()
+        store.close()
+
+        assert stats["dropped_records"] > 0
+        assert stats["after_bytes"] < stats["before_bytes"]
+        after_lines = len(path.read_text().splitlines())
+        assert after_lines < before_lines
+        assert image_of(path) == baseline
+        assert not (tmp_path / "jobs.jsonl.compact").exists()
+
+    def test_store_stays_appendable_after_compaction(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        build_journal(path)
+        store = JobStore(path, fsync=False)
+        store.open(recover=False)
+        store.compact()
+        job, created = store.submit(make_spec("post-compact"))
+        store.mark_running(job.job_id, 1)
+        store.mark_done(job.job_id, {"multiplets": []})
+        store.close()
+        assert created
+        assert image_of(path)[job.job_id][0] == "done"
+
+    def test_compact_twice_is_a_fixpoint(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        build_journal(path)
+        store = JobStore(path, fsync=False)
+        store.open(recover=False)
+        store.compact()
+        first = path.read_bytes()
+        store.compact()
+        store.close()
+        assert path.read_bytes() == first
+
+    def test_compact_requires_an_open_store(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        build_journal(path)
+        with pytest.raises(JournalError, match="not open"):
+            JobStore(path, fsync=False).compact()
+
+
+class TestInterruptedCompaction:
+    """kill -9 at any byte of the compaction must lose nothing."""
+
+    def test_every_byte_offset_of_the_temporary(self, tmp_path):
+        original = tmp_path / "jobs.jsonl"
+        build_journal(original)
+        baseline = image_of(original)
+        original_bytes = original.read_bytes()
+
+        # The exact bytes an uninterrupted compaction would have written.
+        golden_dir = tmp_path / "golden"
+        golden_dir.mkdir()
+        golden = golden_dir / "jobs.jsonl"
+        golden.write_bytes(original_bytes)
+        store = JobStore(golden, fsync=False)
+        store.open(recover=False)
+        store.compact()
+        store.close()
+        compacted_bytes = golden.read_bytes()
+
+        case = tmp_path / "case"
+        case.mkdir()
+        path = case / "jobs.jsonl"
+        tmp = case / "jobs.jsonl.compact"
+        for cut in range(len(compacted_bytes) + 1):
+            # Crash before the rename with `cut` temporary bytes on disk:
+            # the original journal is still the authority.
+            path.write_bytes(original_bytes)
+            tmp.write_bytes(compacted_bytes[:cut])
+            assert image_of(path) == baseline, f"diverged at tmp cut {cut}"
+            assert not tmp.exists(), f"stray temporary survived cut {cut}"
+
+    def test_crash_after_the_rename_replays_identically(self, tmp_path):
+        original = tmp_path / "jobs.jsonl"
+        build_journal(original)
+        baseline = image_of(original)
+        store = JobStore(original, fsync=False)
+        store.open(recover=False)
+        store.compact()
+        store.close()
+        # Nothing ran after the rename: the compacted journal alone must
+        # replay to the same image (this *is* the post-rename crash state).
+        assert image_of(original) == baseline
+
+
+class TestCompactionUnderChaos:
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            "write_eio@store.compact.write:1",
+            "fsync_eio@store.compact.fsync:1",
+            "rename_eio@store.compact.rename:1",
+            "enospc_after@store.compact.write:0",
+        ],
+    )
+    def test_injected_failure_leaves_the_original_authoritative(
+        self, tmp_path, plan
+    ):
+        path = tmp_path / "jobs.jsonl"
+        build_journal(path)
+        baseline = image_of(path)
+
+        store = JobStore(path, fsync=False)
+        store.open(recover=False)
+        with chaos.armed(plan):
+            with pytest.raises(JournalError, match="compaction"):
+                store.compact()
+        assert store.last_error is not None
+        assert "compaction" in store.last_error
+        # The store healed: the original is untouched, the temporary is
+        # gone, and appends keep working.
+        job, created = store.submit(make_spec("after-fault"))
+        assert created
+        store.close()
+
+        assert not (tmp_path / "jobs.jsonl.compact").exists()
+        final = image_of(path)
+        assert final.pop(job.job_id)[0] == "submitted"
+        assert final == baseline
+        text = REGISTRY.to_prometheus_text()
+        assert 'repro_store_compactions_total{outcome="failed"} 1' in text
+        assert "repro_chaos_injected_total" in text
+
+    def test_maybe_compact_swallows_the_failure(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        build_journal(path)
+        store = JobStore(path, fsync=False, compact_bytes=1)
+        store.open(recover=False)
+        assert store.should_compact()
+        with chaos.armed("write_eio@store.compact.write:1"):
+            assert store.maybe_compact() is False
+        assert store.maybe_compact() is True  # disarmed: succeeds
+        store.close()
+
+
+class TestTriggers:
+    def test_size_trigger(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        build_journal(path)
+        store = JobStore(path, fsync=False, compact_bytes=1)
+        store.open(recover=False)
+        assert store.should_compact()
+        assert store.maybe_compact() is True
+        # Compacted: no superseded records left, so no retrigger.
+        assert not store.should_compact()
+        assert store.maybe_compact() is False
+        store.close()
+
+    def test_age_trigger_uses_the_injected_clock(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        build_journal(path)
+        now = {"t": 100.0}
+        store = JobStore(
+            path,
+            fsync=False,
+            compact_age_seconds=30.0,
+            clock=lambda: now["t"],
+        )
+        store.open(recover=False)
+        assert not store.should_compact()  # too young
+        now["t"] += 31.0
+        assert store.should_compact()
+        store.compact()
+        now["t"] += 1.0
+        assert not store.should_compact()  # age reset and no garbage yet
+        store.close()
+
+    def test_no_trigger_configured_means_never(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        build_journal(path)
+        store = JobStore(path, fsync=False)
+        store.open(recover=False)
+        assert not store.should_compact()
+        assert store.maybe_compact() is False
+        store.close()
+
+    def test_no_garbage_means_no_compaction(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path, fsync=False, compact_bytes=1)
+        store.open()
+        store.submit(make_spec("only"))
+        # Journal is already minimal (header + job record): a rewrite
+        # would be pure churn, so the size trigger must not fire.
+        assert not store.should_compact()
+        store.close()
+
+
+class TestCompactCli:
+    def test_cli_compacts_and_reports(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "jobs.jsonl"
+        build_journal(path)
+        baseline = image_of(path)
+        before = path.stat().st_size
+        assert main(["store", "compact", "--store", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "dropped" in out
+        assert path.stat().st_size < before
+        assert image_of(path) == baseline
+
+    def test_cli_refuses_a_missing_store(self, tmp_path, capsys):
+        # A typo'd path must error, not be created and "compacted" empty.
+        from repro.cli import main
+
+        path = tmp_path / "nope.jsonl"
+        assert main(["store", "compact", "--store", str(path)]) == 2
+        assert "not found" in capsys.readouterr().err
+        assert not path.exists()
+
+    def test_cli_refuses_a_locked_store(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "jobs.jsonl"
+        build_journal(path)
+        holder = JobStore(path, fsync=False)
+        holder.open()
+        try:
+            assert main(["store", "compact", "--store", str(path)]) == 2
+        finally:
+            holder.close()
+        assert "locked" in capsys.readouterr().err
+
+
+class TestChaosSweep:
+    """PR 6 invariants under seeded fault plans on live store traffic.
+
+    Every operation that *returned without raising* was acknowledged and
+    must survive a reopen; every operation that raised must not corrupt
+    the journal.  The plans cover probabilistic EIO on writes and
+    fsyncs, the ENOSPC cliff, and slow I/O.
+    """
+
+    PLANS = [
+        "write_eio@store.write:0.3+seed:1",
+        "fsync_eio@store.fsync:0.3+seed:2",
+        "write_eio@store.write:0.15+fsync_eio@store.fsync:0.15+seed:9",
+        "enospc_after:2500",
+        "slow_io@store.*:1ms",
+    ]
+
+    @pytest.mark.parametrize("plan", PLANS)
+    def test_acknowledged_records_survive(self, tmp_path, plan):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path, fsync=True, compact_bytes=2000)
+        store.open()
+
+        acked_done: dict[str, dict] = {}
+        acked_jobs: set[str] = set()
+        injected_errors = 0
+        with chaos.armed(plan):
+            for i in range(12):
+                try:
+                    job, _ = store.submit(make_spec(f"sweep-{i}"))
+                except JournalError:
+                    injected_errors += 1
+                    continue
+                acked_jobs.add(job.job_id)
+                try:
+                    store.mark_running(job.job_id, 1)
+                except JournalError:
+                    injected_errors += 1
+                    continue
+                report = {"multiplets": [[f"n{i}"]], "trial": i}
+                try:
+                    store.mark_done(job.job_id, report)
+                except JournalError:
+                    injected_errors += 1
+                    continue
+                acked_done[job.job_id] = report
+                store.maybe_compact()  # compaction failures are non-fatal
+        store.close()
+
+        if "slow_io" not in plan:
+            assert injected_errors > 0, "plan never fired; sweep is vacuous"
+
+        reopened = JobStore(path, fsync=False)
+        recovered = reopened.open()
+        try:
+            seen = {j.job_id for j in reopened.jobs()}
+            assert acked_jobs <= seen
+            for job_id, report in acked_done.items():
+                job = reopened.get(job_id)
+                assert job.state == "done", f"lost terminal record {job_id}"
+                assert job.report == report
+            # Acknowledged-but-unfinished jobs recover as submitted.
+            for job in recovered:
+                assert job.state == "submitted" and job.recovered
+                assert job.job_id not in acked_done
+        finally:
+            reopened.close()

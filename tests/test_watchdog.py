@@ -1,0 +1,290 @@
+"""Executor watchdog: dead-worker respawn, wedge abandonment, retry walls.
+
+The executor's per-attempt isolation handles exceptions; the watchdog
+handles the two failures isolation cannot: a worker thread *dying* (a
+``BaseException`` -- chaos ``die`` models a segfault) and a worker
+*wedging* (stuck past ``stuck_seconds``).  Both must end with the job
+requeued under the transient taxonomy and the pool healed, and the
+abandoned run must never double-report its job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import chaos
+from repro.chaos.plan import WorkerDeath, _draw
+from repro.core.budget import CancellationToken
+from repro.core.report import DiagnosisReport
+from repro.obs.metrics import REGISTRY
+from repro.serve.executor import ExecutorCallbacks, ShardExecutor
+from repro.serve.protocol import JobSpec
+
+# Several tests kill worker threads on purpose; the escaping
+# BaseException is the scenario under test, not an accident.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    chaos.disarm()
+    REGISTRY.reset()
+    yield
+    chaos.disarm()
+    REGISTRY.reset()
+
+
+def make_spec(tag: str = "a") -> JobSpec:
+    return JobSpec(circuit="c17", datalog=f"pattern 0 FAIL out0\n# {tag}\n")
+
+
+def report_for(spec: JobSpec) -> DiagnosisReport:
+    return DiagnosisReport(method=spec.method, circuit=spec.circuit, stats={})
+
+
+def wait_for(predicate, timeout: float = 5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.005)
+    raise AssertionError("condition not reached within timeout")
+
+
+class Recorder(ExecutorCallbacks):
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.running: list[tuple[str, int]] = []
+        self.done: list[str] = []
+        self.failed: list[tuple[str, object]] = []
+        self.cancelled: list[str] = []
+        self.deferred: list[str] = []
+        self.requeued: list[tuple[str, str]] = []
+
+    def on_running(self, job_id, attempt):
+        with self.lock:
+            self.running.append((job_id, attempt))
+
+    def on_done(self, job_id, report):
+        with self.lock:
+            self.done.append(job_id)
+
+    def on_failed(self, job_id, error):
+        with self.lock:
+            self.failed.append((job_id, error))
+
+    def on_cancelled(self, job_id):
+        with self.lock:
+            self.cancelled.append(job_id)
+
+    def on_deferred(self, job_id):
+        with self.lock:
+            self.deferred.append(job_id)
+
+    def on_requeued(self, job_id, cause):
+        with self.lock:
+            self.requeued.append((job_id, cause))
+
+
+class ScriptedRun:
+    """Per-call behaviors: "ok", "block" (until gate), or an exception."""
+
+    def __init__(self, *script):
+        self.script = list(script)
+        self.gate = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, spec, token=None, degraded=False):
+        with self._lock:
+            behavior = self.script.pop(0) if self.script else "ok"
+            self.calls += 1
+        if behavior == "block":
+            self.gate.wait(10.0)
+        elif isinstance(behavior, BaseException):
+            raise behavior
+        return report_for(spec)
+
+
+def make_executor(cb, run, **kw):
+    kw.setdefault("workers", 1)
+    kw.setdefault("backoff", 0.001)
+    kw.setdefault("watchdog_interval", 0)  # tests drive watchdog_pass()
+    ex = ShardExecutor(cb, run=run, **kw)
+    ex.start()
+    return ex
+
+
+class TestDeadWorker:
+    def test_death_requeues_and_respawns(self):
+        cb = Recorder()
+        run = ScriptedRun(WorkerDeath("executor.job"), "ok")
+        ex = make_executor(cb, run)
+        ex.submit("j1", make_spec(), CancellationToken())
+        # The WorkerDeath is a BaseException: it kills the worker thread
+        # outright instead of being absorbed by per-job isolation.
+        wait_for(lambda: not ex.alive())
+        assert cb.done == [] and cb.failed == []
+
+        ex.watchdog_pass()
+        assert cb.requeued == [("j1", "crash")]
+        wait_for(lambda: ex.alive())
+        wait_for(lambda: cb.done == ["j1"])
+        # The requeued attempt carries the attempt counter forward.
+        assert cb.running == [("j1", 1), ("j1", 2)]
+        text = REGISTRY.to_prometheus_text()
+        assert 'repro_watchdog_requeues_total{cause="crash"} 1' in text
+        assert "repro_watchdog_respawns_total 1" in text
+        assert ex.drain(2.0)
+
+    def test_idle_death_respawns_without_requeue(self):
+        cb = Recorder()
+        ex = make_executor(cb, ScriptedRun())
+        # Kill the idle worker from outside (no job held).
+        ex._slots[0].queue.put(object())  # not _STOP, not an _Item: TypeError
+        wait_for(lambda: not ex.alive())
+        ex.watchdog_pass()
+        assert cb.requeued == []
+        wait_for(lambda: ex.alive())
+        ex.submit("j1", make_spec(), CancellationToken())
+        wait_for(lambda: cb.done == ["j1"])
+        assert ex.drain(2.0)
+
+    def test_healthy_pool_is_left_alone(self):
+        cb = Recorder()
+        ex = make_executor(cb, ScriptedRun())
+        ex.watchdog_pass()
+        ex.watchdog_pass()
+        assert "repro_watchdog_respawns_total" not in REGISTRY.to_prometheus_text()
+        assert ex.drain(2.0)
+
+
+class TestWedgedWorker:
+    def test_wedge_is_abandoned_and_requeued_exactly_once(self):
+        cb = Recorder()
+        run = ScriptedRun("block", "ok")
+        ex = make_executor(cb, run, stuck_seconds=0.05)
+        ex.submit("j1", make_spec(), CancellationToken())
+        wait_for(lambda: cb.running)
+        ex.watchdog_pass()  # too early: the job is slow, not stuck
+        assert cb.requeued == []
+        time.sleep(0.08)
+        ex.watchdog_pass()
+        assert cb.requeued == [("j1", "timeout")]
+        wait_for(lambda: cb.done == ["j1"])
+
+        # The wedged run eventually wakes, finds itself abandoned and its
+        # generation stale, and reports nothing: exactly one done.
+        run.gate.set()
+        wait_for(lambda: run.calls == 2)
+        time.sleep(0.05)
+        assert cb.done == ["j1"]
+        assert cb.failed == []
+        text = REGISTRY.to_prometheus_text()
+        assert 'repro_watchdog_requeues_total{cause="timeout"} 1' in text
+        assert ex.drain(2.0)
+
+    def test_no_stuck_threshold_means_no_wedge_detection(self):
+        cb = Recorder()
+        run = ScriptedRun("block")
+        ex = make_executor(cb, run, stuck_seconds=None)
+        ex.submit("j1", make_spec(), CancellationToken())
+        wait_for(lambda: cb.running)
+        time.sleep(0.05)
+        ex.watchdog_pass()
+        assert cb.requeued == []
+        run.gate.set()
+        wait_for(lambda: cb.done == ["j1"])
+        assert ex.drain(2.0)
+
+
+class TestRetryWallClock:
+    def test_requeue_past_the_wall_fails_terminally(self):
+        cb = Recorder()
+        run = ScriptedRun("block", "ok")
+        ex = make_executor(
+            cb, run, stuck_seconds=0.05, retry_wall_seconds=0.0
+        )
+        ex.submit("j1", make_spec(), CancellationToken())
+        wait_for(lambda: cb.running)
+        time.sleep(0.08)
+        ex.watchdog_pass()
+        # The wall (0s) is already spent: no requeue, terminal failure.
+        assert cb.requeued == []
+        wait_for(lambda: cb.failed)
+        job_id, error = cb.failed[0]
+        assert job_id == "j1"
+        assert error.cause == "timeout"
+        assert "wall" in str(error)
+        run.gate.set()
+        assert ex.drain(2.0)
+
+    def test_transient_retry_past_the_wall_fails_terminally(self):
+        cb = Recorder()
+        from repro.errors import TrialError
+
+        run = ScriptedRun(
+            TrialError("flaky", cause="crash"), "ok"
+        )
+        ex = make_executor(cb, run, retries=3, retry_wall_seconds=0.0)
+        ex.submit("j1", make_spec(), CancellationToken())
+        # With budget left this would retry; the exhausted wall forbids it.
+        wait_for(lambda: cb.failed)
+        assert run.calls == 1
+        assert cb.done == []
+        assert ex.drain(2.0)
+
+
+class TestChaosIntegration:
+    """The chaos ``die``/``wedge`` kinds through the real daemon."""
+
+    @staticmethod
+    def _seed_killing_only_the_first_call(probability: float = 0.5) -> int:
+        for seed in range(500):
+            if (
+                _draw(seed, 0, "executor.job", 0) < probability
+                and _draw(seed, 0, "executor.job", 1) >= probability
+            ):
+                return seed
+        raise AssertionError("no such seed in range")
+
+    def test_injected_worker_death_heals_and_finishes_the_job(self, tmp_path):
+        from repro.serve.app import DiagnosisDaemon, ServeConfig
+
+        seed = self._seed_killing_only_the_first_call()
+        config = ServeConfig(
+            store=tmp_path / "jobs.jsonl",
+            workers=1,
+            fsync=False,
+            backoff=0.001,
+            watchdog_interval=0.02,
+            retry_wall_seconds=10.0,
+        )
+        daemon = DiagnosisDaemon(config, run=lambda spec, token=None,
+                                 degraded=False: report_for(spec))
+        daemon.start()
+        try:
+            with chaos.armed(f"die:0.5+seed:{seed}"):
+                resp = daemon.handle(
+                    "POST",
+                    "/jobs",
+                    b'{"circuit": "c17", "datalog": "pattern 0 FAIL out0\\n"}',
+                )
+                assert resp.status == 202
+                import json as _json
+
+                job_id = _json.loads(resp.body)["id"]
+                wait_for(lambda: daemon.store.get(job_id).terminal)
+            job = daemon.store.get(job_id)
+            assert job.state == "done"
+            text = REGISTRY.to_prometheus_text()
+            assert 'repro_chaos_injected_total{kind="die",site="executor.job"} 1' in text
+            assert 'repro_watchdog_requeues_total{cause="crash"} 1' in text
+        finally:
+            assert daemon.drain()
