@@ -26,6 +26,7 @@ from repro.chaos.plan import (
     FaultPlan,
     FaultRule,
     InjectedFault,
+    InjectedHttp,
     WorkerDeath,
     parse_chaos_spec,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "InjectedFault",
+    "InjectedHttp",
     "WorkerDeath",
     "active_plan",
     "arm",

@@ -37,6 +37,23 @@ Fault kinds:
     With probability ``P``, raise :class:`WorkerDeath` (a
     ``BaseException``) at ``executor.job`` sites, killing the worker
     thread outright the way a segfault kills a process.
+``conn_refused:P``
+    With probability ``P``, raise :class:`InjectedFault` with
+    ``errno.ECONNREFUSED`` at ``cluster.*.send`` sites -- the request
+    never left this machine (a dead peer, a closed port).
+``drop_response:P``
+    With probability ``P``, raise :class:`InjectedFault` with
+    ``errno.ETIMEDOUT`` at ``cluster.*.recv`` sites -- the request
+    *reached* the peer but the response was lost in flight, so the
+    caller cannot tell whether the operation happened (the classic
+    at-least-once ambiguity the cluster's idempotent job ids resolve).
+``http_503:P``
+    With probability ``P``, raise :class:`InjectedHttp` (status 503) at
+    ``cluster.*.recv`` sites; the cluster client converts it into a
+    synthetic 503 response -- a live peer shedding load.
+``slow_net:D``
+    Sleep ``D`` at every matching ``cluster.*`` site; models WAN
+    latency or a saturated link on the coordinator/worker path.
 ``seed:N``
     Pseudo-entry: pins the plan's decision seed (default: a digest of
     the spec text itself).
@@ -82,6 +99,22 @@ class WorkerDeath(BaseException):
         self.site = site
 
 
+class InjectedHttp(Exception):
+    """A chaos-injected HTTP error *response* (a live peer answering 503).
+
+    Not an ``OSError``: the network worked, the peer answered -- with a
+    refusal.  The cluster client catches it at its ``.recv`` checkpoint
+    and synthesizes the corresponding response, so the coordinator's
+    retry/backoff path sees exactly what a load-shedding worker would
+    send.
+    """
+
+    def __init__(self, site: str, status: int = 503):
+        super().__init__(f"chaos[http_{status}] injected at {site}")
+        self.site = site
+        self.status = status
+
+
 #: Duration suffixes accepted by ``slow_io`` / ``wedge`` arguments.
 _DURATIONS = (("ms", 1e-3), ("us", 1e-6), ("s", 1.0))
 
@@ -94,6 +127,13 @@ _KINDS = {
     "slow_io": "*",
     "wedge": "executor.job",
     "die": "executor.job",
+    # Network kinds: fired at the cluster client's checkpoints
+    # (``cluster.<op>.send`` before a request leaves, ``cluster.<op>.recv``
+    # after it was sent but before the response is read).
+    "conn_refused": "cluster.*.send",
+    "drop_response": "cluster.*.recv",
+    "http_503": "cluster.*.recv",
+    "slow_net": "cluster.*",
 }
 
 
@@ -168,7 +208,15 @@ def parse_chaos_spec(spec: str) -> "FaultPlan":
                 f"unknown chaos fault kind {kind!r} (known: "
                 f"{', '.join(sorted(_KINDS))})"
             )
-        if kind in ("fsync_eio", "write_eio", "rename_eio", "die"):
+        if kind in (
+            "fsync_eio",
+            "write_eio",
+            "rename_eio",
+            "die",
+            "conn_refused",
+            "drop_response",
+            "http_503",
+        ):
             if len(args) != 1:
                 raise ChaosError(f"{kind} takes one probability: {entry!r}")
             rules.append(
@@ -184,9 +232,9 @@ def parse_chaos_spec(spec: str) -> "FaultPlan":
             if threshold < 0:
                 raise ChaosError(f"negative byte count in {entry!r}")
             rules.append(FaultRule(kind, site, threshold=threshold))
-        elif kind == "slow_io":
+        elif kind in ("slow_io", "slow_net"):
             if len(args) != 1:
-                raise ChaosError(f"slow_io takes one duration: {entry!r}")
+                raise ChaosError(f"{kind} takes one duration: {entry!r}")
             rules.append(
                 FaultRule(kind, site, duration=_parse_duration(args[0], entry))
             )
@@ -266,7 +314,7 @@ class FaultPlan:
         for index, rule in enumerate(self.rules):
             if not rule.matches(site):
                 continue
-            if rule.kind == "slow_io":
+            if rule.kind in ("slow_io", "slow_net"):
                 self._note(site, rule.kind)
                 self.sleep(rule.duration)
             elif rule.kind == "wedge":
@@ -290,6 +338,18 @@ class FaultPlan:
                 if self._decide(index, rule, site):
                     self._note(site, rule.kind)
                     raise WorkerDeath(site)
+            elif rule.kind == "conn_refused":
+                if self._decide(index, rule, site):
+                    self._note(site, rule.kind)
+                    raise InjectedFault(errno.ECONNREFUSED, site, rule.kind)
+            elif rule.kind == "drop_response":
+                if self._decide(index, rule, site):
+                    self._note(site, rule.kind)
+                    raise InjectedFault(errno.ETIMEDOUT, site, rule.kind)
+            elif rule.kind == "http_503":
+                if self._decide(index, rule, site):
+                    self._note(site, rule.kind)
+                    raise InjectedHttp(site)
 
     def total_injected(self) -> int:
         with self._lock:

@@ -8,12 +8,15 @@ Subcommands:
 - ``inject <circuit>``    sample defects, apply the test, write a datalog,
 - ``diagnose <circuit>``  run the diagnosis against a datalog file,
 - ``campaign <circuit>``  run a scored injection campaign,
-- ``serve``               run the fault-tolerant diagnosis daemon.
+- ``serve``               run the fault-tolerant diagnosis daemon
+                          (``--role standalone|worker|coordinator``),
+- ``cluster status``      query a node's fabric view (membership, leases).
 
-``repro serve`` exit codes are distinct and documented so supervisors can
-react per failure class: 0 clean drain, 1 drain deadline overran (deferred
-jobs recover on restart), 2 configuration error, 3 bind failure, 4 job
-store locked by another daemon.
+``repro serve`` exit codes are distinct, documented (``--help``), and
+shared by every role so supervisors can react per failure class: 0 clean
+drain, 1 drain deadline overran (deferred jobs recover on restart), 2
+configuration error (including a coordinator configured with zero
+workers), 3 bind failure, 4 job store locked by another daemon.
 """
 
 from __future__ import annotations
@@ -371,23 +374,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         serve,
     )
 
-    config = ServeConfig(
-        store=args.store,
-        host=args.host,
-        port=args.port,
-        workers=args.jobs,
-        queue_depth=args.queue_depth,
-        high_water=args.high_water,
-        drain_seconds=args.drain_seconds,
-        retries=args.retries,
-        fsync=not args.no_fsync,
-        compact_bytes=args.compact_bytes if args.compact_bytes > 0 else None,
-        compact_age_seconds=args.compact_age if args.compact_age > 0 else None,
-        stuck_seconds=args.stuck_seconds if args.stuck_seconds > 0 else None,
-        retry_wall_seconds=args.retry_wall if args.retry_wall > 0 else None,
-        chaos=args.chaos,
-    )
     try:
+        if args.role == "coordinator":
+            return _serve_coordinator(args)
+        if args.worker:
+            raise ServeError(
+                "--worker only applies to --role coordinator "
+                f"(got --role {args.role})"
+            )
+        config = ServeConfig(
+            store=args.store,
+            host=args.host,
+            port=args.port,
+            workers=args.jobs,
+            queue_depth=args.queue_depth,
+            high_water=args.high_water,
+            drain_seconds=args.drain_seconds,
+            retries=args.retries,
+            fsync=not args.no_fsync,
+            compact_bytes=args.compact_bytes if args.compact_bytes > 0 else None,
+            compact_age_seconds=args.compact_age if args.compact_age > 0 else None,
+            stuck_seconds=args.stuck_seconds if args.stuck_seconds > 0 else None,
+            retry_wall_seconds=args.retry_wall if args.retry_wall > 0 else None,
+            chaos=args.chaos,
+            role=args.role,
+        )
         if config.workers < 1:
             raise ServeError("--jobs must be >= 1")
         if config.queue_depth < 1:
@@ -406,6 +417,88 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_CONFIG
+
+
+def _serve_coordinator(args: argparse.Namespace) -> int:
+    """Build and run the cluster coordinator (raises for the exit-code
+    mapping in :func:`_cmd_serve`)."""
+    from repro.errors import ServeError
+    from repro.serve.cluster import CoordinatorConfig, serve_coordinator
+
+    if args.queue_depth < 1:
+        raise ServeError("--queue-depth must be >= 1")
+    if args.heartbeat_interval < 0 or args.lease_seconds <= 0:
+        raise ServeError(
+            "--heartbeat-interval must be >= 0 and --lease-seconds > 0"
+        )
+    if args.max_failures < 1 or args.min_live < 1:
+        raise ServeError("--max-failures and --min-live must be >= 1")
+    config = CoordinatorConfig(
+        store=args.store,
+        host=args.host,
+        port=args.port,
+        workers=tuple(args.worker),  # empty -> ServeError from the parser
+        heartbeat_interval=args.heartbeat_interval,
+        max_failures=args.max_failures,
+        lease_seconds=args.lease_seconds,
+        min_live=args.min_live,
+        queue_depth=args.queue_depth,
+        drain_seconds=args.drain_seconds,
+        retry_wall_seconds=args.retry_wall if args.retry_wall > 0 else None,
+        fsync=not args.no_fsync,
+        compact_bytes=args.compact_bytes if args.compact_bytes > 0 else None,
+        chaos=args.chaos,
+    )
+    return serve_coordinator(config)
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    from repro.serve.cluster.client import NodeUnreachable, WorkerClient
+
+    client = WorkerClient(timeout=args.timeout)
+    try:
+        status, payload = client.request(
+            args.url, "health", "GET", "/cluster/status"
+        )
+    except NodeUnreachable as exc:
+        raise ReproError(str(exc)) from exc
+    if status != 200:
+        raise ReproError(
+            f"{args.url}/cluster/status answered {status}: "
+            f"{payload.get('error', payload)}"
+        )
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"role: {payload.get('role', 'unknown')}")
+    counts = payload.get("counts", {})
+    if counts:
+        summary = ", ".join(
+            f"{state}={counts[state]}" for state in sorted(counts)
+        )
+        print(f"jobs: {summary}")
+    for node in payload.get("nodes", []):
+        print(
+            f"node {node['name']:>8} {node['state']:>8} "
+            f"failures={node['failures']} {node.get('url', '')}"
+        )
+    leases = payload.get("leases", [])
+    for lease in leases:
+        print(
+            f"lease {lease['id']} -> {lease['node']} "
+            f"attempt={lease['attempt']} "
+            f"expires_in={lease['expires_in_seconds']}s"
+            + (" (adopted)" if lease.get("adopted") else "")
+        )
+    pending = payload.get("pending", [])
+    if pending:
+        print(f"pending dispatch: {', '.join(pending)}")
+    if "queued" in payload:
+        print(
+            f"queued={payload['queued']} running={payload['running']} "
+            f"draining={payload.get('draining', False)}"
+        )
+    return 0
 
 
 def _cmd_store_compact(args: argparse.Namespace) -> int:
@@ -590,7 +683,62 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve",
         help="run the fault-tolerant diagnosis daemon (durable job store, "
-        "crash recovery, backpressure, graceful drain)",
+        "crash recovery, backpressure, graceful drain) or the cluster "
+        "coordinator (--role coordinator)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes (all roles):\n"
+            "  0  clean drain (SIGTERM honored within the deadline)\n"
+            "  1  drain deadline overran; deferred jobs recover on restart\n"
+            "  2  configuration error (bad flag, zero workers for a "
+            "coordinator)\n"
+            "  3  listen address could not be bound\n"
+            "  4  job store locked by another daemon\n"
+        ),
+    )
+    p.add_argument(
+        "--role",
+        choices=("standalone", "worker", "coordinator"),
+        default="standalone",
+        help="standalone serves end clients directly; worker is the same "
+        "daemon fronted by a coordinator; coordinator admits jobs and "
+        "dispatches them to --worker nodes under durable leases",
+    )
+    p.add_argument(
+        "--worker",
+        action="append",
+        default=[],
+        metavar="[NAME=]URL",
+        help="(coordinator) one worker node base URL, repeatable; bare "
+        "URLs are auto-named w0, w1, ...; a coordinator with zero "
+        "workers refuses to start",
+    )
+    p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="(coordinator) seconds between worker /healthz polls",
+    )
+    p.add_argument(
+        "--max-failures",
+        type=int,
+        default=3,
+        help="(coordinator) consecutive heartbeat failures before a "
+        "worker is declared dead and its leases are taken over",
+    )
+    p.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=15.0,
+        help="(coordinator) unrenewed-lease expiry; the takeover backstop "
+        "for partitions that drop responses without refusing connections",
+    )
+    p.add_argument(
+        "--min-live",
+        type=int,
+        default=1,
+        help="(coordinator) admission floor: below this many routable "
+        "workers new submissions get 503 + Retry-After",
     )
     p.add_argument(
         "--store",
@@ -697,6 +845,27 @@ def build_parser() -> argparse.ArgumentParser:
         "while a daemon holds the store lock",
     )
     p.set_defaults(func=_cmd_store_compact)
+
+    p = sub.add_parser(
+        "cluster",
+        help="cluster fabric introspection",
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+    p = cluster_sub.add_parser(
+        "status",
+        help="query a node's /cluster/status (coordinator: membership, "
+        "leases, pending dispatches; worker/standalone: role and load)",
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="node base URL (default: http://127.0.0.1:8765)",
+    )
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.add_argument(
+        "--json", action="store_true", help="print the raw JSON payload"
+    )
+    p.set_defaults(func=_cmd_cluster_status)
     return parser
 
 

@@ -507,6 +507,41 @@ def record_watchdog_respawn() -> None:
     ).inc()
 
 
+# -- cluster recorders (see :mod:`repro.serve.cluster`) ----------------------
+
+
+def set_cluster_nodes(alive: int, suspect: int, dead: int) -> None:
+    """Point-in-time worker membership as seen by the coordinator."""
+    gauge = REGISTRY.gauge
+    gauge(
+        "repro_cluster_nodes", "worker nodes by membership state", state="alive"
+    ).set(alive)
+    gauge(
+        "repro_cluster_nodes", "worker nodes by membership state", state="suspect"
+    ).set(suspect)
+    gauge(
+        "repro_cluster_nodes", "worker nodes by membership state", state="dead"
+    ).set(dead)
+
+
+def record_lease_takeover(cause: str) -> None:
+    """A dispatched job re-leased to a new node (``dead`` / ``missing`` /
+    ``expired`` / ``unreachable``)."""
+    REGISTRY.counter(
+        "repro_cluster_lease_takeovers_total",
+        "job leases taken over from a failed or lapsed node",
+        cause=cause,
+    ).inc()
+
+
+def record_dispatch_retry() -> None:
+    """A dispatch attempt that failed and was scheduled for backoff."""
+    REGISTRY.counter(
+        "repro_cluster_dispatch_retries_total",
+        "job dispatch attempts retried after a node error",
+    ).inc()
+
+
 def record_channel_error(cause: str) -> None:
     """A worker result channel broke mid-read in the campaign runner."""
     REGISTRY.counter(

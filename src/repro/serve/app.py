@@ -107,6 +107,11 @@ class ServeConfig:
     #: Chaos fault-plan spec (e.g. ``fsync_eio:0.05+slow_io:20ms``);
     #: None falls back to the ``REPRO_CHAOS`` environment variable.
     chaos: str | None = None
+    #: ``standalone`` or ``worker``: a worker is the same daemon serving
+    #: a coordinator instead of end clients (the coordinator drives it
+    #: through the public job protocol, which is the whole point); the
+    #: role is surfaced in the startup banner and ``/cluster/status``.
+    role: str = "standalone"
 
 
 @dataclass
@@ -120,10 +125,17 @@ class Response:
 
     @classmethod
     def json(cls, status: int, payload: dict, **headers) -> "Response":
+        """Build a JSON response; keyword headers are normalized from
+        Python identifiers to dashed HTTP names (``retry_after`` ->
+        ``Retry-After``), so callers never need ``**{"Retry-After": ...}``
+        contortions."""
         return cls(
             status,
             (json.dumps(payload, indent=2) + "\n").encode(),
-            headers=headers,
+            headers={
+                key.replace("_", "-").title(): str(value)
+                for key, value in headers.items()
+            },
         )
 
     @classmethod
@@ -230,8 +242,16 @@ class DiagnosisDaemon(ExecutorCallbacks):
         with self._lock:
             if self._draining:
                 record_admission_rejected("draining")
+                # The restart horizon is the drain deadline plus recovery;
+                # like the 429 path, tell the client when to come back.
+                retry_after = max(1, int(math.ceil(self.config.drain_seconds)))
                 return Response.json(
-                    503, {"error": "daemon is draining; resubmit after restart"}
+                    503,
+                    {
+                        "error": "daemon is draining; resubmit after restart",
+                        "retry_after_seconds": retry_after,
+                    },
+                    retry_after=retry_after,
                 )
             queued = len(self._queued)
         if queued >= self.config.queue_depth:
@@ -244,7 +264,7 @@ class DiagnosisDaemon(ExecutorCallbacks):
                     "queue_depth": self.config.queue_depth,
                     "retry_after_seconds": retry_after,
                 },
-                **{"Retry-After": str(retry_after)},
+                retry_after=retry_after,
             )
         degraded = queued >= self._high_water_count()
         try:
@@ -403,6 +423,22 @@ class DiagnosisDaemon(ExecutorCallbacks):
             if method == "GET" and path == "/metrics":
                 self._update_gauges()
                 return Response.text(200, REGISTRY.to_prometheus_text())
+            if method == "GET" and path == "/cluster/status":
+                # Answered by every role so ``repro cluster status`` works
+                # against a worker or standalone node too.
+                with self._lock:
+                    queued, running = len(self._queued), len(self._running)
+                    draining = self._draining
+                return Response.json(
+                    200,
+                    {
+                        "role": self.config.role,
+                        "counts": self.store.counts(),
+                        "queued": queued,
+                        "running": running,
+                        "draining": draining,
+                    },
+                )
             if method == "POST" and path == "/jobs":
                 try:
                     payload = json.loads((body or b"").decode() or "null")
@@ -557,10 +593,12 @@ def serve(
         daemon.abort()
         raise
     host, port = server.server_address[:2]
+    role_note = f", role {config.role}" if config.role != "standalone" else ""
     print(
         f"repro serve: listening on http://{host}:{port} "
         f"(store {config.store}, {config.workers} workers, "
-        f"queue depth {config.queue_depth}, recovered {recovered} job(s))",
+        f"queue depth {config.queue_depth}, "
+        f"recovered {recovered} job(s){role_note})",
         flush=True,
     )
 

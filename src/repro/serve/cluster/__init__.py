@@ -1,0 +1,56 @@
+"""Multi-node diagnosis fabric: coordinator/worker sharding with leases.
+
+A *worker* node is the ordinary :class:`~repro.serve.app.DiagnosisDaemon`
+-- the coordinator drives it through the same public job protocol end
+clients use, which is what makes worker failover invisible: any worker
+can execute any job, and canonical report serialization makes the result
+byte-identical no matter which one did.
+
+The *coordinator* (:mod:`repro.serve.cluster.coordinator`) admits jobs
+through the identical HTTP surface, routes each to a worker by
+rendezvous-hashing its shard key over the live membership
+(:mod:`repro.serve.cluster.membership`), and tracks every dispatch in a
+durable lease table journaled in its own
+:class:`~repro.serve.store.JobStore`
+(:mod:`repro.serve.cluster.lease`).  Node death, unreachability, or
+lease expiry triggers a takeover: the lease is released with a journaled
+cause, the job is re-dispatched to a surviving node under seeded
+backoff, and the client polling the coordinator never notices.
+
+Execution is **at-least-once** (a takeover can race a worker that was
+merely slow), but the visible result is **exactly-once**: job ids are
+content fingerprints, re-dispatch is an idempotent resubmission, and the
+canonical report any replica produces is byte-identical.
+"""
+
+from repro.serve.cluster.client import NodeUnreachable, WorkerClient
+from repro.serve.cluster.coordinator import (
+    Coordinator,
+    CoordinatorConfig,
+    parse_worker_specs,
+    serve_coordinator,
+)
+from repro.serve.cluster.lease import Lease, LeaseTable
+from repro.serve.cluster.membership import (
+    NODE_ALIVE,
+    NODE_DEAD,
+    NODE_SUSPECT,
+    Membership,
+    rendezvous_order,
+)
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorConfig",
+    "Lease",
+    "LeaseTable",
+    "Membership",
+    "NODE_ALIVE",
+    "NODE_DEAD",
+    "NODE_SUSPECT",
+    "NodeUnreachable",
+    "WorkerClient",
+    "parse_worker_specs",
+    "rendezvous_order",
+    "serve_coordinator",
+]

@@ -1,0 +1,102 @@
+"""The coordinator's lease table: durable grants, volatile expiry.
+
+A *lease* says "node N may be executing job J, attempt A".  The grant
+and release are journaled in the coordinator's
+:class:`~repro.serve.store.JobStore` (so a restarted coordinator knows
+exactly which workers to re-adopt leases from); the *expiry deadline* is
+deliberately not -- a wall-clock deadline written before a crash says
+nothing trustworthy after one, so every lease is re-armed against the
+live clock when it enters the table, whether by a fresh grant or by
+post-restart adoption.
+
+Expiry is the takeover backstop of last resort: node death and 404s are
+detected faster by heartbeats and polls, but a network partition that
+swallows responses without refusing connections only ever trips the
+expiry clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+
+
+@dataclass
+class Lease:
+    """One dispatched job's claim on a worker node."""
+
+    job_id: str
+    node: str
+    attempt: int
+    #: Coordinator-clock instant after which the holder is presumed lost.
+    expires_at: float
+    #: True when this lease was re-adopted from the journal after a
+    #: coordinator restart (the holder may already be done).
+    adopted: bool = False
+
+
+class LeaseTable:
+    """In-memory lease images over the store's journaled grant/release."""
+
+    def __init__(self, store, *, lease_seconds: float, clock=time.monotonic):
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        self._store = store
+        self._lease_seconds = lease_seconds
+        self._clock = clock
+        self._live: dict[str, Lease] = {}
+        self._lock = threading.Lock()
+
+    def grant(self, job_id: str, node: str, attempt: int) -> Lease:
+        """Journal a grant (before the dispatch leaves) and arm expiry."""
+        self._store.grant_lease(job_id, node, attempt=attempt)
+        lease = Lease(
+            job_id, node, attempt, self._clock() + self._lease_seconds
+        )
+        with self._lock:
+            self._live[job_id] = lease
+        return lease
+
+    def adopt(self, job_id: str, node: str, attempt: int) -> Lease:
+        """Re-arm a journal-recovered grant without re-journaling it."""
+        lease = Lease(
+            job_id,
+            node,
+            attempt,
+            self._clock() + self._lease_seconds,
+            adopted=True,
+        )
+        with self._lock:
+            self._live[job_id] = lease
+        return lease
+
+    def renew(self, job_id: str) -> None:
+        """A healthy poll of the holder pushes the expiry forward, so a
+        long-running job on a live worker is never taken over."""
+        with self._lock:
+            lease = self._live.get(job_id)
+            if lease is not None:
+                lease.expires_at = self._clock() + self._lease_seconds
+
+    def release(self, job_id: str, cause: str) -> Lease | None:
+        """Journal the release; no-op (None) when no lease is held."""
+        with self._lock:
+            lease = self._live.pop(job_id, None)
+        if lease is not None:
+            self._store.release_lease(job_id, cause)
+        return lease
+
+    def get(self, job_id: str) -> Lease | None:
+        with self._lock:
+            lease = self._live.get(job_id)
+            return replace(lease) if lease is not None else None
+
+    def snapshot(self) -> list[Lease]:
+        """Copies of every live lease (safe to iterate while mutating)."""
+        with self._lock:
+            return [replace(lease) for lease in self._live.values()]
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._live)

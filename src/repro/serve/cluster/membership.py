@@ -1,0 +1,126 @@
+"""Worker membership: rendezvous routing + heartbeat-driven health.
+
+Routing uses rendezvous (highest-random-weight) hashing: every node gets
+a deterministic per-key score and the key goes to the highest scorer.
+Unlike modulo sharding, removing one node only moves the keys that node
+owned -- every other shard's affinity (and its warmed ``SimContext``
+caches on the worker) survives a membership change untouched.
+
+Health is a failure-count state machine fed by the coordinator's
+``/healthz`` polls::
+
+    alive --failure--> suspect --failures >= max--> dead
+      ^________________any success (rejoin)___________|
+
+``suspect`` nodes remain routable (one dropped poll must not migrate
+every shard); ``dead`` nodes are excluded from routing but stay polled,
+so a restarted worker rejoins on its first healthy heartbeat.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+NODE_ALIVE = "alive"
+NODE_SUSPECT = "suspect"
+NODE_DEAD = "dead"
+
+
+def rendezvous_order(key: str, nodes: list[str]) -> list[str]:
+    """Nodes ranked by highest-random-weight score for ``key``.
+
+    Deterministic and process-independent (sha256, not ``hash``), so a
+    restarted coordinator routes every shard exactly where its
+    predecessor did.
+    """
+    def score(node: str) -> int:
+        digest = hashlib.sha256(f"{node}|{key}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    return sorted(nodes, key=lambda node: (-score(node), node))
+
+
+class _NodeHealth:
+    __slots__ = ("name", "state", "failures")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.state = NODE_ALIVE  # optimistic: routable until proven dead
+        self.failures = 0
+
+
+class Membership:
+    """Failure-count health table over a fixed set of named nodes.
+
+    Thread-safe: the heartbeat thread mutates while HTTP threads read
+    for routing and status.
+    """
+
+    def __init__(self, names, *, max_failures: int = 3):
+        if max_failures < 1:
+            raise ValueError("max_failures must be >= 1")
+        self.max_failures = max_failures
+        self._nodes = {name: _NodeHealth(name) for name in names}
+        if not self._nodes:
+            raise ValueError("membership needs at least one node")
+        self._lock = threading.Lock()
+
+    def note_success(self, name: str) -> str:
+        """A healthy poll: any state (including dead) snaps back to alive."""
+        with self._lock:
+            node = self._nodes[name]
+            node.failures = 0
+            node.state = NODE_ALIVE
+            return node.state
+
+    def note_failure(self, name: str) -> str:
+        """A failed poll; returns the node's new state."""
+        with self._lock:
+            node = self._nodes[name]
+            node.failures += 1
+            node.state = (
+                NODE_DEAD if node.failures >= self.max_failures else NODE_SUSPECT
+            )
+            return node.state
+
+    def state(self, name: str) -> str:
+        with self._lock:
+            return self._nodes[name].state
+
+    def names(self) -> list[str]:
+        return list(self._nodes)
+
+    def live(self) -> list[str]:
+        """Routable nodes (alive + suspect), declaration order."""
+        with self._lock:
+            return [
+                node.name
+                for node in self._nodes.values()
+                if node.state != NODE_DEAD
+            ]
+
+    def counts(self) -> tuple[int, int, int]:
+        """(alive, suspect, dead) tallies for the membership gauges."""
+        with self._lock:
+            alive = suspect = dead = 0
+            for node in self._nodes.values():
+                if node.state == NODE_ALIVE:
+                    alive += 1
+                elif node.state == NODE_SUSPECT:
+                    suspect += 1
+                else:
+                    dead += 1
+            return alive, suspect, dead
+
+    def snapshot(self) -> list[dict]:
+        """Per-node images for ``/cluster/status``."""
+        with self._lock:
+            return [
+                {
+                    "name": node.name,
+                    "state": node.state,
+                    "failures": node.failures,
+                }
+                for node in self._nodes.values()
+            ]

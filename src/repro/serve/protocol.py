@@ -46,6 +46,23 @@ TERMINAL_STATES = frozenset({STATE_DONE, STATE_FAILED, STATE_CANCELLED})
 
 _METHODS = ("xcover", "slat", "single")
 
+#: The complete submission vocabulary; :meth:`JobSpec.from_dict` rejects
+#: anything outside it so typos cannot silently mint a different job id.
+_SPEC_KEYS = frozenset(
+    {
+        "circuit",
+        "datalog",
+        "method",
+        "pattern_seed",
+        "qos",
+        "noise_report",
+        "validate",
+        "deadline_seconds",
+        "max_multiplets",
+        "max_expansions",
+    }
+)
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -123,9 +140,21 @@ class JobSpec:
 
     @classmethod
     def from_dict(cls, payload: object) -> "JobSpec":
-        """Parse a submission body; anything malformed is a :class:`ServeError`."""
+        """Parse a submission body; anything malformed is a :class:`ServeError`.
+
+        Unknown keys are rejected by name rather than silently ignored: a
+        typo'd field (``pattern_sed``) would otherwise fall back to its
+        default and fingerprint to a *different* job id than the client
+        intended -- an idempotency landmine, not a convenience.
+        """
         if not isinstance(payload, dict):
             raise ServeError("job submission must be a JSON object")
+        unknown = sorted(set(map(str, payload)) - _SPEC_KEYS)
+        if unknown:
+            raise ServeError(
+                f"unknown job spec field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(_SPEC_KEYS))})"
+            )
         try:
             return cls(
                 circuit=str(payload.get("circuit", "")),

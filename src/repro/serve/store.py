@@ -18,6 +18,19 @@ Record schema (one object per line)::
      "attempts": 1}                       # + "report" on done,
                                           #   "error" on failed,
                                           #   "recovered" on replay resets
+    {"kind": "lease",  "v": 1, "id": "j...", "op": "grant",
+     "node": "w0", "attempt": 2}          # coordinator dispatch leases;
+    {"kind": "lease",  "v": 1, "id": "j...", "op": "release",
+     "node": "w0", "cause": "done"}       # replay keeps only unreleased
+                                          # grants (the live lease table)
+
+The lease records are the cluster coordinator's durable lease table:
+a grant is journaled *before* the job is dispatched to a worker node, so
+a coordinator restart knows exactly which node may still be executing
+which job and can re-adopt (poll the old holder) instead of blindly
+re-dispatching.  Expiry is never journaled -- it is re-armed against the
+live clock on every open -- because a wall-clock deadline written before
+a crash says nothing trustworthy after one.
 
 The advisory ``fcntl`` lock taken on open makes a second daemon on the
 same store path fail fast with :class:`~repro.errors.JournalError`
@@ -125,6 +138,9 @@ class JobStore:
         self._writer = JsonlAppender(path, fsync=fsync, chaos_site="store")
         self._jobs: dict[str, StoredJob] = {}
         self._by_fingerprint: dict[str, str] = {}
+        #: Durable lease table: job id -> {"node", "attempt"} for every
+        #: journaled grant without a matching release (coordinator role).
+        self._leases: dict[str, dict] = {}
         self._lock = threading.RLock()
         self._clock = clock
         #: Compaction triggers: journal size floor and/or store age.  Both
@@ -286,6 +302,22 @@ class JobStore:
                 if state == STATE_FAILED:
                     error = payload.get("error")
                     job.error = error if isinstance(error, dict) else None
+            elif kind == "lease":
+                job_id = str(payload.get("id", ""))
+                if job_id not in self._jobs:
+                    continue  # lease for a job whose record was torn away
+                op = str(payload.get("op", ""))
+                if op == "grant":
+                    self._leases[job_id] = {
+                        "node": str(payload.get("node", "")),
+                        "attempt": int(payload.get("attempt", 1)),
+                    }
+                elif op == "release":
+                    self._leases.pop(job_id, None)
+                else:
+                    raise JournalError(
+                        f"{self.path}:{lineno}: unknown lease op {op!r}"
+                    )
             # Unknown kinds (and the header) are skipped, not fatal.
 
     # -- submissions ---------------------------------------------------------
@@ -355,6 +387,63 @@ class JobStore:
     def mark_cancelled(self, job_id: str) -> StoredJob:
         return self._transition(job_id, STATE_CANCELLED)
 
+    def mark_resubmitted(self, job_id: str) -> StoredJob:
+        """A dispatched job going back to the pending pool (lease takeover)."""
+        return self._transition(job_id, STATE_SUBMITTED, requeued=True)
+
+    # -- leases (the coordinator's durable dispatch table) -------------------
+
+    def grant_lease(self, job_id: str, node: str, *, attempt: int) -> None:
+        """Journal that ``job_id`` is being dispatched to ``node``.
+
+        Written *before* the dispatch request leaves, so a coordinator
+        crash between grant and acknowledgement still knows which node
+        may be executing the job -- recovery re-adopts by polling that
+        node rather than guessing.
+        """
+        with self._lock:
+            if job_id not in self._jobs:
+                raise ServeError(f"unknown job {job_id!r}")
+            self._append(
+                {
+                    "kind": "lease",
+                    "v": SCHEMA_VERSION,
+                    "id": job_id,
+                    "op": "grant",
+                    "node": node,
+                    "attempt": int(attempt),
+                }
+            )
+            self._leases[job_id] = {"node": node, "attempt": int(attempt)}
+
+    def release_lease(self, job_id: str, cause: str) -> dict | None:
+        """Journal the end of a lease (completion, takeover, cancel...).
+
+        Returns the released image, or None when no lease was held --
+        releasing twice is a harmless no-op so takeover races cannot
+        corrupt the table.
+        """
+        with self._lock:
+            image = self._leases.get(job_id)
+            if image is None:
+                return None
+            self._append(
+                {
+                    "kind": "lease",
+                    "v": SCHEMA_VERSION,
+                    "id": job_id,
+                    "op": "release",
+                    "node": image["node"],
+                    "cause": cause,
+                }
+            )
+            return self._leases.pop(job_id)
+
+    def lease_images(self) -> dict[str, dict]:
+        """The live lease table (job id -> {"node", "attempt"} copies)."""
+        with self._lock:
+            return {job_id: dict(image) for job_id, image in self._leases.items()}
+
     def note_drain(self, clean: bool) -> None:
         """Checkpoint marker: the daemon drained (skipped on replay)."""
         with self._lock:
@@ -388,6 +477,20 @@ class JobStore:
                     "spec": job.spec.to_dict(),
                 }
             )
+            lease = self._leases.get(job.job_id)
+            if lease is not None:
+                # An unreleased grant is live state: compaction must keep
+                # the lease table replayable, not just the job states.
+                records.append(
+                    {
+                        "kind": "lease",
+                        "v": SCHEMA_VERSION,
+                        "id": job.job_id,
+                        "op": "grant",
+                        "node": lease["node"],
+                        "attempt": lease["attempt"],
+                    }
+                )
             if (
                 job.state == STATE_SUBMITTED
                 and job.attempts == 0

@@ -15,6 +15,7 @@ from repro import chaos
 from repro.chaos import (
     FaultPlan,
     InjectedFault,
+    InjectedHttp,
     WorkerDeath,
     parse_chaos_spec,
 )
@@ -123,6 +124,26 @@ class TestSiteDefaults:
         assert parse_chaos_spec("die:1").rules[0].matches("executor.job")
         assert not parse_chaos_spec("die:1").rules[0].matches("store.write")
 
+    def test_network_kinds_default_to_their_transport_side(self):
+        # conn_refused fires before the request leaves; drop_response and
+        # http_503 fire after the peer acted, before the caller hears.
+        refused = parse_chaos_spec("conn_refused:1").rules[0]
+        assert refused.matches("cluster.dispatch.send")
+        assert not refused.matches("cluster.dispatch.recv")
+        for kind in ("drop_response", "http_503"):
+            rule = parse_chaos_spec(f"{kind}:1").rules[0]
+            assert rule.matches("cluster.poll.recv")
+            assert not rule.matches("cluster.poll.send")
+        slow = parse_chaos_spec("slow_net:5ms").rules[0]
+        assert slow.matches("cluster.health.send")
+        assert slow.matches("cluster.health.recv")
+        assert not slow.matches("journal.fsync")
+
+    def test_network_kinds_can_target_a_single_operation(self):
+        rule = parse_chaos_spec("drop_response@cluster.dispatch.recv:1").rules[0]
+        assert rule.matches("cluster.dispatch.recv")
+        assert not rule.matches("cluster.poll.recv")
+
 
 # -- deterministic decisions --------------------------------------------------
 
@@ -199,6 +220,46 @@ class TestDeterminism:
         plan = parse_chaos_spec("die:1")
         with pytest.raises(WorkerDeath):
             plan.apply("executor.job")
+
+    def test_network_faults_fire_with_their_errnos(self):
+        with pytest.raises(InjectedFault) as info:
+            parse_chaos_spec("conn_refused:1").apply("cluster.dispatch.send")
+        assert info.value.errno == errno.ECONNREFUSED
+        with pytest.raises(InjectedFault) as info:
+            parse_chaos_spec("drop_response:1").apply("cluster.poll.recv")
+        assert info.value.errno == errno.ETIMEDOUT
+
+    def test_http_503_is_not_an_oserror(self):
+        # A synthetic HTTP refusal must not look like a network failure,
+        # or the membership layer would strike a perfectly live node.
+        plan = parse_chaos_spec("http_503:1")
+        with pytest.raises(InjectedHttp) as info:
+            plan.apply("cluster.dispatch.recv")
+        assert info.value.status == 503
+        assert not isinstance(info.value, OSError)
+
+    def test_slow_net_uses_the_injected_sleep(self):
+        plan = parse_chaos_spec("slow_net:30ms")
+        naps = []
+        plan.sleep = naps.append
+        plan.apply("cluster.dispatch.send")
+        plan.apply("cluster.dispatch.recv")
+        plan.apply("journal.write", nbytes=4)  # not a cluster site
+        assert naps == [pytest.approx(0.03)] * 2
+
+    def test_network_decisions_are_seed_deterministic(self):
+        def trace(seed: int) -> list[int]:
+            plan = parse_chaos_spec(f"drop_response:0.3+seed:{seed}")
+            hits = []
+            for n in range(200):
+                try:
+                    plan.apply("cluster.poll.recv")
+                except InjectedFault:
+                    hits.append(n)
+            return hits
+
+        assert trace(9) == trace(9)
+        assert trace(9) != trace(10)
 
     def test_injected_fault_classifies_as_io(self):
         assert classify_cause(InjectedFault(errno.EIO, "s", "fsync_eio")) == "io"

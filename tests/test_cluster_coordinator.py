@@ -1,0 +1,487 @@
+"""Coordinator failover semantics with fake workers and a manual clock.
+
+No sockets, no real diagnoses, no background threads: the fleet is a set
+of in-process :class:`DiagnosisDaemon` cores behind a fake transport, the
+coordinator's heartbeat and pump passes are driven by hand, and lease
+expiry runs on a hand-cranked clock -- so every takeover scenario (dead
+node, missing job, expired lease, dropped responses) is exact and fast.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import chaos
+from repro.core.report import DiagnosisReport
+from repro.errors import ServeError
+from repro.obs.metrics import REGISTRY
+from repro.serve.app import DiagnosisDaemon, ServeConfig
+from repro.serve.cluster import (
+    Coordinator,
+    CoordinatorConfig,
+    WorkerClient,
+    rendezvous_order,
+)
+
+LOG = "pattern 0 FAIL out0\n"
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    REGISTRY.reset()
+    yield
+    REGISTRY.reset()
+
+
+def wait_for(predicate, timeout: float = 5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.005)
+    raise AssertionError("condition not reached within timeout")
+
+
+def body(resp) -> dict:
+    return json.loads(resp.body.decode())
+
+
+def seed_routing_to(node: str, nodes, circuit: str = "c17") -> int:
+    """A pattern seed whose shard key rendezvous-ranks ``node`` first."""
+    for seed in range(512):
+        if rendezvous_order(f"{circuit}:{seed}", list(nodes))[0] == node:
+            return seed
+    raise AssertionError(f"no seed routes to {node}")
+
+
+class FakeRun:
+    """Controllable ``execute_job`` stand-in (gate + scripted report)."""
+
+    def __init__(self, *, blocked: bool = False):
+        self.gate = threading.Event()
+        if not blocked:
+            self.gate.set()
+        self.calls = 0
+
+    def __call__(self, spec, token=None, degraded=False):
+        self.calls += 1
+        while not self.gate.is_set():
+            if token is not None and token.cancelled:
+                break
+            time.sleep(0.005)
+        return DiagnosisReport(
+            method=spec.method,
+            circuit=spec.circuit,
+            stats={"seconds": 0.01, "n_fake": 1.0},
+        )
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class Fleet:
+    """Named fake worker daemons behind one in-process transport."""
+
+    def __init__(self, tmp_path, names, blocked=()):
+        self.tmp_path = tmp_path
+        self.daemons: dict[str, DiagnosisDaemon] = {}
+        self.runs: dict[str, FakeRun] = {}
+        self.down: set[str] = set()
+        self.mute_polls: set[str] = set()
+        self._generation = 0
+        for name in names:
+            self._spawn(name, blocked=name in blocked)
+
+    def _spawn(self, name: str, *, blocked: bool) -> None:
+        self._generation += 1
+        run = FakeRun(blocked=blocked)
+        daemon = DiagnosisDaemon(
+            ServeConfig(
+                store=self.tmp_path / f"{name}-g{self._generation}.jsonl",
+                fsync=False,
+                watchdog_interval=0.0,
+                backoff=0.001,
+                role="worker",
+            ),
+            run=run,
+        )
+        daemon.start()
+        self.daemons[name] = daemon
+        self.runs[name] = run
+
+    def replace(self, name: str, *, blocked: bool = False) -> None:
+        """Swap in a fresh daemon with an *empty* store (a worker that
+        restarted onto new disk -- it knows none of its old jobs)."""
+        self.runs[name].gate.set()
+        self.daemons[name].drain()
+        self._spawn(name, blocked=blocked)
+
+    def transport(self, url, method, body_bytes, timeout):
+        name, _, rest = url.split("//", 1)[1].partition("/")
+        path = "/" + rest
+        if name in self.down:
+            raise ConnectionRefusedError(111, f"{name} is down")
+        if (
+            name in self.mute_polls
+            and method == "GET"
+            and path.startswith("/jobs/")
+        ):
+            raise TimeoutError(f"{name} dropped the poll response")
+        resp = self.daemons[name].handle(method, path, body_bytes)
+        return resp.status, resp.body
+
+    def worker_jobs(self, name: str) -> list:
+        return self.daemons[name].store.jobs()
+
+    def cleanup(self) -> None:
+        for name, run in self.runs.items():
+            run.gate.set()
+            try:
+                self.daemons[name].drain()
+            except Exception:
+                pass
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    fleets = []
+    coordinators = []
+
+    def make(
+        names=("w0", "w1"),
+        *,
+        blocked=(),
+        fleet=None,
+        clock=None,
+        **overrides,
+    ):
+        if fleet is None:
+            fleet = Fleet(tmp_path, names, blocked=blocked)
+            fleets.append(fleet)
+        clock = clock or FakeClock()
+        overrides.setdefault("store", tmp_path / "coordinator.jsonl")
+        overrides.setdefault(
+            "workers", tuple(f"{n}=http://{n}" for n in names)
+        )
+        overrides.setdefault("fsync", False)
+        overrides.setdefault("heartbeat_interval", 0.0)
+        overrides.setdefault("pump_interval", 0.0)
+        overrides.setdefault("backoff", 0.001)
+        coordinator = Coordinator(
+            CoordinatorConfig(**overrides),
+            client=WorkerClient(transport=fleet.transport),
+            clock=clock,
+        )
+        coordinator.start()
+        coordinators.append(coordinator)
+        coordinator.clock = clock  # test-side handle for advancing time
+        return coordinator, fleet, clock
+
+    yield make
+    for coordinator in coordinators:
+        try:
+            coordinator.drain()
+        except Exception:
+            pass
+    for fleet in fleets:
+        fleet.cleanup()
+
+
+def submit(coordinator, *, pattern_seed: int, tag: str = "a"):
+    payload = {
+        "circuit": "c17",
+        "datalog": LOG + f"# {tag}\n",
+        "pattern_seed": pattern_seed,
+    }
+    resp = coordinator.handle("POST", "/jobs", json.dumps(payload).encode())
+    return resp, body(resp).get("id")
+
+
+def pump_until_done(coordinator, fleet, job_id, holder, timeout=5.0):
+    wait_for(
+        lambda: (job := fleet.daemons[holder].store.get(job_id)) is not None
+        and job.terminal
+    )
+    coordinator.pump_pass()
+    return coordinator.store.get(job_id)
+
+
+def lease_records(coordinator) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in coordinator.store.path.read_text().splitlines()
+        if '"kind": "lease"' in line or '"kind":"lease"' in line
+    ]
+
+
+class TestDispatch:
+    def test_job_routes_completes_and_releases_lease(self, cluster):
+        coordinator, fleet, _clock = cluster()
+        seed = seed_routing_to("w0", fleet.daemons)
+        resp, job_id = submit(coordinator, pattern_seed=seed)
+        assert resp.status == 202
+        coordinator.pump_pass()  # dispatch
+        assert coordinator.store.get(job_id).state == "running"
+        assert fleet.runs["w1"].calls == 0  # shard affinity held
+        job = pump_until_done(coordinator, fleet, job_id, "w0")
+        assert job.state == "done"
+        # The worker's canonical report was copied verbatim.
+        assert job.report["stats"] == {"n_fake": 1.0}
+        records = lease_records(coordinator)
+        assert [r["op"] for r in records] == ["grant", "release"]
+        assert records[0]["node"] == "w0" and records[0]["attempt"] == 1
+        assert records[1]["cause"] == "done"
+        assert coordinator.leases.count() == 0
+
+    def test_resubmission_is_idempotent(self, cluster):
+        coordinator, fleet, _clock = cluster(blocked=("w0", "w1"))
+        resp, job_id = submit(coordinator, pattern_seed=7)
+        assert resp.status == 202
+        again, again_id = submit(coordinator, pattern_seed=7)
+        assert again.status == 200 and again_id == job_id
+
+    def test_zero_workers_refused_at_construction(self, tmp_path):
+        with pytest.raises(ServeError, match="at least one worker"):
+            Coordinator(
+                CoordinatorConfig(
+                    store=tmp_path / "c.jsonl", workers=(), fsync=False
+                )
+            )
+
+    def test_no_capacity_is_503_with_retry_after(self, cluster):
+        coordinator, fleet, _clock = cluster(max_failures=1)
+        fleet.down.update(("w0", "w1"))
+        coordinator.heartbeat_pass()  # one failed poll each: both dead
+        resp, _ = submit(coordinator, pattern_seed=7)
+        assert resp.status == 503
+        assert "Retry-After" in resp.headers
+        assert "capacity floor" in body(resp)["error"]
+        ready, reasons = coordinator.readiness()
+        assert not ready and any("capacity" in r for r in reasons)
+
+    def test_draining_rejects_with_retry_after(self, cluster):
+        coordinator, _fleet, _clock = cluster()
+        coordinator.drain()
+        resp = coordinator.handle(
+            "POST",
+            "/jobs",
+            json.dumps({"circuit": "c17", "datalog": LOG}).encode(),
+        )
+        assert resp.status == 503
+        assert "Retry-After" in resp.headers
+        assert "draining" in body(resp)["error"]
+
+
+class TestFailover:
+    def test_dead_node_takeover_redispatches_elsewhere(self, cluster):
+        coordinator, fleet, clock = cluster(blocked=("w0",), max_failures=2)
+        seed = seed_routing_to("w0", fleet.daemons)
+        _, job_id = submit(coordinator, pattern_seed=seed)
+        coordinator.pump_pass()
+        assert coordinator.leases.get(job_id).node == "w0"
+
+        fleet.down.add("w0")
+        coordinator.heartbeat_pass()
+        coordinator.heartbeat_pass()  # max_failures=2: now dead
+        coordinator.pump_pass()  # takeover: back to pending, avoid=w0
+        assert coordinator.leases.get(job_id) is None
+        clock.advance(5.0)  # clear the takeover backoff
+        coordinator.pump_pass()  # re-dispatch to the survivor
+        lease = coordinator.leases.get(job_id)
+        assert lease.node == "w1" and lease.attempt == 2
+        job = pump_until_done(coordinator, fleet, job_id, "w1")
+        assert job.state == "done"
+        metrics = REGISTRY.to_prometheus_text()
+        assert 'repro_cluster_lease_takeovers_total{cause="dead"} 1' in metrics
+
+    def test_expired_lease_takeover_when_responses_vanish(self, cluster):
+        # w0 answers health checks but its poll responses are swallowed
+        # by the network: only the lease expiry clock can catch this.
+        coordinator, fleet, clock = cluster(
+            blocked=("w0",), lease_seconds=15.0
+        )
+        seed = seed_routing_to("w0", fleet.daemons)
+        _, job_id = submit(coordinator, pattern_seed=seed)
+        coordinator.pump_pass()
+        fleet.mute_polls.add("w0")
+        clock.advance(16.0)
+        coordinator.pump_pass()  # expired -> takeover
+        clock.advance(5.0)
+        coordinator.pump_pass()  # re-dispatch, demoting the old holder
+        assert coordinator.leases.get(job_id).node == "w1"
+        job = pump_until_done(coordinator, fleet, job_id, "w1")
+        assert job.state == "done"
+        metrics = REGISTRY.to_prometheus_text()
+        assert (
+            'repro_cluster_lease_takeovers_total{cause="expired"} 1'
+            in metrics
+        )
+
+    def test_healthy_polls_renew_the_lease(self, cluster):
+        coordinator, fleet, clock = cluster(
+            blocked=("w0", "w1"), lease_seconds=15.0
+        )
+        _, job_id = submit(coordinator, pattern_seed=7)
+        coordinator.pump_pass()
+        holder = coordinator.leases.get(job_id).node
+        for _ in range(4):
+            clock.advance(10.0)  # under expiry only because polls renew
+            coordinator.pump_pass()
+        assert coordinator.leases.get(job_id).node == holder
+        assert "lease_takeovers" not in REGISTRY.to_prometheus_text()
+
+    def test_missing_job_takeover_on_worker_amnesia(self, cluster):
+        coordinator, fleet, clock = cluster(blocked=("w0", "w1"))
+        seed = seed_routing_to("w0", fleet.daemons)
+        _, job_id = submit(coordinator, pattern_seed=seed)
+        coordinator.pump_pass()
+        assert coordinator.leases.get(job_id).node == "w0"
+        fleet.replace("w0")  # restarted onto an empty store: 404s the job
+        coordinator.pump_pass()  # poll 404 -> takeover "missing"
+        clock.advance(5.0)
+        coordinator.pump_pass()
+        assert coordinator.leases.get(job_id).node == "w1"
+        fleet.runs["w1"].gate.set()
+        job = pump_until_done(coordinator, fleet, job_id, "w1")
+        assert job.state == "done"
+        metrics = REGISTRY.to_prometheus_text()
+        assert (
+            'repro_cluster_lease_takeovers_total{cause="missing"} 1'
+            in metrics
+        )
+
+    def test_restart_adopts_leases_instead_of_redispatching(
+        self, cluster, tmp_path
+    ):
+        coordinator, fleet, clock = cluster(blocked=("w0", "w1"))
+        _, job_id = submit(coordinator, pattern_seed=7)
+        coordinator.pump_pass()
+        holder = coordinator.leases.get(job_id).node
+        # Wait for the worker thread to actually pick the dispatch up so
+        # the call count below is a stable baseline, not a race.
+        wait_for(lambda: fleet.runs[holder].calls == 1)
+        coordinator.drain()  # lease stays journaled (no release record)
+
+        revived, _, clock2 = cluster(fleet=fleet)
+        lease = revived.leases.get(job_id)
+        assert lease is not None and lease.adopted and lease.node == holder
+        status = revived.cluster_status()
+        assert status["leases"][0]["adopted"] is True
+        fleet.runs[holder].gate.set()
+        job = pump_until_done(revived, fleet, job_id, holder)
+        assert job.state == "done"
+        # The old holder finished its original dispatch; nobody re-ran it.
+        assert fleet.runs[holder].calls == 1
+        assert "lease_takeovers" not in REGISTRY.to_prometheus_text()
+
+
+class TestNetworkChaos:
+    def test_drop_response_redispatch_is_idempotent(self, cluster):
+        coordinator, fleet, clock = cluster(names=("w0",))
+        _, job_id = submit(coordinator, pattern_seed=7)
+        with chaos.armed("drop_response@cluster.dispatch.recv:1"):
+            coordinator.pump_pass()
+        # The dispatch *reached* the worker; only the ack was lost.
+        assert len(fleet.worker_jobs("w0")) == 1
+        assert coordinator.leases.get(job_id) is None  # released for retry
+        clock.advance(5.0)
+        coordinator.pump_pass()  # re-dispatch: worker answers 200 (has it)
+        assert coordinator.leases.get(job_id) is not None
+        assert len(fleet.worker_jobs("w0")) == 1  # fingerprint idempotency
+        job = pump_until_done(coordinator, fleet, job_id, "w0")
+        assert job.state == "done"
+        metrics = REGISTRY.to_prometheus_text()
+        assert "repro_cluster_dispatch_retries_total 1" in metrics
+
+    def test_conn_refused_never_reaches_the_worker(self, cluster):
+        coordinator, fleet, clock = cluster(names=("w0",))
+        _, job_id = submit(coordinator, pattern_seed=7)
+        with chaos.armed("conn_refused@cluster.dispatch.send:1"):
+            coordinator.pump_pass()
+        assert fleet.worker_jobs("w0") == []  # the request never left
+        clock.advance(5.0)
+        coordinator.pump_pass()
+        job = pump_until_done(coordinator, fleet, job_id, "w0")
+        assert job.state == "done"
+
+    def test_http_503_is_a_refusal_not_an_outage(self, cluster):
+        coordinator, fleet, clock = cluster(names=("w0",))
+        _, job_id = submit(coordinator, pattern_seed=7)
+        with chaos.armed("http_503@cluster.dispatch.recv:1"):
+            coordinator.pump_pass()
+        # A live peer answered 503: retryable, but not a membership strike.
+        assert coordinator.membership.state("w0") == "alive"
+        assert coordinator.leases.get(job_id) is None
+        clock.advance(5.0)
+        coordinator.pump_pass()
+        job = pump_until_done(coordinator, fleet, job_id, "w0")
+        assert job.state == "done"
+
+    def test_slow_net_delays_but_never_breaks(self, cluster):
+        coordinator, fleet, _clock = cluster(names=("w0",))
+        _, job_id = submit(coordinator, pattern_seed=7)
+        with chaos.armed("slow_net:1ms") as plan:
+            coordinator.heartbeat_pass()
+            coordinator.pump_pass()
+            job = pump_until_done(coordinator, fleet, job_id, "w0")
+        assert job.state == "done"
+        assert plan.total_injected() > 0
+
+
+class TestControlSurface:
+    def test_cancel_leased_job(self, cluster):
+        coordinator, fleet, _clock = cluster(blocked=("w0", "w1"))
+        _, job_id = submit(coordinator, pattern_seed=7)
+        coordinator.pump_pass()
+        holder = coordinator.leases.get(job_id).node
+        resp = coordinator.handle("DELETE", f"/jobs/{job_id}")
+        assert resp.status == 202
+        assert coordinator.store.get(job_id).state == "cancelled"
+        assert coordinator.leases.get(job_id) is None
+        # The cancel was forwarded: the worker's copy goes terminal too.
+        wait_for(lambda: fleet.daemons[holder].store.get(job_id).terminal)
+
+    def test_cluster_status_shape(self, cluster):
+        coordinator, fleet, _clock = cluster(blocked=("w0", "w1"))
+        _, job_id = submit(coordinator, pattern_seed=7)
+        coordinator.pump_pass()
+        status = body(coordinator.handle("GET", "/cluster/status"))
+        assert status["role"] == "coordinator"
+        assert {n["name"] for n in status["nodes"]} == {"w0", "w1"}
+        assert all("state" in n and "url" in n for n in status["nodes"])
+        assert status["leases"][0]["id"] == job_id
+        assert status["counts"]["running"] == 1
+        assert status["pending"] == []
+        assert status["draining"] is False
+
+    def test_worker_role_surfaces_in_cluster_status(self, cluster):
+        _coordinator, fleet, _clock = cluster()
+        resp = fleet.daemons["w0"].handle("GET", "/cluster/status")
+        payload = body(resp)
+        assert payload["role"] == "worker"
+        assert "counts" in payload and "queued" in payload
+
+    def test_unknown_spec_field_is_a_400_naming_it(self, cluster):
+        coordinator, _fleet, _clock = cluster()
+        resp = coordinator.handle(
+            "POST",
+            "/jobs",
+            json.dumps(
+                {"circuit": "c17", "datalog": LOG, "pattern_sed": 3}
+            ).encode(),
+        )
+        assert resp.status == 400
+        assert "pattern_sed" in body(resp)["error"]

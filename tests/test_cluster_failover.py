@@ -1,0 +1,275 @@
+"""End-to-end fabric failover: real processes, real sockets, kill -9.
+
+A coordinator fronts two worker daemons. The worker that rendezvous
+routing picks for the job is armed (via the chaos layer) to wedge on it,
+then SIGKILLed mid-job. The coordinator must declare the node dead,
+take over its lease, re-dispatch to the survivor, and serve a report
+byte-identical to a standalone daemon's -- same job id throughout, so
+the client polling the coordinator never notices the takeover.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.cluster import rendezvous_order
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_BANNER = re.compile(
+    r"listening on http://(?P<host>[\d.]+):(?P<port>\d+) "
+    r".*recovered (?P<recovered>\d+) job"
+)
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return env
+
+
+@pytest.fixture(scope="module")
+def datalog_c17() -> str:
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "inject", "c17", "-k", "2",
+         "--seed", "3"],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=_env(),
+    )
+    return out.stdout
+
+
+class Node:
+    """One ``repro serve`` subprocess (any role) plus a tiny HTTP client."""
+
+    def __init__(self, store: Path, *extra: str):
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--store", str(store),
+            "--port", "0",
+            "--no-fsync",
+        ]
+        argv.extend(extra)
+        self.proc = subprocess.Popen(
+            argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_env(),
+        )
+        self.port = 0
+
+    def wait_ready(self, timeout: float = 30.0) -> "Node":
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise AssertionError(
+                    f"node exited during startup (rc={self.proc.poll()})"
+                )
+            match = _BANNER.search(line)
+            if match:
+                self.port = int(match.group("port"))
+                return self
+        raise AssertionError("node never printed its listening banner")
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def request(self, method: str, path: str, payload=None):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=10)
+        try:
+            body = None if payload is None else json.dumps(payload).encode()
+            conn.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            return resp.status, resp.read()
+        finally:
+            conn.close()
+
+    def submit(self, datalog: str, circuit: str = "c17", **extra) -> str:
+        payload = {"circuit": circuit, "datalog": datalog}
+        payload.update(extra)
+        status, raw = self.request("POST", "/jobs", payload)
+        assert status in (200, 202), raw
+        return json.loads(raw)["id"]
+
+    def wait_job(self, job_id: str, timeout: float = 60.0) -> dict:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, raw = self.request("GET", f"/jobs/{job_id}")
+            assert status == 200, raw
+            job = json.loads(raw)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} never went terminal")
+
+    def wait_state(self, job_id: str, state: str, timeout: float = 15.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, raw = self.request("GET", f"/jobs/{job_id}")
+            if status == 200 and json.loads(raw)["state"] == state:
+                return
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} never reached {state}")
+
+    def kill9(self) -> None:
+        self.proc.kill()
+        self.proc.wait(timeout=10)
+
+    def sigterm_and_wait(self, timeout: float = 30.0) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+    def cleanup(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+        self.proc.stdout.close()
+
+
+@pytest.fixture
+def spawn(tmp_path):
+    nodes = []
+
+    def make(name: str, *extra: str) -> Node:
+        node = Node(tmp_path / f"{name}.jsonl", *extra)
+        nodes.append(node)
+        return node
+
+    yield make
+    for node in nodes:
+        node.cleanup()
+
+
+def canonical_bytes(job: dict) -> bytes:
+    return json.dumps(job["report"], sort_keys=True).encode()
+
+
+class TestFabricFailover:
+    def test_kill9_worker_mid_job_fails_over_byte_identical(
+        self, spawn, datalog_c17
+    ):
+        # Standalone reference: what the fabric's answer must equal.
+        standalone = spawn("standalone").wait_ready()
+        ref_id = standalone.submit(datalog_c17)
+        reference = standalone.wait_job(ref_id)
+        assert reference["state"] == "done"
+        assert standalone.sigterm_and_wait() == 0
+
+        # The job's shard key is c17:<pattern_seed 7>; whichever worker
+        # rendezvous ranks first gets wedged so kill -9 lands mid-job.
+        victim_name = rendezvous_order("c17:7", ["a", "b"])[0]
+        chaos = ("--chaos", "wedge@executor.job:1:600s")
+        workers = {
+            name: spawn(
+                f"worker-{name}",
+                "--role", "worker",
+                *(chaos if name == victim_name else ()),
+            ).wait_ready()
+            for name in ("a", "b")
+        }
+        coordinator = spawn(
+            "coordinator",
+            "--role", "coordinator",
+            "--worker", f"a={workers['a'].url}",
+            "--worker", f"b={workers['b'].url}",
+            "--heartbeat-interval", "0.2",
+            "--max-failures", "2",
+            "--lease-seconds", "30",
+        ).wait_ready()
+
+        job_id = coordinator.submit(datalog_c17)
+        assert job_id == ref_id  # same spec -> same fingerprint id
+        coordinator.wait_state(job_id, "running")
+        # The wedged victim is holding the job; the survivor is idle.
+        status, raw = workers[victim_name].request("GET", f"/jobs/{job_id}")
+        assert status == 200
+
+        workers[victim_name].kill9()
+
+        # Failover happens well inside the 30s lease: the dead node is
+        # detected by heartbeats (0.2s x 2), not by lease expiry.
+        recovered = coordinator.wait_job(job_id, timeout=30)
+        assert recovered["state"] == "done"
+        assert canonical_bytes(recovered) == canonical_bytes(reference)
+
+        survivor = "b" if victim_name == "a" else "a"
+        status, raw = workers[survivor].request("GET", f"/jobs/{job_id}")
+        assert status == 200 and json.loads(raw)["state"] == "done"
+
+        status, metrics = coordinator.request("GET", "/metrics")
+        assert status == 200
+        assert (
+            b'repro_cluster_lease_takeovers_total{cause="dead"} 1' in metrics
+        )
+        assert b'repro_cluster_nodes{state="dead"} 1' in metrics
+
+        # Cluster status over the real socket, via the CLI.
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "cluster", "status",
+             "--url", coordinator.url, "--json"],
+            capture_output=True, text=True, check=True, env=_env(),
+        )
+        payload = json.loads(out.stdout)
+        assert payload["role"] == "coordinator"
+        states = {n["name"]: n["state"] for n in payload["nodes"]}
+        assert states[victim_name] == "dead"
+        assert states[survivor] == "alive"
+
+        assert coordinator.sigterm_and_wait() == 0
+        assert workers[survivor].sigterm_and_wait() == 0
+
+
+class TestFabricExitCodes:
+    def test_coordinator_with_zero_workers_exits_2(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve",
+             "--role", "coordinator",
+             "--store", str(tmp_path / "c.jsonl"),
+             "--port", "0"],
+            capture_output=True, text=True, env=_env(),
+        )
+        assert proc.returncode == 2
+        combined = proc.stdout + proc.stderr
+        assert "at least one worker" in combined
+
+    def test_worker_flag_without_coordinator_role_exits_2(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve",
+             "--worker", "http://127.0.0.1:9999",
+             "--store", str(tmp_path / "s.jsonl"),
+             "--port", "0"],
+            capture_output=True, text=True, env=_env(),
+        )
+        assert proc.returncode == 2
+        combined = proc.stdout + proc.stderr
+        assert "--worker" in combined
+
+    def test_serve_help_documents_exit_codes_for_all_roles(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--help"],
+            capture_output=True, text=True, check=True, env=_env(),
+        ).stdout
+        assert "exit codes (all roles)" in out
+        assert "zero workers for a" in out
+        for code in ("0 ", "1 ", "2 ", "3 ", "4 "):
+            assert code in out

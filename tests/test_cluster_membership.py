@@ -1,0 +1,98 @@
+"""Rendezvous routing and the heartbeat membership state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.cluster.membership import (
+    NODE_ALIVE,
+    NODE_DEAD,
+    NODE_SUSPECT,
+    Membership,
+    rendezvous_order,
+)
+
+NODES = ["w0", "w1", "w2"]
+
+
+class TestRendezvous:
+    def test_deterministic_and_input_order_independent(self):
+        assert rendezvous_order("c17:7", NODES) == rendezvous_order(
+            "c17:7", list(reversed(NODES))
+        )
+        assert rendezvous_order("c17:7", NODES) == rendezvous_order(
+            "c17:7", NODES
+        )
+
+    def test_total_ordering_covers_every_node(self):
+        order = rendezvous_order("alu8:3", NODES)
+        assert sorted(order) == sorted(NODES)
+
+    def test_keys_spread_across_nodes(self):
+        winners = {
+            rendezvous_order(f"c{i}:7", NODES)[0] for i in range(64)
+        }
+        assert winners == set(NODES)
+
+    def test_minimal_disruption_on_node_removal(self):
+        """Removing one node only moves the keys that node owned; every
+        other shard's affinity survives -- the property that keeps worker
+        caches warm through membership churn."""
+        keys = [f"c{i}:{i % 5}" for i in range(200)]
+        full = {key: rendezvous_order(key, NODES)[0] for key in keys}
+        removed = "w1"
+        shrunk = [n for n in NODES if n != removed]
+        for key in keys:
+            new_winner = rendezvous_order(key, shrunk)[0]
+            if full[key] != removed:
+                assert new_winner == full[key]
+            else:
+                assert new_winner in shrunk
+
+    def test_empty_membership_routes_nowhere(self):
+        assert rendezvous_order("c17:7", []) == []
+
+
+class TestMembership:
+    def test_starts_optimistically_alive(self):
+        membership = Membership(NODES, max_failures=3)
+        assert membership.live() == NODES
+        assert membership.counts() == (3, 0, 0)
+
+    def test_failure_path_alive_suspect_dead(self):
+        membership = Membership(NODES, max_failures=3)
+        assert membership.note_failure("w0") == NODE_SUSPECT
+        assert membership.note_failure("w0") == NODE_SUSPECT
+        assert membership.note_failure("w0") == NODE_DEAD
+        assert membership.state("w0") == NODE_DEAD
+        assert membership.live() == ["w1", "w2"]
+        assert membership.counts() == (2, 0, 1)
+
+    def test_suspect_stays_routable(self):
+        membership = Membership(NODES, max_failures=3)
+        membership.note_failure("w1")
+        assert "w1" in membership.live()
+
+    def test_any_success_rejoins_even_from_dead(self):
+        membership = Membership(NODES, max_failures=1)
+        assert membership.note_failure("w2") == NODE_DEAD
+        assert membership.note_success("w2") == NODE_ALIVE
+        assert membership.live() == NODES
+        # Failure count reset: dying again takes a full run of failures.
+        membership2 = Membership(NODES, max_failures=2)
+        membership2.note_failure("w0")
+        membership2.note_success("w0")
+        assert membership2.note_failure("w0") == NODE_SUSPECT
+
+    def test_snapshot_shape(self):
+        membership = Membership(["w0"], max_failures=2)
+        membership.note_failure("w0")
+        assert membership.snapshot() == [
+            {"name": "w0", "state": NODE_SUSPECT, "failures": 1}
+        ]
+
+    def test_rejects_degenerate_configs(self):
+        with pytest.raises(ValueError):
+            Membership([], max_failures=3)
+        with pytest.raises(ValueError):
+            Membership(NODES, max_failures=0)

@@ -17,7 +17,7 @@ import pytest
 from repro.core.report import DiagnosisReport
 from repro.errors import TrialError
 from repro.obs.metrics import REGISTRY
-from repro.serve.app import DiagnosisDaemon, ServeConfig
+from repro.serve.app import DiagnosisDaemon, Response, ServeConfig
 from repro.serve.store import JobStore
 
 
@@ -128,6 +128,48 @@ class TestLifecycle:
         assert again.status == 200
         assert body(again)["id"] == job_id
         assert len(daemon.store.jobs()) == 1
+
+    def test_simultaneous_duplicate_posts_converge_on_one_job(self, harness):
+        # The idempotency guarantee under its worst case: two clients
+        # racing the same spec through admission at the same instant must
+        # mint one job id and journal exactly one job record.
+        daemon = harness(FakeRun(blocked=True))
+        barrier = threading.Barrier(2)
+        responses = [None, None]
+
+        def post(slot):
+            barrier.wait()
+            responses[slot] = daemon.handle("POST", "/jobs", spec_body())
+
+        threads = [
+            threading.Thread(target=post, args=(slot,)) for slot in (0, 1)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert all(r is not None for r in responses)
+        assert sorted(r.status for r in responses) == [200, 202]
+        ids = {body(r)["id"] for r in responses}
+        assert len(ids) == 1
+        job_records = [
+            line
+            for line in daemon.config.store.read_text().splitlines()
+            if json.loads(line)["kind"] == "job"
+        ]
+        assert len(job_records) == 1
+
+    def test_response_json_normalizes_dashed_headers(self):
+        resp = Response.json(429, {"error": "x"}, retry_after=7)
+        assert resp.headers == {"Retry-After": "7"}
+
+    def test_draining_rejection_carries_retry_after(self, harness):
+        daemon = harness(FakeRun())
+        daemon.drain()
+        resp = daemon.handle("POST", "/jobs", spec_body())
+        assert resp.status == 503
+        assert "draining" in body(resp)["error"]
+        assert float(resp.headers["Retry-After"]) >= 1
 
     def test_bad_requests(self, harness):
         daemon = harness(FakeRun())

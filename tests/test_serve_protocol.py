@@ -53,6 +53,21 @@ class TestJobSpec:
         with pytest.raises(ServeError):
             JobSpec.from_dict(None)
 
+    def test_from_dict_rejects_unknown_fields_naming_them(self):
+        # A typo'd field must be a 400 naming the offender, not a spec
+        # that silently drops it and mints the wrong fingerprint.
+        with pytest.raises(ServeError) as info:
+            JobSpec.from_dict(
+                {"circuit": "c17", "datalog": LOG, "pattern_sed": 9}
+            )
+        assert "pattern_sed" in str(info.value)
+        assert "pattern_seed" in str(info.value)  # the known vocabulary
+        with pytest.raises(ServeError) as info:
+            JobSpec.from_dict(
+                {"circuit": "c17", "datalog": LOG, "zz": 1, "aa": 2}
+            )
+        assert "aa, zz" in str(info.value)  # all offenders, sorted
+
     def test_from_dict_rejects_bad_types(self):
         with pytest.raises(ServeError):
             JobSpec.from_dict(

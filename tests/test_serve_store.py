@@ -164,6 +164,110 @@ class TestReplay:
         store.close()
 
 
+class TestLeases:
+    """Raw lease journaling: the coordinator's durable dispatch table."""
+
+    def test_grant_and_release_journal_and_index(self, store):
+        job, _ = store.submit(make_spec())
+        store.grant_lease(job.job_id, "w0", attempt=1)
+        assert store.lease_images() == {
+            job.job_id: {"node": "w0", "attempt": 1}
+        }
+        released = store.release_lease(job.job_id, "done")
+        assert released == {"node": "w0", "attempt": 1}
+        assert store.lease_images() == {}
+        records = [
+            json.loads(line)
+            for line in store.path.read_text().splitlines()
+            if json.loads(line)["kind"] == "lease"
+        ]
+        assert [r["op"] for r in records] == ["grant", "release"]
+        assert records[1]["cause"] == "done"
+
+    def test_release_without_lease_is_a_noop(self, store):
+        job, _ = store.submit(make_spec())
+        assert store.release_lease(job.job_id, "stale") is None
+        # Nothing journaled for the no-op: takeover races stay harmless.
+        assert all(
+            json.loads(line)["kind"] != "lease"
+            for line in store.path.read_text().splitlines()
+        )
+
+    def test_grant_for_unknown_job_raises(self, store):
+        with pytest.raises(ServeError):
+            store.grant_lease("jnope", "w0", attempt=1)
+
+    def test_unreleased_leases_survive_replay(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path, fsync=False)
+        store.open()
+        held, _ = store.submit(make_spec("held"))
+        freed, _ = store.submit(make_spec("freed"))
+        store.grant_lease(held.job_id, "w1", attempt=3)
+        store.grant_lease(freed.job_id, "w0", attempt=1)
+        store.release_lease(freed.job_id, "done")
+        store.close()
+
+        reopened = JobStore(path, fsync=False)
+        reopened.open()
+        assert reopened.lease_images() == {
+            held.job_id: {"node": "w1", "attempt": 3}
+        }
+        reopened.close()
+
+    def test_compaction_preserves_live_grants(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path, fsync=False)
+        store.open()
+        job, _ = store.submit(make_spec())
+        store.grant_lease(job.job_id, "w0", attempt=1)
+        store.release_lease(job.job_id, "takeover_dead")
+        store.grant_lease(job.job_id, "w1", attempt=2)
+        store.compact()
+        # The snapshot collapses grant/release/grant to one live grant.
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        leases = [r for r in records if r["kind"] == "lease"]
+        assert leases == [
+            {
+                "kind": "lease",
+                "v": 1,
+                "id": job.job_id,
+                "op": "grant",
+                "node": "w1",
+                "attempt": 2,
+            }
+        ]
+        store.close()
+
+        reopened = JobStore(path, fsync=False)
+        reopened.open()
+        assert reopened.lease_images() == {
+            job.job_id: {"node": "w1", "attempt": 2}
+        }
+        reopened.close()
+
+    def test_lease_for_unknown_job_is_skipped_on_replay(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text(
+            '{"kind":"lease","v":1,"id":"jghost","op":"grant",'
+            '"node":"w0","attempt":1}\n'
+        )
+        store = JobStore(path, fsync=False)
+        assert store.open() == []
+        assert store.lease_images() == {}
+        store.close()
+
+    def test_mark_resubmitted_requeues_a_dispatched_job(self, store):
+        job, _ = store.submit(make_spec())
+        store.mark_running(job.job_id, attempt=1)
+        store.mark_resubmitted(job.job_id)
+        assert job.state == "submitted"
+        tail = json.loads(store.path.read_text().splitlines()[-1])
+        assert tail["state"] == "submitted" and tail["requeued"] is True
+
+
 class TestLocking:
     def test_second_writer_fails_fast(self, tmp_path):
         path = tmp_path / "jobs.jsonl"
