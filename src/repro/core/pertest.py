@@ -266,14 +266,14 @@ def build_pertest(
         if datalog.x_outputs_of(idx)
     }
     atoms = frozenset(datalog.fail_atoms())
-    obs_vec: dict[str, int] = {}
-    for pos, outs in observed_pos.items():
-        for out in outs:
-            obs_vec[out] = obs_vec.get(out, 0) | (1 << pos)
-    x_vec: dict[str, int] = {}
-    for pos, outs in x_pos.items():
-        for out in outs:
-            x_vec[out] = x_vec.get(out, 0) | (1 << pos)
+    # Transposed work-space evidence comes packed straight from the
+    # datalog (built once per datalog, shared across analyses and stages)
+    # instead of being re-transposed here; the work axis is the same (bit
+    # j = j-th failing record, records are sorted by pattern index, and
+    # `failing` above preserves that order).  The shared dicts are
+    # read-only -- _match_vector and the atom sweeps only probe them.
+    obs_vec = datalog.fail_vectors()
+    x_vec = datalog.fail_x_vectors()
 
     flip_diff: dict[Site, dict[str, int]] = {}
     site_atoms: dict[Site, frozenset[Atom]] = {}

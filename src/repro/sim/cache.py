@@ -37,6 +37,11 @@ from repro.errors import SimulationError
 from repro.obs.trace import trace_event
 from repro.sim.compile import COUNTERS, active_kernels, base_slots, reset_kernel_cache
 from repro.sim.event import resim_output_diff
+from repro.sim.packed import (
+    active_packed,
+    resim_diff_special,
+    reset_packed_cache,
+)
 from repro.sim.logicsim import simulate
 from repro.sim.patterns import PatternSet
 from repro.sim.threeval import x_injection_reach
@@ -62,6 +67,7 @@ class SimContext:
         "_resim",
         "_xreach",
         "_kernels",
+        "_packed",
         "_base_slots",
         "_out_pairs",
         "_valid_sites",
@@ -80,6 +86,7 @@ class SimContext:
         # re-reading ``REPRO_SIM`` on every query would only buy dispatch
         # overhead on the hottest call path.
         self._kernels = active_kernels(netlist)
+        self._packed = active_packed(netlist)
         self._valid_sites: set[Site] = set()
         if self._kernels is not None:
             program = self._kernels.program
@@ -127,10 +134,10 @@ class SimContext:
         gates = netlist.gates
         valid = self._valid_sites
         base = self._base_slots
-        slots = base.copy()
         st: dict[int, int] = {}
-        pp: dict[int, int] | None = None
+        pp: dict[int, int] = {}
         roots: list[str] = []
+        input_slots: list[int] = []
         for site, value in overrides.items():
             if site not in valid:
                 netlist.validate_site(site)
@@ -141,20 +148,28 @@ class SimContext:
             if branch is None:
                 net = site.net
                 roots.append(net)
-                if net in gates:
-                    st[slot_of[net]] = value
-                else:
-                    slots[slot_of[net]] = value
+                slot = slot_of[net]
+                st[slot] = value
+                if net not in gates:
+                    input_slots.append(slot)
             else:
                 roots.append(branch[0])
-                if pp is None:
-                    pp = {}
                 pp[slot_of[branch[0]] * program.stride + branch[1]] = value
         cone = netlist.fanout_cone(roots)
         COUNTERS.cone_passes += 1
         COUNTERS.gate_evals += len(cone)
+        if self._packed is not None:
+            input_slots.sort()
+            diff = resim_diff_special(
+                self._packed, base, st, pp, input_slots, cone, mask
+            )
+            if diff is not None:
+                return diff
+        slots = base.copy()
+        for slot in input_slots:
+            slots[slot] = st[slot]
         cone_set, _cone_order = kernels.cone_slots(cone)
-        if pp is not None:
+        if pp:
             kernels.fn("cone2_sp")(slots, mask, cone_set, st, pp)
         else:
             kernels.fn("cone2_s")(slots, mask, cone_set, st)
@@ -273,4 +288,5 @@ def reset_sim_caches() -> None:
     """Drop every context, kernel and counter (testing/benchmark hook)."""
     _CONTEXTS.clear()
     reset_kernel_cache()
+    reset_packed_cache()
     COUNTERS.reset()

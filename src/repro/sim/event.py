@@ -20,6 +20,11 @@ from repro.circuit.gates import eval2
 from repro.circuit.netlist import Netlist, Site
 from repro.errors import SimulationError
 from repro.sim.compile import COUNTERS, active_kernels, base_slots
+from repro.sim.packed import (
+    active_packed,
+    resim_changed_special,
+    resim_diff_special,
+)
 
 
 def _split_resim_overrides(
@@ -64,38 +69,53 @@ def resimulate_with_overrides(
 
     program = kernels.program
     base = base_slots(program, base_values)
-    slots = base.copy()
     slot_of = program.slot_of
-    changed: dict[str, int] = {}
     gates = netlist.gates
+    # ``st`` carries input stems too: the guarded kernels only probe gate
+    # slots, so the extra keys are inert there, while the packed
+    # specialized kernels read the input overrides from it directly.
     st: dict[int, int] = {}
-    input_stems: list[str] = []
+    input_slots: list[int] = []
     for net, value in stem_over.items():
-        if net in gates:
-            st[slot_of[net]] = value
-        else:
-            input_stems.append(net)
-    # Overridden inputs first, in primary-input (= slot) order, matching
-    # the interpreted walk's insertion order.
-    for net in sorted(input_stems, key=slot_of.__getitem__):
         slot = slot_of[net]
-        value = stem_over[net]
-        slots[slot] = value
-        if value != base[slot]:
-            changed[net] = value
-
-    cone_set, cone_order = kernels.cone_slots(cone)
+        st[slot] = value
+        if net not in gates:
+            input_slots.append(slot)
+    input_slots.sort()
     if pin_over:
         stride = program.stride
         pp = {
             slot_of[gate] * stride + pin: value
             for (gate, pin), value in pin_over.items()
         }
+    else:
+        pp = {}
+
+    packed = active_packed(netlist)
+    if packed is not None:
+        changed = resim_changed_special(
+            packed, base, st, pp, input_slots, cone, mask
+        )
+        if changed is not None:
+            return changed
+
+    slots = base.copy()
+    changed = {}
+    net_order = program.net_order
+    # Overridden inputs first, in primary-input (= slot) order, matching
+    # the interpreted walk's insertion order.
+    for slot in input_slots:
+        value = st[slot]
+        slots[slot] = value
+        if value != base[slot]:
+            changed[net_order[slot]] = value
+
+    cone_set, cone_order = kernels.cone_slots(cone)
+    if pp:
         kernels.fn("cone2_sp")(slots, mask, cone_set, st, pp)
     else:
         kernels.fn("cone2_s")(slots, mask, cone_set, st)
 
-    net_order = program.net_order
     for slot in cone_order:
         value = slots[slot]
         if value != base[slot]:
@@ -163,23 +183,38 @@ def resim_output_diff(
 
     program = kernels.program
     base = base_slots(program, base_values)
-    slots = base.copy()
     slot_of = program.slot_of
     gates = netlist.gates
     st: dict[int, int] = {}
+    input_slots: list[int] = []
     for net, value in stem_over.items():
-        if net in gates:
-            st[slot_of[net]] = value
-        else:
-            slots[slot_of[net]] = value
-
-    cone_set, _cone_order = kernels.cone_slots(cone)
+        slot = slot_of[net]
+        st[slot] = value
+        if net not in gates:
+            input_slots.append(slot)
+    input_slots.sort()
     if pin_over:
         stride = program.stride
         pp = {
             slot_of[gate] * stride + pin: value
             for (gate, pin), value in pin_over.items()
         }
+    else:
+        pp = {}
+
+    packed = active_packed(netlist)
+    if packed is not None:
+        diff = resim_diff_special(
+            packed, base, st, pp, input_slots, cone, mask
+        )
+        if diff is not None:
+            return diff
+
+    slots = base.copy()
+    for slot in input_slots:
+        slots[slot] = st[slot]
+    cone_set, _cone_order = kernels.cone_slots(cone)
+    if pp:
         kernels.fn("cone2_sp")(slots, mask, cone_set, st, pp)
     else:
         kernels.fn("cone2_s")(slots, mask, cone_set, st)

@@ -1,0 +1,1148 @@
+"""Bit-packed pattern-parallel (PPSFP) simulation backend.
+
+Classic parallel-pattern single-fault simulation: the pattern set is packed
+into 64-bit machine words -- bit *i* of word *w* is pattern ``64*w + i`` --
+and the generated kernels evaluate one whole word per statement.  Three
+valued 01/X logic uses two words per net, the ``(ones, zeros)`` planes of
+:mod:`repro.sim.threeval`; a net is ``X`` for a pattern exactly when both
+planes have the bit set.  A ragged pattern count keeps the *tail-mask
+invariant*: every value word of word index ``w`` stays confined to
+``word_masks(n)[w]``, so the last word's unused high bits are provably zero
+everywhere (kernels re-mask at every inverting gate exactly like the
+compiled backend does with the full-width mask).
+
+Where the speed comes from
+--------------------------
+
+The compiled backend (:mod:`repro.sim.compile`) already evaluates all
+patterns per statement -- on one arbitrary-precision int per net.  Packing
+therefore wins not by widening the ALU but by removing interpreter-level
+overhead the big-int kernels cannot avoid:
+
+- **Full passes** run locals-only word kernels: input words are unpacked
+  into function locals once, every gate is a pure ``_k = _a & _b`` over
+  ``LOAD_FAST`` operands (no ``v[k]`` list indexing), and the result tuple
+  comes back in one ``BUILD_TUPLE``.  With <= 64 patterns a full pass is a
+  single call; wider sets loop words and re-join per slot (past a few words
+  the join cost approaches the compiled big-int pass -- the crossover is
+  documented in ``docs/architecture.md``).
+- **Cone passes** (resimulation, X-injection reach) are where diagnosis
+  spends its time, and the guarded compiled kernels pay an ``if k in c``
+  probe for *every* gate of the netlist plus an O(slots) base-list copy per
+  call.  Hot cones (seen :data:`_SPECIALIZE_AFTER` times) get a
+  *specialized* straight-line kernel containing only the cone's gates,
+  reading frontier values directly from the shared base slot list and
+  returning only the cone slots -- no guard walk, no copy.  These operate
+  on the full-width packed integers directly (they are already
+  pattern-parallel; chunking a sparse cone pass into words would only add
+  join overhead).  Cold cones fall through to the guarded compiled kernels
+  with bit-identical results.
+
+Backend semantics
+-----------------
+
+``REPRO_SIM=packed`` enables this backend for netlists up to
+:data:`MAX_PACKED_GATES` gates; above that it downgrades to the compiled
+kernels (then to the interpreter above
+:data:`repro.sim.compile.MAX_COMPILED_GATES`), emitting one
+``sim.packed_downgrade`` trace event per netlist fingerprint.  All value
+dicts, iteration orders, dispatcher-level :data:`~repro.sim.compile.COUNTERS`
+and diagnosis reports are byte-identical across the three backends; the
+only packed-specific counter is ``packed_words`` (never surfaced in
+reports, like ``kernel_compiles``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.circuit.gates import TV, GateKind
+from repro.circuit.netlist import Netlist
+from repro.errors import SimulationError
+from repro.obs.metrics import record_kernel_compile
+from repro.obs.trace import trace_event
+from repro.sim.compile import (
+    COUNTERS,
+    MAX_COMPILED_GATES,
+    VARIANTS,
+    KernelSet,
+    SlotProgram,
+    SlotValues,
+    _expr2,
+    backend,
+    kernels_for,
+    lifted_base,
+)
+from repro.sim.patterns import PatternSet
+
+#: Word width of the packed representation (patterns per word).
+WORD = 64
+WORD_MASK = (1 << WORD) - 1
+
+#: Netlists above this gate count downgrade to the compiled backend (the
+#: locals-style kernels return one local per slot in a single tuple; past a
+#: few thousand slots codegen size and frame width stop paying for
+#: themselves before the compiled kernels do).
+MAX_PACKED_GATES = 4000
+
+#: A fanout cone must recur this many times before a specialized
+#: straight-line kernel is generated for it; colder cones use the guarded
+#: compiled kernels (identical results, no codegen spend).
+_SPECIALIZE_AFTER = 2
+
+#: Cones larger than this never specialize (codegen time would dwarf the
+#: guard-walk savings of the handful of repeats big cones get).
+_MAX_SPECIAL_GATES = 1500
+
+_SPECIAL_KERNEL_LIMIT = 512
+_CONE_USE_LIMIT = 8192
+_PACKED_CACHE_LIMIT = 64
+
+
+# ---------------------------------------------------------------------------
+# Word representation
+# ---------------------------------------------------------------------------
+
+
+def word_count(n: int) -> int:
+    """Words needed for ``n`` patterns (at least one, so masks exist)."""
+    return (n + WORD - 1) // WORD if n else 1
+
+
+def word_masks(n: int) -> tuple[int, ...]:
+    """Per-word valid-bit masks for ``n`` patterns; the last one is the
+    tail mask of a ragged pattern count."""
+    if n <= 0:
+        return (0,)
+    full, tail = divmod(n, WORD)
+    masks = [WORD_MASK] * full
+    if tail:
+        masks.append((1 << tail) - 1)
+    return tuple(masks)
+
+
+def split_vector(vec: int, masks: tuple[int, ...]) -> tuple[int, ...]:
+    """Split a full-width pattern vector into per-word values.
+
+    Each word is confined to its mask, preserving the tail-mask invariant
+    for arbitrary (already width-checked) caller vectors.
+    """
+    return tuple((vec >> (WORD * w)) & m for w, m in enumerate(masks))
+
+
+def join_words(words) -> int:
+    """Inverse of :func:`split_vector`: concatenate words little-endian."""
+    if len(words) == 1:
+        return words[0]
+    return int.from_bytes(
+        b"".join(w.to_bytes(8, "little") for w in words), "little"
+    )
+
+
+class PackedPatterns:
+    """Word-major packed view of one :class:`~repro.sim.patterns.PatternSet`.
+
+    ``in_words[w]`` is the tuple of input values for word ``w`` (input-slot
+    order); ``lifted[w]`` adds the zeros plane for 3-valued passes.  Cached
+    on the pattern-set instance (pattern sets are immutable).
+    """
+
+    __slots__ = ("n", "n_words", "masks", "in_words", "_lifted")
+
+    def __init__(self, patterns: PatternSet):
+        self.n = patterns.n
+        self.masks = word_masks(patterns.n)
+        self.n_words = len(self.masks)
+        bits = patterns.bits
+        # Pattern bits are already <= the global mask, so the per-word
+        # shift-and-trim below preserves the tail-mask invariant.
+        self.in_words: tuple[tuple[int, ...], ...] = tuple(
+            tuple((bits[net] >> (WORD * w)) & WORD_MASK for net in patterns.inputs)
+            for w in range(self.n_words)
+        )
+        self._lifted: tuple | None = None
+
+    @property
+    def lifted(self) -> tuple:
+        """Per-word ``(ones, zeros)`` input planes of the binary patterns."""
+        lifted = self._lifted
+        if lifted is None:
+            lifted = self._lifted = tuple(
+                (words, tuple(x ^ m for x in words))
+                for words, m in zip(self.in_words, self.masks)
+            )
+        return lifted
+
+
+def packed_patterns(patterns: PatternSet) -> PackedPatterns:
+    """The (instance-cached) packed view of ``patterns``."""
+    cached = getattr(patterns, "_packed_view", None)
+    if cached is None:
+        cached = patterns._packed_view = PackedPatterns(patterns)
+    return cached
+
+
+class PackedValues(SlotValues):
+    """A ``simulate`` result that also remembers its per-word planes.
+
+    Downstream consumers see the exact ``{net: bits}`` dict (and the
+    ``SlotValues`` slot list) the other backends produce; the extra fields
+    let later packed passes reuse the word decomposition without
+    re-splitting.
+    """
+
+    __slots__ = ("words", "word_masks")
+
+
+def _make_packed_values(
+    program: SlotProgram,
+    slots: list,
+    mask: int,
+    words: list,
+    masks: tuple[int, ...],
+) -> PackedValues:
+    values = PackedValues(zip(program.net_order, slots))
+    values.slots = slots
+    values.program = program
+    values.mask = mask
+    values._lifted = None
+    values.words = words
+    values.word_masks = masks
+    return values
+
+
+def _mask_words(mask: int) -> int:
+    """Word count implied by a full-width pattern mask (``2**n - 1``)."""
+    return word_count(mask.bit_length())
+
+
+# ---------------------------------------------------------------------------
+# Codegen: locals-style full-pass word kernels
+# ---------------------------------------------------------------------------
+
+
+def _locals3(kind: GateKind, srcs: list[tuple[str, str]], k: int) -> list[str]:
+    """Three-valued statements targeting locals ``_o{k}`` / ``_z{k}``.
+
+    Mirrors :func:`repro.sim.compile._lines3` (same truth tables, same
+    mask-confinement invariant) with local-variable targets instead of
+    plane-list stores.
+    """
+    on_t, zr_t = f"_o{k}", f"_z{k}"
+    if kind is GateKind.AND or kind is GateKind.NAND:
+        on = " & ".join(s for s, _ in srcs)
+        zr = " | ".join(s for _, s in srcs)
+        if kind is GateKind.NAND:
+            on, zr = zr, on
+        return [f"{on_t} = {on}", f"{zr_t} = {zr}"]
+    if kind is GateKind.OR or kind is GateKind.NOR:
+        on = " | ".join(s for s, _ in srcs)
+        zr = " & ".join(s for _, s in srcs)
+        if kind is GateKind.NOR:
+            on, zr = zr, on
+        return [f"{on_t} = {on}", f"{zr_t} = {zr}"]
+    if kind is GateKind.XOR or kind is GateKind.XNOR:
+        if len(srcs) == 1:  # degenerate: XOR is a buffer, XNOR an inverter
+            on_s, zr_s = srcs[0]
+            if kind is GateKind.XNOR:
+                on_s, zr_s = zr_s, on_s
+            return [f"{on_t} = {on_s}", f"{zr_t} = {zr_s}"]
+        (a_on, a_zr), (b_on, b_zr) = srcs[0], srcs[1]
+        on = f"({a_on} & {b_zr}) | ({a_zr} & {b_on})"
+        zr = f"({a_on} & {b_on}) | ({a_zr} & {b_zr})"
+        if len(srcs) == 2:  # direct form: no accumulator round-trips
+            if kind is GateKind.XNOR:
+                on, zr = zr, on
+            return [f"{on_t} = {on}", f"{zr_t} = {zr}"]
+        lines = [f"_xa = {on}", f"_xb = {zr}"]
+        for on_s, zr_s in srcs[2:]:
+            lines.append(
+                f"_xa, _xb = (_xa & {zr_s}) | (_xb & {on_s}), "
+                f"(_xa & {on_s}) | (_xb & {zr_s})"
+            )
+        if kind is GateKind.XNOR:
+            return lines + [f"{on_t} = _xb", f"{zr_t} = _xa"]
+        return lines + [f"{on_t} = _xa", f"{zr_t} = _xb"]
+    if kind is GateKind.BUF:
+        return [f"{on_t} = {srcs[0][0]}", f"{zr_t} = {srcs[0][1]}"]
+    if kind is GateKind.NOT:
+        return [f"{on_t} = {srcs[0][1]}", f"{zr_t} = {srcs[0][0]}"]
+    if kind is GateKind.MUX:
+        (a1, a0), (b1, b0), (s1, s0) = srcs
+        return [
+            f"{on_t} = ({s0} & {a1}) | ({s1} & {b1})",
+            f"{zr_t} = ({s0} & {a0}) | ({s1} & {b0})",
+        ]
+    if kind is GateKind.CONST0:
+        return [f"{on_t} = 0", f"{zr_t} = m"]
+    if kind is GateKind.CONST1:
+        return [f"{on_t} = m", f"{zr_t} = 0"]
+    raise SimulationError(f"cannot compile gate kind {kind}")
+
+
+#: Gate kinds whose operand order cannot change the value -- their CSE
+#: keys are operand-sorted so reordered duplicate gates still collapse.
+_COMMUTATIVE = frozenset(
+    (
+        GateKind.AND,
+        GateKind.NAND,
+        GateKind.OR,
+        GateKind.NOR,
+        GateKind.XOR,
+        GateKind.XNOR,
+    )
+)
+
+
+def emit_packed_source(program: SlotProgram, variant: str) -> str:
+    """Render a locals-style full-pass word kernel for ``variant``.
+
+    Only the six ``full*`` variants exist in packed form; the cone-guarded
+    variants are served by the compiled kernels (see
+    :meth:`PackedKernels.fn`).
+
+    The plain (override-free) variants are pure dataflow, so the emitter
+    optimizes: duplicate gates collapse onto one local through a name map,
+    BUF/CONST (and, three-valued, NOT -- a plane swap) cost nothing, and
+    MUX select inverses are hoisted into shared locals.  The override
+    variants skip all of this -- any gate slot can be individually forced,
+    so every slot needs its own assignment.
+    """
+    three, guarded, stems, pins = VARIANTS[variant]
+    if guarded:
+        raise SimulationError(
+            f"variant {variant!r} is cone-guarded; packed codegen only "
+            "emits full-pass kernels"
+        )
+    stride = program.stride
+    ni = program.n_inputs
+    ns = program.n_slots
+    name = "p" + variant
+    if three:
+        args = ["vo", "vz", "m"]
+        if stems:
+            args += ["so", "sz"]
+        if pins:
+            args += ["po", "pz"]
+    else:
+        args = ["v", "m"]
+        if stems:
+            args.append("st")
+        if pins:
+            args.append("pp")
+    lines = [f"def {name}({', '.join(args)}):"]
+    if three:
+        if ni:
+            lines.append(
+                "    (" + ", ".join(f"_o{i}" for i in range(ni)) + ",) = vo"
+            )
+            lines.append(
+                "    (" + ", ".join(f"_z{i}" for i in range(ni)) + ",) = vz"
+            )
+        if not stems and not pins:
+            nm3 = {i: (f"_o{i}", f"_z{i}") for i in range(ni)}
+            seen3: dict = {}
+            for k, kind, srcs in program.ops:
+                ops3 = [nm3[src] for src in srcs]
+                if kind is GateKind.BUF:
+                    nm3[k] = ops3[0]
+                    continue
+                if kind is GateKind.NOT:
+                    nm3[k] = (ops3[0][1], ops3[0][0])
+                    continue
+                if kind is GateKind.CONST0:
+                    nm3[k] = ("0", "m")
+                    continue
+                if kind is GateKind.CONST1:
+                    nm3[k] = ("m", "0")
+                    continue
+                key = (kind,) + tuple(
+                    sorted(ops3) if kind in _COMMUTATIVE else ops3
+                )
+                prev = seen3.get(key)
+                if prev is not None:
+                    nm3[k] = prev
+                    continue
+                body = _locals3(kind, ops3, k)
+                nm3[k] = seen3[key] = (f"_o{k}", f"_z{k}")
+                lines.extend("    " + line for line in body)
+            if ns:
+                ons = ", ".join(nm3[i][0] for i in range(ns))
+                zrs = ", ".join(nm3[i][1] for i in range(ns))
+                lines.append(f"    return ({ons},), ({zrs},)")
+            else:
+                lines.append("    return (), ()")
+            return "\n".join(lines) + "\n"
+        for k, kind, srcs in program.ops:
+            if pins:
+                operands = [
+                    (
+                        f"po.get({k * stride + pin}, _o{src})",
+                        f"pz.get({k * stride + pin}, _z{src})",
+                    )
+                    for pin, src in enumerate(srcs)
+                ]
+            else:
+                operands = [(f"_o{src}", f"_z{src}") for src in srcs]
+            body = _locals3(kind, operands, k)
+            if stems:
+                lines.append(f"    if {k} in so:")
+                lines.append(f"        _o{k} = so[{k}]; _z{k} = sz[{k}]")
+                lines.append("    else:")
+                lines.extend("        " + line for line in body)
+            else:
+                lines.extend("    " + line for line in body)
+        if ns:
+            ons = ", ".join(f"_o{i}" for i in range(ns))
+            zrs = ", ".join(f"_z{i}" for i in range(ns))
+            lines.append(f"    return ({ons},), ({zrs},)")
+        else:
+            lines.append("    return (), ()")
+    else:
+        if ni:
+            lines.append(
+                "    (" + ", ".join(f"_{i}" for i in range(ni)) + ",) = v"
+            )
+        if not stems and not pins:
+            nm = {i: f"_{i}" for i in range(ni)}
+            seen: dict = {}
+            for k, kind, srcs in program.ops:
+                ops2 = [nm[src] for src in srcs]
+                if kind is GateKind.BUF:
+                    nm[k] = ops2[0]
+                    continue
+                if kind is GateKind.CONST0:
+                    nm[k] = "0"
+                    continue
+                if kind is GateKind.CONST1:
+                    nm[k] = "m"
+                    continue
+                if kind is GateKind.NOT:
+                    # Shares the inverse pool with MUX select inverses.
+                    key = ("inv", ops2[0])
+                    expr = f"{ops2[0]} ^ m"
+                elif kind is GateKind.MUX:
+                    a, b, sel = ops2
+                    nsel = seen.get(("inv", sel))
+                    if nsel is None:
+                        nsel = f"_n{k}"
+                        seen[("inv", sel)] = nsel
+                        lines.append(f"    {nsel} = {sel} ^ m")
+                    # Operands are mask-confined, so ``sel ^ m`` is ``~sel``
+                    # under the mask and no trailing ``& m`` is needed.
+                    expr = f"({a} & {nsel}) | ({b} & {sel})"
+                    key = (kind, a, b, sel)
+                else:
+                    expr = _expr2(kind, ops2)
+                    key = (kind,) + tuple(
+                        sorted(ops2) if kind in _COMMUTATIVE else ops2
+                    )
+                prev = seen.get(key)
+                if prev is not None:
+                    nm[k] = prev
+                    continue
+                nm[k] = seen[key] = f"_{k}"
+                lines.append(f"    _{k} = {expr}")
+            if ns:
+                lines.append(
+                    "    return (" + ", ".join(nm[i] for i in range(ns)) + ",)"
+                )
+            else:
+                lines.append("    return ()")
+            return "\n".join(lines) + "\n"
+        for k, kind, srcs in program.ops:
+            if pins:
+                operands2 = [
+                    f"pp.get({k * stride + pin}, _{src})"
+                    for pin, src in enumerate(srcs)
+                ]
+            else:
+                operands2 = [f"_{src}" for src in srcs]
+            expr = _expr2(kind, operands2)
+            if stems:
+                lines.append(f"    _{k} = st[{k}] if {k} in st else ({expr})")
+            else:
+                lines.append(f"    _{k} = {expr}")
+        if ns:
+            lines.append(
+                "    return (" + ", ".join(f"_{i}" for i in range(ns)) + ",)"
+            )
+        else:
+            lines.append("    return ()")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Codegen: specialized straight-line cone kernels
+# ---------------------------------------------------------------------------
+
+
+class _ResimKernel:
+    __slots__ = ("fn", "gate_slots", "outs")
+
+    def __init__(self, fn, gate_slots, outs):
+        self.fn = fn
+        self.gate_slots = gate_slots
+        self.outs = outs
+
+
+class _XReachKernel:
+    __slots__ = ("fn", "out_nets")
+
+    def __init__(self, fn, out_nets):
+        self.fn = fn
+        self.out_nets = out_nets
+
+
+def _emit_resim_source(
+    program: SlotProgram,
+    ops_by_slot: dict,
+    gate_slots: tuple[int, ...],
+    stems: tuple[int, ...],
+    pins: tuple[int, ...],
+    inputs: tuple[int, ...],
+) -> str:
+    """Unguarded 2-valued cone kernel for one override shape.
+
+    ``b`` is the shared (never copied) base slot list, ``st`` maps slot ->
+    override for both gate stems and input stems, ``pp`` maps pin keys.
+    Sources inside the cone (or overridden inputs) read the local computed
+    upstream -- ascending slot order is evaluation order -- everything else
+    reads the base list directly.
+    """
+    stride = program.stride
+    pin_set = set(pins)
+    local = set(gate_slots)
+    local.update(inputs)
+    lines = ["def rk(b, m, st, pp):"]
+    nm: dict[int, str] = {}
+    for slot in inputs:
+        lines.append(f"    _{slot} = st[{slot}]")
+        nm[slot] = f"_{slot}"
+    stem_set = set(stems)
+    seen: dict = {}
+    for k in gate_slots:
+        if k in stem_set:
+            lines.append(f"    _{k} = st[{k}]")
+            nm[k] = f"_{k}"
+            continue
+        kind, srcs = ops_by_slot[k]
+        operands = []
+        for pin, src in enumerate(srcs):
+            key = k * stride + pin
+            if key in pin_set:
+                operands.append(f"pp[{key}]")
+            elif src in local:
+                operands.append(nm[src])
+            else:
+                operands.append(f"b[{src}]")
+        # Same strength reduction as the plain full-pass emitter: the
+        # override shape is baked in, so non-overridden gates are pure
+        # dataflow -- duplicates collapse, BUF/CONST are free renames.
+        if kind is GateKind.BUF:
+            nm[k] = operands[0]
+            continue
+        if kind is GateKind.CONST0:
+            nm[k] = "0"
+            continue
+        if kind is GateKind.CONST1:
+            nm[k] = "m"
+            continue
+        if kind is GateKind.NOT:
+            ckey = ("inv", operands[0])
+            expr = f"{operands[0]} ^ m"
+        elif kind is GateKind.MUX:
+            a_s, b_s, sel = operands
+            nsel = seen.get(("inv", sel))
+            if nsel is None:
+                nsel = f"_n{k}"
+                seen[("inv", sel)] = nsel
+                lines.append(f"    {nsel} = {sel} ^ m")
+            expr = f"({a_s} & {nsel}) | ({b_s} & {sel})"
+            ckey = (kind, a_s, b_s, sel)
+        else:
+            expr = _expr2(kind, operands)
+            ckey = (kind,) + tuple(
+                sorted(operands) if kind in _COMMUTATIVE else operands
+            )
+        prev = seen.get(ckey)
+        if prev is not None:
+            nm[k] = prev
+            continue
+        nm[k] = seen[ckey] = f"_{k}"
+        lines.append(f"    _{k} = {expr}")
+    if gate_slots:
+        lines.append(
+            "    return (" + ", ".join(nm[k] for k in gate_slots) + ",)"
+        )
+    else:
+        lines.append("    return ()")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_xreach_source(
+    program: SlotProgram,
+    ops_by_slot: dict,
+    gate_slots: tuple[int, ...],
+    cone_set: frozenset,
+    entry_slot: int,
+    pin_key: int | None,
+    out_slots: tuple[int, ...],
+) -> str:
+    """Unguarded 3-valued X-injection kernel for one (cone, entry) pair.
+
+    Frontier nets (cone sources outside the cone) are lifted from the
+    binary base list at first use; the injected entry is baked in as the
+    all-X constant ``(m, m)``.
+    """
+    stride = program.stride
+    lines = ["def xk(bo, bz, m):"]
+    nm: dict[int, tuple[str, str]] = {}
+    if pin_key is None:
+        nm[entry_slot] = ("m", "m")  # all-X injection, baked as literals
+    seen: dict = {}
+    for k in gate_slots:
+        if pin_key is None and k == entry_slot:
+            continue
+        kind, srcs = ops_by_slot[k]
+        operands = []
+        for pin, src in enumerate(srcs):
+            if pin_key is not None and k * stride + pin == pin_key:
+                operands.append(("m", "m"))
+                continue
+            pair = nm.get(src)
+            if pair is None:
+                # Frontier net (cone gates are always computed upstream --
+                # ascending slot order): read the pre-lifted base planes.
+                pair = nm[src] = (f"bo[{src}]", f"bz[{src}]")
+            operands.append(pair)
+        # Plane-level strength reduction: NOT is a plane swap, BUF/CONST
+        # are renames, duplicate gates collapse onto one plane pair.
+        if kind is GateKind.BUF:
+            nm[k] = operands[0]
+            continue
+        if kind is GateKind.NOT:
+            nm[k] = (operands[0][1], operands[0][0])
+            continue
+        if kind is GateKind.CONST0:
+            nm[k] = ("0", "m")
+            continue
+        if kind is GateKind.CONST1:
+            nm[k] = ("m", "0")
+            continue
+        ckey = (kind,) + tuple(
+            sorted(operands) if kind in _COMMUTATIVE else operands
+        )
+        prev = seen.get(ckey)
+        if prev is not None:
+            nm[k] = prev
+            continue
+        lines.extend("    " + line for line in _locals3(kind, operands, k))
+        nm[k] = seen[ckey] = (f"_o{k}", f"_z{k}")
+    if out_slots:
+        lines.append(
+            "    return ("
+            + ", ".join(f"{nm[s][0]} & {nm[s][1]}" for s in out_slots)
+            + ",)"
+        )
+    else:
+        lines.append("    return ()")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Kernel sets
+# ---------------------------------------------------------------------------
+
+
+class PackedKernels:
+    """Packed kernel set for one netlist, layered over the compiled one.
+
+    - ``fn(variant)`` serves the full-pass variants as locals-style word
+      kernels and transparently delegates the four cone-guarded names to
+      the compiled :class:`~repro.sim.compile.KernelSet` (the packed
+      drivers call those per word), covering the full variant matrix.
+    - Specialized cone kernels are generated per override *shape* once a
+      cone has recurred :data:`_SPECIALIZE_AFTER` times; below the
+      threshold the resim/X-reach drivers return ``None`` and the caller
+      falls through to the guarded compiled path.
+    """
+
+    __slots__ = ("program", "kernels", "_fns", "_special", "_uses", "_ops")
+
+    def __init__(self, kernels: KernelSet):
+        self.program = kernels.program
+        self.kernels = kernels
+        self._fns: dict[str, object] = {}
+        self._special: dict[tuple, object] = {}
+        self._uses: dict[frozenset, int] = {}
+        self._ops: dict[int, tuple] | None = None
+
+    def fn(self, variant: str):
+        if VARIANTS[variant][1]:
+            return self.kernels.fn(variant)
+        func = self._fns.get(variant)
+        if func is None:
+            name = "p" + variant
+            source = emit_packed_source(self.program, variant)
+            namespace: dict[str, object] = {}
+            code = compile(
+                source,
+                f"<packed:{self.program.fingerprint}:{variant}>",
+                "exec",
+            )
+            exec(code, namespace)
+            func = self._fns[variant] = namespace[name]
+            COUNTERS.kernel_compiles += 1
+            trace_event("sim.kernel_compile", variant=name)
+            record_kernel_compile(name)
+        return func
+
+    # -- specialization machinery -----------------------------------------
+
+    def _ops_by_slot(self) -> dict[int, tuple]:
+        ops = self._ops
+        if ops is None:
+            ops = self._ops = {
+                k: (kind, srcs) for k, kind, srcs in self.program.ops
+            }
+        return ops
+
+    def _cone_hot(self, cone: frozenset) -> bool:
+        """Count a use of ``cone``; True once specialization amortizes."""
+        uses = self._uses
+        count = uses.get(cone, 0) + 1
+        if count == 1 and len(uses) >= _CONE_USE_LIMIT:
+            uses.clear()
+        uses[cone] = count
+        return count >= _SPECIALIZE_AFTER
+
+    def _store(self, key: tuple, entry):
+        if len(self._special) >= _SPECIAL_KERNEL_LIMIT:
+            self._special.clear()
+        self._special[key] = entry
+        return entry
+
+    def _compile_special(self, source: str, tag: str, name: str):
+        namespace: dict[str, object] = {}
+        code = compile(
+            source, f"<packed:{self.program.fingerprint}:{tag}>", "exec"
+        )
+        exec(code, namespace)
+        COUNTERS.kernel_compiles += 1
+        trace_event("sim.packed_specialize", kind=tag)
+        record_kernel_compile(f"packed_{name}")
+        return namespace[name]
+
+    def resim_special(
+        self,
+        cone: frozenset,
+        stems: tuple[int, ...],
+        pins: tuple[int, ...],
+        inputs: tuple[int, ...],
+    ) -> _ResimKernel | None:
+        """Specialized cone resim kernel for one override shape, or ``None``
+        below the specialization threshold / above the size cap."""
+        key = ("r", cone, stems, pins, inputs)
+        entry = self._special.get(key)
+        if entry is not None:
+            return entry if entry is not False else None
+        if not self._cone_hot(cone):
+            return None
+        cone_set, gate_slots = self.kernels.cone_slots(cone)
+        if len(gate_slots) > _MAX_SPECIAL_GATES:
+            self._store(key, False)
+            return None
+        source = _emit_resim_source(
+            self.program, self._ops_by_slot(), gate_slots, stems, pins, inputs
+        )
+        fn = self._compile_special(source, "resim", "rk")
+        gate_pos = {slot: pos for pos, slot in enumerate(gate_slots)}
+        input_set = set(inputs)
+        net_order = self.program.net_order
+        outs = []
+        for slot in self.program.out_slots:
+            pos = gate_pos.get(slot)
+            if pos is not None:
+                outs.append((net_order[slot], slot, pos))
+            elif slot in input_set:
+                outs.append((net_order[slot], slot, None))
+        return self._store(
+            key, _ResimKernel(fn, gate_slots, tuple(outs))
+        )
+
+    def xreach_special(
+        self, cone: frozenset, entry_slot: int, pin_key: int | None
+    ) -> _XReachKernel | None:
+        """Specialized X-injection kernel for ``(cone, entry)``, or ``None``
+        below the specialization threshold / above the size cap."""
+        key = ("x", cone, entry_slot, pin_key)
+        entry = self._special.get(key)
+        if entry is not None:
+            return entry if entry is not False else None
+        if not self._cone_hot(cone):
+            return None
+        cone_set, gate_slots = self.kernels.cone_slots(cone)
+        if len(gate_slots) > _MAX_SPECIAL_GATES:
+            self._store(key, False)
+            return None
+        out_slots = tuple(
+            slot
+            for slot in self.program.out_slots
+            if slot in cone_set or slot == entry_slot
+        )
+        source = _emit_xreach_source(
+            self.program,
+            self._ops_by_slot(),
+            gate_slots,
+            cone_set,
+            entry_slot,
+            pin_key,
+            out_slots,
+        )
+        fn = self._compile_special(source, "xreach", "xk")
+        net_order = self.program.net_order
+        out_nets = tuple(net_order[slot] for slot in out_slots)
+        return self._store(key, _XReachKernel(fn, out_nets))
+
+
+# ---------------------------------------------------------------------------
+# Packed kernel cache + backend gate
+# ---------------------------------------------------------------------------
+
+_PACKED: dict[str, PackedKernels] = {}
+
+#: Netlist fingerprints whose size downgrade has already been traced.
+_DOWNGRADED: set[str] = set()
+
+
+def packed_kernels_for(netlist: Netlist) -> PackedKernels:
+    """The (cached) packed kernel set for ``netlist``.
+
+    Layered on :func:`repro.sim.compile.kernels_for`: the identity check on
+    the wrapped compiled set ties invalidation to the compiled cache's
+    generation, so a kernel-cache reset transparently rebuilds the packed
+    set too.
+    """
+    kernels = kernels_for(netlist)
+    cached = getattr(netlist, "_packed_set", None)
+    if cached is not None and cached.kernels is kernels:
+        return cached
+    fp = kernels.program.fingerprint
+    packed = _PACKED.get(fp)
+    if packed is None or packed.kernels is not kernels:
+        if len(_PACKED) >= _PACKED_CACHE_LIMIT:
+            _PACKED.clear()
+        packed = _PACKED[fp] = PackedKernels(kernels)
+    netlist._packed_set = packed
+    return packed
+
+
+def active_packed(netlist: Netlist) -> PackedKernels | None:
+    """Packed kernels when the packed backend should handle ``netlist``.
+
+    ``None`` means another backend is selected *or* the netlist exceeds
+    :data:`MAX_PACKED_GATES` -- in the latter case the engines fall back to
+    the compiled kernels (which :func:`~repro.sim.compile.active_kernels`
+    still serves under ``REPRO_SIM=packed``), and past
+    :data:`~repro.sim.compile.MAX_COMPILED_GATES` to the interpreter.  The
+    downgrade is traced once per netlist fingerprint.
+    """
+    if backend() != "packed":
+        return None
+    if netlist.n_gates > MAX_PACKED_GATES:
+        fp = netlist.fingerprint()
+        if fp not in _DOWNGRADED:
+            _DOWNGRADED.add(fp)
+            fallback = (
+                "compiled"
+                if netlist.n_gates <= MAX_COMPILED_GATES
+                else "interp"
+            )
+            trace_event(
+                "sim.packed_downgrade",
+                circuit=netlist.name,
+                n_gates=netlist.n_gates,
+                fallback=fallback,
+            )
+        return None
+    return packed_kernels_for(netlist)
+
+
+def reset_packed_cache() -> None:
+    """Drop every packed kernel set (testing / benchmarking hook)."""
+    _PACKED.clear()
+    _DOWNGRADED.clear()
+
+
+# ---------------------------------------------------------------------------
+# Full-pass drivers
+# ---------------------------------------------------------------------------
+
+
+def packed_simulate(
+    packed: PackedKernels,
+    netlist: Netlist,
+    patterns: PatternSet,
+    stem_over: dict[str, int],
+    pin_over: dict[tuple[str, int], int],
+    mask: int,
+) -> PackedValues:
+    """Word-wise 2-valued full pass; result dict identical to the other
+    backends (a :class:`PackedValues`, so it is also a ``SlotValues``)."""
+    program = packed.program
+    pw = packed_patterns(patterns)
+    masks = pw.masks
+    n_words = pw.n_words
+    COUNTERS.packed_words += n_words
+    gates = netlist.gates
+    slot_of = program.slot_of
+    bits = patterns.bits
+    st = {
+        slot_of[net]: value
+        for net, value in stem_over.items()
+        if net in gates
+    }
+    pp: dict[int, int] | None = None
+    if pin_over:
+        stride = program.stride
+        pp = {
+            slot_of[gate] * stride + pin: value
+            for (gate, pin), value in pin_over.items()
+        }
+        fn = packed.fn("full2_sp")
+    elif st:
+        fn = packed.fn("full2_s")
+    else:
+        fn = packed.fn("full2")
+
+    word_results: list[tuple[int, ...]] = []
+    for w, wmask in enumerate(masks):
+        if stem_over:
+            shift = WORD * w
+            vin = tuple(
+                (stem_over.get(net, bits[net]) >> shift) & wmask
+                for net in netlist.inputs
+            )
+        else:
+            vin = pw.in_words[w]
+        if pp is not None:
+            if n_words == 1:
+                st_w, pp_w = st, pp
+            else:
+                shift = WORD * w
+                st_w = {k: (v >> shift) & wmask for k, v in st.items()}
+                pp_w = {k: (v >> shift) & wmask for k, v in pp.items()}
+            word_results.append(fn(vin, wmask, st_w, pp_w))
+        elif st:
+            if n_words == 1:
+                st_w = st
+            else:
+                shift = WORD * w
+                st_w = {k: (v >> shift) & wmask for k, v in st.items()}
+            word_results.append(fn(vin, wmask, st_w))
+        else:
+            word_results.append(fn(vin, wmask))
+
+    if n_words == 1:
+        slots = list(word_results[0])
+    else:
+        slots = [
+            join_words([word_results[w][s] for w in range(n_words)])
+            for s in range(program.n_slots)
+        ]
+    return _make_packed_values(program, slots, mask, word_results, masks)
+
+
+def packed_simulate3(
+    packed: PackedKernels,
+    netlist: Netlist,
+    patterns: PatternSet,
+    stem_over: dict[str, TV],
+    pin_over: dict[tuple[str, int], TV],
+    mask: int,
+) -> dict[str, TV]:
+    """Word-wise 3-valued full pass; same dict contents and iteration order
+    as the compiled and interpreted paths (overridden stems return the
+    caller's original vectors verbatim)."""
+    program = packed.program
+    pw = packed_patterns(patterns)
+    masks = pw.masks
+    n_words = pw.n_words
+    COUNTERS.packed_words += n_words
+    gates = netlist.gates
+    slot_of = program.slot_of
+    bits = patterns.bits
+    inputs = netlist.inputs
+    so: dict[int, TV] = {}
+    for net, tv in stem_over.items():
+        if net in gates:
+            so[slot_of[net]] = tv
+    po: dict[int, TV] | None = None
+    if pin_over:
+        stride = program.stride
+        po = {
+            slot_of[gate] * stride + pin: tv
+            for (gate, pin), tv in pin_over.items()
+        }
+        fn = packed.fn("full3_sp")
+    elif so:
+        fn = packed.fn("full3_s")
+    else:
+        fn = packed.fn("full3")
+
+    input_over = any(net not in gates for net in stem_over)
+    word_results: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+    lifted = pw.lifted
+    for w, wmask in enumerate(masks):
+        shift = WORD * w
+        if input_over:
+            vo_l, vz_l = [], []
+            for net in inputs:
+                tv = stem_over.get(net)
+                if tv is None:
+                    b = (bits[net] >> shift) & wmask
+                    vo_l.append(b)
+                    vz_l.append(b ^ wmask)
+                else:
+                    vo_l.append((tv[0] >> shift) & wmask)
+                    vz_l.append((tv[1] >> shift) & wmask)
+            vo, vz = tuple(vo_l), tuple(vz_l)
+        else:
+            vo, vz = lifted[w]
+        if po is not None:
+            so_w = {k: (tv[0] >> shift) & wmask for k, tv in so.items()}
+            sz_w = {k: (tv[1] >> shift) & wmask for k, tv in so.items()}
+            po_w = {k: (tv[0] >> shift) & wmask for k, tv in po.items()}
+            pz_w = {k: (tv[1] >> shift) & wmask for k, tv in po.items()}
+            word_results.append(fn(vo, vz, wmask, so_w, sz_w, po_w, pz_w))
+        elif so:
+            so_w = {k: (tv[0] >> shift) & wmask for k, tv in so.items()}
+            sz_w = {k: (tv[1] >> shift) & wmask for k, tv in so.items()}
+            word_results.append(fn(vo, vz, wmask, so_w, sz_w))
+        else:
+            word_results.append(fn(vo, vz, wmask))
+
+    values: dict[str, TV] = {}
+    if n_words == 1:
+        ones, zeros = word_results[0]
+        for slot, net in enumerate(program.net_order):
+            values[net] = (ones[slot], zeros[slot])
+    else:
+        for slot, net in enumerate(program.net_order):
+            values[net] = (
+                join_words([word_results[w][0][slot] for w in range(n_words)]),
+                join_words([word_results[w][1][slot] for w in range(n_words)]),
+            )
+    # Overridden nets return the caller's original (possibly unmasked)
+    # vectors, as the other backends do.
+    for net, tv in stem_over.items():
+        values[net] = tv
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Cone-pass drivers (specialized kernels over full-width packed ints)
+# ---------------------------------------------------------------------------
+
+
+def resim_changed_special(
+    packed: PackedKernels,
+    base: list,
+    st: dict[int, int],
+    pp: dict[int, int],
+    input_slots: list[int],
+    cone: frozenset,
+    mask: int,
+) -> dict[str, int] | None:
+    """Sparse changed-net map via a specialized cone kernel.
+
+    ``st`` carries both gate-stem and input-stem overrides keyed by slot;
+    ``input_slots`` must be ascending.  Returns ``None`` when the cone is
+    not specialized (yet), leaving the guarded compiled path to serve the
+    call with identical results.
+    """
+    n_inputs = packed.program.n_inputs
+    stems = tuple(s for s in sorted(st) if s >= n_inputs)
+    entry = packed.resim_special(
+        cone, stems, tuple(sorted(pp)), tuple(input_slots)
+    )
+    if entry is None:
+        return None
+    COUNTERS.packed_words += _mask_words(mask)
+    result = entry.fn(base, mask, st, pp)
+    changed: dict[str, int] = {}
+    net_order = packed.program.net_order
+    for slot in input_slots:
+        value = st[slot]
+        if value != base[slot]:
+            changed[net_order[slot]] = value
+    for value, slot in zip(result, entry.gate_slots):
+        if value != base[slot]:
+            changed[net_order[slot]] = value
+    return changed
+
+
+def resim_diff_special(
+    packed: PackedKernels,
+    base: list,
+    st: dict[int, int],
+    pp: dict[int, int],
+    input_slots: list[int],
+    cone: frozenset,
+    mask: int,
+) -> dict[str, int] | None:
+    """Per-output delta vectors via a specialized cone kernel (or ``None``
+    when unspecialized; see :func:`resim_changed_special`)."""
+    n_inputs = packed.program.n_inputs
+    stems = tuple(s for s in sorted(st) if s >= n_inputs)
+    entry = packed.resim_special(
+        cone, stems, tuple(sorted(pp)), tuple(input_slots)
+    )
+    if entry is None:
+        return None
+    COUNTERS.packed_words += _mask_words(mask)
+    result = entry.fn(base, mask, st, pp)
+    diff: dict[str, int] = {}
+    for net, slot, pos in entry.outs:
+        value = result[pos] if pos is not None else st[slot]
+        delta = value ^ base[slot]
+        if delta:
+            diff[net] = delta
+    return diff
+
+
+def x_reach_special(
+    packed: PackedKernels,
+    netlist: Netlist,
+    base_values: Mapping[str, int],
+    cone: frozenset,
+    entry_net: str,
+    pin_target: tuple[str, int] | None,
+    mask: int,
+) -> dict[str, int] | None:
+    """Per-output X reach via a specialized injection kernel (or ``None``
+    when the (cone, entry) pair is not specialized)."""
+    program = packed.program
+    entry_slot = program.slot_of[entry_net]
+    pin_key = (
+        None
+        if pin_target is None
+        else entry_slot * program.stride + pin_target[1]
+    )
+    entry = packed.xreach_special(cone, entry_slot, pin_key)
+    if entry is None:
+        return None
+    # Cached on SlotValues instances, so warm calls pay two list reads per
+    # frontier net instead of a lift.
+    base_on, base_zr = lifted_base(program, base_values, mask)
+    COUNTERS.packed_words += _mask_words(mask)
+    result = entry.fn(base_on, base_zr, mask)
+    reach: dict[str, int] = {}
+    for net, xm in zip(entry.out_nets, result):
+        if xm:
+            reach[net] = xm
+    # A primary output that *is* the injected stem is trivially corrupted.
+    if pin_target is None and entry_net in netlist.outputs:
+        reach[entry_net] = mask
+    return reach

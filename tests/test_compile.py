@@ -75,15 +75,47 @@ def _random_overrides(netlist, mask: int, seed: int, with_pins: bool):
     return overrides
 
 
+def _deep_ordered(obj):
+    """Recursively turn dicts into item lists, making ``==`` key-order
+    sensitive (reports are compared byte-for-byte downstream)."""
+    if isinstance(obj, dict):
+        return [(k, _deep_ordered(v)) for k, v in obj.items()]
+    if isinstance(obj, (list, tuple)):
+        return [_deep_ordered(v) for v in obj]
+    return obj
+
+
+#: Backend-specific counters, excluded from the dispatcher parity audit
+#: (never surfaced in reports).
+_BACKEND_ONLY_COUNTERS = ("kernel_compiles", "packed_words")
+
+
+def _dispatcher_counters() -> dict:
+    snap = COUNTERS.snapshot()
+    for name in _BACKEND_ONLY_COUNTERS:
+        snap.pop(name)
+    return snap
+
+
 def _both_backends(monkeypatch, fn):
-    """Run ``fn()`` compiled then interpreted, resetting caches between."""
-    monkeypatch.setenv("REPRO_SIM", "compiled")
-    reset_sim_caches()
-    compiled = fn()
-    monkeypatch.setenv("REPRO_SIM", "interp")
-    reset_sim_caches()
-    interp = fn()
-    return compiled, interp
+    """Run ``fn()`` under every backend, auditing cross-backend identity.
+
+    Asserts the packed result equals the compiled one (nested dict key
+    order included) and that the dispatcher-level ``SimCounters`` are
+    identical across all three ``REPRO_SIM`` settings, then returns
+    ``(compiled, interp)`` for the caller's compiled-vs-oracle checks.
+    """
+    results = {}
+    counters = {}
+    for env in ("compiled", "packed", "interp"):
+        monkeypatch.setenv("REPRO_SIM", env)
+        reset_sim_caches()
+        results[env] = fn()
+        counters[env] = _dispatcher_counters()
+    assert _deep_ordered(results["packed"]) == _deep_ordered(results["compiled"])
+    assert counters["packed"] == counters["compiled"]
+    assert counters["interp"] == counters["compiled"]
+    return results["compiled"], results["interp"]
 
 
 # -- differential properties ---------------------------------------------------
@@ -199,7 +231,7 @@ class TestDifferential:
         n = _random_netlist(1)
         pats = PatternSet.random(n, 5, seed=1)
         bad = {Site(next(iter(n.nets()))): 1 << pats.n}
-        for env in ("compiled", "interp"):
+        for env in ("compiled", "packed", "interp"):
             monkeypatch.setenv("REPRO_SIM", env)
             with pytest.raises(SimulationError):
                 simulate(n, pats, overrides=bad)
@@ -222,6 +254,11 @@ class TestBackendSelection:
     def test_interp_aliases(self, monkeypatch, alias):
         monkeypatch.setenv("REPRO_SIM", alias)
         assert backend() == "interp"
+
+    @pytest.mark.parametrize("alias", ["packed", "PPSFP", " ppsfp "])
+    def test_packed_aliases(self, monkeypatch, alias):
+        monkeypatch.setenv("REPRO_SIM", alias)
+        assert backend() == "packed"
 
     def test_unknown_backend_raises(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIM", "verilator")
