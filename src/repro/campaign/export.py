@@ -52,6 +52,7 @@ OUTCOME_FIELDS = [
     "best_multiplet_size",
     "completeness",
     "consistency",
+    "optimality",
     "quarantined",
     *SIM_STAT_FIELDS,
 ]

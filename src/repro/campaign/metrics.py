@@ -67,6 +67,9 @@ class TrialOutcome:
     #: Oracle consistency verdict of the underlying report ("confirmed",
     #: "partial", "refuted", "unvalidated"); empty when the oracle never ran.
     consistency: str = ""
+    #: Cover-cardinality claim of the underlying report ("optimal",
+    #: "bounded", "budget"); empty when the default greedy engine ran.
+    optimality: str = ""
     extra: dict[str, float] = field(default_factory=dict)
 
 
@@ -122,6 +125,7 @@ def score_report(
         ),
         completeness=report.completeness,
         consistency=report.consistency or "",
+        optimality=report.optimality or "",
     )
 
 

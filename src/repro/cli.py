@@ -239,14 +239,22 @@ def _write_metrics(path: str) -> None:
 
 
 def _budget_config(args: argparse.Namespace) -> DiagnosisConfig | None:
-    """A DiagnosisConfig carrying the CLI budget flags, or None if unset."""
+    """A DiagnosisConfig carrying the CLI search flags, or None if unset.
+
+    ``None`` (every flag at its default) keeps the historical pipeline
+    byte-identical -- campaigns then journal the same config fingerprint
+    as before these flags existed.
+    """
+    cover_engine = getattr(args, "cover_engine", "greedy")
     if (
         args.deadline is None
         and args.max_multiplets is None
         and args.max_expansions is None
+        and cover_engine == "greedy"
     ):
         return None
     return DiagnosisConfig(
+        cover_engine=cover_engine,
         deadline_seconds=args.deadline,
         max_multiplets=args.max_multiplets,
         max_expansions=args.max_expansions,
@@ -545,7 +553,16 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
 
 
 def _add_budget_args(p: argparse.ArgumentParser) -> None:
-    """Anytime-budget flags shared by ``diagnose`` and ``campaign``."""
+    """Search-governance flags shared by ``diagnose`` and ``campaign``."""
+    p.add_argument(
+        "--cover-engine",
+        choices=("greedy", "exact", "clustered"),
+        default="greedy",
+        help="multiplet search engine: greedy (historical default), exact "
+        "(implicit hitting sets, provably minimum covers with an "
+        "optimality status) or clustered (per-defect-group covers via "
+        "failure clustering, then joint verification)",
+    )
     p.add_argument(
         "--deadline",
         type=float,

@@ -39,11 +39,25 @@ CAUSE_CANCELLED = "cancelled"
 CAUSE_DEADLINE = "deadline"
 CAUSE_EXPANSIONS = "expansions"
 CAUSE_MULTIPLETS = "multiplets"
+#: A stage-internal check ceiling (``max_checks`` / ``max_combos``) ended an
+#: enumeration before the budget proper did.
+CAUSE_CHECKS = "checks"
 
 #: Completeness verdicts carried by :class:`~repro.core.report.DiagnosisReport`.
 COMPLETENESS_EXACT = "exact"
 COMPLETENESS_TRUNCATED = "truncated"
 COMPLETENESS_DEADLINE = "deadline"
+
+#: Optimality statuses reported by the exact cover engines
+#: (:mod:`repro.core.hitting` / :mod:`repro.core.clusterdiag`), orthogonal
+#: to the completeness verdict: ``optimal`` means the returned cover
+#: cardinality is provably minimum over the candidate space; ``bounded``
+#: means a structural bound (pool cap, size cap, check ceiling, or
+#: multi-cluster decomposition) limited the search without a minimality
+#: proof; ``budget`` means the :class:`Budget` cut the search first.
+OPTIMALITY_OPTIMAL = "optimal"
+OPTIMALITY_BOUNDED = "bounded"
+OPTIMALITY_BUDGET = "budget"
 
 
 @dataclass(frozen=True)

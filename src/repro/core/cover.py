@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from itertools import combinations
 
 from repro.circuit.netlist import Site
-from repro.core.budget import Budget
+from repro.core.budget import CAUSE_CHECKS, Budget
 from repro.core.pertest import PerTestAnalysis, pair_search
 from repro.core.xcover import Atom, XCoverAnalysis
 
@@ -116,6 +116,8 @@ def greedy_cover(
     if chosen:
         covered = xc.joint_covered_atoms(chosen)
         evaluations += 1
+        if budget is not None:
+            budget.charge()
     else:
         covered = frozenset()
     return CoverSolution(
@@ -211,6 +213,8 @@ def enumerate_min_covers(
         for combo in combinations(pool, size):
             checks += 1
             if checks > max_checks:
+                if budget is not None:
+                    budget.record("cover", CAUSE_CHECKS, max_checks, max_checks)
                 return solutions
             if budget is not None:
                 if checks > 1 and budget.stop("cover", checks - 1, max_checks):
@@ -327,8 +331,17 @@ def greedy_pertest_cover(
         pairs.sort(
             key=lambda p: (sum(1 for s in p if s not in chosen), str(p[0]), str(p[1]))
         )
-        a, b = pairs[0]
-        for site in (a, b):
+        # Only take a pair that fits under the size cap: with one slot left
+        # a pair of two new sites would overshoot max_size, so fall back to
+        # a pair reusing a chosen site (one new site) or skip the pattern.
+        room = max_size - len(chosen)
+        fitting = next(
+            (p for p in pairs if sum(1 for s in p if s not in chosen) <= room),
+            None,
+        )
+        if fitting is None:
+            continue
+        for site in fitting:
             if site not in chosen:
                 chosen.append(site)
         explained = analysis.explained_patterns(chosen)
@@ -403,6 +416,8 @@ def enumerate_pertest_min_covers(
         for combo in combinations(pool, size):
             checks += 1
             if checks > max_checks:
+                if budget is not None:
+                    budget.record("cover", CAUSE_CHECKS, max_checks, max_checks)
                 return solutions
             if budget is not None:
                 if checks > 1 and budget.stop("cover", checks - 1, max_checks):

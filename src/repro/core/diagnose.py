@@ -30,12 +30,14 @@ from dataclasses import dataclass, field
 from repro.circuit.netlist import Netlist, Site
 from repro.core.backtrace import candidate_sites
 from repro.core.budget import Budget
+from repro.core.clusterdiag import cluster_cover
 from repro.core.cover import (
     enumerate_min_covers,
     enumerate_pertest_min_covers,
     greedy_cover,
     greedy_pertest_cover,
 )
+from repro.core.hitting import hitting_set_cover
 from repro.core.oracle import concrete_defects, validate_report
 from repro.core.pertest import PerTestAnalysis, build_pertest
 from repro.core.refine import RefineConfig, allocate_hypotheses, arbitrary_hypothesis
@@ -58,6 +60,20 @@ class DiagnosisConfig:
     """Tuning knobs of the proposed diagnosis (defaults fit the paper scope)."""
 
     engine: str = "pertest"  #: "pertest" (exact) or "xcover" (envelope-only)
+    #: Multiplet search engine of the pertest pipeline:
+    #:
+    #: - ``"greedy"`` (default) -- greedy cover + bounded reference
+    #:   enumeration, the historical behavior (reports byte-identical),
+    #: - ``"exact"`` -- implicit-hitting-set search
+    #:   (:mod:`repro.core.hitting`): provably minimum-cardinality covers
+    #:   with an ``optimality`` status on the report,
+    #: - ``"clustered"`` -- hypergraph test-distance failure clustering
+    #:   (:mod:`repro.core.clusterdiag`): per-defect-group hitting-set
+    #:   covers joined under a joint verification pass.
+    #:
+    #: The greedy solution always runs first as the anytime incumbent and
+    #: fallback; ``"exact"``/``"clustered"`` refine it.
+    cover_engine: str = "greedy"
     include_branches: bool = True
     max_multiplet_size: int = 6
     pair_cap: int = 300
@@ -116,6 +132,15 @@ class Diagnoser:
         self.config = config or DiagnosisConfig()
         if self.config.engine not in ("pertest", "xcover"):
             raise DiagnosisError(f"unknown engine {self.config.engine!r}")
+        if self.config.cover_engine not in ("greedy", "exact", "clustered"):
+            raise DiagnosisError(
+                f"unknown cover engine {self.config.cover_engine!r}"
+            )
+        if self.config.engine == "xcover" and self.config.cover_engine != "greedy":
+            raise DiagnosisError(
+                "cover_engine applies to the pertest engine only; "
+                "the xcover envelope has no exact per-test verifier"
+            )
 
     def diagnose(
         self,
@@ -220,16 +245,22 @@ class Diagnoser:
             t_sim = sp_backtrace.end
 
             if cfg.engine == "pertest":
-                evidence, multiplet_sets, uncovered, extras, stage_stats = (
-                    self._run_pertest(
-                        patterns, datalog, sites, base_values, budget, t
-                    )
+                (
+                    evidence,
+                    multiplet_sets,
+                    uncovered,
+                    extras,
+                    stage_stats,
+                    optimality,
+                ) = self._run_pertest(
+                    patterns, datalog, sites, base_values, budget, t
                 )
             else:
                 evidence, multiplet_sets, uncovered, stage_stats = self._run_xcover(
                     patterns, datalog, base_values, budget, t
                 )
                 extras = ()
+                optimality = None
             t_cover = t.now()
 
             # Candidates = union over every surviving minimum cover (that
@@ -392,6 +423,7 @@ class Diagnoser:
                 stats=stats,
                 completeness=budget.completeness if budget is not None else "exact",
                 truncations=tuple(budget.truncations) if budget is not None else (),
+                optimality=optimality,
             )
             if raw is not None or cfg.validate:
                 # The oracle emits its own "oracle" span through the active
@@ -427,7 +459,47 @@ class Diagnoser:
                 budget=budget,
             )
             multiplet_sets: list[tuple[Site, ...]] = []
-            if cfg.enumerate_exact:
+            optimality: str | None = None
+            unexplained = solution.unexplained
+            engine_stats: dict[str, float] = {}
+            if cfg.cover_engine == "exact":
+                # Implicit-hitting-set refinement: the greedy solution is
+                # the incumbent (depth bound + anytime fallback).
+                depth = min(
+                    max(cfg.exact_max_size, len(solution.sites)),
+                    cfg.max_multiplet_size,
+                )
+                result = hitting_set_cover(
+                    analysis,
+                    seed_sites=solution.sites + solution.pair_candidates,
+                    incumbent=solution.sites if solution.complete else None,
+                    max_size=depth,
+                    budget=budget,
+                )
+                multiplet_sets = list(result.covers)
+                optimality = result.optimality
+                engine_stats["n_hitting_conflicts"] = float(result.conflicts)
+                engine_stats["n_hitting_verifications"] = float(
+                    result.verifications
+                )
+                if result.covers:
+                    # A verified cover explains every failing pattern.
+                    unexplained = frozenset()
+            elif cfg.cover_engine == "clustered":
+                cres = cluster_cover(
+                    analysis,
+                    seed_sites=solution.sites + solution.pair_candidates,
+                    max_size=cfg.max_multiplet_size,
+                    max_covers=cfg.max_reported_multiplets,
+                    budget=budget,
+                )
+                multiplet_sets = list(cres.covers)
+                optimality = cres.optimality
+                engine_stats["n_failure_clusters"] = float(len(cres.clusters))
+                engine_stats["n_cluster_fallback"] = float(cres.fallback)
+                if cres.covers:
+                    unexplained = cres.unexplained
+            elif cfg.enumerate_exact:
                 # Enumerate at least up to the size the greedy needed, so
                 # that every tying alternative of a pair-rescued explanation
                 # is reported (bounded overall by max_checks inside).
@@ -445,12 +517,16 @@ class Diagnoser:
             known = {tuple(sorted(map(str, m))) for m in multiplet_sets}
             if (
                 solution.sites
+                and not (optimality is not None and multiplet_sets)
                 and tuple(sorted(map(str, solution.sites))) not in known
             ):
+                # Greedy incumbent: reported whenever the enumeration missed
+                # it, or as the anytime fallback when an exact engine came
+                # back empty-handed (bounded out / budget cut).
                 multiplet_sets.append(solution.sites)
             uncovered = {
                 (idx, out)
-                for idx in solution.unexplained
+                for idx in unexplained
                 for out in datalog.failing_outputs_of(idx)
             }
             # Per-pattern reporting: every failing pattern contributes its
@@ -467,10 +543,13 @@ class Diagnoser:
                     extras.extend(explainers[: cfg.per_pattern_candidates])
                 extras.extend(solution.pair_candidates)
         stats = {
-            "n_unexplained_patterns": float(len(solution.unexplained)),
-            "n_exactly_explained_patterns": float(len(solution.explained)),
+            "n_unexplained_patterns": float(len(unexplained)),
+            "n_exactly_explained_patterns": float(
+                len(set(datalog.failing_indices) - set(unexplained))
+            ),
+            **engine_stats,
         }
-        return analysis, multiplet_sets, uncovered, tuple(extras), stats
+        return analysis, multiplet_sets, uncovered, tuple(extras), stats, optimality
 
     def _run_xcover(
         self, patterns, datalog, base_values, budget=None, tracer=NULL_TRACER

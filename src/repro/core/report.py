@@ -182,6 +182,13 @@ class DiagnosisReport:
     #: ``"refuted"``, or ``"unvalidated"`` (no concrete model to
     #: resimulate).  ``None`` means the oracle never ran.
     consistency: str | None = None
+    #: Cover-cardinality claim of the exact engines (see
+    #: :mod:`repro.core.hitting`): ``"optimal"`` (provably minimum over the
+    #: structural pool), ``"bounded"`` (a structural cap limited the
+    #: search) or ``"budget"`` (the budget cut it first).  ``None`` means
+    #: the default greedy engine ran -- reports then serialize
+    #: byte-identically to the historical format.
+    optimality: str | None = None
 
     @property
     def is_exact(self) -> bool:
@@ -287,6 +294,8 @@ class DiagnosisReport:
             payload["truncations"] = [t.to_dict() for t in self.truncations]
         if self.consistency is not None:
             payload["consistency"] = self.consistency
+        if self.optimality is not None:
+            payload["optimality"] = self.optimality
         return payload
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -340,6 +349,7 @@ class DiagnosisReport:
                 Truncation.from_dict(t) for t in data.get("truncations", [])
             ),
             consistency=data.get("consistency"),
+            optimality=data.get("optimality"),
         )
 
     @classmethod
@@ -357,6 +367,8 @@ class DiagnosisReport:
             lines[0] += f" [{self.completeness}]"
             for trunc in self.truncations:
                 lines.append("  truncated: " + trunc.describe())
+        if self.optimality is not None:
+            lines[0] += f" [optimality={self.optimality}]"
         if self.consistency is not None:
             lines.append(f"  oracle: {self.consistency}")
         for multiplet in self.multiplets[:5]:

@@ -1,0 +1,206 @@
+"""Failure clustering tests: test distance, grouping, clustered covering,
+and cover-engine threading through the Diagnoser."""
+
+import pytest
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.generators import ripple_carry_adder
+from repro.circuit.netlist import Site
+from repro.core.backtrace import candidate_sites
+from repro.core.budget import (
+    OPTIMALITY_BOUNDED,
+    OPTIMALITY_BUDGET,
+    OPTIMALITY_OPTIMAL,
+    Budget,
+)
+# Aliased so pytest does not collect the library function as a test.
+from repro.core.clusterdiag import test_distance as jaccard_distance
+from repro.core.clusterdiag import (
+    cluster_cover,
+    cluster_failing_patterns,
+    pattern_features,
+)
+from repro.core.diagnose import DiagnosisConfig, Diagnoser
+from repro.core.pertest import build_pertest
+from repro.core.report import DiagnosisReport
+from repro.errors import DiagnosisError
+from repro.faults.models import StuckAtDefect
+from repro.sim.logicsim import simulate
+from repro.sim.patterns import PatternSet
+from repro.tester.harness import apply_test
+
+
+def _analysis(netlist, patterns, defects):
+    result = apply_test(netlist, patterns, defects)
+    assert result.device_fails
+    base = simulate(netlist, patterns)
+    sites = candidate_sites(netlist, result.datalog)
+    return build_pertest(netlist, patterns, result.datalog, sites, base)
+
+
+def two_islands():
+    """Two disjoint subcircuits with one defect each: failing patterns of
+    different islands share no candidate site, so clustering must split
+    them and the joined cover needs exactly one site per island."""
+    b = NetlistBuilder("islands")
+    p, q, r, s = b.inputs("p", "q", "r", "s")
+    b.output(b.and_(b.buf(p, name="x1"), b.buf(q, name="y1"), name="z1"))
+    b.output(b.and_(b.buf(r, name="x2"), b.buf(s, name="y2"), name="z2"))
+    n = b.build()
+    pats = PatternSet.from_vectors(
+        n.inputs,
+        [(1, 1, 0, 0), (0, 0, 1, 1), (1, 1, 0, 1), (0, 1, 1, 1), (0, 0, 0, 0)],
+    )
+    defects = [StuckAtDefect(Site("x1"), 0), StuckAtDefect(Site("x2"), 0)]
+    return _analysis(n, pats, defects)
+
+
+@pytest.fixture(scope="module")
+def rca6():
+    return ripple_carry_adder(6)
+
+
+@pytest.fixture(scope="module")
+def pats(rca6):
+    return PatternSet.random(rca6, 32, seed=31)
+
+
+class TestDistance:
+    def test_identical_features_distance_zero(self):
+        a = frozenset({Site("x"), Site("y")})
+        assert jaccard_distance(a, a) == 0.0
+
+    def test_disjoint_features_distance_one(self):
+        assert jaccard_distance(frozenset({Site("x")}), frozenset({Site("y")})) == 1.0
+
+    def test_empty_features_distance_zero(self):
+        assert jaccard_distance(frozenset(), frozenset()) == 0.0
+
+    def test_partial_overlap(self):
+        a = frozenset({Site("x"), Site("y")})
+        b = frozenset({Site("y"), Site("z")})
+        assert jaccard_distance(a, b) == pytest.approx(2 / 3)
+
+
+class TestClustering:
+    def test_islands_split_into_two_clusters(self):
+        pt = two_islands()
+        clusters = cluster_failing_patterns(pt)
+        assert len(clusters) == 2
+        # Patterns 0 and 2 fail z1 only; 1 and 3 fail z2 only.
+        assert clusters == [(0, 2), (1, 3)]
+
+    def test_features_stay_inside_the_island(self):
+        pt = two_islands()
+        cone1 = pt.netlist.fanin_cone(["z1"])
+        for idx in (0, 2):
+            feats = pattern_features(pt, idx)
+            assert feats
+            assert all(s.net in cone1 for s in feats)
+
+    def test_single_defect_single_cluster(self, rca6, pats):
+        pt = _analysis(rca6, pats, [StuckAtDefect(Site("b1"), 1)])
+        clusters = cluster_failing_patterns(pt)
+        assert len(clusters) == 1
+        assert clusters[0] == tuple(sorted(set(pt.datalog.failing_indices)))
+
+    def test_clustering_is_deterministic(self):
+        pt = two_islands()
+        assert cluster_failing_patterns(pt) == cluster_failing_patterns(pt)
+
+
+class TestClusterCover:
+    def test_islands_joint_cover(self):
+        pt = two_islands()
+        res = cluster_cover(pt)
+        assert len(res.clusters) == 2
+        assert res.complete
+        assert not res.fallback
+        assert res.unexplained == frozenset()
+        # One site per island after join minimization.
+        assert len(res.covers[0]) == 2
+        assert pt.explains_all(res.covers[0])
+        # Per-cluster searches each proved a singleton.
+        assert [r.cardinality for r in res.per_cluster] == [1, 1]
+        # Multi-cluster joins never claim global minimality.
+        assert res.optimality == OPTIMALITY_BOUNDED
+
+    def test_single_cluster_inherits_engine_optimality(self, rca6, pats):
+        pt = _analysis(rca6, pats, [StuckAtDefect(Site("b1"), 1)])
+        res = cluster_cover(pt)
+        assert len(res.clusters) == 1
+        assert res.complete
+        assert res.optimality == OPTIMALITY_OPTIMAL
+
+    def test_oversize_join_falls_back(self):
+        """max_size=1 admits each per-cluster singleton but not their
+        union, so the join is rejected and the seeded global fallback runs
+        (and cannot solve the instance at that size either)."""
+        pt = two_islands()
+        res = cluster_cover(pt, max_size=1)
+        assert res.fallback
+        assert res.covers == ()
+        assert res.unexplained == frozenset(pt.datalog.failing_indices)
+        assert res.optimality == OPTIMALITY_BOUNDED
+
+    def test_budget_threads_through(self):
+        pt = two_islands()
+        budget = Budget(max_expansions=2)
+        res = cluster_cover(pt, budget=budget)
+        assert budget.expansions >= 2
+        assert res.optimality in (
+            OPTIMALITY_OPTIMAL,
+            OPTIMALITY_BOUNDED,
+            OPTIMALITY_BUDGET,
+        )
+        for cover in res.covers:
+            assert pt.explains_all(cover)
+
+
+class TestEngineThreading:
+    @pytest.fixture(scope="class")
+    def datalog(self, rca6, pats):
+        defects = [StuckAtDefect(Site("a0"), 1), StuckAtDefect(Site("b5"), 0)]
+        result = apply_test(rca6, pats, defects)
+        assert result.device_fails
+        return result.datalog
+
+    def test_exact_engine_reports_optimality(self, rca6, pats, datalog):
+        config = DiagnosisConfig(cover_engine="exact")
+        report = Diagnoser(rca6, config).diagnose(pats, datalog)
+        assert report.optimality == OPTIMALITY_OPTIMAL
+        assert report.multiplets
+        assert report.multiplets[0].complete
+
+    def test_clustered_engine_reports_optimality(self, rca6, pats, datalog):
+        config = DiagnosisConfig(cover_engine="clustered")
+        report = Diagnoser(rca6, config).diagnose(pats, datalog)
+        assert report.optimality in (
+            OPTIMALITY_OPTIMAL,
+            OPTIMALITY_BOUNDED,
+            OPTIMALITY_BUDGET,
+        )
+        assert report.multiplets
+        assert float(report.stats["n_failure_clusters"]) >= 1
+
+    def test_default_engine_leaves_optimality_unset(self, rca6, pats, datalog):
+        report = Diagnoser(rca6).diagnose(pats, datalog)
+        assert report.optimality is None
+        assert "optimality" not in report.to_dict()
+
+    def test_optimality_round_trips_through_json(self, rca6, pats, datalog):
+        config = DiagnosisConfig(cover_engine="exact")
+        report = Diagnoser(rca6, config).diagnose(pats, datalog)
+        payload = report.to_dict()
+        assert payload["optimality"] == report.optimality
+        assert DiagnosisReport.from_dict(payload).optimality == report.optimality
+
+    def test_unknown_engine_rejected(self, rca6):
+        with pytest.raises(DiagnosisError):
+            Diagnoser(rca6, DiagnosisConfig(cover_engine="branch-and-bound"))
+
+    def test_xcover_engine_incompatible(self, rca6):
+        with pytest.raises(DiagnosisError):
+            Diagnoser(
+                rca6, DiagnosisConfig(engine="xcover", cover_engine="exact")
+            )

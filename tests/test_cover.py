@@ -6,7 +6,9 @@ from repro.circuit.builder import NetlistBuilder
 from repro.circuit.generators import ripple_carry_adder
 from repro.circuit.netlist import Site
 from repro.core.backtrace import candidate_sites
+from repro.core.budget import Budget
 from repro.core.cover import (
+    _pair_rescue,
     enumerate_min_covers,
     enumerate_pertest_min_covers,
     greedy_cover,
@@ -127,3 +129,123 @@ class TestXcoverEngine:
         solution = greedy_cover(xc)
         assert solution.joint_evaluations >= 0
         assert solution.covered | solution.uncovered == xc.atoms
+
+
+def _three_islands_pertest():
+    """Two AND islands plus a buffered third output.  Pattern 1 fails both
+    AND outputs at once (disjoint cones, so no singleton explains it and
+    every explaining pair adds two new sites); pattern 0 fails only the
+    buffer and has singleton explainers."""
+    b = NetlistBuilder("caps")
+    p, q, r, s, t = b.inputs("p", "q", "r", "s", "t")
+    b.output(b.and_(b.buf(p, name="x1"), b.buf(q, name="y1"), name="z1"))
+    b.output(b.and_(b.buf(r, name="x2"), b.buf(s, name="y2"), name="z2"))
+    b.output(b.buf(t, name="c"))
+    n = b.build()
+    pats = PatternSet.from_vectors(
+        n.inputs, [(0, 0, 0, 0, 1), (1, 1, 1, 1, 0), (0, 0, 0, 0, 0)]
+    )
+    defects = [
+        StuckAtDefect(Site("x1"), 0),
+        StuckAtDefect(Site("x2"), 0),
+        StuckAtDefect(Site("c"), 0),
+    ]
+    result = apply_test(n, pats, defects)
+    assert result.device_fails
+    base = simulate(n, pats)
+    sites = candidate_sites(n, result.datalog)
+    return build_pertest(n, pats, result.datalog, sites, base)
+
+
+class TestSizeCapRegression:
+    def test_pair_phase_respects_max_size(self):
+        """Regression: with one slot left, the pair phase used to append a
+        two-new-site pair anyway, overflowing ``max_size``."""
+        pt = _three_islands_pertest()
+        solution = greedy_pertest_cover(pt, max_size=2)
+        assert len(solution.sites) <= 2
+        # The singleton for the buffer failure is kept; the pair residue is
+        # honestly reported unexplained instead of blowing the cap.
+        assert 0 in solution.explained
+        assert 1 in solution.unexplained
+
+    def test_pair_phase_fits_with_room(self):
+        """The same instance solves completely once the cap has room for
+        the two-site pair."""
+        pt = _three_islands_pertest()
+        solution = greedy_pertest_cover(pt, max_size=3)
+        assert solution.complete
+        assert len(solution.sites) == 3
+
+
+class TestBudgetAccounting:
+    def test_enumerate_pertest_checks_truncation_recorded(self, rca6, pats):
+        defects = [StuckAtDefect(Site("a0"), 1), StuckAtDefect(Site("b5"), 0)]
+        _result, pt, _xc = _setup(rca6, pats, defects)
+        budget = Budget()
+        enumerate_pertest_min_covers(pt, max_checks=1, budget=budget)
+        assert any(
+            t.stage == "cover" and t.cause == "checks" for t in budget.truncations
+        )
+
+    def test_enumerate_xcover_checks_truncation_recorded(self, rca6, pats):
+        defects = [StuckAtDefect(Site("a0"), 1), StuckAtDefect(Site("b5"), 0)]
+        _result, _pt, xc = _setup(rca6, pats, defects)
+        budget = Budget()
+        enumerate_min_covers(xc, max_checks=1, budget=budget)
+        assert any(
+            t.stage == "cover" and t.cause == "checks" for t in budget.truncations
+        )
+
+    def test_greedy_cover_charges_match_evaluations(self, rca6, pats):
+        """Every joint simulation greedy_cover reports -- including the
+        post-minimization recompute -- must be metered on the budget."""
+        defects = [StuckAtDefect(Site("a0"), 1), StuckAtDefect(Site("b5"), 0)]
+        _result, _pt, xc = _setup(rca6, pats, defects)
+        budget = Budget(max_expansions=10**9)
+        solution = greedy_cover(xc, budget=budget)
+        assert solution.joint_evaluations > 0
+        assert budget.expansions == solution.joint_evaluations
+
+    def test_greedy_cover_charges_match_under_tight_budget(self, rca6, pats):
+        defects = [StuckAtDefect(Site("a0"), 1), StuckAtDefect(Site("b5"), 0)]
+        _result, _pt, xc = _setup(rca6, pats, defects)
+        budget = Budget(max_expansions=1)
+        solution = greedy_cover(xc, budget=budget)
+        assert budget.expansions == solution.joint_evaluations
+
+    def test_pair_rescue_stops_on_exhausted_budget(self, rca6, pats):
+        """The rescue evaluates exactly one pair under an exhausted budget
+        (the progress guarantee) and meters it."""
+        defects = [StuckAtDefect(Site("a0"), 1), StuckAtDefect(Site("b5"), 0)]
+        _result, _pt, xc = _setup(rca6, pats, defects)
+        budget = Budget(max_expansions=1)
+        _best, best_cov, spent = _pair_rescue(
+            xc, [], frozenset(), xc.atoms, cap=400, budget=budget
+        )
+        assert spent == 1
+        assert budget.expansions == 1
+        assert best_cov <= xc.atoms
+
+
+class TestDeterminismAndEdges:
+    def test_greedy_pertest_tiebreak_site_order_independent(self, rca6, pats):
+        result = apply_test(rca6, pats, [StuckAtDefect(Site("b1"), 1)])
+        base = simulate(rca6, pats)
+        sites = candidate_sites(rca6, result.datalog)
+        forward = build_pertest(rca6, pats, result.datalog, sites, base)
+        backward = build_pertest(
+            rca6, pats, result.datalog, list(reversed(sites)), base
+        )
+        assert (
+            greedy_pertest_cover(forward).sites
+            == greedy_pertest_cover(backward).sites
+        )
+
+    def test_enumerate_pertest_empty_pool(self, rca6, pats):
+        """A failing device with no candidate sites enumerates to no
+        covers instead of crashing."""
+        result = apply_test(rca6, pats, [StuckAtDefect(Site("b1"), 1)])
+        base = simulate(rca6, pats)
+        pt = build_pertest(rca6, pats, result.datalog, [], base)
+        assert enumerate_pertest_min_covers(pt) == []
